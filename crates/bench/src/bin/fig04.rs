@@ -1,0 +1,11 @@
+//! Figure 4 (and the containment companion, Figure 5's sibling rows):
+//! mean position error E^P_rr vs throttle fraction z, Proportional query
+//! distribution, four policies, absolute + relative-to-LIRA.
+
+fn main() {
+    lira_bench::z_sweep_experiment(
+        "fig04",
+        "E^P_rr and E^C_rr vs z — Proportional query distribution",
+        lira_workload::QueryDistribution::Proportional,
+    );
+}

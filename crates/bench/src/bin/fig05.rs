@@ -1,0 +1,11 @@
+//! Figure 5: mean containment error E^C_rr vs throttle fraction z for the
+//! Proportional query distribution (same sweep as Figure 4; the E^C rows
+//! are the figure's series, E^P rows shown for completeness).
+
+fn main() {
+    lira_bench::z_sweep_experiment(
+        "fig05",
+        "E^C_rr vs z — Proportional query distribution",
+        lira_workload::QueryDistribution::Proportional,
+    );
+}

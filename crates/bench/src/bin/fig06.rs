@@ -1,0 +1,10 @@
+//! Figure 6: mean containment error E^C_rr vs throttle fraction z for the
+//! Inverse query distribution.
+
+fn main() {
+    lira_bench::z_sweep_experiment(
+        "fig06",
+        "E^C_rr vs z — Inverse query distribution",
+        lira_workload::QueryDistribution::Inverse,
+    );
+}

@@ -1,0 +1,10 @@
+//! Figure 7: mean containment error E^C_rr vs throttle fraction z for the
+//! Random query distribution.
+
+fn main() {
+    lira_bench::z_sweep_experiment(
+        "fig07",
+        "E^C_rr vs z — Random query distribution",
+        lira_workload::QueryDistribution::Random,
+    );
+}

@@ -1,0 +1,114 @@
+//! Table 3: number of shedding regions per base station as a function of
+//! the coverage radius, plus the paper's messaging-cost estimate —
+//! density-dependent placement giving ~41 regions ≈ 656 broadcast bytes
+//! per station, under the 1472-byte UDP payload limit.
+
+use lira_bench::{print_header, ExpArgs};
+use lira_core::prelude::*;
+use lira_mobility::prelude::*;
+use lira_server::prelude::*;
+use lira_workload::prelude::*;
+
+fn main() {
+    let mut args = ExpArgs::parse();
+    // Table 3 is defined at the paper's geometry; keep the space full-size
+    // regardless of scale, but let --quick shrink the fleet.
+    args.full = true;
+    let mut sc = args.base_scenario();
+    if args.nodes.is_none() {
+        sc.num_cars = 5_000;
+    }
+    sc.warmup_s = 120.0;
+    print_header(
+        "tab03",
+        "shedding regions per base station vs coverage radius",
+        &args,
+        &sc,
+    );
+
+    // Build the plan exactly as the server would.
+    let bounds = sc.bounds();
+    let network = generate_network(&NetworkConfig {
+        bounds,
+        spacing: sc.road_spacing,
+        arterial_period: sc.arterial_period,
+        expressway_period: sc.expressway_period,
+        jitter_frac: 0.2,
+        seed: sc.seed,
+    });
+    let demand = TrafficDemand::random_hotspots(&bounds, sc.hotspots, sc.seed);
+    let mut sim = TrafficSimulator::new(
+        network,
+        &demand,
+        TrafficConfig { num_cars: sc.num_cars, seed: sc.seed },
+    );
+    for _ in 0..(sc.warmup_s as usize) {
+        sim.step(1.0);
+    }
+    let positions: Vec<Point> = sim.cars().iter().map(|c| c.position()).collect();
+    let queries = generate_queries(
+        &bounds,
+        &positions,
+        &WorkloadConfig::from_ratio(
+            sc.query_distribution,
+            sc.num_cars,
+            sc.query_ratio,
+            sc.query_side,
+            sc.seed,
+        ),
+    );
+    let config = sc.lira_config();
+    let mut grid = StatsGrid::new(config.alpha, bounds).unwrap();
+    grid.begin_snapshot();
+    for car in sim.cars() {
+        grid.observe_node(&car.position(), car.speed(), 1.0);
+    }
+    for q in &queries {
+        grid.observe_query(&q.range);
+    }
+    grid.commit_snapshot();
+    let shedder = LiraShedder::new(config.clone(), 1000).unwrap();
+    let plan = shedder.adapt_with_throttle(&grid, sc.throttle).unwrap().plan;
+    println!("plan: l = {} regions over {:.0} km²\n", plan.len(), bounds.area() / 1e6);
+
+    // Table 3 proper: uniform stations at each radius.
+    println!("base station radius (km) |   1.0 |   2.0 |   3.0 |   4.0 |   5.0");
+    print!("# of Δ_i's per station   |");
+    for radius_km in [1.0, 2.0, 3.0, 4.0, 5.0] {
+        let stations = uniform_placement(&bounds, radius_km * 1000.0);
+        print!(" {:>5.1} |", mean_regions_per_station(&stations, &plan));
+    }
+    println!("\n");
+    println!("paper reference row:        3.1 |  12.5 |  28.2 |  50.2 |  78.5 (l = 250)");
+
+    // Density-dependent placement: the paper's realistic estimate.
+    let stations = density_dependent_placement(&bounds, &positions, 150, 400.0);
+    let mean_regions = mean_regions_per_station(&stations, &plan);
+    let mean_bytes = mean_broadcast_bytes(&stations, &plan);
+    println!("\ndensity-dependent placement (≤150 nodes/station): {} stations", stations.len());
+    println!(
+        "mean regions per station: {:.1} → broadcast {:.0} bytes per station",
+        mean_regions, mean_bytes
+    );
+    println!(
+        "paper reference: ~41 regions → 41·(3+1)·4 = 656 bytes; UDP payload limit 1472"
+    );
+    println!(
+        "single-packet broadcasts: {}",
+        if mean_bytes <= 1472.0 { "yes ✓" } else { "no ✗" }
+    );
+
+    // Mobile-node-side cost: install on a sample of nodes.
+    let sample = positions.len().min(500);
+    let mut total = 0usize;
+    for (i, p) in positions.iter().take(sample).enumerate() {
+        let sid = station_for(&stations, p).unwrap();
+        let subset = plan.subset_for(&stations[sid as usize].coverage);
+        let mobile = MobileShedder::install(i as u32, subset, config.delta_min);
+        total += mobile.num_regions();
+    }
+    println!(
+        "mean regions known per mobile node (sample of {sample}): {:.1}",
+        total as f64 / sample as f64
+    );
+}

@@ -1,0 +1,290 @@
+//! # lira-bench
+//!
+//! Experiment harness for the LIRA reproduction: one binary per table and
+//! figure of the paper's evaluation (see DESIGN.md §6 for the index), plus
+//! Criterion micro-benchmarks of the server-side algorithms.
+//!
+//! Every binary accepts:
+//!
+//! * `--quick` — a reduced scale for smoke runs (seconds);
+//! * `--full`  — the paper's full Table 2 scale (`l = 250`, `α = 128`,
+//!   10 000 nodes, ~200 km², 1 h trace);
+//! * `--seeds N` — number of seeds to average over (default 3);
+//! * `--nodes N`, `--duration S` — explicit overrides.
+//!
+//! The default (no flags) is the *standard* scale recorded in
+//! EXPERIMENTS.md: ~50 km², 2 000 nodes, 240 s measured — big enough for
+//! the paper's effects, small enough that the full suite reruns in minutes.
+
+use lira_sim::prelude::*;
+
+/// Command-line options shared by all experiment binaries.
+#[derive(Debug, Clone)]
+pub struct ExpArgs {
+    /// Use the paper's full Table 2 scale.
+    pub full: bool,
+    /// Use a reduced smoke-test scale.
+    pub quick: bool,
+    /// Seeds to average over.
+    pub seeds: Vec<u64>,
+    /// Override the number of mobile nodes.
+    pub nodes: Option<usize>,
+    /// Override the measured duration (seconds).
+    pub duration: Option<f64>,
+}
+
+impl ExpArgs {
+    /// Parses `std::env::args()`. Unknown flags abort with a usage message.
+    pub fn parse() -> Self {
+        let mut args = ExpArgs {
+            full: false,
+            quick: false,
+            seeds: vec![17, 101, 202],
+            nodes: None,
+            duration: None,
+        };
+        let mut it = std::env::args().skip(1);
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--full" => args.full = true,
+                "--quick" => args.quick = true,
+                "--seeds" => {
+                    let n: usize = it
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage("--seeds needs a count"));
+                    args.seeds = (0..n).map(|i| 17 + 85 * i as u64).collect();
+                }
+                "--nodes" => {
+                    args.nodes = Some(
+                        it.next()
+                            .and_then(|v| v.parse().ok())
+                            .unwrap_or_else(|| usage("--nodes needs a count")),
+                    );
+                }
+                "--duration" => {
+                    args.duration = Some(
+                        it.next()
+                            .and_then(|v| v.parse().ok())
+                            .unwrap_or_else(|| usage("--duration needs seconds")),
+                    );
+                }
+                "--help" | "-h" => {
+                    usage("options: --quick | --full | --seeds N | --nodes N | --duration S")
+                }
+                other => usage(&format!("unknown flag {other}")),
+            }
+        }
+        args
+    }
+
+    /// The base scenario at the selected scale (before per-experiment
+    /// parameter overrides).
+    pub fn base_scenario(&self) -> Scenario {
+        let mut sc = if self.full {
+            Scenario::paper(17)
+        } else if self.quick {
+            let mut s = Scenario::small(17);
+            s.num_cars = 400;
+            s.duration_s = 90.0;
+            s
+        } else {
+            Scenario::default()
+        };
+        if let Some(n) = self.nodes {
+            sc.num_cars = n;
+        }
+        if let Some(d) = self.duration {
+            sc.duration_s = d;
+        }
+        sc
+    }
+
+    /// Human-readable scale label for the output header.
+    pub fn scale_label(&self) -> &'static str {
+        if self.full {
+            "full (paper Table 2)"
+        } else if self.quick {
+            "quick (smoke)"
+        } else {
+            "standard"
+        }
+    }
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!("{msg}");
+    std::process::exit(2);
+}
+
+/// Metrics plus budget accounting, averaged over seeds.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AveragedOutcome {
+    pub mean_containment: f64,
+    pub mean_position: f64,
+    pub stddev_containment: f64,
+    pub cov_containment: f64,
+    pub processed_fraction: f64,
+    pub updates_sent: f64,
+    pub adapt_micros: f64,
+}
+
+/// Runs `make_scenario(seed)` for every seed, evaluating `policies`, and
+/// averages each policy's outcome across seeds.
+pub fn run_averaged(
+    seeds: &[u64],
+    policies: &[Policy],
+    mut make_scenario: impl FnMut(u64) -> Scenario,
+) -> Vec<(Policy, AveragedOutcome)> {
+    let mut sums: Vec<AveragedOutcome> = vec![AveragedOutcome::default(); policies.len()];
+    for &seed in seeds {
+        let sc = make_scenario(seed);
+        let report = run_scenario(&sc, policies);
+        for (i, o) in report.outcomes.iter().enumerate() {
+            let s = &mut sums[i];
+            s.mean_containment += o.metrics.mean_containment;
+            s.mean_position += o.metrics.mean_position;
+            s.stddev_containment += o.metrics.stddev_containment;
+            s.cov_containment += o.metrics.cov_containment;
+            s.processed_fraction += o.processed_fraction;
+            s.updates_sent += o.updates_sent as f64;
+            s.adapt_micros +=
+                o.adapt_micros.iter().sum::<u64>() as f64 / o.adapt_micros.len().max(1) as f64;
+        }
+    }
+    let k = seeds.len().max(1) as f64;
+    policies
+        .iter()
+        .zip(sums)
+        .map(|(&p, mut s)| {
+            s.mean_containment /= k;
+            s.mean_position /= k;
+            s.stddev_containment /= k;
+            s.cov_containment /= k;
+            s.processed_fraction /= k;
+            s.updates_sent /= k;
+            s.adapt_micros /= k;
+            (p, s)
+        })
+        .collect()
+}
+
+/// Prints the standard experiment header.
+pub fn print_header(id: &str, title: &str, args: &ExpArgs, sc: &Scenario) {
+    println!("== {id}: {title}");
+    println!(
+        "scale: {} | {} nodes | {:.0} km² | {} s measured | {} seed(s) | l = {}, α = {}",
+        args.scale_label(),
+        sc.num_cars,
+        sc.space_side * sc.space_side / 1e6,
+        sc.duration_s,
+        args.seeds.len(),
+        sc.num_regions,
+        sc.alpha,
+    );
+    println!();
+}
+
+/// Formats a ratio column: "x.xx", or "-" when the base is zero.
+pub fn ratio(v: f64, base: f64) -> String {
+    if base > 0.0 {
+        format!("{:.2}", v / base)
+    } else {
+        "-".to_string()
+    }
+}
+
+/// Shared implementation of the throttle-fraction sweeps (Figures 4–7):
+/// all four policies across `z` values, reporting the chosen error metric
+/// absolutely and relative to LIRA.
+pub fn z_sweep_experiment(id: &str, title: &str, distribution: lira_workload::QueryDistribution) {
+    let args = ExpArgs::parse();
+    let base = args.base_scenario();
+    print_header(id, title, &args, &base);
+
+    let zs = [0.25, 0.3, 0.4, 0.5, 0.6, 0.75, 0.9];
+    println!("metric columns: absolute value (relative to LIRA)");
+    println!(
+        "     z | {:>22} | {:>22} | {:>22} | {:>22}",
+        "LIRA", "Lira-Grid", "Uniform Delta", "Random Drop"
+    );
+    println!("{}", "-".repeat(8 + 4 * 25));
+    let fmt = |v: f64, base: f64, position: bool| -> String {
+        let abs = if position {
+            format!("{v:.3} m")
+        } else {
+            format!("{v:.4}")
+        };
+        format!("{abs} ({})", ratio(v, base))
+    };
+    for &z in &zs {
+        let outcomes = run_averaged(&args.seeds, &Policy::ALL, |seed| {
+            let mut sc = base.clone();
+            sc.seed = seed;
+            sc.throttle = z;
+            sc.query_distribution = distribution;
+            sc
+        });
+        let lira_pos = outcomes[0].1.mean_position;
+        let lira_con = outcomes[0].1.mean_containment;
+        let pos_row: Vec<String> = outcomes
+            .iter()
+            .map(|(_, o)| fmt(o.mean_position, lira_pos, true))
+            .collect();
+        let con_row: Vec<String> = outcomes
+            .iter()
+            .map(|(_, o)| fmt(o.mean_containment, lira_con, false))
+            .collect();
+        println!(
+            "{z:>6.2} | E^P: {:>17} | {:>22} | {:>22} | {:>22}",
+            pos_row[0], pos_row[1], pos_row[2], pos_row[3]
+        );
+        println!(
+            "       | E^C: {:>17} | {:>22} | {:>22} | {:>22}",
+            con_row[0], con_row[1], con_row[2], con_row[3]
+        );
+    }
+    println!();
+    println!("paper shape to check: LIRA best everywhere; Random Drop worst by orders of");
+    println!("magnitude near z = 1; all threshold policies converge at small z (≈ 0.25).");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base_scenarios_are_valid() {
+        let a = ExpArgs {
+            full: false,
+            quick: true,
+            seeds: vec![1],
+            nodes: Some(100),
+            duration: Some(30.0),
+        };
+        let sc = a.base_scenario();
+        assert_eq!(sc.num_cars, 100);
+        assert_eq!(sc.duration_s, 30.0);
+        sc.lira_config().validate().unwrap();
+        assert_eq!(a.scale_label(), "quick (smoke)");
+    }
+
+    #[test]
+    fn averaging_runs_policies() {
+        let out = run_averaged(&[3, 5], &[Policy::UniformDelta], |seed| {
+            let mut sc = Scenario::small(seed);
+            sc.num_cars = 60;
+            sc.duration_s = 30.0;
+            sc.warmup_s = 10.0;
+            sc
+        });
+        assert_eq!(out.len(), 1);
+        assert!(out[0].1.updates_sent > 0.0);
+    }
+
+    #[test]
+    fn ratio_formatting() {
+        assert_eq!(ratio(2.0, 1.0), "2.00");
+        assert_eq!(ratio(1.0, 0.0), "-");
+    }
+}

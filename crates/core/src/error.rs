@@ -1,0 +1,50 @@
+//! Error types for the LIRA core library.
+
+use std::fmt;
+
+/// Errors produced by LIRA configuration and algorithms.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LiraError {
+    /// A configuration parameter is out of its valid domain.
+    InvalidConfig(String),
+    /// A shedding-plan wire payload could not be decoded.
+    MalformedPlan(String),
+    /// The requested operation needs statistics that have not been collected.
+    MissingStatistics(String),
+}
+
+impl fmt::Display for LiraError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LiraError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            LiraError::MalformedPlan(msg) => write!(f, "malformed shedding plan: {msg}"),
+            LiraError::MissingStatistics(msg) => write!(f, "missing statistics: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for LiraError {}
+
+/// Convenience result alias for LIRA operations.
+pub type Result<T> = std::result::Result<T, LiraError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = LiraError::InvalidConfig("l must satisfy l mod 3 = 1".into());
+        assert!(e.to_string().contains("invalid configuration"));
+        let e = LiraError::MalformedPlan("truncated".into());
+        assert!(e.to_string().contains("malformed"));
+        let e = LiraError::MissingStatistics("empty grid".into());
+        assert!(e.to_string().contains("missing statistics"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&LiraError::InvalidConfig("x".into()));
+    }
+}

@@ -1,0 +1,451 @@
+//! Shedding plans: the artifact LIRA distributes to base stations and
+//! mobile nodes — a set of shedding regions with their update throttlers.
+//!
+//! Matching Section 4.3.2 of the paper, a region is a square encoded as
+//! three `f32`s (min-x, min-y, side) and its throttler as one `f32`:
+//! 16 bytes per region, so the ~41 regions a base station must broadcast
+//! fit in a single UDP packet (41·16 = 656 B < 1472 B MTU payload).
+
+use crate::error::{LiraError, Result};
+use crate::geometry::{Circle, Point, Rect};
+use crate::grid_reduce::Partitioning;
+use crate::greedy_increment::ThrottlerSolution;
+
+/// One shedding region with its assigned update throttler.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlanRegion {
+    /// The region's area `A_i`.
+    pub area: Rect,
+    /// The update throttler `Δ_i` (meters).
+    pub throttler: f64,
+}
+
+/// A complete shedding plan covering the monitored space.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SheddingPlan {
+    bounds: Rect,
+    regions: Vec<PlanRegion>,
+    /// Spatial acceleration: a uniform lookup grid mapping cells to region
+    /// indices, giving O(1) throttler lookups on the hot update path.
+    lookup_side: usize,
+    lookup: Vec<u32>,
+    /// Fallback threshold for points outside every region.
+    default_delta: f64,
+}
+
+impl SheddingPlan {
+    /// Assembles a plan from a partitioning and the corresponding
+    /// GREEDYINCREMENT solution.
+    pub fn from_solution(
+        bounds: Rect,
+        partitioning: &Partitioning,
+        solution: &ThrottlerSolution,
+        default_delta: f64,
+    ) -> Result<Self> {
+        if partitioning.regions.len() != solution.deltas.len() {
+            return Err(LiraError::InvalidConfig(format!(
+                "partitioning has {} regions but solution has {} throttlers",
+                partitioning.regions.len(),
+                solution.deltas.len()
+            )));
+        }
+        let regions = partitioning
+            .regions
+            .iter()
+            .zip(&solution.deltas)
+            .map(|(r, d)| PlanRegion {
+                area: r.area,
+                throttler: *d,
+            })
+            .collect();
+        Ok(Self::new(bounds, regions, default_delta))
+    }
+
+    /// Builds a plan from explicit regions. Regions are expected to tile
+    /// `bounds`; points not covered fall back to `default_delta`.
+    pub fn new(bounds: Rect, regions: Vec<PlanRegion>, default_delta: f64) -> Self {
+        // Size the lookup grid so cells are no larger than the smallest
+        // region (bounded to keep memory modest for tiny regions).
+        let min_side = regions
+            .iter()
+            .map(|r| r.area.width().min(r.area.height()))
+            .fold(f64::INFINITY, f64::min);
+        let lookup_side = if min_side.is_finite() && min_side > 0.0 {
+            ((bounds.width() / min_side).ceil() as usize).clamp(1, 1024)
+        } else {
+            1
+        };
+        let mut lookup = vec![u32::MAX; lookup_side * lookup_side];
+        let cw = bounds.width() / lookup_side as f64;
+        let ch = bounds.height() / lookup_side as f64;
+        for (idx, region) in regions.iter().enumerate() {
+            let c0 = (((region.area.min.x - bounds.min.x) / cw).floor().max(0.0)) as usize;
+            let r0 = (((region.area.min.y - bounds.min.y) / ch).floor().max(0.0)) as usize;
+            let c1 = ((((region.area.max.x - bounds.min.x) / cw).ceil()) as usize)
+                .min(lookup_side);
+            let r1 = ((((region.area.max.y - bounds.min.y) / ch).ceil()) as usize)
+                .min(lookup_side);
+            for row in r0..r1.max(r0 + 1).min(lookup_side) {
+                for col in c0..c1.max(c0 + 1).min(lookup_side) {
+                    let cell = Rect::from_coords(
+                        bounds.min.x + col as f64 * cw,
+                        bounds.min.y + row as f64 * ch,
+                        bounds.min.x + (col + 1) as f64 * cw,
+                        bounds.min.y + (row + 1) as f64 * ch,
+                    );
+                    // Assign the region containing the cell center; with a
+                    // tiling partitioning and cells no bigger than the
+                    // smallest region this is exact for interior cells.
+                    if region.area.contains(&cell.center()) {
+                        lookup[row * lookup_side + col] = idx as u32;
+                    }
+                }
+            }
+        }
+        SheddingPlan {
+            bounds,
+            regions,
+            lookup_side,
+            lookup,
+            default_delta,
+        }
+    }
+
+    /// A trivial plan: one region covering the whole space with a single
+    /// threshold (the Uniform Δ baseline).
+    pub fn uniform(bounds: Rect, delta: f64) -> Self {
+        SheddingPlan::new(
+            bounds,
+            vec![PlanRegion {
+                area: bounds,
+                throttler: delta,
+            }],
+            delta,
+        )
+    }
+
+    /// The monitored space.
+    pub fn bounds(&self) -> &Rect {
+        &self.bounds
+    }
+
+    /// All regions in the plan.
+    pub fn regions(&self) -> &[PlanRegion] {
+        &self.regions
+    }
+
+    /// Number of shedding regions `l`.
+    pub fn len(&self) -> usize {
+        self.regions.len()
+    }
+
+    /// Whether the plan has no regions.
+    pub fn is_empty(&self) -> bool {
+        self.regions.is_empty()
+    }
+
+    /// The update throttler for a mobile node at `p` — what a node looks up
+    /// locally each time it crosses into a new shedding region.
+    pub fn throttler_at(&self, p: &Point) -> f64 {
+        let col = ((p.x - self.bounds.min.x) / self.bounds.width() * self.lookup_side as f64)
+            .floor()
+            .clamp(0.0, (self.lookup_side - 1) as f64) as usize;
+        let row = ((p.y - self.bounds.min.y) / self.bounds.height() * self.lookup_side as f64)
+            .floor()
+            .clamp(0.0, (self.lookup_side - 1) as f64) as usize;
+        let idx = self.lookup[row * self.lookup_side + col];
+        if idx != u32::MAX {
+            let region = &self.regions[idx as usize];
+            if region.area.contains(p) || region.area.contains_closed(p) {
+                return region.throttler;
+            }
+        }
+        // Fallback: exact scan (cells straddling region borders).
+        self.regions
+            .iter()
+            .find(|r| r.area.contains(p))
+            .map(|r| r.throttler)
+            .unwrap_or(self.default_delta)
+    }
+
+    /// A sound upper bound on the throttler a node *predicted* at `p` may
+    /// actually be using: the node's true position is within its (unknown)
+    /// threshold of `p`, so taking the maximum throttler over all regions
+    /// within `radius` (pass `Δ⊣`) of `p` is conservative. Used by
+    /// uncertainty-aware query evaluation.
+    pub fn max_throttler_within(&self, p: &Point, radius: f64) -> f64 {
+        let disk = Circle::new(*p, radius.max(0.0));
+        self.regions
+            .iter()
+            .filter(|r| disk.intersects_rect(&r.area))
+            .map(|r| r.throttler)
+            .fold(self.default_delta, f64::max)
+    }
+
+    /// The subset of regions a base station with the given coverage area
+    /// must broadcast (Section 2.2).
+    pub fn subset_for(&self, coverage: &Circle) -> Vec<PlanRegion> {
+        self.regions
+            .iter()
+            .filter(|r| coverage.intersects_rect(&r.area))
+            .copied()
+            .collect()
+    }
+
+    /// Serializes regions to the paper's broadcast format: per region the
+    /// square's min-x, min-y, side and the throttler, each as an `f32`
+    /// (16 bytes per region).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.regions.len() * 16);
+        for r in &self.regions {
+            out.extend_from_slice(&(r.area.min.x as f32).to_le_bytes());
+            out.extend_from_slice(&(r.area.min.y as f32).to_le_bytes());
+            out.extend_from_slice(&(r.area.width() as f32).to_le_bytes());
+            out.extend_from_slice(&(r.throttler as f32).to_le_bytes());
+        }
+        out
+    }
+
+    /// Size in bytes of the encoded subset for a coverage area — the
+    /// broadcast payload size analyzed in Section 4.3.2.
+    pub fn broadcast_bytes(&self, coverage: &Circle) -> usize {
+        self.subset_for(coverage).len() * 16
+    }
+
+    /// The regions of `self` that differ from `old` (new areas, or same
+    /// area with a changed throttler) — the *delta broadcast* a base
+    /// station can send after a re-adaptation instead of the full subset.
+    /// Throttlers are compared at the wire format's `f32` resolution, so a
+    /// sub-representable change never triggers a broadcast.
+    pub fn changed_regions(&self, old: &SheddingPlan) -> Vec<PlanRegion> {
+        let same_rect = |a: &Rect, b: &Rect| {
+            (a.min.x - b.min.x).abs() < 1e-6
+                && (a.min.y - b.min.y).abs() < 1e-6
+                && (a.max.x - b.max.x).abs() < 1e-6
+                && (a.max.y - b.max.y).abs() < 1e-6
+        };
+        self.regions
+            .iter()
+            .filter(|r| {
+                !old.regions.iter().any(|o| {
+                    same_rect(&o.area, &r.area)
+                        && (o.throttler as f32) == (r.throttler as f32)
+                })
+            })
+            .copied()
+            .collect()
+    }
+
+    /// Decodes a broadcast payload back into plan regions.
+    pub fn decode(bounds: Rect, bytes: &[u8], default_delta: f64) -> Result<Self> {
+        if !bytes.len().is_multiple_of(16) {
+            return Err(LiraError::MalformedPlan(format!(
+                "payload length {} is not a multiple of 16",
+                bytes.len()
+            )));
+        }
+        let mut regions = Vec::with_capacity(bytes.len() / 16);
+        for chunk in bytes.chunks_exact(16) {
+            let read = |i: usize| {
+                f32::from_le_bytes([chunk[i], chunk[i + 1], chunk[i + 2], chunk[i + 3]]) as f64
+            };
+            let (x, y, side, delta) = (read(0), read(4), read(8), read(12));
+            if side <= 0.0 || side.is_nan() || !delta.is_finite() || delta < 0.0 {
+                return Err(LiraError::MalformedPlan(format!(
+                    "invalid region: side {side}, delta {delta}"
+                )));
+            }
+            regions.push(PlanRegion {
+                area: Rect::square(Point::new(x, y), side),
+                throttler: delta,
+            });
+        }
+        Ok(SheddingPlan::new(bounds, regions, default_delta))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quad_plan() -> SheddingPlan {
+        // Four quadrant regions of a 100x100 space with distinct deltas.
+        let bounds = Rect::from_coords(0.0, 0.0, 100.0, 100.0);
+        let regions = bounds
+            .quadrants()
+            .iter()
+            .enumerate()
+            .map(|(i, q)| PlanRegion {
+                area: *q,
+                throttler: 10.0 * (i + 1) as f64,
+            })
+            .collect();
+        SheddingPlan::new(bounds, regions, 5.0)
+    }
+
+    #[test]
+    fn lookup_finds_correct_region() {
+        let p = quad_plan();
+        assert_eq!(p.throttler_at(&Point::new(10.0, 10.0)), 10.0); // SW
+        assert_eq!(p.throttler_at(&Point::new(90.0, 10.0)), 20.0); // SE
+        assert_eq!(p.throttler_at(&Point::new(10.0, 90.0)), 30.0); // NW
+        assert_eq!(p.throttler_at(&Point::new(90.0, 90.0)), 40.0); // NE
+    }
+
+    #[test]
+    fn lookup_on_borders_is_consistent() {
+        let p = quad_plan();
+        // The half-open convention assigns borders to the upper region.
+        assert_eq!(p.throttler_at(&Point::new(50.0, 10.0)), 20.0);
+        assert_eq!(p.throttler_at(&Point::new(10.0, 50.0)), 30.0);
+        assert_eq!(p.throttler_at(&Point::new(50.0, 50.0)), 40.0);
+        // The space's own max corner still resolves to some region.
+        let d = p.throttler_at(&Point::new(100.0, 100.0));
+        assert!(d > 0.0);
+    }
+
+    #[test]
+    fn lookup_agrees_with_linear_scan_everywhere() {
+        let p = quad_plan();
+        for i in 0..50 {
+            for j in 0..50 {
+                let pt = Point::new(i as f64 * 2.0 + 0.7, j as f64 * 2.0 + 0.3);
+                let scan = p
+                    .regions()
+                    .iter()
+                    .find(|r| r.area.contains(&pt))
+                    .map(|r| r.throttler)
+                    .unwrap();
+                assert_eq!(p.throttler_at(&pt), scan, "at {pt}");
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_plan() {
+        let bounds = Rect::from_coords(0.0, 0.0, 10.0, 10.0);
+        let p = SheddingPlan::uniform(bounds, 42.0);
+        assert_eq!(p.len(), 1);
+        assert_eq!(p.throttler_at(&Point::new(3.0, 7.0)), 42.0);
+    }
+
+    #[test]
+    fn outside_points_use_default() {
+        let p = quad_plan();
+        assert_eq!(p.throttler_at(&Point::new(-50.0, -50.0)), 5.0);
+    }
+
+    #[test]
+    fn subset_for_coverage() {
+        let p = quad_plan();
+        // A small circle inside the SW quadrant sees one region.
+        let c = Circle::new(Point::new(20.0, 20.0), 5.0);
+        assert_eq!(p.subset_for(&c).len(), 1);
+        // A circle at the center touches all four.
+        let c = Circle::new(Point::new(50.0, 50.0), 5.0);
+        assert_eq!(p.subset_for(&c).len(), 4);
+        assert_eq!(p.broadcast_bytes(&c), 64);
+    }
+
+    #[test]
+    fn max_throttler_within_is_conservative() {
+        let p = quad_plan();
+        // Far inside SW (delta 10), radius small: only SW matters.
+        assert_eq!(p.max_throttler_within(&Point::new(10.0, 10.0), 5.0), 10.0);
+        // Near the center, radius reaches all four quadrants: max 40.
+        assert_eq!(p.max_throttler_within(&Point::new(49.0, 49.0), 5.0), 40.0);
+        // Radius zero degenerates to the containing region's throttler.
+        assert_eq!(p.max_throttler_within(&Point::new(10.0, 10.0), 0.0), 10.0);
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let p = quad_plan();
+        let bytes = p.encode();
+        assert_eq!(bytes.len(), 4 * 16);
+        let q = SheddingPlan::decode(*p.bounds(), &bytes, 5.0).unwrap();
+        assert_eq!(q.len(), 4);
+        for (a, b) in p.regions().iter().zip(q.regions()) {
+            assert!((a.throttler - b.throttler).abs() < 1e-6);
+            assert!((a.area.min.x - b.area.min.x).abs() < 1e-3);
+            assert!((a.area.width() - b.area.width()).abs() < 1e-3);
+        }
+        // Lookups agree after the round trip.
+        for pt in [Point::new(10.0, 10.0), Point::new(90.0, 90.0)] {
+            assert_eq!(p.throttler_at(&pt), q.throttler_at(&pt));
+        }
+    }
+
+    #[test]
+    fn decode_rejects_malformed_payloads() {
+        let bounds = Rect::from_coords(0.0, 0.0, 1.0, 1.0);
+        assert!(SheddingPlan::decode(bounds, &[0u8; 15], 5.0).is_err());
+        // Zero side length.
+        let mut bad = Vec::new();
+        bad.extend_from_slice(&0f32.to_le_bytes());
+        bad.extend_from_slice(&0f32.to_le_bytes());
+        bad.extend_from_slice(&0f32.to_le_bytes());
+        bad.extend_from_slice(&5f32.to_le_bytes());
+        assert!(SheddingPlan::decode(bounds, &bad, 5.0).is_err());
+        // Negative throttler.
+        let mut bad = Vec::new();
+        bad.extend_from_slice(&0f32.to_le_bytes());
+        bad.extend_from_slice(&0f32.to_le_bytes());
+        bad.extend_from_slice(&1f32.to_le_bytes());
+        bad.extend_from_slice(&(-1f32).to_le_bytes());
+        assert!(SheddingPlan::decode(bounds, &bad, 5.0).is_err());
+    }
+
+    #[test]
+    fn changed_regions_deltas() {
+        let p = quad_plan();
+        // Identical plan: nothing to broadcast.
+        assert!(p.changed_regions(&p).is_empty());
+        // One throttler changes: exactly that region is in the delta.
+        let mut regions = p.regions().to_vec();
+        regions[2].throttler = 99.0;
+        let q = SheddingPlan::new(*p.bounds(), regions, 5.0);
+        let delta = q.changed_regions(&p);
+        assert_eq!(delta.len(), 1);
+        assert_eq!(delta[0].throttler, 99.0);
+        // A repartitioning: all four new quadrant-halves differ.
+        let halves: Vec<PlanRegion> = Rect::from_coords(0.0, 0.0, 100.0, 100.0)
+            .quadrants()[0]
+            .quadrants()
+            .iter()
+            .map(|r| PlanRegion { area: *r, throttler: 10.0 })
+            .collect();
+        let r = SheddingPlan::new(*p.bounds(), halves, 5.0);
+        assert_eq!(r.changed_regions(&p).len(), 4);
+        // Sub-f32 throttler jitter does not trigger a broadcast.
+        let mut regions = p.regions().to_vec();
+        regions[0].throttler += 1e-9;
+        let s2 = SheddingPlan::new(*p.bounds(), regions, 5.0);
+        assert!(s2.changed_regions(&p).is_empty());
+    }
+
+    #[test]
+    fn paper_messaging_cost_example() {
+        // Section 4.3.2: 41 regions -> 41·(3+1)·4 = 656 bytes, under the
+        // 1472-byte UDP payload limit.
+        let bounds = Rect::from_coords(0.0, 0.0, 1000.0, 1000.0);
+        let regions: Vec<PlanRegion> = (0..41)
+            .map(|i| PlanRegion {
+                area: Rect::square(Point::new((i % 7) as f64 * 100.0, (i / 7) as f64 * 100.0), 100.0),
+                throttler: 10.0,
+            })
+            .collect();
+        let p = SheddingPlan::new(bounds, regions, 5.0);
+        assert_eq!(p.encode().len(), 656);
+        assert!(p.encode().len() <= 1472);
+    }
+
+    #[test]
+    fn empty_plan_is_safe() {
+        let bounds = Rect::from_coords(0.0, 0.0, 1.0, 1.0);
+        let p = SheddingPlan::new(bounds, vec![], 7.0);
+        assert!(p.is_empty());
+        assert_eq!(p.throttler_at(&Point::new(0.5, 0.5)), 7.0);
+        assert!(p.encode().is_empty());
+    }
+}

@@ -1,0 +1,235 @@
+//! The LIRA load shedder: the high-level orchestrator that ties the three
+//! server-side algorithms together (Section 3). Each *adaptation step* runs
+//! THROTLOOP (when queue observations are supplied), GRIDREDUCE, and
+//! GREEDYINCREMENT, and emits a fresh [`SheddingPlan`] for distribution to
+//! base stations and mobile nodes.
+
+use std::time::{Duration, Instant};
+
+use crate::config::LiraConfig;
+use crate::error::Result;
+use crate::greedy_increment::{greedy_increment, GreedyParams, ThrottlerSolution};
+use crate::grid_reduce::{grid_reduce, GridReduceParams, Partitioning};
+use crate::plan::SheddingPlan;
+use crate::reduction::ReductionModel;
+use crate::stats_grid::StatsGrid;
+use crate::throt_loop::{QueueObservation, ThrotLoop};
+
+/// Outcome of one adaptation step, including the cost breakdown reported in
+/// Figure 14 of the paper.
+#[derive(Debug, Clone)]
+pub struct Adaptation {
+    /// The freshly computed shedding plan.
+    pub plan: SheddingPlan,
+    /// The partitioning the plan is based on.
+    pub partitioning: Partitioning,
+    /// The optimizer's solution (throttlers, expenditure, objective).
+    pub solution: ThrottlerSolution,
+    /// The throttle fraction `z` used for this step.
+    pub throttle: f64,
+    /// Wall-clock cost of the whole step (THROTLOOP + GRIDREDUCE +
+    /// GREEDYINCREMENT), the server-side overhead metric of Section 4.3.2.
+    pub elapsed: Duration,
+}
+
+/// The LIRA load shedder.
+#[derive(Debug, Clone)]
+pub struct LiraShedder {
+    config: LiraConfig,
+    model: ReductionModel,
+    controller: ThrotLoop,
+}
+
+impl LiraShedder {
+    /// Creates a shedder with the analytic reduction model and a
+    /// THROTLOOP controller over a queue of `queue_capacity` updates.
+    pub fn new(config: LiraConfig, queue_capacity: usize) -> Result<Self> {
+        config.validate()?;
+        let model = ReductionModel::analytic(config.delta_min, config.delta_max, config.kappa());
+        let controller = ThrotLoop::new(queue_capacity)?;
+        Ok(LiraShedder {
+            config,
+            model,
+            controller,
+        })
+    }
+
+    /// Replaces the reduction model, e.g. with one calibrated from an
+    /// observed trace ([`ReductionModel::from_samples`]).
+    pub fn with_model(mut self, model: ReductionModel) -> Self {
+        self.model = model;
+        self
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &LiraConfig {
+        &self.config
+    }
+
+    /// The active update-reduction model.
+    pub fn model(&self) -> &ReductionModel {
+        &self.model
+    }
+
+    /// The current throttle fraction: the controller's value when adaptive,
+    /// otherwise the configured constant.
+    pub fn throttle(&self) -> f64 {
+        if self.controller.iterations() > 0 {
+            self.controller.throttle()
+        } else {
+            self.config.throttle
+        }
+    }
+
+    /// Runs one adaptation step with THROTLOOP in the loop: the queue
+    /// observation updates `z` before partitioning (Section 3.4).
+    pub fn adapt(&mut self, grid: &StatsGrid, obs: QueueObservation) -> Result<Adaptation> {
+        let started = Instant::now();
+        let z = self.controller.observe(obs);
+        self.adapt_inner(grid, z, started)
+    }
+
+    /// Runs one adaptation step with a fixed, manually set throttle
+    /// fraction (the paper's system-level parameter mode).
+    pub fn adapt_with_throttle(&self, grid: &StatsGrid, throttle: f64) -> Result<Adaptation> {
+        self.adapt_inner(grid, throttle, Instant::now())
+    }
+
+    fn adapt_inner(&self, grid: &StatsGrid, throttle: f64, started: Instant) -> Result<Adaptation> {
+        let partitioning = grid_reduce(
+            grid,
+            &self.model,
+            &GridReduceParams::new(
+                self.config.num_regions,
+                throttle,
+                self.config.fairness,
+                self.config.use_speed_factor,
+            ),
+        )?;
+        let solution = greedy_increment(
+            &partitioning.inputs(),
+            &self.model,
+            &GreedyParams {
+                throttle,
+                fairness: self.config.fairness,
+                use_speed: self.config.use_speed_factor,
+            },
+        );
+        let plan = SheddingPlan::from_solution(
+            self.config.bounds,
+            &partitioning,
+            &solution,
+            self.config.delta_min,
+        )?;
+        Ok(Adaptation {
+            plan,
+            partitioning,
+            solution,
+            throttle,
+            elapsed: started.elapsed(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::{Point, Rect};
+
+    fn stats_grid(alpha: usize, bounds: Rect) -> StatsGrid {
+        let mut g = StatsGrid::new(alpha, bounds).unwrap();
+        g.begin_snapshot();
+        for i in 0..500 {
+            let x = bounds.min.x + (i % 25) as f64 / 25.0 * bounds.width() * 0.5;
+            let y = bounds.min.y + (i / 25) as f64 / 20.0 * bounds.height() * 0.5;
+            g.observe_node(&Point::new(x, y), 10.0 + (i % 7) as f64, 1.0);
+        }
+        for i in 0..5 {
+            let x = bounds.min.x + bounds.width() * (0.6 + 0.05 * i as f64);
+            g.observe_query(&Rect::from_coords(x, x, x + 200.0, x + 200.0));
+        }
+        g.commit_snapshot();
+        g
+    }
+
+    fn small_config() -> LiraConfig {
+        let mut c = LiraConfig::default();
+        c.bounds = Rect::from_coords(0.0, 0.0, 3200.0, 3200.0);
+        c.num_regions = 40;
+        c.alpha = 32;
+        c
+    }
+
+    #[test]
+    fn rejects_invalid_config() {
+        let mut c = small_config();
+        c.num_regions = 39; // 39 mod 3 = 0
+        assert!(LiraShedder::new(c, 100).is_err());
+    }
+
+    #[test]
+    fn fixed_throttle_adaptation_produces_full_plan() {
+        let cfg = small_config();
+        let grid = stats_grid(cfg.alpha, cfg.bounds);
+        let shedder = LiraShedder::new(cfg.clone(), 100).unwrap();
+        let a = shedder.adapt_with_throttle(&grid, 0.5).unwrap();
+        assert_eq!(a.plan.len(), cfg.num_regions);
+        assert_eq!(a.throttle, 0.5);
+        assert!(a.solution.budget_met);
+        assert!(a.elapsed.as_secs() < 5);
+        // Plan covers the whole space: any point resolves to a throttler in
+        // the valid domain.
+        for p in [
+            Point::new(1.0, 1.0),
+            Point::new(1599.0, 1601.0),
+            Point::new(3100.0, 200.0),
+        ] {
+            let d = a.plan.throttler_at(&p);
+            assert!((cfg.delta_min..=cfg.delta_max).contains(&d), "{d} at {p}");
+        }
+    }
+
+    #[test]
+    fn controller_driven_adaptation_reduces_budget_under_overload() {
+        let cfg = small_config();
+        let grid = stats_grid(cfg.alpha, cfg.bounds);
+        let mut shedder = LiraShedder::new(cfg, 100).unwrap();
+        assert_eq!(shedder.throttle(), 0.5, "configured z before any observation");
+        let a = shedder
+            .adapt(
+                &grid,
+                QueueObservation {
+                    arrival_rate: 2.0 * 0.99,
+                    service_rate: 1.0,
+                },
+            )
+            .unwrap();
+        assert!((a.throttle - 0.5).abs() < 1e-9, "z halves from 1.0");
+        assert!((shedder.throttle() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn z_one_plan_keeps_ideal_resolution_everywhere() {
+        let cfg = small_config();
+        let grid = stats_grid(cfg.alpha, cfg.bounds);
+        let shedder = LiraShedder::new(cfg.clone(), 100).unwrap();
+        let a = shedder.adapt_with_throttle(&grid, 1.0).unwrap();
+        for r in a.plan.regions() {
+            assert_eq!(r.throttler, cfg.delta_min);
+        }
+    }
+
+    #[test]
+    fn calibrated_model_can_be_swapped_in() {
+        let cfg = small_config();
+        let grid = stats_grid(cfg.alpha, cfg.bounds);
+        let samples: Vec<(f64, f64)> =
+            (0..10).map(|i| (5.0 + 10.0 * i as f64, 1000.0 / (1.0 + i as f64))).collect();
+        let model =
+            ReductionModel::from_samples(cfg.delta_min, cfg.delta_max, cfg.kappa(), &samples)
+                .unwrap();
+        let shedder = LiraShedder::new(cfg, 100).unwrap().with_model(model);
+        let a = shedder.adapt_with_throttle(&grid, 0.5).unwrap();
+        assert!(a.solution.budget_met);
+    }
+}

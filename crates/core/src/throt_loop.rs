@@ -1,0 +1,212 @@
+//! THROTLOOP (Section 3.4): the feedback controller that adapts the
+//! throttle fraction `z` to the server's load.
+//!
+//! The controller observes the position-update input queue. With arrival
+//! rate `λ`, service rate `μ`, and utilization `ρ = λ/μ`, an M/M/1 queue
+//! keeps its average length within a maximum size `B` when
+//! `ρ = 1 − 1/B`. THROTLOOP therefore periodically computes
+//! `u = ρ / (1 − 1/B)` and updates `z ← min(1, z/u)`: utilization above the
+//! sustainable level shrinks the budget, spare capacity grows it back.
+
+use crate::error::{LiraError, Result};
+
+/// The throttle-fraction controller.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThrotLoop {
+    z: f64,
+    queue_capacity: f64,
+    floor: f64,
+    iterations: u64,
+}
+
+/// A single observation window of the input queue.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct QueueObservation {
+    /// Update arrival rate `λ` over the window (updates/sec).
+    pub arrival_rate: f64,
+    /// Update service rate `μ` the server can sustain (updates/sec).
+    pub service_rate: f64,
+}
+
+impl ThrotLoop {
+    /// Creates a controller for an input queue of maximum size `B ≥ 2`.
+    /// `z` starts at 1 (no shedding).
+    pub fn new(queue_capacity: usize) -> Result<Self> {
+        if queue_capacity < 2 {
+            return Err(LiraError::InvalidConfig(
+                "queue capacity B must be at least 2".into(),
+            ));
+        }
+        Ok(ThrotLoop {
+            z: 1.0,
+            queue_capacity: queue_capacity as f64,
+            floor: 1e-3,
+            iterations: 0,
+        })
+    }
+
+    /// Sets a lower bound on `z` (default `1e-3`); a zero throttle fraction
+    /// would demand zero updates, which no threshold in `[Δ⊢, Δ⊣]` attains.
+    pub fn with_floor(mut self, floor: f64) -> Result<Self> {
+        if !(floor > 0.0 && floor <= 1.0) {
+            return Err(LiraError::InvalidConfig("floor must be in (0, 1]".into()));
+        }
+        self.floor = floor;
+        Ok(self)
+    }
+
+    /// The current throttle fraction `z`.
+    #[inline]
+    pub fn throttle(&self) -> f64 {
+        self.z
+    }
+
+    /// Number of adaptation iterations performed.
+    #[inline]
+    pub fn iterations(&self) -> u64 {
+        self.iterations
+    }
+
+    /// The sustainable utilization level `ρ* = 1 − 1/B`.
+    #[inline]
+    pub fn target_utilization(&self) -> f64 {
+        1.0 - 1.0 / self.queue_capacity
+    }
+
+    /// Performs one periodic adaptation step:
+    /// `u ← ρ/(1 − B⁻¹)`, `z ← min(1, z/u)`, clamped to the floor.
+    ///
+    /// A window with no observed service capacity (`μ = 0`) is treated as
+    /// full overload and halves `z`.
+    pub fn observe(&mut self, obs: QueueObservation) -> f64 {
+        self.iterations += 1;
+        if obs.arrival_rate <= 0.0 {
+            // Nothing arriving: the system is trivially underloaded.
+            self.z = 1.0;
+            return self.z;
+        }
+        let u = if obs.service_rate <= 0.0 {
+            2.0
+        } else {
+            let rho = obs.arrival_rate / obs.service_rate;
+            rho / self.target_utilization()
+        };
+        self.z = (self.z / u).min(1.0).max(self.floor);
+        self.z
+    }
+
+    /// Resets the controller to its initial state (`z = 1`).
+    pub fn reset(&mut self) {
+        self.z = 1.0;
+        self.iterations = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obs(lambda: f64, mu: f64) -> QueueObservation {
+        QueueObservation {
+            arrival_rate: lambda,
+            service_rate: mu,
+        }
+    }
+
+    #[test]
+    fn construction_validation() {
+        assert!(ThrotLoop::new(1).is_err());
+        assert!(ThrotLoop::new(2).is_ok());
+        assert!(ThrotLoop::new(100).unwrap().with_floor(0.0).is_err());
+        assert!(ThrotLoop::new(100).unwrap().with_floor(2.0).is_err());
+    }
+
+    #[test]
+    fn starts_at_full_budget() {
+        let t = ThrotLoop::new(100).unwrap();
+        assert_eq!(t.throttle(), 1.0);
+        assert_eq!(t.iterations(), 0);
+    }
+
+    #[test]
+    fn target_utilization_formula() {
+        let t = ThrotLoop::new(100).unwrap();
+        assert!((t.target_utilization() - 0.99).abs() < 1e-12);
+        let t = ThrotLoop::new(2).unwrap();
+        assert_eq!(t.target_utilization(), 0.5);
+    }
+
+    #[test]
+    fn overload_decreases_z_proportionally() {
+        let mut t = ThrotLoop::new(100).unwrap();
+        // Twice the sustainable load: z should halve (modulo the 0.99).
+        let z = t.observe(obs(2.0 * 0.99, 1.0));
+        assert!((z - 0.5).abs() < 1e-9, "got {z}");
+        // Another identical window halves again.
+        let z = t.observe(obs(2.0 * 0.99, 1.0));
+        assert!((z - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn underload_recovers_z() {
+        let mut t = ThrotLoop::new(100).unwrap();
+        t.observe(obs(4.0 * 0.99, 1.0)); // -> 0.25
+        // Load drops to half the sustainable rate: z doubles.
+        let z = t.observe(obs(0.5 * 0.99, 1.0));
+        assert!((z - 0.5).abs() < 1e-9, "got {z}");
+        // And is capped at 1.
+        let z = t.observe(obs(0.1 * 0.99, 1.0));
+        assert!((z - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn converges_when_shedding_scales_arrivals() {
+        // Closed loop: arrivals are proportional to z (ideal shedder) with
+        // an unshed demand 3x the service rate. Fixed point: z·3 = 0.99.
+        let mut t = ThrotLoop::new(100).unwrap();
+        let demand = 3.0;
+        for _ in 0..30 {
+            let lambda = t.throttle() * demand;
+            t.observe(obs(lambda, 1.0));
+        }
+        assert!(
+            (t.throttle() - 0.99 / demand).abs() < 1e-6,
+            "z = {}",
+            t.throttle()
+        );
+    }
+
+    #[test]
+    fn idle_system_restores_full_budget() {
+        let mut t = ThrotLoop::new(100).unwrap();
+        t.observe(obs(10.0, 1.0));
+        assert!(t.throttle() < 1.0);
+        t.observe(obs(0.0, 1.0));
+        assert_eq!(t.throttle(), 1.0);
+    }
+
+    #[test]
+    fn dead_server_halves_z() {
+        let mut t = ThrotLoop::new(100).unwrap();
+        let z = t.observe(obs(5.0, 0.0));
+        assert!((z - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn floor_is_respected() {
+        let mut t = ThrotLoop::new(100).unwrap().with_floor(0.1).unwrap();
+        for _ in 0..20 {
+            t.observe(obs(100.0, 1.0));
+        }
+        assert_eq!(t.throttle(), 0.1);
+    }
+
+    #[test]
+    fn reset_restores_initial_state() {
+        let mut t = ThrotLoop::new(100).unwrap();
+        t.observe(obs(10.0, 1.0));
+        t.reset();
+        assert_eq!(t.throttle(), 1.0);
+        assert_eq!(t.iterations(), 0);
+    }
+}

@@ -1,0 +1,312 @@
+//! A car agent: follows a routed path over the road network with smooth,
+//! noisy speed dynamics and occasional intersection waits (traffic lights).
+//!
+//! The speed noise matters for the reproduction: with perfectly constant
+//! speeds on straight segments, dead reckoning would only ever report at
+//! turns. The stochastic speed process makes the predicted position drift
+//! even on straights, producing the `f(Δ)` shape of Figure 1.
+
+use lira_core::geometry::Point;
+use rand::Rng;
+
+use crate::road::RoadNetwork;
+
+/// Probability of having to wait when entering a new segment.
+const WAIT_PROBABILITY: f64 = 0.25;
+/// Maximum wait at an intersection, seconds.
+const MAX_WAIT_S: f64 = 15.0;
+/// Mean-reversion rate of the speed process (1/s).
+const SPEED_REVERSION: f64 = 0.5;
+/// Standard deviation of speed noise per √s, m/s.
+const SPEED_NOISE: f64 = 1.5;
+/// Cars never fully stop while driving (m/s).
+const MIN_MOVING_SPEED: f64 = 0.5;
+
+/// A mobile node following routes on the road network.
+#[derive(Debug, Clone)]
+pub struct Car {
+    /// Stable identifier.
+    pub id: u32,
+    /// Route as intersection indices; the car travels `path[leg] -> path[leg+1]`.
+    path: Vec<u32>,
+    leg: usize,
+    /// Meters traveled along the current segment.
+    offset: f64,
+    /// Personal speed factor relative to the segment speed limit.
+    speed_factor: f64,
+    /// Current speed (m/s) of the stochastic speed process.
+    current_speed: f64,
+    /// Remaining intersection wait, seconds.
+    wait_s: f64,
+    /// Current position (updated each step).
+    position: Point,
+    /// Current velocity vector (m/s); zero while waiting.
+    velocity: (f64, f64),
+}
+
+impl Car {
+    /// Creates a car at the start of `path`.
+    ///
+    /// # Panics
+    /// Panics if `path` has fewer than 2 intersections.
+    pub fn new<R: Rng>(id: u32, path: Vec<u32>, network: &RoadNetwork, rng: &mut R) -> Self {
+        assert!(path.len() >= 2, "a trip needs at least two intersections");
+        let position = network.node(path[0]);
+        let speed_factor = rng.gen_range(0.8..1.15);
+        let mut car = Car {
+            id,
+            path,
+            leg: 0,
+            offset: 0.0,
+            speed_factor,
+            current_speed: 0.0,
+            wait_s: 0.0,
+            position,
+            velocity: (0.0, 0.0),
+        };
+        car.current_speed = car.target_speed(network);
+        car
+    }
+
+    /// Replaces the car's route (used when a trip completes). The new path
+    /// must start where the car currently is.
+    pub fn assign_trip(&mut self, path: Vec<u32>) {
+        assert!(path.len() >= 2, "a trip needs at least two intersections");
+        assert_eq!(
+            path[0],
+            *self.path.last().expect("non-empty path"),
+            "new trip must start at the current intersection"
+        );
+        self.path = path;
+        self.leg = 0;
+        self.offset = 0.0;
+    }
+
+    /// Current position.
+    #[inline]
+    pub fn position(&self) -> Point {
+        self.position
+    }
+
+    /// Current velocity vector (m/s).
+    #[inline]
+    pub fn velocity(&self) -> (f64, f64) {
+        self.velocity
+    }
+
+    /// Current scalar speed (m/s).
+    #[inline]
+    pub fn speed(&self) -> f64 {
+        (self.velocity.0 * self.velocity.0 + self.velocity.1 * self.velocity.1).sqrt()
+    }
+
+    /// The intersection the current trip ends at.
+    pub fn destination(&self) -> u32 {
+        *self.path.last().expect("non-empty path")
+    }
+
+    /// The geometry of the rest of the current trip: the car's position
+    /// followed by the remaining route intersections. This is what a node
+    /// shares with the server under route-based motion modeling
+    /// (Civilis et al. \[2\] in the paper's related work).
+    pub fn remaining_route(&self, network: &RoadNetwork) -> Vec<Point> {
+        let mut route = Vec::with_capacity(self.path.len() - self.leg);
+        route.push(self.position);
+        for &node in &self.path[self.leg + 1..] {
+            route.push(network.node(node));
+        }
+        route
+    }
+
+    fn current_edge_speed_limit(&self, network: &RoadNetwork) -> f64 {
+        let (a, b) = (self.path[self.leg], self.path[self.leg + 1]);
+        let (edge, _) = crate::router::find_edge(network, a, b)
+            .expect("route nodes are adjacent");
+        network.edge(edge).class.speed_limit()
+    }
+
+    fn target_speed(&self, network: &RoadNetwork) -> f64 {
+        self.current_edge_speed_limit(network) * self.speed_factor
+    }
+
+    /// Advances the car by `dt` seconds. Returns `true` when the trip's
+    /// destination was reached during this step (the simulator then assigns
+    /// a fresh trip).
+    pub fn step<R: Rng>(&mut self, dt: f64, network: &RoadNetwork, rng: &mut R) -> bool {
+        debug_assert!(dt > 0.0);
+        // Ornstein-Uhlenbeck speed around the segment's target speed.
+        let target = self.target_speed(network);
+        let noise = gaussian(rng) * SPEED_NOISE * dt.sqrt();
+        self.current_speed += SPEED_REVERSION * (target - self.current_speed) * dt + noise;
+        self.current_speed = self.current_speed.clamp(MIN_MOVING_SPEED, target * 1.3);
+
+        let mut remaining = dt;
+        let mut arrived = false;
+        while remaining > 0.0 {
+            if self.wait_s > 0.0 {
+                let w = self.wait_s.min(remaining);
+                self.wait_s -= w;
+                remaining -= w;
+                continue;
+            }
+            let (a, b) = (self.path[self.leg], self.path[self.leg + 1]);
+            let (edge, _) = crate::router::find_edge(network, a, b)
+                .expect("route nodes are adjacent");
+            let length = network.edge(edge).length;
+            let room = length - self.offset;
+            let advance = self.current_speed * remaining;
+            if advance < room {
+                self.offset += advance;
+                remaining = 0.0;
+            } else {
+                // Cross into the next segment (or finish the trip).
+                self.offset = 0.0;
+                remaining -= room / self.current_speed;
+                self.leg += 1;
+                if self.leg + 1 >= self.path.len() {
+                    arrived = true;
+                    self.leg = self.path.len() - 2; // Park on the last segment's end.
+                    self.offset = network.edge(edge).length;
+                    break;
+                }
+                if rng.gen_bool(WAIT_PROBABILITY) {
+                    self.wait_s = rng.gen_range(0.0..MAX_WAIT_S);
+                }
+            }
+        }
+        self.update_pose(network);
+        arrived
+    }
+
+    /// Recomputes position and velocity from (leg, offset).
+    fn update_pose(&mut self, network: &RoadNetwork) {
+        let a = network.node(self.path[self.leg]);
+        let b = network.node(self.path[self.leg + 1]);
+        let len = a.distance(&b).max(1e-9);
+        // Offset is measured in road meters; project onto the straight
+        // segment geometry.
+        let (edge, _) = crate::router::find_edge(network, self.path[self.leg], self.path[self.leg + 1])
+            .expect("route nodes are adjacent");
+        let t = (self.offset / network.edge(edge).length).clamp(0.0, 1.0);
+        self.position = Point::new(a.x + (b.x - a.x) * t, a.y + (b.y - a.y) * t);
+        if self.wait_s > 0.0 {
+            self.velocity = (0.0, 0.0);
+        } else {
+            let (ux, uy) = ((b.x - a.x) / len, (b.y - a.y) / len);
+            self.velocity = (ux * self.current_speed, uy * self.current_speed);
+        }
+    }
+}
+
+/// Standard normal sample via Box–Muller (avoids a `rand_distr` dependency).
+pub(crate) fn gaussian<R: Rng>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{generate_network, NetworkConfig};
+    use crate::router::shortest_path;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (crate::road::RoadNetwork, SmallRng) {
+        (
+            generate_network(&NetworkConfig::small(21)),
+            SmallRng::seed_from_u64(99),
+        )
+    }
+
+    #[test]
+    fn car_starts_at_route_origin() {
+        let (net, mut rng) = setup();
+        let path = shortest_path(&net, 0, 50).unwrap();
+        let car = Car::new(1, path.clone(), &net, &mut rng);
+        assert_eq!(car.position(), net.node(path[0]));
+        assert_eq!(car.destination(), 50);
+    }
+
+    #[test]
+    fn car_moves_and_stays_on_network_segments() {
+        let (net, mut rng) = setup();
+        let path = shortest_path(&net, 0, 90).unwrap();
+        let mut car = Car::new(1, path, &net, &mut rng);
+        let start = car.position();
+        let mut moved = false;
+        for _ in 0..60 {
+            car.step(1.0, &net, &mut rng);
+            if car.position().distance(&start) > 1.0 {
+                moved = true;
+            }
+            assert!(net.bounds().contains_closed(&car.position()));
+        }
+        assert!(moved, "car never moved");
+    }
+
+    #[test]
+    fn car_eventually_arrives() {
+        let (net, mut rng) = setup();
+        let path = shortest_path(&net, 0, 11).unwrap();
+        let dest = *path.last().unwrap();
+        let mut car = Car::new(1, path, &net, &mut rng);
+        let mut arrived = false;
+        for _ in 0..10_000 {
+            if car.step(1.0, &net, &mut rng) {
+                arrived = true;
+                break;
+            }
+        }
+        assert!(arrived, "trip never completed");
+        let d = car.position().distance(&net.node(dest));
+        assert!(d < 1.0, "parked {d} m from destination");
+    }
+
+    #[test]
+    fn displacement_bounded_by_speed() {
+        let (net, mut rng) = setup();
+        let path = shortest_path(&net, 0, 110).unwrap();
+        let mut car = Car::new(1, path, &net, &mut rng);
+        for _ in 0..200 {
+            let before = car.position();
+            car.step(1.0, &net, &mut rng);
+            let dist = car.position().distance(&before);
+            // 30 m/s expressway limit × 1.15 factor × 1.3 headroom ≈ 45.
+            assert!(dist <= 45.0 + 1e-6, "teleported {dist} m in 1 s");
+        }
+    }
+
+    #[test]
+    fn assign_trip_validates_continuity() {
+        let (net, mut rng) = setup();
+        let path = shortest_path(&net, 0, 11).unwrap();
+        let dest = *path.last().unwrap();
+        let mut car = Car::new(1, path, &net, &mut rng);
+        let next = shortest_path(&net, dest, 40).unwrap();
+        car.assign_trip(next);
+        assert_eq!(car.destination(), 40);
+    }
+
+    #[test]
+    #[should_panic(expected = "start at the current intersection")]
+    fn assign_trip_rejects_discontinuous_route() {
+        let (net, mut rng) = setup();
+        let path = shortest_path(&net, 0, 11).unwrap();
+        let mut car = Car::new(1, path, &net, &mut rng);
+        let bad = shortest_path(&net, 55, 60).unwrap();
+        car.assign_trip(bad);
+    }
+
+    #[test]
+    fn gaussian_moments() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| gaussian(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "var {var}");
+    }
+}

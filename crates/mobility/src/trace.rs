@@ -1,0 +1,230 @@
+//! Materialized position traces and `f(Δ)` calibration.
+//!
+//! A [`Trace`] records the state of every mobile node at every tick of a
+//! simulation run (compactly, as `f32`s). Replaying a trace through
+//! [`DeadReckoner`]s at different thresholds measures the empirical
+//! update-reduction function — exactly how Figure 1 of the paper is
+//! produced — and [`Trace::calibrate_reduction`] turns those measurements
+//! into a [`ReductionModel`].
+
+use lira_core::geometry::Point;
+use lira_core::reduction::ReductionModel;
+
+use crate::motion::DeadReckoner;
+use crate::simulator::TrafficSimulator;
+
+/// One node's state at one tick.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceSample {
+    pub x: f32,
+    pub y: f32,
+    pub vx: f32,
+    pub vy: f32,
+}
+
+impl TraceSample {
+    /// Position as a `Point`.
+    #[inline]
+    pub fn position(&self) -> Point {
+        Point::new(self.x as f64, self.y as f64)
+    }
+
+    /// Velocity vector (m/s).
+    #[inline]
+    pub fn velocity(&self) -> (f64, f64) {
+        (self.vx as f64, self.vy as f64)
+    }
+
+    /// Scalar speed (m/s).
+    #[inline]
+    pub fn speed(&self) -> f64 {
+        (self.velocity().0.powi(2) + self.velocity().1.powi(2)).sqrt()
+    }
+}
+
+/// A recorded position trace: `ticks × nodes` samples.
+#[derive(Debug, Clone)]
+pub struct Trace {
+    num_nodes: usize,
+    dt: f64,
+    samples: Vec<TraceSample>,
+}
+
+impl Trace {
+    /// Runs the simulator for `duration_s` seconds at `dt`-second ticks,
+    /// recording every node's state at every tick (including t = 0).
+    pub fn record(sim: &mut TrafficSimulator, duration_s: f64, dt: f64) -> Self {
+        assert!(dt > 0.0 && duration_s >= dt);
+        let num_nodes = sim.cars().len();
+        let ticks = (duration_s / dt).round() as usize + 1;
+        let mut samples = Vec::with_capacity(ticks * num_nodes);
+        let push_tick = |sim: &TrafficSimulator, samples: &mut Vec<TraceSample>| {
+            for car in sim.cars() {
+                let p = car.position();
+                let v = car.velocity();
+                samples.push(TraceSample {
+                    x: p.x as f32,
+                    y: p.y as f32,
+                    vx: v.0 as f32,
+                    vy: v.1 as f32,
+                });
+            }
+        };
+        push_tick(sim, &mut samples);
+        for _ in 1..ticks {
+            sim.step(dt);
+            push_tick(sim, &mut samples);
+        }
+        Trace {
+            num_nodes,
+            dt,
+            samples,
+        }
+    }
+
+    /// Number of nodes in the trace.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Number of recorded ticks.
+    #[inline]
+    pub fn ticks(&self) -> usize {
+        self.samples.len() / self.num_nodes
+    }
+
+    /// Tick period, seconds.
+    #[inline]
+    pub fn dt(&self) -> f64 {
+        self.dt
+    }
+
+    /// The state of `node` at tick `tick`.
+    #[inline]
+    pub fn sample(&self, tick: usize, node: usize) -> &TraceSample {
+        &self.samples[tick * self.num_nodes + node]
+    }
+
+    /// Replays the whole trace through per-node dead reckoners with a
+    /// uniform threshold `delta`, counting the total number of position
+    /// updates sent (excluding the unavoidable initial report of each
+    /// node, so counts reflect the threshold's effect only).
+    pub fn count_updates(&self, delta: f64) -> u64 {
+        let mut reckoners = vec![DeadReckoner::new(); self.num_nodes];
+        let mut updates = 0u64;
+        for tick in 0..self.ticks() {
+            let t = tick as f64 * self.dt;
+            for (node, reckoner) in reckoners.iter_mut().enumerate() {
+                let s = self.sample(tick, node);
+                if reckoner
+                    .observe(node as u32, t, s.position(), s.velocity(), delta)
+                    .is_some()
+                    && tick > 0
+                {
+                    updates += 1;
+                }
+            }
+        }
+        updates
+    }
+
+    /// Measures the empirical update-reduction curve at the given
+    /// thresholds: `(Δ, updates)` pairs (Figure 1's raw data).
+    pub fn measure_reduction(&self, deltas: &[f64]) -> Vec<(f64, f64)> {
+        deltas
+            .iter()
+            .map(|&d| (d, self.count_updates(d) as f64))
+            .collect()
+    }
+
+    /// Calibrates a piecewise-linear [`ReductionModel`] from the trace by
+    /// measuring update counts at `num_samples` thresholds spread over
+    /// `[Δ⊢, Δ⊣]` (geometric spacing: the curve bends hardest near `Δ⊢`).
+    pub fn calibrate_reduction(
+        &self,
+        delta_min: f64,
+        delta_max: f64,
+        kappa: usize,
+        num_samples: usize,
+    ) -> lira_core::error::Result<ReductionModel> {
+        assert!(num_samples >= 2);
+        let ratio = delta_max / delta_min;
+        let deltas: Vec<f64> = (0..num_samples)
+            .map(|i| delta_min * ratio.powf(i as f64 / (num_samples - 1) as f64))
+            .collect();
+        let samples = self.measure_reduction(&deltas);
+        ReductionModel::from_samples(delta_min, delta_max, kappa, &samples)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{generate_network, NetworkConfig};
+    use crate::simulator::{TrafficConfig, TrafficSimulator};
+    use crate::traffic::TrafficDemand;
+
+    fn small_trace() -> Trace {
+        let net = generate_network(&NetworkConfig::small(31));
+        let demand = TrafficDemand::random_hotspots(net.bounds(), 2, 31);
+        let mut sim = TrafficSimulator::new(net, &demand, TrafficConfig { num_cars: 40, seed: 31 });
+        Trace::record(&mut sim, 120.0, 1.0)
+    }
+
+    #[test]
+    fn trace_dimensions() {
+        let t = small_trace();
+        assert_eq!(t.num_nodes(), 40);
+        assert_eq!(t.ticks(), 121);
+        assert_eq!(t.dt(), 1.0);
+    }
+
+    #[test]
+    fn consecutive_samples_are_continuous() {
+        let t = small_trace();
+        for node in 0..t.num_nodes() {
+            for tick in 1..t.ticks() {
+                let a = t.sample(tick - 1, node).position();
+                let b = t.sample(tick, node).position();
+                assert!(
+                    a.distance(&b) <= 45.0,
+                    "node {node} jumped {} m at tick {tick}",
+                    a.distance(&b)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn update_counts_decrease_with_delta() {
+        let t = small_trace();
+        let counts: Vec<u64> = [5.0, 10.0, 25.0, 50.0, 100.0]
+            .iter()
+            .map(|&d| t.count_updates(d))
+            .collect();
+        for w in counts.windows(2) {
+            assert!(w[1] <= w[0], "non-monotone counts {counts:?}");
+        }
+        assert!(counts[0] > 0, "no updates at the finest threshold");
+        assert!(
+            counts[4] < counts[0],
+            "coarse threshold did not shed: {counts:?}"
+        );
+    }
+
+    #[test]
+    fn calibrated_model_is_valid_and_matches_measurements() {
+        let t = small_trace();
+        let model = t.calibrate_reduction(5.0, 100.0, 19, 8).unwrap();
+        assert!((model.f(5.0) - 1.0).abs() < 1e-9);
+        assert!(model.f(100.0) < 1.0);
+        // The model approximates the directly measured ratio at a midpoint.
+        let measured = t.count_updates(50.0) as f64 / t.count_updates(5.0) as f64;
+        assert!(
+            (model.f(50.0) - measured).abs() < 0.15,
+            "model {} vs measured {measured}",
+            model.f(50.0)
+        );
+    }
+}

@@ -1,0 +1,234 @@
+//! Trip demand: where cars start and where they go.
+//!
+//! The paper's trace follows real-world traffic-volume data; we model the
+//! same effect with a Gaussian hotspot mixture over the space (downtown
+//! cores, malls, campuses) on top of a uniform background. Origins and
+//! destinations are sampled from the resulting intersection weights, which
+//! also gives LIRA the spatially *skewed node density* its region-aware
+//! partitioning thrives on.
+
+use lira_core::geometry::{Point, Rect};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::road::RoadNetwork;
+
+/// A Gaussian attraction center.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Hotspot {
+    /// Center of attraction.
+    pub center: Point,
+    /// Spatial spread (standard deviation), meters.
+    pub sigma: f64,
+    /// Relative weight against the uniform background.
+    pub weight: f64,
+}
+
+/// Trip demand over a road network.
+#[derive(Debug, Clone)]
+pub struct TrafficDemand {
+    hotspots: Vec<Hotspot>,
+    /// Weight of the uniform background component.
+    uniform_weight: f64,
+}
+
+impl TrafficDemand {
+    /// Demand from explicit hotspots plus a uniform background weight.
+    pub fn new(hotspots: Vec<Hotspot>, uniform_weight: f64) -> Self {
+        assert!(uniform_weight >= 0.0);
+        assert!(
+            uniform_weight > 0.0 || !hotspots.is_empty(),
+            "demand must have at least one component"
+        );
+        TrafficDemand {
+            hotspots,
+            uniform_weight,
+        }
+    }
+
+    /// Purely uniform demand (no hotspots).
+    pub fn uniform() -> Self {
+        TrafficDemand::new(Vec::new(), 1.0)
+    }
+
+    /// `k` randomly placed hotspots of varying strength over `bounds`,
+    /// deterministic in `seed`. This is the default demand used by the
+    /// experiments.
+    pub fn random_hotspots(bounds: &Rect, k: usize, seed: u64) -> Self {
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
+        let min_side = bounds.width().min(bounds.height());
+        let hotspots = (0..k)
+            .map(|_| Hotspot {
+                center: Point::new(
+                    rng.gen_range(bounds.min.x..bounds.max.x),
+                    rng.gen_range(bounds.min.y..bounds.max.y),
+                ),
+                sigma: rng.gen_range(0.03..0.12) * min_side,
+                weight: rng.gen_range(1.0..6.0),
+            })
+            .collect();
+        TrafficDemand::new(hotspots, 0.35)
+    }
+
+    /// The configured hotspots.
+    pub fn hotspots(&self) -> &[Hotspot] {
+        &self.hotspots
+    }
+
+    /// The unnormalized demand density at a point.
+    pub fn density(&self, p: &Point) -> f64 {
+        let mut d = self.uniform_weight;
+        for h in &self.hotspots {
+            let dist_sq = h.center.distance_sq(p);
+            d += h.weight * (-dist_sq / (2.0 * h.sigma * h.sigma)).exp();
+        }
+        d
+    }
+
+    /// Precomputes a sampler over the network's intersections, weighting
+    /// each by the demand density at its position (times the traffic volume
+    /// its incident roads carry).
+    pub fn node_sampler(&self, network: &RoadNetwork) -> NodeSampler {
+        let mut cumulative = Vec::with_capacity(network.num_nodes());
+        let mut total = 0.0f64;
+        for id in 0..network.num_nodes() as u32 {
+            let p = network.node(id);
+            // Intersections on bigger roads attract more trips.
+            let volume: f64 = network
+                .neighbors(id)
+                .iter()
+                .map(|&(e, _)| network.edge(e).class.volume_weight())
+                .sum::<f64>()
+                .max(1.0);
+            total += self.density(&p) * volume.sqrt();
+            cumulative.push(total);
+        }
+        assert!(total > 0.0, "demand density is zero everywhere");
+        NodeSampler { cumulative }
+    }
+}
+
+/// Cumulative-weight sampler over intersection indices.
+#[derive(Debug, Clone)]
+pub struct NodeSampler {
+    cumulative: Vec<f64>,
+}
+
+impl NodeSampler {
+    /// Samples one intersection index proportionally to its weight.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> u32 {
+        let total = *self.cumulative.last().expect("non-empty sampler");
+        let x = rng.gen_range(0.0..total);
+        self.cumulative.partition_point(|&c| c <= x) as u32
+    }
+
+    /// Number of weighted intersections.
+    pub fn len(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    /// Whether the sampler has no intersections.
+    pub fn is_empty(&self) -> bool {
+        self.cumulative.is_empty()
+    }
+
+    /// The normalized weight of intersection `id` (for tests/inspection).
+    pub fn weight(&self, id: u32) -> f64 {
+        let total = *self.cumulative.last().expect("non-empty sampler");
+        let prev = if id == 0 { 0.0 } else { self.cumulative[id as usize - 1] };
+        (self.cumulative[id as usize] - prev) / total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{generate_network, NetworkConfig};
+
+    #[test]
+    fn uniform_density_is_flat() {
+        let d = TrafficDemand::uniform();
+        assert_eq!(d.density(&Point::new(0.0, 0.0)), 1.0);
+        assert_eq!(d.density(&Point::new(500.0, 700.0)), 1.0);
+    }
+
+    #[test]
+    fn hotspot_density_peaks_at_center() {
+        let h = Hotspot {
+            center: Point::new(100.0, 100.0),
+            sigma: 50.0,
+            weight: 10.0,
+        };
+        let d = TrafficDemand::new(vec![h], 0.1);
+        let at_center = d.density(&Point::new(100.0, 100.0));
+        let far = d.density(&Point::new(900.0, 900.0));
+        assert!(at_center > 10.0);
+        assert!(far < 0.2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one component")]
+    fn rejects_empty_demand() {
+        TrafficDemand::new(Vec::new(), 0.0);
+    }
+
+    #[test]
+    fn random_hotspots_deterministic() {
+        let b = Rect::from_coords(0.0, 0.0, 1000.0, 1000.0);
+        let a = TrafficDemand::random_hotspots(&b, 4, 9);
+        let c = TrafficDemand::random_hotspots(&b, 4, 9);
+        assert_eq!(a.hotspots(), c.hotspots());
+        let d = TrafficDemand::random_hotspots(&b, 4, 10);
+        assert_ne!(a.hotspots(), d.hotspots());
+    }
+
+    #[test]
+    fn sampler_weights_sum_to_one() {
+        let net = generate_network(&NetworkConfig::small(3));
+        let demand = TrafficDemand::random_hotspots(net.bounds(), 3, 3);
+        let s = demand.node_sampler(&net);
+        assert_eq!(s.len(), net.num_nodes());
+        let total: f64 = (0..s.len() as u32).map(|i| s.weight(i)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sampler_respects_hotspots() {
+        let net = generate_network(&NetworkConfig::small(3));
+        // One extreme hotspot in the SW corner.
+        let demand = TrafficDemand::new(
+            vec![Hotspot {
+                center: Point::new(200.0, 200.0),
+                sigma: 150.0,
+                weight: 100.0,
+            }],
+            0.01,
+        );
+        let s = demand.node_sampler(&net);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut sw = 0usize;
+        const N: usize = 2000;
+        for _ in 0..N {
+            let id = s.sample(&mut rng);
+            let p = net.node(id);
+            if p.x < 1000.0 && p.y < 1000.0 {
+                sw += 1;
+            }
+        }
+        assert!(
+            sw as f64 / N as f64 > 0.8,
+            "only {sw}/{N} samples near the hotspot"
+        );
+    }
+
+    #[test]
+    fn sample_indices_in_range() {
+        let net = generate_network(&NetworkConfig::small(3));
+        let s = TrafficDemand::uniform().node_sampler(&net);
+        let mut rng = SmallRng::seed_from_u64(5);
+        for _ in 0..1000 {
+            let id = s.sample(&mut rng);
+            assert!((id as usize) < net.num_nodes());
+        }
+    }
+}

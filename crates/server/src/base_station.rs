@@ -1,0 +1,235 @@
+//! The base-station layer (Section 2.2): the stations cover the space,
+//! broadcast each plan's relevant region subset to the mobile nodes in
+//! their cells, and hand regions to nodes crossing cell boundaries.
+//!
+//! Two placement policies are provided. `uniform_placement` spaces equal
+//! cells on a grid (used for Table 3's radius sweep). In reality "base
+//! stations have smaller coverage regions at places where the number of
+//! users is large" \[13\], which `density_dependent_placement` models by
+//! splitting a quadrant tree until each station serves a bounded number of
+//! nodes — the policy behind the paper's "~41 regions per node" estimate.
+
+use lira_core::geometry::{Circle, Point, Rect};
+use lira_core::plan::SheddingPlan;
+
+/// A wireless base station with a circular coverage area.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BaseStation {
+    /// Stable identifier.
+    pub id: u32,
+    /// Coverage disk.
+    pub coverage: Circle,
+}
+
+/// Equal-radius stations on a square grid spaced `radius·√2`, so the disks
+/// cover the whole space.
+pub fn uniform_placement(bounds: &Rect, radius: f64) -> Vec<BaseStation> {
+    assert!(radius > 0.0, "radius must be positive");
+    let spacing = radius * std::f64::consts::SQRT_2;
+    let cols = (bounds.width() / spacing).ceil().max(1.0) as usize;
+    let rows = (bounds.height() / spacing).ceil().max(1.0) as usize;
+    let mut stations = Vec::with_capacity(rows * cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            stations.push(BaseStation {
+                id: (r * cols + c) as u32,
+                coverage: Circle::new(
+                    Point::new(
+                        bounds.min.x + (c as f64 + 0.5) * spacing,
+                        bounds.min.y + (r as f64 + 0.5) * spacing,
+                    ),
+                    radius,
+                ),
+            });
+        }
+    }
+    stations
+}
+
+/// Density-dependent placement: recursively quarter the space while a cell
+/// holds more than `max_nodes_per_station` of the given node positions
+/// (and remains splittable), then place one station per cell with the
+/// cell's circumscribed disk as coverage. Dense areas get many small
+/// cells; empty suburbs get few large ones.
+pub fn density_dependent_placement(
+    bounds: &Rect,
+    positions: &[Point],
+    max_nodes_per_station: usize,
+    min_cell_side: f64,
+) -> Vec<BaseStation> {
+    assert!(max_nodes_per_station > 0);
+    assert!(min_cell_side > 0.0);
+    let mut cells = vec![*bounds];
+    let mut final_cells = Vec::new();
+    while let Some(cell) = cells.pop() {
+        let count = positions.iter().filter(|p| cell.contains(p)).count();
+        if count > max_nodes_per_station && cell.width() / 2.0 >= min_cell_side {
+            cells.extend(cell.quadrants());
+        } else {
+            final_cells.push(cell);
+        }
+    }
+    // Deterministic ids regardless of the traversal order above.
+    final_cells.sort_by(|a, b| {
+        (a.min.y, a.min.x)
+            .partial_cmp(&(b.min.y, b.min.x))
+            .expect("finite coordinates")
+    });
+    final_cells
+        .into_iter()
+        .enumerate()
+        .map(|(i, cell)| {
+            let radius = cell.center().distance(&cell.min);
+            BaseStation {
+                id: i as u32,
+                coverage: Circle::new(cell.center(), radius),
+            }
+        })
+        .collect()
+}
+
+/// Mean number of shedding regions a station must know and broadcast
+/// (Table 3's metric).
+pub fn mean_regions_per_station(stations: &[BaseStation], plan: &SheddingPlan) -> f64 {
+    if stations.is_empty() {
+        return 0.0;
+    }
+    let total: usize = stations
+        .iter()
+        .map(|s| plan.subset_for(&s.coverage).len())
+        .sum();
+    total as f64 / stations.len() as f64
+}
+
+/// Mean broadcast payload in bytes per station (16 bytes/region).
+pub fn mean_broadcast_bytes(stations: &[BaseStation], plan: &SheddingPlan) -> f64 {
+    mean_regions_per_station(stations, plan) * 16.0
+}
+
+/// The station whose center is nearest to `p` (how a mobile node picks the
+/// station to associate with).
+pub fn station_for(stations: &[BaseStation], p: &Point) -> Option<u32> {
+    stations
+        .iter()
+        .min_by(|a, b| {
+            a.coverage
+                .center
+                .distance_sq(p)
+                .partial_cmp(&b.coverage.center.distance_sq(p))
+                .expect("finite distances")
+        })
+        .map(|s| s.id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lira_core::plan::PlanRegion;
+
+    fn bounds() -> Rect {
+        Rect::from_coords(0.0, 0.0, 10_000.0, 10_000.0)
+    }
+
+    #[test]
+    fn uniform_placement_covers_space() {
+        let stations = uniform_placement(&bounds(), 1000.0);
+        assert!(!stations.is_empty());
+        // Every probe point is inside at least one disk.
+        for i in 0..20 {
+            for j in 0..20 {
+                let p = Point::new(i as f64 * 500.0 + 1.0, j as f64 * 500.0 + 1.0);
+                assert!(
+                    stations.iter().any(|s| s.coverage.contains(&p)),
+                    "uncovered point {p}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_placement_counts_scale_with_radius() {
+        let small = uniform_placement(&bounds(), 500.0).len();
+        let large = uniform_placement(&bounds(), 2000.0).len();
+        assert!(small > large);
+    }
+
+    #[test]
+    fn density_placement_splits_dense_areas() {
+        // Cluster of 300 nodes in the SW corner, 10 in the rest.
+        let mut positions: Vec<Point> = (0..300)
+            .map(|i| Point::new(100.0 + (i % 20) as f64 * 10.0, 100.0 + (i / 20) as f64 * 10.0))
+            .collect();
+        positions.extend((0..10).map(|i| Point::new(6000.0 + i as f64 * 300.0, 8000.0)));
+        let stations = density_dependent_placement(&bounds(), &positions, 50, 100.0);
+        assert!(stations.len() > 4);
+        // Stations near the cluster are smaller than those far away.
+        let near = stations
+            .iter()
+            .filter(|s| s.coverage.center.distance(&Point::new(200.0, 200.0)) < 2000.0)
+            .map(|s| s.coverage.radius)
+            .fold(f64::INFINITY, f64::min);
+        let far = stations
+            .iter()
+            .map(|s| s.coverage.radius)
+            .fold(0.0f64, f64::max);
+        assert!(near < far, "near {near} vs far {far}");
+        // Every node is covered by its nearest station's disk (quadrant
+        // circumscribed circles always contain their cell).
+        for p in &positions {
+            let id = station_for(&stations, p).unwrap();
+            assert!(stations[id as usize].coverage.contains(p));
+        }
+    }
+
+    #[test]
+    fn density_placement_respects_min_cell() {
+        // All nodes at one spot: splitting must stop at min_cell_side.
+        let positions = vec![Point::new(5.0, 5.0); 1000];
+        let stations = density_dependent_placement(&bounds(), &positions, 10, 2000.0);
+        for s in &stations {
+            // Radius is half-diagonal = side·√2/2 ≥ min_side·√2/2.
+            assert!(s.coverage.radius >= 2000.0 * std::f64::consts::SQRT_2 / 2.0 - 1e-9);
+        }
+    }
+
+    #[test]
+    fn regions_per_station_metric() {
+        // 4 quadrant regions; a station covering the center sees all 4, a
+        // corner station sees 1.
+        let b = Rect::from_coords(0.0, 0.0, 100.0, 100.0);
+        let plan_regions: Vec<PlanRegion> = b
+            .quadrants()
+            .iter()
+            .map(|q| PlanRegion { area: *q, throttler: 10.0 })
+            .collect();
+        let plan = SheddingPlan::new(b, plan_regions, 5.0);
+        let stations = vec![
+            BaseStation { id: 0, coverage: Circle::new(Point::new(50.0, 50.0), 10.0) },
+            BaseStation { id: 1, coverage: Circle::new(Point::new(10.0, 10.0), 10.0) },
+        ];
+        assert_eq!(mean_regions_per_station(&stations, &plan), 2.5);
+        assert_eq!(mean_broadcast_bytes(&stations, &plan), 40.0);
+        assert_eq!(mean_regions_per_station(&[], &plan), 0.0);
+    }
+
+    #[test]
+    fn density_placement_with_no_nodes_is_one_cell() {
+        let stations = density_dependent_placement(&bounds(), &[], 10, 100.0);
+        assert_eq!(stations.len(), 1);
+        assert_eq!(stations[0].coverage.center, bounds().center());
+    }
+
+    #[test]
+    fn station_lookup_picks_nearest() {
+        let stations = uniform_placement(&bounds(), 1000.0);
+        let p = Point::new(1.0, 1.0);
+        let id = station_for(&stations, &p).unwrap();
+        let chosen = &stations[id as usize];
+        for s in &stations {
+            assert!(
+                chosen.coverage.center.distance(&p) <= s.coverage.center.distance(&p) + 1e-9
+            );
+        }
+        assert!(station_for(&[], &p).is_none());
+    }
+}

@@ -1,0 +1,475 @@
+//! The mobile CQ server: ingests dead-reckoned position updates and
+//! periodically re-evaluates the registered continual range queries over
+//! the *predicted* node positions, in the style of SINA-like periodic
+//! evaluation over a grid index.
+
+use lira_core::geometry::{Point, Rect};
+
+use crate::index::{MovingIndex, PredictedGrid};
+use crate::node_store::NodeStore;
+use crate::query::{QueryResult, RangeQuery, UncertainResult};
+
+/// A mobile CQ server instance, generic over the moving-object index (the
+/// SINA-style [`PredictedGrid`] by default; see
+/// [`TprTree`](crate::tpr_tree::TprTree) for the update-efficient
+/// alternative the paper cites).
+#[derive(Debug, Clone)]
+pub struct CqServer<I: MovingIndex = PredictedGrid> {
+    bounds: Rect,
+    store: NodeStore,
+    index: I,
+    queries: Vec<RangeQuery>,
+    evaluations: u64,
+}
+
+impl CqServer<PredictedGrid> {
+    /// Creates a server for `num_nodes` nodes over `bounds`, with an
+    /// `index_side × index_side` grid index.
+    pub fn new(bounds: Rect, num_nodes: usize, index_side: usize) -> Self {
+        CqServer::with_index(
+            bounds,
+            num_nodes,
+            PredictedGrid::new(bounds, index_side, num_nodes),
+        )
+    }
+}
+
+impl<I: MovingIndex> CqServer<I> {
+    /// Creates a server using a custom moving-object index.
+    pub fn with_index(bounds: Rect, num_nodes: usize, index: I) -> Self {
+        CqServer {
+            bounds,
+            store: NodeStore::new(num_nodes),
+            index,
+            queries: Vec::new(),
+            evaluations: 0,
+        }
+    }
+
+    /// The monitored space.
+    #[inline]
+    pub fn bounds(&self) -> &Rect {
+        &self.bounds
+    }
+
+    /// Registers one continual range query.
+    pub fn register_query(&mut self, query: RangeQuery) {
+        self.queries.push(query);
+    }
+
+    /// Registers many continual range queries.
+    pub fn register_queries<Q: IntoIterator<Item = RangeQuery>>(&mut self, queries: Q) {
+        self.queries.extend(queries);
+    }
+
+    /// The registered queries.
+    #[inline]
+    pub fn queries(&self) -> &[RangeQuery] {
+        &self.queries
+    }
+
+    /// Replaces the whole query set (continual queries come and go; LIRA
+    /// re-adapts to the new workload at its next adaptation step).
+    pub fn replace_queries<Q: IntoIterator<Item = RangeQuery>>(&mut self, queries: Q) {
+        self.queries.clear();
+        self.queries.extend(queries);
+    }
+
+    /// Ingests one position update (a new motion model for `node`). Stale
+    /// (reordered) updates are rejected by the store and never reach the
+    /// index. Returns whether the update was applied.
+    pub fn ingest(&mut self, node: u32, t: f64, position: Point, velocity: (f64, f64)) -> bool {
+        if self.store.apply(node, t, position, velocity) {
+            self.index.apply(node, t, position, velocity);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Prepares the index for queries at time `t` (for refresh-based
+    /// indexes, moves entries to predicted positions).
+    pub fn refresh_index(&mut self, t: f64) {
+        self.index.prepare(t, &self.store);
+    }
+
+    /// Evaluates every registered query at time `t` against the predicted
+    /// node positions. Results are sorted by node id.
+    pub fn evaluate(&mut self, t: f64) -> Vec<QueryResult> {
+        self.refresh_index(t);
+        self.evaluations += 1;
+        let mut results = Vec::with_capacity(self.queries.len());
+        let mut candidates = Vec::new();
+        for q in &self.queries {
+            candidates.clear();
+            self.index.candidates_into(&q.range, t, &mut candidates);
+            let mut nodes: Vec<u32> = candidates
+                .iter()
+                .copied()
+                .filter(|&n| {
+                    self.store
+                        .predict(n, t)
+                        .is_some_and(|p| q.range.contains(&p))
+                })
+                .collect();
+            nodes.sort_unstable();
+            nodes.dedup();
+            results.push(QueryResult { query: q.id, nodes });
+        }
+        results
+    }
+
+    /// Evaluates every query at time `t` with three-valued membership:
+    /// `delta_of(node, predicted_position)` supplies an *upper bound* on
+    /// the node's current inaccuracy threshold, and `max_delta` caps it
+    /// (`Δ⊣`). Dead reckoning guarantees `|true − predicted| ≤ Δ`, so with
+    /// a sound bound every node in `must` is certainly in the range, and
+    /// every node truly in the range appears in `must ∪ maybe`.
+    ///
+    /// Note the node's threshold is looked up at its *true* position,
+    /// which the server only knows to within Δ — use
+    /// [`SheddingPlan::max_throttler_within`](lira_core::plan::SheddingPlan::max_throttler_within)
+    /// with radius `Δ⊣` for a sound bound near region borders.
+    pub fn evaluate_uncertain(
+        &mut self,
+        t: f64,
+        max_delta: f64,
+        mut delta_of: impl FnMut(u32, Point) -> f64,
+    ) -> Vec<UncertainResult> {
+        assert!(max_delta >= 0.0);
+        self.refresh_index(t);
+        self.evaluations += 1;
+        let mut results = Vec::with_capacity(self.queries.len());
+        let mut candidates = Vec::new();
+        for q in &self.queries {
+            // Candidates from the range expanded by the worst-case bound.
+            let expanded = q.range.expand(max_delta);
+            candidates.clear();
+            self.index.candidates_into(&expanded, t, &mut candidates);
+            let mut must = Vec::new();
+            let mut maybe = Vec::new();
+            for &n in &candidates {
+                let Some(p) = self.store.predict(n, t) else {
+                    continue;
+                };
+                let delta = delta_of(n, p).clamp(0.0, max_delta);
+                if q.range.interior_depth(&p) >= delta {
+                    must.push(n);
+                } else if q.range.distance_to_point(&p) <= delta {
+                    maybe.push(n);
+                }
+            }
+            must.sort_unstable();
+            must.dedup();
+            maybe.sort_unstable();
+            maybe.dedup();
+            results.push(UncertainResult { query: q.id, must, maybe });
+        }
+        results
+    }
+
+    /// The `k` nodes nearest to `center` at time `t` (by predicted
+    /// position), as `(node, distance)` sorted by ascending distance —
+    /// the paper's motivating Ride Finder query ("monitor nearby taxis").
+    ///
+    /// Works on any [`MovingIndex`] by searching expanding boxes around
+    /// `center`: a box of side `s` guarantees every unseen node is farther
+    /// than `s/2`, so the search stops as soon as the k-th hit is within
+    /// that bound. Returns fewer than `k` entries when fewer nodes have
+    /// reported.
+    pub fn nearest(&mut self, center: Point, k: usize, t: f64) -> Vec<(u32, f64)> {
+        if k == 0 {
+            return Vec::new();
+        }
+        self.refresh_index(t);
+        self.evaluations += 1;
+        let max_side = 2.0 * (self.bounds.width() + self.bounds.height());
+        let mut side = (self.bounds.width() / 16.0).max(1.0);
+        let mut candidates = Vec::new();
+        loop {
+            let range = Rect::new(
+                Point::new(center.x - side / 2.0, center.y - side / 2.0),
+                Point::new(center.x + side / 2.0, center.y + side / 2.0),
+            );
+            candidates.clear();
+            self.index.candidates_into(&range, t, &mut candidates);
+            let mut hits: Vec<(u32, f64)> = candidates
+                .iter()
+                .copied()
+                .filter_map(|n| self.store.predict(n, t).map(|p| (n, p.distance(&center))))
+                .filter(|(_, d)| *d <= side / 2.0)
+                .collect();
+            hits.sort_by(|a, b| {
+                a.1.partial_cmp(&b.1)
+                    .expect("finite distances")
+                    .then(a.0.cmp(&b.0))
+            });
+            hits.dedup_by_key(|(n, _)| *n);
+            if hits.len() >= k {
+                hits.truncate(k);
+                return hits;
+            }
+            if side >= max_side {
+                // The box covers every reported node: return what exists.
+                hits.truncate(k);
+                return hits;
+            }
+            side *= 2.0;
+        }
+    }
+
+    /// Predicted position of `node` at `t` (`None` until it reports).
+    #[inline]
+    pub fn predict(&self, node: u32, t: f64) -> Option<Point> {
+        self.store.predict(node, t)
+    }
+
+    /// The underlying node store.
+    #[inline]
+    pub fn store(&self) -> &NodeStore {
+        &self.store
+    }
+
+    /// Number of evaluation rounds performed.
+    #[inline]
+    pub fn evaluations(&self) -> u64 {
+        self.evaluations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn server() -> CqServer {
+        CqServer::new(Rect::from_coords(0.0, 0.0, 1000.0, 1000.0), 8, 10)
+    }
+
+    #[test]
+    fn evaluate_on_reported_positions() {
+        let mut s = server();
+        s.register_query(RangeQuery { id: 0, range: Rect::from_coords(0.0, 0.0, 100.0, 100.0) });
+        s.ingest(0, 0.0, Point::new(50.0, 50.0), (0.0, 0.0));
+        s.ingest(1, 0.0, Point::new(500.0, 500.0), (0.0, 0.0));
+        let r = s.evaluate(0.0);
+        assert_eq!(r.len(), 1);
+        assert_eq!(r[0].nodes, vec![0]);
+        assert_eq!(s.evaluations(), 1);
+    }
+
+    #[test]
+    fn evaluation_uses_predicted_positions() {
+        let mut s = server();
+        s.register_query(RangeQuery { id: 0, range: Rect::from_coords(90.0, 0.0, 200.0, 50.0) });
+        // Node reported at x=50 moving +10 m/s in x: enters the range at
+        // t=4 (x=90 is the inclusive min edge... half-open: x >= 90).
+        s.ingest(0, 0.0, Point::new(50.0, 10.0), (10.0, 0.0));
+        assert!(s.evaluate(0.0)[0].nodes.is_empty());
+        assert_eq!(s.evaluate(5.0)[0].nodes, vec![0]);
+        // And leaves it by t=16 (x=210).
+        assert!(s.evaluate(16.0)[0].nodes.is_empty());
+    }
+
+    #[test]
+    fn unreported_nodes_are_invisible() {
+        let mut s = server();
+        s.register_query(RangeQuery { id: 3, range: Rect::from_coords(0.0, 0.0, 1000.0, 1000.0) });
+        let r = s.evaluate(1.0);
+        assert!(r[0].nodes.is_empty());
+        s.ingest(4, 1.0, Point::new(10.0, 10.0), (0.0, 0.0));
+        let r = s.evaluate(1.0);
+        assert_eq!(r[0].nodes, vec![4]);
+    }
+
+    #[test]
+    fn multiple_queries_evaluated_together() {
+        let mut s = server();
+        s.register_queries([
+            RangeQuery { id: 0, range: Rect::from_coords(0.0, 0.0, 100.0, 100.0) },
+            RangeQuery { id: 1, range: Rect::from_coords(0.0, 0.0, 1000.0, 1000.0) },
+        ]);
+        s.ingest(2, 0.0, Point::new(400.0, 400.0), (0.0, 0.0));
+        s.ingest(5, 0.0, Point::new(10.0, 20.0), (0.0, 0.0));
+        let r = s.evaluate(0.0);
+        assert_eq!(r[0].nodes, vec![5]);
+        assert_eq!(r[1].nodes, vec![2, 5]);
+    }
+
+    #[test]
+    fn replace_queries_swaps_workload() {
+        let mut s = server();
+        s.register_query(RangeQuery { id: 0, range: Rect::from_coords(0.0, 0.0, 100.0, 100.0) });
+        s.ingest(0, 0.0, Point::new(50.0, 50.0), (0.0, 0.0));
+        assert_eq!(s.evaluate(0.0).len(), 1);
+        s.replace_queries([
+            RangeQuery { id: 5, range: Rect::from_coords(0.0, 0.0, 60.0, 60.0) },
+            RangeQuery { id: 6, range: Rect::from_coords(500.0, 500.0, 900.0, 900.0) },
+        ]);
+        let r = s.evaluate(0.0);
+        assert_eq!(r.len(), 2);
+        assert_eq!(r[0].query, 5);
+        assert_eq!(r[0].nodes, vec![0]);
+        assert!(r[1].nodes.is_empty());
+    }
+
+    #[test]
+    fn uncertain_evaluation_three_valued_membership() {
+        let mut s = server();
+        s.register_query(RangeQuery { id: 0, range: Rect::from_coords(100.0, 100.0, 300.0, 300.0) });
+        // Deep inside (depth 100 > delta 20): must.
+        s.ingest(0, 0.0, Point::new(200.0, 200.0), (0.0, 0.0));
+        // Near the inner edge (depth 5 < delta 20): maybe.
+        s.ingest(1, 0.0, Point::new(105.0, 200.0), (0.0, 0.0));
+        // Just outside (distance 10 < delta 20): maybe.
+        s.ingest(2, 0.0, Point::new(90.0, 200.0), (0.0, 0.0));
+        // Far outside (distance 100 > delta 20): neither.
+        s.ingest(3, 0.0, Point::new(0.0, 200.0), (0.0, 0.0));
+        let r = s.evaluate_uncertain(0.0, 100.0, |_, _| 20.0);
+        assert_eq!(r[0].must, vec![0]);
+        assert_eq!(r[0].maybe, vec![1, 2]);
+    }
+
+    #[test]
+    fn uncertain_with_zero_delta_equals_exact() {
+        let mut s = server();
+        s.register_query(RangeQuery { id: 0, range: Rect::from_coords(0.0, 0.0, 500.0, 500.0) });
+        for i in 0..6u32 {
+            s.ingest(i, 0.0, Point::new(i as f64 * 150.0, 100.0), (0.0, 0.0));
+        }
+        let exact = s.evaluate(0.0);
+        let uncertain = s.evaluate_uncertain(0.0, 100.0, |_, _| 0.0);
+        assert_eq!(uncertain[0].must, exact[0].nodes);
+        assert!(uncertain[0].maybe.is_empty());
+    }
+
+    #[test]
+    fn stale_updates_do_not_corrupt_results() {
+        let mut s = server();
+        s.register_query(RangeQuery { id: 0, range: Rect::from_coords(0.0, 0.0, 100.0, 100.0) });
+        assert!(s.ingest(0, 10.0, Point::new(50.0, 50.0), (0.0, 0.0)));
+        // A delayed packet placing the node far away at an earlier time.
+        assert!(!s.ingest(0, 2.0, Point::new(900.0, 900.0), (0.0, 0.0)));
+        assert_eq!(s.evaluate(10.0)[0].nodes, vec![0]);
+    }
+
+    #[test]
+    fn nearest_neighbors_basic() {
+        let mut s = server();
+        for i in 0..6u32 {
+            // Nodes on a line at x = 100·(i+1).
+            s.ingest(i, 0.0, Point::new(100.0 * (i + 1) as f64, 500.0), (0.0, 0.0));
+        }
+        let knn = s.nearest(Point::new(0.0, 500.0), 3, 0.0);
+        assert_eq!(knn.iter().map(|(n, _)| *n).collect::<Vec<_>>(), vec![0, 1, 2]);
+        assert_eq!(knn[0].1, 100.0);
+        assert_eq!(knn[2].1, 300.0);
+        // k larger than the population returns everyone.
+        assert_eq!(s.nearest(Point::new(0.0, 500.0), 50, 0.0).len(), 6);
+        // k = 0 is empty.
+        assert!(s.nearest(Point::new(0.0, 500.0), 0, 0.0).is_empty());
+    }
+
+    #[test]
+    fn nearest_uses_predicted_positions() {
+        let mut s = server();
+        // Node 0 starts far but races toward the query point.
+        s.ingest(0, 0.0, Point::new(900.0, 500.0), (-50.0, 0.0));
+        s.ingest(1, 0.0, Point::new(300.0, 500.0), (0.0, 0.0));
+        // At t = 0 node 1 is nearer to x=100...
+        let knn = s.nearest(Point::new(100.0, 500.0), 1, 0.0);
+        assert_eq!(knn[0].0, 1);
+        // ...at t = 14 node 0 has moved to x = 200, closer than node 1.
+        let knn = s.nearest(Point::new(100.0, 500.0), 1, 14.0);
+        assert_eq!(knn[0].0, 0);
+    }
+
+    #[test]
+    fn nearest_matches_brute_force_on_both_indexes() {
+        use crate::tpr_tree::TprTree;
+        let bounds = Rect::from_coords(0.0, 0.0, 1000.0, 1000.0);
+        let mut grid = CqServer::new(bounds, 80, 10);
+        let mut tpr = CqServer::with_index(bounds, 80, TprTree::new(60.0));
+        let mut truth = Vec::new();
+        for i in 0..80u32 {
+            let p = Point::new(
+                ((i as f64 * 131.7) % 997.0) + 1.0,
+                ((i as f64 * 77.3) % 983.0) + 1.0,
+            );
+            let v = ((i % 5) as f64 - 2.0, (i % 3) as f64 - 1.0);
+            grid.ingest(i, 0.0, p, v);
+            tpr.ingest(i, 0.0, p, v);
+            truth.push((i, p, v));
+        }
+        for (t, cx, cy, k) in [(0.0, 10.0, 10.0, 5usize), (20.0, 500.0, 500.0, 10), (40.0, 990.0, 5.0, 1)] {
+            let center = Point::new(cx, cy);
+            let mut expected: Vec<(u32, f64)> = truth
+                .iter()
+                .map(|(n, p, v)| {
+                    let q = Point::new(p.x + v.0 * t, p.y + v.1 * t);
+                    (*n, q.distance(&center))
+                })
+                .collect();
+            expected.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)));
+            expected.truncate(k);
+            let got_grid = grid.nearest(center, k, t);
+            let got_tpr = tpr.nearest(center, k, t);
+            for (got, label) in [(&got_grid, "grid"), (&got_tpr, "tpr")] {
+                assert_eq!(got.len(), k, "{label} at t={t}");
+                for ((gn, gd), (en, ed)) in got.iter().zip(&expected) {
+                    assert_eq!(gn, en, "{label} at t={t}");
+                    assert!((gd - ed).abs() < 1e-9, "{label} at t={t}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tpr_backed_server_matches_grid_backed() {
+        use crate::tpr_tree::TprTree;
+        let bounds = Rect::from_coords(0.0, 0.0, 1000.0, 1000.0);
+        let queries = [
+            RangeQuery { id: 0, range: Rect::from_coords(100.0, 100.0, 400.0, 400.0) },
+            RangeQuery { id: 1, range: Rect::from_coords(500.0, 0.0, 1000.0, 500.0) },
+        ];
+        let mut grid = CqServer::new(bounds, 50, 10);
+        let mut tpr = CqServer::with_index(bounds, 50, TprTree::new(60.0));
+        grid.register_queries(queries);
+        tpr.register_queries(queries);
+        // A deterministic swirl of updates.
+        for i in 0..50u32 {
+            let x = 50.0 + (i as f64 * 37.0) % 900.0;
+            let y = 50.0 + (i as f64 * 91.0) % 900.0;
+            let v = ((i % 7) as f64 - 3.0, (i % 5) as f64 - 2.0);
+            grid.ingest(i, 0.0, Point::new(x, y), v);
+            tpr.ingest(i, 0.0, Point::new(x, y), v);
+        }
+        for t in [0.0, 10.0, 30.0, 75.0] {
+            assert_eq!(grid.evaluate(t), tpr.evaluate(t), "t = {t}");
+        }
+    }
+
+    #[test]
+    fn results_exact_versus_brute_force() {
+        let mut s = server();
+        let q = Rect::from_coords(200.0, 300.0, 700.0, 650.0);
+        s.register_query(RangeQuery { id: 0, range: q });
+        let positions = [
+            (0u32, Point::new(199.9, 400.0)),
+            (1, Point::new(200.0, 300.0)),
+            (2, Point::new(699.9, 649.9)),
+            (3, Point::new(700.0, 400.0)),
+            (4, Point::new(450.0, 500.0)),
+            (5, Point::new(0.0, 0.0)),
+        ];
+        for (n, p) in positions {
+            s.ingest(n, 0.0, p, (0.0, 0.0));
+        }
+        let got = s.evaluate(0.0);
+        let want: Vec<u32> = positions
+            .iter()
+            .filter(|(_, p)| q.contains(p))
+            .map(|(n, _)| *n)
+            .collect();
+        assert_eq!(got[0].nodes, want);
+    }
+}

@@ -1,0 +1,149 @@
+//! The server-side view of the mobile nodes: the last motion model each
+//! node reported. Between reports the server *predicts* positions by
+//! extrapolating the model — the essence of dead reckoning (Section 2.1).
+
+use lira_core::geometry::Point;
+
+/// A reported linear motion model, mirrored from the mobile node side.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StoredModel {
+    /// Report time (seconds).
+    pub time: f64,
+    /// Reported position.
+    pub origin: Point,
+    /// Reported velocity (m/s).
+    pub velocity: (f64, f64),
+}
+
+impl StoredModel {
+    /// Predicted position at time `t`.
+    #[inline]
+    pub fn predict(&self, t: f64) -> Point {
+        let dt = t - self.time;
+        Point::new(
+            self.origin.x + self.velocity.0 * dt,
+            self.origin.y + self.velocity.1 * dt,
+        )
+    }
+}
+
+/// Last-reported motion models for a fixed population of nodes.
+#[derive(Debug, Clone)]
+pub struct NodeStore {
+    models: Vec<Option<StoredModel>>,
+    updates_applied: u64,
+}
+
+impl NodeStore {
+    /// Creates a store for `num_nodes` nodes, none of which has reported.
+    pub fn new(num_nodes: usize) -> Self {
+        NodeStore {
+            models: vec![None; num_nodes],
+            updates_applied: 0,
+        }
+    }
+
+    /// Number of tracked nodes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.models.len()
+    }
+
+    /// Whether the store tracks no nodes.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.models.is_empty()
+    }
+
+    /// Applies a position update for `node`. Updates older than the stored
+    /// model are ignored (wireless delivery can reorder packets; a stale
+    /// motion model must never overwrite a fresher one) — returns whether
+    /// the update was applied.
+    pub fn apply(&mut self, node: u32, time: f64, origin: Point, velocity: (f64, f64)) -> bool {
+        let slot = &mut self.models[node as usize];
+        if let Some(existing) = slot {
+            if existing.time > time {
+                return false;
+            }
+        }
+        *slot = Some(StoredModel {
+            time,
+            origin,
+            velocity,
+        });
+        self.updates_applied += 1;
+        true
+    }
+
+    /// The node's last reported model, if any.
+    #[inline]
+    pub fn model(&self, node: u32) -> Option<&StoredModel> {
+        self.models[node as usize].as_ref()
+    }
+
+    /// The node's predicted position at time `t` (`None` until it reports).
+    #[inline]
+    pub fn predict(&self, node: u32, t: f64) -> Option<Point> {
+        self.models[node as usize].map(|m| m.predict(t))
+    }
+
+    /// Number of nodes that have reported at least once.
+    pub fn reported_count(&self) -> usize {
+        self.models.iter().filter(|m| m.is_some()).count()
+    }
+
+    /// Total updates applied over the store's lifetime.
+    #[inline]
+    pub fn updates_applied(&self) -> u64 {
+        self.updates_applied
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_store() {
+        let s = NodeStore::new(3);
+        assert_eq!(s.len(), 3);
+        assert!(!s.is_empty());
+        assert_eq!(s.reported_count(), 0);
+        assert!(s.predict(0, 10.0).is_none());
+        assert!(NodeStore::new(0).is_empty());
+    }
+
+    #[test]
+    fn apply_and_predict() {
+        let mut s = NodeStore::new(2);
+        s.apply(1, 5.0, Point::new(100.0, 0.0), (10.0, -2.0));
+        assert_eq!(s.reported_count(), 1);
+        assert_eq!(s.updates_applied(), 1);
+        let p = s.predict(1, 8.0).unwrap();
+        assert_eq!(p, Point::new(130.0, -6.0));
+        // Node 0 still unknown.
+        assert!(s.predict(0, 8.0).is_none());
+    }
+
+    #[test]
+    fn newer_update_replaces_model() {
+        let mut s = NodeStore::new(1);
+        assert!(s.apply(0, 0.0, Point::new(0.0, 0.0), (1.0, 0.0)));
+        assert!(s.apply(0, 10.0, Point::new(50.0, 50.0), (0.0, 1.0)));
+        let p = s.predict(0, 12.0).unwrap();
+        assert_eq!(p, Point::new(50.0, 52.0));
+        assert_eq!(s.updates_applied(), 2);
+    }
+
+    #[test]
+    fn stale_update_is_rejected() {
+        let mut s = NodeStore::new(1);
+        assert!(s.apply(0, 10.0, Point::new(50.0, 50.0), (0.0, 1.0)));
+        // A delayed packet from t = 3 arrives after the t = 10 report.
+        assert!(!s.apply(0, 3.0, Point::new(0.0, 0.0), (1.0, 0.0)));
+        assert_eq!(s.predict(0, 12.0).unwrap(), Point::new(50.0, 52.0));
+        assert_eq!(s.updates_applied(), 1);
+        // Same-time updates do apply (the tie goes to the later arrival).
+        assert!(s.apply(0, 10.0, Point::new(60.0, 60.0), (0.0, 0.0)));
+    }
+}

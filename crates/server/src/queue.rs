@@ -1,0 +1,210 @@
+//! The position-update input queue (Section 3.4): a bounded FIFO whose
+//! overflow behavior is exactly the "random update dropping" failure mode
+//! LIRA prevents, plus the arrival/service rate estimation THROTLOOP needs.
+
+use lira_core::throt_loop::QueueObservation;
+
+/// A bounded FIFO of position updates with drop accounting.
+#[derive(Debug, Clone)]
+pub struct UpdateQueue<T> {
+    items: std::collections::VecDeque<T>,
+    capacity: usize,
+    arrived: u64,
+    dropped: u64,
+    serviced: u64,
+    /// Window counters for rate estimation.
+    window_arrived: u64,
+    window_serviced: u64,
+}
+
+impl<T> UpdateQueue<T> {
+    /// Creates a queue holding at most `capacity` updates (`B` in the paper).
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 1, "queue capacity must be positive");
+        UpdateQueue {
+            items: std::collections::VecDeque::with_capacity(capacity),
+            capacity,
+            arrived: 0,
+            dropped: 0,
+            serviced: 0,
+            window_arrived: 0,
+            window_serviced: 0,
+        }
+    }
+
+    /// The maximum queue size `B`.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current queue length.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the queue is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Offers an update. A full queue drops it (tail drop) and returns
+    /// `false` — the server-actuated shedding the paper argues against.
+    pub fn offer(&mut self, item: T) -> bool {
+        self.arrived += 1;
+        self.window_arrived += 1;
+        if self.items.len() >= self.capacity {
+            self.dropped += 1;
+            false
+        } else {
+            self.items.push_back(item);
+            true
+        }
+    }
+
+    /// Dequeues up to `n` updates for processing (FIFO order).
+    pub fn service(&mut self, n: usize) -> Vec<T> {
+        let take = n.min(self.items.len());
+        let out: Vec<T> = self.items.drain(..take).collect();
+        self.serviced += out.len() as u64;
+        self.window_serviced += out.len() as u64;
+        out
+    }
+
+    /// Lifetime arrivals.
+    #[inline]
+    pub fn arrived(&self) -> u64 {
+        self.arrived
+    }
+
+    /// Lifetime drops.
+    #[inline]
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Lifetime serviced updates.
+    #[inline]
+    pub fn serviced(&self) -> u64 {
+        self.serviced
+    }
+
+    /// Fraction of arrivals dropped so far.
+    pub fn drop_fraction(&self) -> f64 {
+        if self.arrived == 0 {
+            0.0
+        } else {
+            self.dropped as f64 / self.arrived as f64
+        }
+    }
+
+    /// Closes the current observation window of `window_seconds` and
+    /// returns the `(λ, μ)` observation THROTLOOP consumes. The service
+    /// rate reported is the server's *capacity* `service_capacity`
+    /// (updates/sec), not merely the number it happened to drain — an idle
+    /// server must read as underloaded, not as zero-capacity.
+    pub fn window_observation(
+        &mut self,
+        window_seconds: f64,
+        service_capacity: f64,
+    ) -> QueueObservation {
+        assert!(window_seconds > 0.0);
+        let obs = QueueObservation {
+            arrival_rate: self.window_arrived as f64 / window_seconds,
+            service_rate: service_capacity,
+        };
+        self.window_arrived = 0;
+        self.window_serviced = 0;
+        obs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order_and_capacity() {
+        let mut q = UpdateQueue::new(3);
+        assert!(q.offer(1));
+        assert!(q.offer(2));
+        assert!(q.offer(3));
+        assert!(!q.offer(4), "overflow must drop");
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.dropped(), 1);
+        assert_eq!(q.service(2), vec![1, 2]);
+        assert!(q.offer(5));
+        assert_eq!(q.service(10), vec![3, 5]);
+        assert!(q.is_empty());
+        assert_eq!(q.serviced(), 4);
+        assert_eq!(q.arrived(), 5);
+    }
+
+    #[test]
+    fn drop_fraction() {
+        let mut q = UpdateQueue::new(2);
+        assert_eq!(q.drop_fraction(), 0.0);
+        q.offer(());
+        q.offer(());
+        q.offer(());
+        q.offer(());
+        assert_eq!(q.drop_fraction(), 0.5);
+    }
+
+    #[test]
+    fn window_observation_rates() {
+        let mut q = UpdateQueue::new(100);
+        for i in 0..50 {
+            q.offer(i);
+        }
+        q.service(20);
+        let obs = q.window_observation(10.0, 3.5);
+        assert_eq!(obs.arrival_rate, 5.0);
+        assert_eq!(obs.service_rate, 3.5);
+        // Window counters reset.
+        let obs2 = q.window_observation(10.0, 3.5);
+        assert_eq!(obs2.arrival_rate, 0.0);
+    }
+
+    #[test]
+    fn overload_scenario_feeds_throtloop() {
+        use lira_core::throt_loop::ThrotLoop;
+        let mut q = UpdateQueue::new(100);
+        let mut loop_ctl = ThrotLoop::new(100).unwrap();
+        // 200 updates/s arriving, capacity 100/s: z should drop toward 0.5.
+        for _ in 0..5 {
+            for i in 0..200 {
+                q.offer(i);
+            }
+            q.service(100);
+            let obs = q.window_observation(1.0, 100.0);
+            loop_ctl.observe(obs);
+        }
+        assert!(loop_ctl.throttle() < 0.55, "z = {}", loop_ctl.throttle());
+    }
+
+    #[test]
+    fn service_zero_and_empty() {
+        let mut q: UpdateQueue<u8> = UpdateQueue::new(4);
+        assert!(q.service(0).is_empty());
+        assert!(q.service(10).is_empty());
+        q.offer(1);
+        assert!(q.service(0).is_empty());
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "window_seconds > 0.0")]
+    fn rejects_zero_window() {
+        let mut q: UpdateQueue<u8> = UpdateQueue::new(4);
+        q.window_observation(0.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_zero_capacity() {
+        UpdateQueue::<u32>::new(0);
+    }
+}

@@ -1,0 +1,31 @@
+//! # lira-sim
+//!
+//! End-to-end evaluation harness for the LIRA reproduction: scenarios
+//! (presets matching Table 2 of the paper), the multi-policy simulation
+//! runner (one traffic feed, one reference server, one shedding server per
+//! policy), and the paper's accuracy metrics (`E^C_rr`, `E^P_rr`,
+//! `D^C_ev`, `C^C_ov`).
+//!
+//! ```no_run
+//! use lira_sim::prelude::*;
+//!
+//! let scenario = Scenario::small(42);
+//! let report = run_scenario(&scenario, &[Policy::Lira, Policy::RandomDrop]);
+//! let lira = report.outcome(Policy::Lira).unwrap();
+//! println!("LIRA containment error: {:.4}", lira.metrics.mean_containment);
+//! ```
+
+pub mod adaptive;
+pub mod metrics;
+pub mod runner;
+pub mod scenario;
+
+/// Convenient re-exports of the most used types.
+pub mod prelude {
+    pub use crate::adaptive::{run_adaptive, AdaptiveConfig, AdaptiveReport, WindowStats};
+    pub use crate::metrics::{
+        evaluation_errors, MetricsAccumulator, MetricsReport, QueryErrors,
+    };
+    pub use crate::runner::{run_scenario, Policy, PolicyOutcome, RunReport};
+    pub use crate::scenario::Scenario;
+}

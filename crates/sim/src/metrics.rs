@@ -1,0 +1,252 @@
+//! The paper's evaluation metrics (Section 4.1.1).
+//!
+//! All accuracy metrics compare a *shedding* server against a *reference*
+//! server that runs `Δ_i = Δ⊢` everywhere: `R*(q)` and `p*(o)` are the
+//! reference server's result set and predicted positions, exactly as the
+//! paper defines them (not physical ground truth).
+
+use lira_core::geometry::Point;
+use lira_server::query::QueryResult;
+
+/// Errors of one query at one evaluation instant.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QueryErrors {
+    /// Containment error `(|R*\R| + |R\R*|)/|R*|`. When `R*` is empty the
+    /// denominator is taken as 1 (the error then counts the extras).
+    pub containment: f64,
+    /// Mean position error over the nodes in the shed result `R(q)`
+    /// (0 when `R(q)` is empty).
+    pub position: f64,
+}
+
+/// Computes per-query errors for one evaluation round.
+///
+/// `reference` and `shed` must be index-aligned (same query in the same
+/// slot). `ref_pos`/`shed_pos` give each server's predicted position for a
+/// node at the evaluation time.
+pub fn evaluation_errors(
+    reference: &[QueryResult],
+    shed: &[QueryResult],
+    mut ref_pos: impl FnMut(u32) -> Option<Point>,
+    mut shed_pos: impl FnMut(u32) -> Option<Point>,
+) -> Vec<QueryErrors> {
+    assert_eq!(
+        reference.len(),
+        shed.len(),
+        "result sets must cover the same queries"
+    );
+    reference
+        .iter()
+        .zip(shed)
+        .map(|(r, s)| {
+            debug_assert_eq!(r.query, s.query);
+            let missing = r.missing_from(s);
+            let extra = s.missing_from(r);
+            let denom = r.nodes.len().max(1) as f64;
+            let containment = (missing + extra) as f64 / denom;
+
+            let mut pos_sum = 0.0;
+            let mut pos_count = 0usize;
+            for &node in &s.nodes {
+                if let (Some(p), Some(p_star)) = (shed_pos(node), ref_pos(node)) {
+                    pos_sum += p.distance(&p_star);
+                    pos_count += 1;
+                }
+            }
+            let position = if pos_count > 0 {
+                pos_sum / pos_count as f64
+            } else {
+                0.0
+            };
+            QueryErrors {
+                containment,
+                position,
+            }
+        })
+        .collect()
+}
+
+/// Accumulates per-query errors across evaluation rounds and produces the
+/// paper's summary metrics.
+#[derive(Debug, Clone)]
+pub struct MetricsAccumulator {
+    /// Per query: running sums of containment and position error.
+    containment_sums: Vec<f64>,
+    position_sums: Vec<f64>,
+    rounds: usize,
+}
+
+impl MetricsAccumulator {
+    /// Creates an accumulator for `num_queries` queries.
+    pub fn new(num_queries: usize) -> Self {
+        MetricsAccumulator {
+            containment_sums: vec![0.0; num_queries],
+            position_sums: vec![0.0; num_queries],
+            rounds: 0,
+        }
+    }
+
+    /// Number of queries tracked.
+    pub fn num_queries(&self) -> usize {
+        self.containment_sums.len()
+    }
+
+    /// Number of evaluation rounds recorded.
+    pub fn rounds(&self) -> usize {
+        self.rounds
+    }
+
+    /// Records one evaluation round's per-query errors.
+    pub fn record(&mut self, errors: &[QueryErrors]) {
+        assert_eq!(errors.len(), self.containment_sums.len());
+        for (i, e) in errors.iter().enumerate() {
+            self.containment_sums[i] += e.containment;
+            self.position_sums[i] += e.position;
+        }
+        self.rounds += 1;
+    }
+
+    /// Produces the summary metrics (zeros when nothing was recorded).
+    pub fn report(&self) -> MetricsReport {
+        let q = self.containment_sums.len();
+        if self.rounds == 0 || q == 0 {
+            return MetricsReport::default();
+        }
+        let per_query_containment: Vec<f64> = self
+            .containment_sums
+            .iter()
+            .map(|s| s / self.rounds as f64)
+            .collect();
+        let per_query_position: Vec<f64> = self
+            .position_sums
+            .iter()
+            .map(|s| s / self.rounds as f64)
+            .collect();
+        let mean_c = per_query_containment.iter().sum::<f64>() / q as f64;
+        let mean_p = per_query_position.iter().sum::<f64>() / q as f64;
+        let var_c = per_query_containment
+            .iter()
+            .map(|e| (e - mean_c) * (e - mean_c))
+            .sum::<f64>()
+            / q as f64;
+        let dev_c = var_c.sqrt();
+        MetricsReport {
+            mean_containment: mean_c,
+            mean_position: mean_p,
+            stddev_containment: dev_c,
+            cov_containment: if mean_c > 0.0 { dev_c / mean_c } else { 0.0 },
+        }
+    }
+}
+
+/// Summary accuracy metrics, named as in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct MetricsReport {
+    /// Mean containment error `E^C_rr`.
+    pub mean_containment: f64,
+    /// Mean position error `E^P_rr` (meters).
+    pub mean_position: f64,
+    /// Standard deviation of containment error `D^C_ev` (fairness metric).
+    pub stddev_containment: f64,
+    /// Coefficient of variance of containment error `C^C_ov = D^C_ev/E^C_rr`.
+    pub cov_containment: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result(query: u32, nodes: Vec<u32>) -> QueryResult {
+        QueryResult { query, nodes }
+    }
+
+    #[test]
+    fn containment_error_counts_missing_and_extra() {
+        let reference = vec![result(0, vec![1, 2, 3, 4])];
+        let shed = vec![result(0, vec![2, 3, 9])];
+        let errs = evaluation_errors(&reference, &shed, |_| None, |_| None);
+        // Missing {1, 4}, extra {9}: (2 + 1)/4.
+        assert!((errs[0].containment - 0.75).abs() < 1e-12);
+        // No positions available: position error is 0.
+        assert_eq!(errs[0].position, 0.0);
+    }
+
+    #[test]
+    fn perfect_result_has_zero_error() {
+        let reference = vec![result(0, vec![1, 2])];
+        let shed = vec![result(0, vec![1, 2])];
+        let pos = |n: u32| Some(Point::new(n as f64, 0.0));
+        let errs = evaluation_errors(&reference, &shed, pos, pos);
+        assert_eq!(errs[0].containment, 0.0);
+        assert_eq!(errs[0].position, 0.0);
+    }
+
+    #[test]
+    fn empty_reference_counts_extras() {
+        let reference = vec![result(0, vec![])];
+        let shed = vec![result(0, vec![5, 6])];
+        let errs = evaluation_errors(&reference, &shed, |_| None, |_| None);
+        assert_eq!(errs[0].containment, 2.0);
+        // Both empty: zero error.
+        let errs = evaluation_errors(&[result(0, vec![])], &[result(0, vec![])], |_| None, |_| None);
+        assert_eq!(errs[0].containment, 0.0);
+    }
+
+    #[test]
+    fn position_error_averages_over_result_nodes() {
+        let reference = vec![result(0, vec![1, 2])];
+        let shed = vec![result(0, vec![1, 2])];
+        let ref_pos = |n: u32| Some(Point::new(n as f64 * 10.0, 0.0));
+        let shed_pos = |n: u32| Some(Point::new(n as f64 * 10.0 + if n == 1 { 3.0 } else { 7.0 }, 0.0));
+        let errs = evaluation_errors(&reference, &shed, ref_pos, shed_pos);
+        assert!((errs[0].position - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn position_error_skips_nodes_without_reference_positions() {
+        let reference = vec![result(0, vec![1])];
+        let shed = vec![result(0, vec![1, 2])];
+        // Node 2 never reported to the reference: only node 1 contributes.
+        let ref_pos = |n: u32| (n == 1).then(|| Point::new(0.0, 0.0));
+        let shed_pos = |n: u32| Some(Point::new(n as f64, 0.0));
+        let errs = evaluation_errors(&reference, &shed, ref_pos, shed_pos);
+        assert!((errs[0].position - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn accumulator_means_over_rounds_and_queries() {
+        let mut acc = MetricsAccumulator::new(2);
+        acc.record(&[
+            QueryErrors { containment: 0.2, position: 10.0 },
+            QueryErrors { containment: 0.4, position: 20.0 },
+        ]);
+        acc.record(&[
+            QueryErrors { containment: 0.4, position: 30.0 },
+            QueryErrors { containment: 0.6, position: 40.0 },
+        ]);
+        let r = acc.report();
+        // Per-query means: (0.3, 0.5) -> mean 0.4; positions (20, 30) -> 25.
+        assert!((r.mean_containment - 0.4).abs() < 1e-12);
+        assert!((r.mean_position - 25.0).abs() < 1e-12);
+        // Std dev across queries: |0.3-0.4| = 0.1.
+        assert!((r.stddev_containment - 0.1).abs() < 1e-12);
+        assert!((r.cov_containment - 0.25).abs() < 1e-12);
+        assert_eq!(acc.rounds(), 2);
+    }
+
+    #[test]
+    fn empty_accumulator_reports_zeros() {
+        let acc = MetricsAccumulator::new(0);
+        let r = acc.report();
+        assert_eq!(r, MetricsReport::default());
+        let acc = MetricsAccumulator::new(3);
+        assert_eq!(acc.report(), MetricsReport::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "same queries")]
+    fn mismatched_result_sets_panic() {
+        let reference = vec![result(0, vec![])];
+        evaluation_errors(&reference, &[], |_| None, |_| None);
+    }
+}

@@ -1,0 +1,298 @@
+//! `lira-cli` — run LIRA simulations and inspect shedding plans from the
+//! command line.
+//!
+//! ```text
+//! lira-cli run      [options]   compare shedding policies at a fixed z
+//! lira-cli adaptive [options]   closed loop: THROTLOOP picks z live
+//! lira-cli plan     [options]   print one adaptation's region/throttler table
+//!
+//! common options:
+//!   --scale small|default|paper   scenario preset        (default: default)
+//!   --cars N                      mobile nodes
+//!   --seed S                      master seed             (default: 17)
+//!   --z F                         throttle fraction       (default: 0.5)
+//!   --l N                         shedding regions (mod 3 = 1)
+//!   --fairness F                  fairness threshold Δ⇔ in meters
+//!   --dist proportional|inverse|random   query distribution
+//!   --duration S                  measured seconds
+//! run options:
+//!   --policies lira,lira-grid,uniform,random-drop   (default: all)
+//! adaptive options:
+//!   --service-rate R              server capacity, updates/s (default 200)
+//!   --capacity B                  input queue size           (default 500)
+//! ```
+
+use lira::prelude::*;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = args.split_first() else {
+        eprintln!("usage: lira-cli <run|adaptive|plan> [options]  (--help for details)");
+        return ExitCode::from(2);
+    };
+    let opts = match Options::parse(rest) {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    match command.as_str() {
+        "run" => cmd_run(&opts),
+        "adaptive" => cmd_adaptive(&opts),
+        "plan" => cmd_plan(&opts),
+        "--help" | "-h" | "help" => {
+            println!("see module docs: lira-cli <run|adaptive|plan> [options]");
+            ExitCode::SUCCESS
+        }
+        other => {
+            eprintln!("unknown command {other:?}; expected run, adaptive, or plan");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// Parsed command-line options on top of a scenario preset.
+#[derive(Debug, Clone)]
+struct Options {
+    scenario: Scenario,
+    policies: Vec<Policy>,
+    service_rate: f64,
+    capacity: usize,
+}
+
+impl Options {
+    fn parse(args: &[String]) -> std::result::Result<Options, String> {
+        let mut scale = "default".to_string();
+        let mut kv: Vec<(String, String)> = Vec::new();
+        let mut it = args.iter();
+        while let Some(flag) = it.next() {
+            let key = flag
+                .strip_prefix("--")
+                .ok_or_else(|| format!("expected --flag, got {flag:?}"))?;
+            let value = it
+                .next()
+                .ok_or_else(|| format!("--{key} needs a value"))?
+                .clone();
+            if key == "scale" {
+                scale = value;
+            } else {
+                kv.push((key.to_string(), value));
+            }
+        }
+
+        let mut sc = match scale.as_str() {
+            "small" => Scenario::small(17),
+            "default" => Scenario::default(),
+            "paper" => Scenario::paper(17),
+            other => return Err(format!("unknown scale {other:?}")),
+        };
+        let mut policies = Policy::ALL.to_vec();
+        let mut service_rate = 200.0;
+        let mut capacity = 500usize;
+
+        for (key, value) in kv {
+            match key.as_str() {
+                "cars" => sc.num_cars = parse(&key, &value)?,
+                "seed" => sc.seed = parse(&key, &value)?,
+                "z" => sc.throttle = parse(&key, &value)?,
+                "l" => {
+                    let l: usize = parse(&key, &value)?;
+                    sc = sc.with_regions(l);
+                }
+                "fairness" => sc.fairness = parse(&key, &value)?,
+                "duration" => sc.duration_s = parse(&key, &value)?,
+                "dist" => {
+                    sc.query_distribution = match value.as_str() {
+                        "proportional" => QueryDistribution::Proportional,
+                        "inverse" => QueryDistribution::Inverse,
+                        "random" => QueryDistribution::Random,
+                        other => return Err(format!("unknown distribution {other:?}")),
+                    }
+                }
+                "policies" => {
+                    policies = value
+                        .split(',')
+                        .map(|p| match p.trim() {
+                            "lira" => Ok(Policy::Lira),
+                            "lira-grid" => Ok(Policy::LiraGrid),
+                            "uniform" => Ok(Policy::UniformDelta),
+                            "random-drop" => Ok(Policy::RandomDrop),
+                            other => Err(format!("unknown policy {other:?}")),
+                        })
+                        .collect::<std::result::Result<_, String>>()?;
+                }
+                "service-rate" => service_rate = parse(&key, &value)?,
+                "capacity" => capacity = parse(&key, &value)?,
+                other => return Err(format!("unknown option --{other}")),
+            }
+        }
+        sc.lira_config()
+            .validate()
+            .map_err(|e| format!("invalid configuration: {e}"))?;
+        Ok(Options {
+            scenario: sc,
+            policies,
+            service_rate,
+            capacity,
+        })
+    }
+}
+
+fn parse<T: std::str::FromStr>(key: &str, value: &str) -> std::result::Result<T, String> {
+    value
+        .parse()
+        .map_err(|_| format!("--{key}: cannot parse {value:?}"))
+}
+
+fn cmd_run(opts: &Options) -> ExitCode {
+    let sc = &opts.scenario;
+    println!(
+        "running {} nodes, {:.0} km², z = {}, l = {}, {} s...",
+        sc.num_cars,
+        sc.space_side * sc.space_side / 1e6,
+        sc.throttle,
+        sc.num_regions,
+        sc.duration_s
+    );
+    let report = run_scenario(sc, &opts.policies);
+    println!(
+        "\nreference server processed {} updates for {} queries",
+        report.reference_updates, report.num_queries
+    );
+    println!("\npolicy         | containment err | position err (m) | updates sent | processed");
+    println!("---------------+-----------------+------------------+--------------+----------");
+    for o in &report.outcomes {
+        println!(
+            "{:<14} | {:>15.4} | {:>16.3} | {:>12} | {:>9}",
+            o.policy.name(),
+            o.metrics.mean_containment,
+            o.metrics.mean_position,
+            o.updates_sent,
+            o.updates_processed,
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_adaptive(opts: &Options) -> ExitCode {
+    let cfg = AdaptiveConfig {
+        service_rate: opts.service_rate,
+        queue_capacity: opts.capacity,
+        control_period_s: 20.0,
+    };
+    println!(
+        "closed loop: μ = {} upd/s, B = {}, control every {} s",
+        cfg.service_rate, cfg.queue_capacity, cfg.control_period_s
+    );
+    let report = run_adaptive(&opts.scenario, &cfg);
+    println!("\n  time |  λ (upd/s) |     z | queue | dropped");
+    println!("-------+------------+-------+-------+--------");
+    for w in &report.windows {
+        println!(
+            "{:>5.0}s | {:>10.1} | {:>5.3} | {:>5} | {:>7}",
+            w.time, w.arrival_rate, w.throttle, w.queue_len, w.dropped
+        );
+    }
+    println!(
+        "\nfinal z = {:.3} | drop fraction {:.2}% | E^C_rr {:.4} | E^P_rr {:.2} m",
+        report.final_throttle,
+        report.drop_fraction * 100.0,
+        report.metrics.mean_containment,
+        report.metrics.mean_position
+    );
+    ExitCode::SUCCESS
+}
+
+fn cmd_plan(opts: &Options) -> ExitCode {
+    let sc = &opts.scenario;
+    let bounds = sc.bounds();
+    let config = sc.lira_config();
+    let network = generate_network(&NetworkConfig {
+        bounds,
+        spacing: sc.road_spacing,
+        arterial_period: sc.arterial_period,
+        expressway_period: sc.expressway_period,
+        jitter_frac: 0.2,
+        seed: sc.seed,
+    });
+    let demand = TrafficDemand::random_hotspots(&bounds, sc.hotspots, sc.seed);
+    let mut sim = TrafficSimulator::new(
+        network,
+        &demand,
+        TrafficConfig { num_cars: sc.num_cars, seed: sc.seed },
+    );
+    for _ in 0..(sc.warmup_s as usize) {
+        sim.step(1.0);
+    }
+    let positions: Vec<Point> = sim.cars().iter().map(|c| c.position()).collect();
+    let queries = generate_queries(
+        &bounds,
+        &positions,
+        &WorkloadConfig::from_ratio(
+            sc.query_distribution,
+            sc.num_cars,
+            sc.query_ratio,
+            sc.query_side,
+            sc.seed,
+        ),
+    );
+    let mut grid = match StatsGrid::new(config.alpha, bounds) {
+        Ok(g) => g,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    grid.begin_snapshot();
+    for car in sim.cars() {
+        grid.observe_node(&car.position(), car.speed(), 1.0);
+    }
+    for q in &queries {
+        grid.observe_query(&q.range);
+    }
+    grid.commit_snapshot();
+    let shedder = match LiraShedder::new(config, 1000) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let adaptation = match shedder.adapt_with_throttle(&grid, sc.throttle) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "plan: l = {} regions | adaptation took {:?} | objective Σmᵢ·Δᵢ = {:.1} | wire size {} B",
+        adaptation.plan.len(),
+        adaptation.elapsed,
+        adaptation.solution.inaccuracy,
+        adaptation.plan.encode().len(),
+    );
+    println!("\n  # |     min corner     |  side (m) |  nodes | queries | Δ (m)");
+    println!("----+--------------------+-----------+--------+---------+------");
+    for (i, (region, stats)) in adaptation
+        .plan
+        .regions()
+        .iter()
+        .zip(&adaptation.partitioning.regions)
+        .enumerate()
+    {
+        println!(
+            "{:>3} | ({:>7.0},{:>7.0}) | {:>9.0} | {:>6.1} | {:>7.2} | {:>5.1}",
+            i,
+            region.area.min.x,
+            region.area.min.y,
+            region.area.width(),
+            stats.nodes,
+            stats.queries,
+            region.throttler,
+        );
+    }
+    ExitCode::SUCCESS
+}

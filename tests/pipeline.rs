@@ -1,0 +1,243 @@
+//! Integration tests of the distribution pipeline: server plan → base
+//! stations → wire encoding → mobile nodes, plus dead-reckoning round
+//! trips between mobile and server state.
+
+use lira::prelude::*;
+
+/// A deterministic heterogeneous statistics grid for plan construction.
+fn demo_grid(bounds: Rect, alpha: usize) -> StatsGrid {
+    let mut grid = StatsGrid::new(alpha, bounds).unwrap();
+    grid.begin_snapshot();
+    // Dense, slow cluster in the SW; sparse, fast traffic in the NE.
+    for i in 0..400 {
+        let p = Point::new(
+            bounds.width() * 0.05 + (i % 20) as f64 * bounds.width() * 0.01,
+            bounds.height() * 0.05 + (i / 20) as f64 * bounds.height() * 0.01,
+        );
+        grid.observe_node(&p, 6.0, 1.0);
+    }
+    for i in 0..40 {
+        let p = Point::new(
+            bounds.width() * (0.6 + 0.01 * (i % 8) as f64),
+            bounds.height() * (0.6 + 0.01 * (i / 8) as f64),
+        );
+        grid.observe_node(&p, 25.0, 1.0);
+    }
+    for i in 0..12 {
+        let x = bounds.width() * (0.55 + 0.03 * (i % 4) as f64);
+        let y = bounds.height() * (0.55 + 0.03 * (i / 4) as f64);
+        grid.observe_query(&Rect::from_coords(x, y, x + bounds.width() * 0.05, y + bounds.height() * 0.05));
+    }
+    grid.commit_snapshot();
+    grid
+}
+
+#[test]
+fn plan_distribution_round_trip_preserves_lookups() {
+    let bounds = Rect::from_coords(0.0, 0.0, 8192.0, 8192.0);
+    let grid = demo_grid(bounds, 64);
+    let mut config = LiraConfig::default();
+    config.bounds = bounds;
+    config = config.with_regions(40);
+    let shedder = LiraShedder::new(config.clone(), 500).unwrap();
+    let plan = shedder.adapt_with_throttle(&grid, 0.4).unwrap().plan;
+
+    // Base stations on a uniform grid with 1.5 km radius.
+    let stations = uniform_placement(&bounds, 1500.0);
+    assert!(!stations.is_empty());
+
+    // For a probe set of points: resolve via station → wire → mobile node
+    // and compare against the server plan.
+    for i in 0..40 {
+        for j in 0..40 {
+            let p = Point::new(i as f64 * 200.0 + 17.0, j as f64 * 200.0 + 13.0);
+            let sid = station_for(&stations, &p).unwrap();
+            let subset = plan.subset_for(&stations[sid as usize].coverage);
+            let wire = SheddingPlan::new(bounds, subset, config.delta_min).encode();
+            let received = SheddingPlan::decode(bounds, &wire, config.delta_min).unwrap();
+            let mobile = MobileShedder::install(0, received.regions().to_vec(), config.delta_min);
+            let local = mobile.throttler_at(&p);
+            let server = plan.throttler_at(&p);
+            assert!(
+                (local - server).abs() < 1e-3,
+                "at {p}: mobile {local} vs server {server}"
+            );
+        }
+    }
+}
+
+#[test]
+fn station_subsets_cover_their_disks() {
+    let bounds = Rect::from_coords(0.0, 0.0, 8192.0, 8192.0);
+    let grid = demo_grid(bounds, 64);
+    let mut config = LiraConfig::default();
+    config.bounds = bounds;
+    config = config.with_regions(25);
+    let shedder = LiraShedder::new(config, 500).unwrap();
+    let plan = shedder.adapt_with_throttle(&grid, 0.5).unwrap().plan;
+    for station in uniform_placement(&bounds, 2000.0) {
+        let subset = plan.subset_for(&station.coverage);
+        // Every plan region intersecting the disk must be in the subset.
+        let expected = plan
+            .regions()
+            .iter()
+            .filter(|r| station.coverage.intersects_rect(&r.area))
+            .count();
+        assert_eq!(subset.len(), expected);
+    }
+}
+
+#[test]
+fn dead_reckoning_keeps_server_within_delta() {
+    // The fundamental dead-reckoning contract across the mobile and server
+    // crates: at every observation instant, the server's prediction is
+    // within the node's threshold of its true position.
+    let net = generate_network(&NetworkConfig::small(3));
+    let bounds = *net.bounds();
+    let demand = TrafficDemand::random_hotspots(&bounds, 2, 3);
+    let mut sim = TrafficSimulator::new(net, &demand, TrafficConfig { num_cars: 30, seed: 3 });
+    let mut server = CqServer::new(bounds, 30, 16);
+    let mut reckoners = vec![DeadReckoner::new(); 30];
+    let delta = 25.0;
+    for _ in 0..300 {
+        sim.step(1.0);
+        let t = sim.time();
+        for (i, car) in sim.cars().iter().enumerate() {
+            if let Some(rep) = reckoners[i].observe(i as u32, t, car.position(), car.velocity(), delta)
+            {
+                server.ingest(rep.node, t, rep.model.origin, rep.model.velocity);
+            }
+            let predicted = server.predict(i as u32, t).expect("first tick reports");
+            let true_pos = car.position();
+            assert!(
+                predicted.distance(&true_pos) <= delta + 1e-6,
+                "node {i}: prediction off by {}",
+                predicted.distance(&true_pos)
+            );
+        }
+    }
+}
+
+#[test]
+fn reference_and_shed_servers_agree_at_z_one() {
+    // With z = 1 the plan is Δ⊢ everywhere: both servers see identical
+    // update streams, so all error metrics must be exactly zero.
+    let mut sc = Scenario::small(19);
+    sc.throttle = 1.0;
+    sc.duration_s = 60.0;
+    let report = run_scenario(&sc, &[Policy::Lira, Policy::UniformDelta]);
+    for o in &report.outcomes {
+        assert_eq!(
+            o.metrics.mean_containment, 0.0,
+            "{:?} containment at z=1",
+            o.policy
+        );
+        assert_eq!(o.metrics.mean_position, 0.0, "{:?} position at z=1", o.policy);
+        assert_eq!(o.updates_processed, report.reference_updates);
+    }
+}
+
+#[test]
+fn table3_region_counts_grow_with_radius() {
+    // Table 3's shape: stations with larger coverage know more regions.
+    let bounds = Rect::from_coords(0.0, 0.0, 14_142.0, 14_142.0);
+    let grid = demo_grid(bounds, 128);
+    let mut config = LiraConfig::default();
+    config.bounds = bounds;
+    let shedder = LiraShedder::new(config, 500).unwrap();
+    let plan = shedder.adapt_with_throttle(&grid, 0.5).unwrap().plan;
+    // A fixed station growing its radius sees a superset of regions:
+    // strictly monotone counts.
+    let center = bounds.center();
+    let mut prev = 0usize;
+    for radius_km in [1.0, 2.0, 3.0, 4.0, 5.0] {
+        let n = plan
+            .subset_for(&Circle::new(center, radius_km * 1000.0))
+            .len();
+        assert!(n > prev, "radius {radius_km} km: {n} regions not more than {prev}");
+        prev = n;
+    }
+    // Across a whole placement the mean also grows from the smallest to
+    // the largest radius (per-step counts can wobble as station positions
+    // shift with the grid pitch).
+    let small = mean_regions_per_station(&uniform_placement(&bounds, 1000.0), &plan);
+    let large = mean_regions_per_station(&uniform_placement(&bounds, 5000.0), &plan);
+    assert!(large > 2.0 * small, "1 km: {small}, 5 km: {large}");
+}
+
+#[test]
+fn uncertain_evaluation_guarantees_hold_end_to_end() {
+    // Drive real traffic through dead reckoning under a LIRA plan and
+    // check the three-valued membership guarantees against the TRUE
+    // positions: `must` nodes are truly inside; every truly-inside node is
+    // in `must ∪ maybe`.
+    let net = generate_network(&NetworkConfig::small(47));
+    let bounds = *net.bounds();
+    let demand = TrafficDemand::random_hotspots(&bounds, 2, 47);
+    let mut sim = TrafficSimulator::new(net, &demand, TrafficConfig { num_cars: 120, seed: 47 });
+    for _ in 0..45 {
+        sim.step(1.0);
+    }
+
+    // A LIRA plan over the warmed statistics.
+    let mut config = LiraConfig::default();
+    config.bounds = bounds;
+    config = config.with_regions(13);
+    let mut grid = StatsGrid::new(config.alpha, bounds).unwrap();
+    grid.begin_snapshot();
+    for car in sim.cars() {
+        grid.observe_node(&car.position(), car.speed(), 1.0);
+    }
+    grid.observe_query(&Rect::from_coords(400.0, 400.0, 1200.0, 1200.0));
+    grid.commit_snapshot();
+    let shedder = LiraShedder::new(config.clone(), 100).unwrap();
+    let plan = shedder.adapt_with_throttle(&grid, 0.4).unwrap().plan;
+
+    let mut server = CqServer::new(bounds, 120, 16);
+    server.register_queries([
+        RangeQuery { id: 0, range: Rect::from_coords(400.0, 400.0, 1200.0, 1200.0) },
+        RangeQuery { id: 1, range: Rect::from_coords(0.0, 1000.0, 900.0, 2000.0) },
+    ]);
+    let queries = server.queries().to_vec();
+    let mut reckoners = vec![DeadReckoner::new(); 120];
+
+    for tick in 0..240 {
+        sim.step(1.0);
+        let t = sim.time();
+        for (i, car) in sim.cars().iter().enumerate() {
+            let delta = plan.throttler_at(&car.position());
+            if let Some(rep) = reckoners[i].observe(i as u32, t, car.position(), car.velocity(), delta)
+            {
+                server.ingest(rep.node, t, rep.model.origin, rep.model.velocity);
+            }
+        }
+        if tick % 20 != 0 {
+            continue;
+        }
+        // The node's threshold comes from its *true* region, which the
+        // server does not know; the sound bound is the max throttler of any
+        // region within Δ⊣ of the prediction.
+        let results = server.evaluate_uncertain(t, config.delta_max, |_, p| {
+            plan.max_throttler_within(&p, config.delta_max)
+        });
+        for (q, r) in queries.iter().zip(&results) {
+            for &n in &r.must {
+                let truth = sim.cars()[n as usize].position();
+                assert!(
+                    q.range.expand(1e-6).contains_closed(&truth),
+                    "tick {tick}: must-node {n} truly at {truth}, outside {:?}",
+                    q.range
+                );
+            }
+            for (n, car) in sim.cars().iter().enumerate() {
+                if q.range.contains(&car.position()) {
+                    let n = n as u32;
+                    assert!(
+                        r.must.binary_search(&n).is_ok() || r.maybe.binary_search(&n).is_ok(),
+                        "tick {tick}: node {n} truly inside but in neither must nor maybe"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,101 @@
+//! Paper-scale stress tests. Ignored by default (`cargo test -- --ignored`
+//! runs them); each finishes in tens of seconds on a modern machine.
+
+use lira::prelude::*;
+
+#[test]
+#[ignore = "paper-scale: ~10k nodes, run with --ignored"]
+fn paper_scale_run_is_stable_and_ordered() {
+    let mut sc = Scenario::paper(7);
+    sc.duration_s = 600.0; // 10 simulated minutes of the hour-long setup
+    let report = run_scenario(&sc, &Policy::ALL);
+    assert_eq!(report.num_cars, 10_000);
+    assert_eq!(report.num_queries, 100);
+    assert!(report.reference_updates > 100_000);
+    let m = |p: Policy| report.outcome(p).unwrap().metrics;
+    // The paper's ordering at full scale.
+    assert!(m(Policy::Lira).mean_position <= m(Policy::LiraGrid).mean_position * 1.25);
+    assert!(m(Policy::LiraGrid).mean_position < m(Policy::UniformDelta).mean_position);
+    assert!(m(Policy::UniformDelta).mean_position < m(Policy::RandomDrop).mean_position);
+    assert!(m(Policy::RandomDrop).mean_position > 5.0 * m(Policy::Lira).mean_position);
+}
+
+#[test]
+#[ignore = "paper-scale adaptation timing, run with --ignored"]
+fn paper_scale_adaptation_stays_lightweight() {
+    // The paper's headline overhead claim: configuring LIRA for l = 250,
+    // alpha = 128 takes ~40 ms on 2007 hardware; it must stay well under
+    // that here, and even l = 4000 / alpha = 512 must stay under 500 ms.
+    use std::time::Instant;
+    let bounds = Rect::from_coords(0.0, 0.0, 14_142.0, 14_142.0);
+    for (l, alpha, budget_ms) in [(250usize, 128usize, 40.0), (4000, 512, 500.0)] {
+        let mut grid = StatsGrid::new(alpha, bounds).unwrap();
+        grid.begin_snapshot();
+        for i in 0..10_000 {
+            let x = (i % 100) as f64 * 141.0 + 7.0;
+            let y = (i / 100) as f64 * 141.0 + 7.0;
+            grid.observe_node(&Point::new(x, y), 10.0 + (i % 20) as f64, 1.0);
+        }
+        for i in 0..100 {
+            let x = (i % 10) as f64 * 1400.0;
+            let y = (i / 10) as f64 * 1400.0;
+            grid.observe_query(&Rect::from_coords(x, y, x + 1000.0, y + 1000.0));
+        }
+        grid.commit_snapshot();
+        let mut config = LiraConfig::default();
+        config.bounds = bounds;
+        config.num_regions = l;
+        config.alpha = alpha;
+        let shedder = LiraShedder::new(config, 1000).unwrap();
+        let _ = shedder.adapt_with_throttle(&grid, 0.5).unwrap(); // warm-up
+        let started = Instant::now();
+        let adaptation = shedder.adapt_with_throttle(&grid, 0.5).unwrap();
+        let ms = started.elapsed().as_secs_f64() * 1e3;
+        assert_eq!(adaptation.plan.len(), l);
+        assert!(
+            ms < budget_ms,
+            "(l = {l}, alpha = {alpha}): {ms:.1} ms exceeds the paper's {budget_ms} ms"
+        );
+    }
+}
+
+#[test]
+#[ignore = "TPR-tree at 100k moving points, run with --ignored"]
+fn tpr_tree_scales_to_large_fleets() {
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+    let mut tree = TprTree::new(60.0);
+    let mut rng = SmallRng::seed_from_u64(3);
+    for n in 0..100_000u32 {
+        tree.update(MovingPoint {
+            node: n,
+            time: 0.0,
+            origin: Point::new(rng.gen_range(0.0..14_142.0), rng.gen_range(0.0..14_142.0)),
+            velocity: (rng.gen_range(-20.0..20.0), rng.gen_range(-20.0..20.0)),
+        });
+    }
+    assert_eq!(tree.len(), 100_000);
+    tree.check_invariants();
+    // A second full round of updates (every node re-reports).
+    for n in 0..100_000u32 {
+        tree.update(MovingPoint {
+            node: n,
+            time: 30.0,
+            origin: Point::new(rng.gen_range(0.0..14_142.0), rng.gen_range(0.0..14_142.0)),
+            velocity: (rng.gen_range(-20.0..20.0), rng.gen_range(-20.0..20.0)),
+        });
+    }
+    assert_eq!(tree.len(), 100_000);
+    tree.check_invariants();
+    // Queries stay correct after churn (spot-check against brute force by
+    // counting through the public getter).
+    let range = Rect::from_coords(3000.0, 3000.0, 5000.0, 5000.0);
+    let hits = tree.query(&range, 45.0);
+    let brute = (0..100_000u32)
+        .filter(|&n| {
+            tree.get(n)
+                .is_some_and(|p| range.contains(&p.position_at(45.0)))
+        })
+        .count();
+    assert_eq!(hits.len(), brute);
+}
