@@ -75,7 +75,14 @@ fn bench_grid_reduce(c: &mut Criterion) {
         let grid = build_grid(alpha, bounds(), 7);
         let params = GridReduceParams::new(l, 0.5, 50.0, true);
         group.bench_function(BenchmarkId::from_parameter(format!("l{l}_a{alpha}")), |b| {
-            b.iter(|| black_box(grid_reduce(black_box(&grid), &model, &params).unwrap().regions.len()))
+            b.iter(|| {
+                black_box(
+                    grid_reduce(black_box(&grid), &model, &params)
+                        .unwrap()
+                        .regions
+                        .len(),
+                )
+            })
         });
     }
     group.finish();
@@ -91,7 +98,11 @@ fn bench_greedy_increment(c: &mut Criterion) {
             .map(|_| {
                 RegionInput::new(
                     rng.gen_range(0.0..200.0),
-                    if rng.gen_bool(0.3) { rng.gen_range(0.0..5.0) } else { 0.0 },
+                    if rng.gen_bool(0.3) {
+                        rng.gen_range(0.0..5.0)
+                    } else {
+                        0.0
+                    },
                     rng.gen_range(3.0..30.0),
                 )
             })

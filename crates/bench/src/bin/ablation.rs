@@ -21,7 +21,12 @@ use lira_workload::prelude::*;
 fn main() {
     let args = ExpArgs::parse();
     let base = args.base_scenario();
-    print_header("ablation", "design-choice ablations (DESIGN.md §7)", &args, &base);
+    print_header(
+        "ablation",
+        "design-choice ablations (DESIGN.md §7)",
+        &args,
+        &base,
+    );
 
     ablation_speed_factor(&args, &base);
     ablation_model_calibration(&args, &base);
@@ -88,19 +93,23 @@ fn ablation_sampled_statistics(args: &ExpArgs, base: &Scenario) {
                         }
                     })
                     .collect();
-                let mut merged =
-                    StatsGrid::new(exact_grid.alpha(), *exact_grid.bounds()).unwrap();
+                let mut merged = StatsGrid::new(exact_grid.alpha(), *exact_grid.bounds()).unwrap();
                 merged.load_cells(&cells).unwrap();
                 merged
             };
             // Plan from the (possibly sampled) grid...
-            let params =
-                GridReduceParams::new(sc.num_regions, sc.throttle, sc.fairness, sc.use_speed_factor);
+            let params = GridReduceParams::new(
+                sc.num_regions,
+                sc.throttle,
+                sc.fairness,
+                sc.use_speed_factor,
+            );
             let partitioning = grid_reduce(&sampled, &model, &params).unwrap();
             let solution = greedy_increment(&partitioning.inputs(), &model, &greedy_params(&sc));
             // ...then score its throttlers with the EXACT statistics: map
             // exact cells onto the sampled plan's regions.
-            let mut exact_inputs = vec![RegionInput::new(0.0, 0.0, 0.0); partitioning.regions.len()];
+            let mut exact_inputs =
+                vec![RegionInput::new(0.0, 0.0, 0.0); partitioning.regions.len()];
             let mut speed_sums = vec![0.0f64; partitioning.regions.len()];
             for row in 0..exact_grid.alpha() {
                 for col in 0..exact_grid.alpha() {
@@ -118,7 +127,11 @@ fn ablation_sampled_statistics(args: &ExpArgs, base: &Scenario) {
                 }
             }
             for (input, speed_sum) in exact_inputs.iter_mut().zip(&speed_sums) {
-                input.speed = if input.nodes > 0.0 { speed_sum / input.nodes } else { 0.0 };
+                input.speed = if input.nodes > 0.0 {
+                    speed_sum / input.nodes
+                } else {
+                    0.0
+                };
             }
             let objective: f64 = exact_inputs
                 .iter()
@@ -129,7 +142,11 @@ fn ablation_sampled_statistics(args: &ExpArgs, base: &Scenario) {
             // stats may overshoot the real budget even if its objective
             // looks good.
             let weight = |r: &RegionInput| {
-                if sc.use_speed_factor { r.nodes * r.speed } else { r.nodes }
+                if sc.use_speed_factor {
+                    r.nodes * r.speed
+                } else {
+                    r.nodes
+                }
             };
             let expenditure: f64 = exact_inputs
                 .iter()
@@ -153,7 +170,11 @@ fn ablation_sampled_statistics(args: &ExpArgs, base: &Scenario) {
             "{:>11} | {:>14.1} ({:>5}) | {:>26.3}",
             format!("{:.0}%", rate * 100.0),
             avg,
-            if exact_obj > 0.0 { format!("{:.2}x", avg / exact_obj) } else { "-".into() },
+            if exact_obj > 0.0 {
+                format!("{:.2}x", avg / exact_obj)
+            } else {
+                "-".into()
+            },
             budget_ratio,
         );
     }
@@ -173,10 +194,7 @@ fn ablation_speed_factor(args: &ExpArgs, base: &Scenario) {
         let o = out[0].1;
         println!(
             "{label:<11} | {:>10.3} | {:>7.4} | {:.3} (target z = {})",
-            o.mean_position,
-            o.mean_containment,
-            o.processed_fraction,
-            base.throttle
+            o.mean_position, o.mean_containment, o.processed_fraction, base.throttle
         );
     }
     println!();
@@ -238,7 +256,10 @@ fn ablation_partitioner(args: &ExpArgs, base: &Scenario) {
         }
         row.push(total / args.seeds.len() as f64);
     }
-    println!("  Lira-Grid                    | {:>12.1} | {:>7.1})\n", row[0], row[1]);
+    println!(
+        "  Lira-Grid                    | {:>12.1} | {:>7.1})\n",
+        row[0], row[1]
+    );
 }
 
 /// Builds the scenario's statistics grid (same construction as the runner).
@@ -256,7 +277,10 @@ fn scenario_grid(sc: &Scenario) -> (StatsGrid, ReductionModel) {
     let mut sim = TrafficSimulator::new(
         network,
         &demand,
-        TrafficConfig { num_cars: sc.num_cars, seed: sc.seed },
+        TrafficConfig {
+            num_cars: sc.num_cars,
+            seed: sc.seed,
+        },
     );
     for _ in 0..(sc.warmup_s as usize) {
         sim.step(1.0);
@@ -296,7 +320,12 @@ fn greedy_params(sc: &Scenario) -> GreedyParams {
 
 fn partition_objective(sc: &Scenario, lookahead: bool, context: bool) -> f64 {
     let (grid, model) = scenario_grid(sc);
-    let mut params = GridReduceParams::new(sc.num_regions, sc.throttle, sc.fairness, sc.use_speed_factor);
+    let mut params = GridReduceParams::new(
+        sc.num_regions,
+        sc.throttle,
+        sc.fairness,
+        sc.use_speed_factor,
+    );
     params.lookahead = lookahead;
     params.context_gain = context;
     let partitioning = grid_reduce(&grid, &model, &params).unwrap();
@@ -322,7 +351,10 @@ fn ablation_distributed_mimicry(args: &ExpArgs, base: &Scenario) {
             sc
         });
         let o = out[0].1;
-        println!("{delta_max:>6.0} | {:>20.3} | {:>6.4}", o.processed_fraction, o.mean_containment);
+        println!(
+            "{delta_max:>6.0} | {:>20.3} | {:>6.4}",
+            o.processed_fraction, o.mean_containment
+        );
     }
     println!("(growing Δ⊣ lets LIRA suppress nearly all updates outside query regions,");
     println!("mimicking distributed query-aware delivery, at bounded containment cost)");

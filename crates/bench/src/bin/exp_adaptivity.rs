@@ -62,25 +62,15 @@ fn main() {
 
 /// Returns (pre-churn E^C_rr, post-churn E^C_rr) for one run.
 fn run_churn(sc: &Scenario, adaptive: bool) -> (f64, f64) {
-    let bounds = sc.bounds();
-    let config = sc.lira_config();
-    let network = generate_network(&NetworkConfig {
+    // The setup's query workload is exactly `workload(sc.seed, ..)`; the
+    // closure is kept for the mid-run churn draw.
+    let SimSetup {
+        config,
         bounds,
-        spacing: sc.road_spacing,
-        arterial_period: sc.arterial_period,
-        expressway_period: sc.expressway_period,
-        jitter_frac: 0.2,
-        seed: sc.seed,
-    });
-    let demand = TrafficDemand::random_hotspots(&bounds, sc.hotspots, sc.seed);
-    let mut sim = TrafficSimulator::new(
-        network,
-        &demand,
-        TrafficConfig { num_cars: sc.num_cars, seed: sc.seed },
-    );
-    for _ in 0..(sc.warmup_s as usize) {
-        sim.step(sc.dt);
-    }
+        mut sim,
+        mut queries,
+        ..
+    } = SimSetup::build(sc, false);
     let workload = |seed: u64, positions: &[Point]| {
         generate_queries(
             &bounds,
@@ -94,8 +84,6 @@ fn run_churn(sc: &Scenario, adaptive: bool) -> (f64, f64) {
             ),
         )
     };
-    let positions: Vec<Point> = sim.cars().iter().map(|c| c.position()).collect();
-    let mut queries = workload(sc.seed, &positions);
 
     let mut reference = CqServer::new(bounds, sc.num_cars, 64);
     let mut shed = CqServer::new(bounds, sc.num_cars, 64);
@@ -106,7 +94,9 @@ fn run_churn(sc: &Scenario, adaptive: bool) -> (f64, f64) {
     let shedder = LiraShedder::new(config.clone(), 1000).unwrap();
     let mut grid = StatsGrid::new(config.alpha, bounds).unwrap();
 
-    let adapt = |grid: &mut StatsGrid, sim: &TrafficSimulator, queries: &[lira_server::query::RangeQuery]| {
+    let adapt = |grid: &mut StatsGrid,
+                 sim: &TrafficSimulator,
+                 queries: &[lira_server::query::RangeQuery]| {
         grid.begin_snapshot();
         for car in sim.cars() {
             grid.observe_node(&car.position(), car.speed(), 1.0);

@@ -13,12 +13,11 @@
 //! get better as `Δ⇔` relaxes, while the *ad-hoc historical* queries get
 //! worse — exactly why `Δ⇔` is exposed as a knob.
 
-use lira_bench::{print_header, ExpArgs};
+use lira_bench::{print_header, snapshot_grid, ExpArgs};
 use lira_core::prelude::*;
 use lira_mobility::prelude::*;
 use lira_server::prelude::*;
 use lira_sim::prelude::*;
-use lira_workload::prelude::*;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -75,50 +74,21 @@ fn main() {
 /// Runs one LIRA simulation keeping full report histories; returns
 /// (continual E^C_rr, historical snapshot E^C_rr, historical snapshot E^P_rr).
 fn run_with_history(sc: &Scenario) -> (f64, f64, f64) {
-    let bounds = sc.bounds();
-    let config = sc.lira_config();
-    let network = generate_network(&NetworkConfig {
+    let SimSetup {
+        config,
         bounds,
-        spacing: sc.road_spacing,
-        arterial_period: sc.arterial_period,
-        expressway_period: sc.expressway_period,
-        jitter_frac: 0.2,
-        seed: sc.seed,
-    });
-    let demand = TrafficDemand::random_hotspots(&bounds, sc.hotspots, sc.seed);
-    let mut sim = TrafficSimulator::new(
-        network,
-        &demand,
-        TrafficConfig { num_cars: sc.num_cars, seed: sc.seed },
-    );
-    for _ in 0..(sc.warmup_s as usize) {
-        sim.step(sc.dt);
-    }
-    let positions: Vec<Point> = sim.cars().iter().map(|c| c.position()).collect();
-    let queries = generate_queries(
-        &bounds,
-        &positions,
-        &WorkloadConfig::from_ratio(
-            sc.query_distribution,
-            sc.num_cars,
-            sc.query_ratio,
-            sc.query_side,
-            sc.seed,
-        ),
-    );
+        mut sim,
+        queries,
+        ..
+    } = SimSetup::build(sc, false);
 
     // Plan once from the warmed-up statistics.
-    let mut grid = StatsGrid::new(config.alpha, bounds).unwrap();
-    grid.begin_snapshot();
-    for car in sim.cars() {
-        grid.observe_node(&car.position(), car.speed(), 1.0);
-    }
-    for q in &queries {
-        grid.observe_query(&q.range);
-    }
-    grid.commit_snapshot();
+    let grid = snapshot_grid(config.alpha, bounds, &sim, &queries);
     let shedder = LiraShedder::new(config.clone(), 1000).unwrap();
-    let plan = shedder.adapt_with_throttle(&grid, sc.throttle).unwrap().plan;
+    let plan = shedder
+        .adapt_with_throttle(&grid, sc.throttle)
+        .unwrap()
+        .plan;
 
     // Two servers + two histories (reference at Δ⊢, shed per plan).
     let mut ref_server = CqServer::new(bounds, sc.num_cars, 64);
@@ -183,7 +153,10 @@ fn run_with_history(sc: &Scenario) -> (f64, f64, f64) {
         let extra = lira_server::query::sorted_difference_count(&got, &truth);
         containment += (missing + extra) as f64 / truth.len().max(1) as f64;
         for &n in &got {
-            if let (Some(a), Some(b)) = (shed_history.position_at(n, t), ref_history.position_at(n, t)) {
+            if let (Some(a), Some(b)) = (
+                shed_history.position_at(n, t),
+                ref_history.position_at(n, t),
+            ) {
                 pos_err_sum += a.distance(&b);
                 pos_err_cnt += 1;
             }

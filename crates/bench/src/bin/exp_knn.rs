@@ -11,6 +11,7 @@ use lira_bench::{print_header, ExpArgs};
 use lira_core::prelude::*;
 use lira_mobility::prelude::*;
 use lira_server::prelude::*;
+use lira_sim::prelude::{Policy, SimSetup};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -29,7 +30,7 @@ fn main() {
 
     println!("policy        | recall@5 | mean detour (m)");
     println!("--------------+----------+----------------");
-    for policy in ["lira", "uniform", "random-drop"] {
+    for policy in [Policy::Lira, Policy::UniformDelta, Policy::RandomDrop] {
         let mut recall = 0.0;
         let mut detour = 0.0;
         for &seed in &args.seeds {
@@ -40,7 +41,12 @@ fn main() {
             detour += d;
         }
         let k = args.seeds.len() as f64;
-        println!("{policy:<13} | {:>8.3} | {:>15.2}", recall / k, detour / k);
+        println!(
+            "{:<13} | {:>8.3} | {:>15.2}",
+            policy.name(),
+            recall / k,
+            detour / k
+        );
     }
     println!();
     println!("recall@5: fraction of the true 5 nearest vehicles the shed server returns;");
@@ -55,27 +61,14 @@ fn main() {
 }
 
 /// Returns (mean recall@K, mean extra distance per suggestion).
-fn run_knn(sc: &lira_sim::scenario::Scenario, policy: &str) -> (f64, f64) {
-    let bounds = sc.bounds();
-    let config = sc.lira_config();
-    let model = ReductionModel::analytic(sc.delta_min, sc.delta_max, config.kappa());
-    let network = generate_network(&NetworkConfig {
+fn run_knn(sc: &lira_sim::scenario::Scenario, policy: Policy) -> (f64, f64) {
+    let SimSetup {
+        config,
         bounds,
-        spacing: sc.road_spacing,
-        arterial_period: sc.arterial_period,
-        expressway_period: sc.expressway_period,
-        jitter_frac: 0.2,
-        seed: sc.seed,
-    });
-    let demand = TrafficDemand::random_hotspots(&bounds, sc.hotspots, sc.seed);
-    let mut sim = TrafficSimulator::new(
-        network,
-        &demand,
-        TrafficConfig { num_cars: sc.num_cars, seed: sc.seed },
-    );
-    for _ in 0..(sc.warmup_s as usize) {
-        sim.step(sc.dt);
-    }
+        model,
+        mut sim,
+        ..
+    } = SimSetup::build(sc, false);
 
     // k-NN "queries" for the statistics grid: requests come from where
     // people are (proportional to node density), observed as small ranges
@@ -100,15 +93,9 @@ fn run_knn(sc: &lira_sim::scenario::Scenario, policy: &str) -> (f64, f64) {
     }
     grid.commit_snapshot();
 
-    let plan = match policy {
-        "lira" => {
-            let shedder = LiraShedder::new(config.clone(), 1000).unwrap();
-            shedder.adapt_with_throttle(&grid, sc.throttle).unwrap().plan
-        }
-        "uniform" => uniform_plan(bounds, &model, sc.throttle),
-        "random-drop" => SheddingPlan::uniform(bounds, sc.delta_min),
-        other => panic!("unknown policy {other}"),
-    };
+    let mut shedding = policy.build(sc, &config, &model);
+    let plan = shedding.adapt(&grid, sc.throttle).unwrap();
+    let admission = shedding.admission(sc.throttle);
 
     let mut reference = CqServer::new(bounds, sc.num_cars, 64);
     let mut shed = CqServer::new(bounds, sc.num_cars, 64);
@@ -131,8 +118,7 @@ fn run_knn(sc: &lira_sim::scenario::Scenario, policy: &str) -> (f64, f64) {
             }
             let delta = plan.throttler_at(&pos);
             if let Some(rep) = shed_reckoners[i].observe(i as u32, t, pos, vel, delta) {
-                let admitted = policy != "random-drop" || drop_rng.gen_bool(sc.throttle);
-                if admitted {
+                if admission >= 1.0 || drop_rng.gen_bool(admission) {
                     shed.ingest(rep.node, t, rep.model.origin, rep.model.velocity);
                 }
             }

@@ -8,11 +8,10 @@
 //! their nearest station, hand off as they move, and receive the region
 //! subset on each hand-off — and accounts every byte.
 
-use lira_bench::{print_header, ExpArgs};
+use lira_bench::{print_header, snapshot_grid, ExpArgs};
 use lira_core::prelude::*;
-use lira_mobility::prelude::*;
 use lira_server::prelude::*;
-use lira_workload::prelude::*;
+use lira_sim::prelude::SimSetup;
 
 fn main() {
     let args = ExpArgs::parse();
@@ -27,8 +26,7 @@ fn main() {
     println!("     l | regions/station | bcast B/station | Δ-bcast B/station | handoffs/node/h | handoff B/node/h | node mem");
     println!("{}", "-".repeat(112));
     for &l in &[16usize, 64, 250] {
-        let sc = base.clone();
-        let r = measure(&sc, l);
+        let r = measure(&base.clone().with_regions(l));
         println!(
             "{l:>6} | {:>15.1} | {:>15.0} | {:>17.0} | {:>15.2} | {:>16.0} | {:>8.1}",
             r.regions_per_station,
@@ -59,68 +57,25 @@ struct Measured {
     regions_per_node: f64,
 }
 
-fn measure(sc: &lira_sim::scenario::Scenario, l: usize) -> Measured {
-    let bounds = sc.bounds();
-    let mut config = sc.lira_config();
-    config.num_regions = l;
-    config.alpha = LiraConfig::alpha_for(l, 10.0);
-
-    let network = generate_network(&NetworkConfig {
+fn measure(sc: &lira_sim::scenario::Scenario) -> Measured {
+    let SimSetup {
+        config,
         bounds,
-        spacing: sc.road_spacing,
-        arterial_period: sc.arterial_period,
-        expressway_period: sc.expressway_period,
-        jitter_frac: 0.2,
-        seed: sc.seed,
-    });
-    let demand = TrafficDemand::random_hotspots(&bounds, sc.hotspots, sc.seed);
-    let mut sim = TrafficSimulator::new(
-        network,
-        &demand,
-        TrafficConfig { num_cars: sc.num_cars, seed: sc.seed },
-    );
-    for _ in 0..(sc.warmup_s as usize) {
-        sim.step(1.0);
-    }
+        mut sim,
+        queries,
+        ..
+    } = SimSetup::build(sc, false);
 
     // Plan from warmed statistics.
     let positions: Vec<Point> = sim.cars().iter().map(|c| c.position()).collect();
-    let queries = generate_queries(
-        &bounds,
-        &positions,
-        &WorkloadConfig::from_ratio(
-            sc.query_distribution,
-            sc.num_cars,
-            sc.query_ratio,
-            sc.query_side,
-            sc.seed,
-        ),
-    );
-    let mut grid = StatsGrid::new(config.alpha, bounds).unwrap();
-    grid.begin_snapshot();
-    for car in sim.cars() {
-        grid.observe_node(&car.position(), car.speed(), 1.0);
-    }
-    for q in &queries {
-        grid.observe_query(&q.range);
-    }
-    grid.commit_snapshot();
+    let grid = snapshot_grid(config.alpha, bounds, &sim, &queries);
     let shedder = LiraShedder::new(config.clone(), 1000).unwrap();
-    let plan = shedder.adapt_with_throttle(&grid, sc.throttle).unwrap().plan;
+    let plan = shedder
+        .adapt_with_throttle(&grid, sc.throttle)
+        .unwrap()
+        .plan;
 
     // Base stations + per-station precomputed subsets.
-    let build_stats_grid = |sim: &TrafficSimulator| {
-        let mut g = StatsGrid::new(config.alpha, bounds).unwrap();
-        g.begin_snapshot();
-        for car in sim.cars() {
-            g.observe_node(&car.position(), car.speed(), 1.0);
-        }
-        for q in &queries {
-            g.observe_query(&q.range);
-        }
-        g.commit_snapshot();
-        g
-    };
     let stations = density_dependent_placement(&bounds, &positions, 200, bounds.width() / 32.0);
     let subsets: Vec<Vec<PlanRegion>> = stations
         .iter()
@@ -165,8 +120,11 @@ fn measure(sc: &lira_sim::scenario::Scenario, l: usize) -> Measured {
 
     // Re-adapt one minute into the run (traffic has shifted) and measure
     // the incremental broadcast: only regions that changed.
-    let regrid = build_stats_grid(&sim);
-    let new_plan = shedder.adapt_with_throttle(&regrid, sc.throttle).unwrap().plan;
+    let regrid = snapshot_grid(config.alpha, bounds, &sim, &queries);
+    let new_plan = shedder
+        .adapt_with_throttle(&regrid, sc.throttle)
+        .unwrap()
+        .plan;
     let changed = SheddingPlan::new(bounds, new_plan.changed_regions(&plan), config.delta_min);
     let delta_broadcast_bytes_per_station = stations
         .iter()

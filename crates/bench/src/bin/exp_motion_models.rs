@@ -40,12 +40,21 @@ fn main() {
         seed: sc.seed,
     });
     let demand = TrafficDemand::random_hotspots(&sc.bounds(), sc.hotspots, sc.seed);
-    let mut sim = TrafficSimulator::new(network, &demand, TrafficConfig { num_cars: cars, seed: sc.seed });
+    let mut sim = TrafficSimulator::new(
+        network,
+        &demand,
+        TrafficConfig {
+            num_cars: cars,
+            seed: sc.seed,
+        },
+    );
     println!("{cars} nodes × {duration} s, both reckoners running side by side\n");
 
     let deltas = [5.0, 10.0, 25.0, 50.0, 100.0];
-    let mut linear: Vec<Vec<DeadReckoner>> =
-        deltas.iter().map(|_| vec![DeadReckoner::new(); cars]).collect();
+    let mut linear: Vec<Vec<DeadReckoner>> = deltas
+        .iter()
+        .map(|_| vec![DeadReckoner::new(); cars])
+        .collect();
     let mut route: Vec<Vec<RouteReckoner>> = deltas
         .iter()
         .map(|_| (0..cars).map(|_| RouteReckoner::new()).collect())

@@ -16,7 +16,12 @@ use lira_mobility::traffic::TrafficDemand;
 fn main() {
     let args = ExpArgs::parse();
     let sc = args.base_scenario();
-    print_header("fig01", "update reduction factor f(Δ), Δ ∈ [5, 100] m", &args, &sc);
+    print_header(
+        "fig01",
+        "update reduction factor f(Δ), Δ ∈ [5, 100] m",
+        &args,
+        &sc,
+    );
 
     // Record one trace at the scenario's scale (fewer cars suffice: the
     // reduction factor is a per-node ratio).
@@ -30,7 +35,14 @@ fn main() {
         seed: sc.seed,
     });
     let demand = TrafficDemand::random_hotspots(&sc.bounds(), sc.hotspots, sc.seed);
-    let mut sim = TrafficSimulator::new(net, &demand, TrafficConfig { num_cars: cars, seed: sc.seed });
+    let mut sim = TrafficSimulator::new(
+        net,
+        &demand,
+        TrafficConfig {
+            num_cars: cars,
+            seed: sc.seed,
+        },
+    );
     let duration = sc.duration_s.max(240.0);
     let trace = Trace::record(&mut sim, duration, sc.dt);
     println!(

@@ -6,10 +6,9 @@
 //! no accuracy (query-free areas, homogeneous areas) and drill down where
 //! node/query heterogeneity lives.
 
-use lira_bench::{print_header, ExpArgs};
+use lira_bench::{print_header, snapshot_grid, ExpArgs};
 use lira_core::prelude::*;
-use lira_mobility::prelude::*;
-use lira_workload::prelude::*;
+use lira_sim::prelude::SimSetup;
 
 const PANEL: usize = 32;
 
@@ -37,39 +36,22 @@ fn render(label: &str, cells: &[f64]) {
 fn main() {
     let args = ExpArgs::parse();
     let sc = args.base_scenario();
-    print_header("fig03", "illustration of the (α, l)-partitioning", &args, &sc);
+    print_header(
+        "fig03",
+        "illustration of the (α, l)-partitioning",
+        &args,
+        &sc,
+    );
 
     // Traffic + queries exactly as the runner sets them up.
-    let bounds = sc.bounds();
-    let network = generate_network(&NetworkConfig {
+    let SimSetup {
+        config,
         bounds,
-        spacing: sc.road_spacing,
-        arterial_period: sc.arterial_period,
-        expressway_period: sc.expressway_period,
-        jitter_frac: 0.2,
-        seed: sc.seed,
-    });
-    let demand = TrafficDemand::random_hotspots(&bounds, sc.hotspots, sc.seed);
-    let mut sim = TrafficSimulator::new(
-        network,
-        &demand,
-        TrafficConfig { num_cars: sc.num_cars, seed: sc.seed },
-    );
-    for _ in 0..(sc.warmup_s as usize) {
-        sim.step(1.0);
-    }
+        sim,
+        queries,
+        ..
+    } = SimSetup::build(&sc, false);
     let positions: Vec<Point> = sim.cars().iter().map(|c| c.position()).collect();
-    let queries = generate_queries(
-        &bounds,
-        &positions,
-        &WorkloadConfig::from_ratio(
-            sc.query_distribution,
-            sc.num_cars,
-            sc.query_ratio,
-            sc.query_side,
-            sc.seed,
-        ),
-    );
 
     // Panel 1: node density; panel 2: query density.
     let mut node_cells = vec![0.0f64; PANEL * PANEL];
@@ -90,16 +72,7 @@ fn main() {
 
     // Panel 3: the (α, l)-partitioning — region size as resolution, and
     // panel 4: the assigned throttlers.
-    let config = sc.lira_config();
-    let mut grid = StatsGrid::new(config.alpha, bounds).unwrap();
-    grid.begin_snapshot();
-    for car in sim.cars() {
-        grid.observe_node(&car.position(), car.speed(), 1.0);
-    }
-    for q in &queries {
-        grid.observe_query(&q.range);
-    }
-    grid.commit_snapshot();
+    let grid = snapshot_grid(config.alpha, bounds, &sim, &queries);
     let shedder = LiraShedder::new(config.clone(), 1000).unwrap();
     let adaptation = shedder.adapt_with_throttle(&grid, sc.throttle).unwrap();
     let plan = &adaptation.plan;
@@ -122,11 +95,11 @@ fn main() {
             delta_cells[row * PANEL + col] = region.throttler;
         }
     }
+    render("(α, l)-partitioning (darker = finer regions)", &depth_cells);
     render(
-        "(α, l)-partitioning (darker = finer regions)",
-        &depth_cells,
+        "update throttlers (darker = larger Δ, more shedding)",
+        &delta_cells,
     );
-    render("update throttlers (darker = larger Δ, more shedding)", &delta_cells);
 
     // Region-size histogram: the paper's point that region sizes vary by
     // orders of magnitude (the ×/* examples).

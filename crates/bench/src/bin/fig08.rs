@@ -7,7 +7,7 @@
 //! as l grows large enough that the plain grid reaches sufficient
 //! granularity.
 
-use lira_bench::{print_header, run_averaged, ExpArgs};
+use lira_bench::{print_header, run_sweep, ExpArgs};
 use lira_sim::prelude::*;
 use lira_workload::QueryDistribution;
 
@@ -26,22 +26,38 @@ fn main() {
     } else {
         &[16, 40, 100, 169, 256]
     };
+    let points: Vec<(usize, QueryDistribution)> = ls
+        .iter()
+        .flat_map(|&l| QueryDistribution::ALL.map(|dist| (l, dist)))
+        .collect();
+    let rows = run_sweep(
+        &args.seeds,
+        &[Policy::Lira, Policy::LiraGrid],
+        &points,
+        |&(l, dist), seed| {
+            let mut sc = base.clone().with_regions(l);
+            sc.seed = seed;
+            sc.throttle = 0.5;
+            sc.query_distribution = dist;
+            sc
+        },
+    );
     println!("     l | Proportional | Inverse | Random");
     println!("-------+--------------+---------+-------");
-    for &l in ls {
-        let mut row = Vec::new();
-        for dist in QueryDistribution::ALL {
-            let outcomes = run_averaged(&args.seeds, &[Policy::Lira, Policy::LiraGrid], |seed| {
-                let mut sc = base.clone().with_regions(l);
-                sc.seed = seed;
-                sc.throttle = 0.5;
-                sc.query_distribution = dist;
-                sc
-            });
-            let lira = outcomes[0].1.mean_containment;
-            let grid = outcomes[1].1.mean_containment;
-            row.push(if lira > 0.0 { grid / lira } else { f64::NAN });
-        }
+    for (i, &l) in ls.iter().enumerate() {
+        let row: Vec<f64> = rows[i * QueryDistribution::ALL.len()..]
+            .iter()
+            .take(QueryDistribution::ALL.len())
+            .map(|outcomes| {
+                let lira = outcomes[0].1.mean_containment;
+                let grid = outcomes[1].1.mean_containment;
+                if lira > 0.0 {
+                    grid / lira
+                } else {
+                    f64::NAN
+                }
+            })
+            .collect();
         println!(
             "{l:>6} | {:>12.3} | {:>7.3} | {:>6.3}",
             row[0], row[1], row[2]

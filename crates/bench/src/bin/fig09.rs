@@ -5,7 +5,7 @@
 //! once the partitioning is granular enough); the reduction is more
 //! pronounced for larger z, and the default l = 250 is conservative.
 
-use lira_bench::{print_header, run_averaged, ExpArgs};
+use lira_bench::{print_header, run_sweep, ExpArgs};
 use lira_sim::prelude::*;
 
 fn main() {
@@ -19,22 +19,23 @@ fn main() {
         &[4, 16, 40, 100, 169, 256]
     };
     let zs = [0.4, 0.5, 0.6, 0.75];
+    let points: Vec<(usize, f64)> = ls.iter().flat_map(|&l| zs.map(|z| (l, z))).collect();
+    let rows = run_sweep(&args.seeds, &[Policy::Lira], &points, |&(l, z), seed| {
+        let mut sc = base.clone().with_regions(l);
+        sc.seed = seed;
+        sc.throttle = z;
+        sc
+    });
     print!("     l |");
     for z in zs {
         print!(" z = {z:<4} |");
     }
     println!();
     println!("{}", "-".repeat(8 + zs.len() * 11));
-    for &l in ls {
+    for (i, &l) in ls.iter().enumerate() {
         print!("{l:>6} |");
-        for &z in &zs {
-            let outcomes = run_averaged(&args.seeds, &[Policy::Lira], |seed| {
-                let mut sc = base.clone().with_regions(l);
-                sc.seed = seed;
-                sc.throttle = z;
-                sc
-            });
-            print!(" {:>8.4} |", outcomes[0].1.mean_containment);
+        for j in 0..zs.len() {
+            print!(" {:>8.4} |", rows[i * zs.len() + j][0].1.mean_containment);
         }
         println!();
     }

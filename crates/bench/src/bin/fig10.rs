@@ -9,7 +9,7 @@
 //! policy by that normalized measure. Uniform Δ ignores `Δ⇔`, so its row
 //! is constant.
 
-use lira_bench::{print_header, run_averaged, ExpArgs};
+use lira_bench::{print_header, run_sweep, ExpArgs};
 use lira_sim::prelude::*;
 
 fn main() {
@@ -23,21 +23,29 @@ fn main() {
     );
 
     let fairness_values = [5.0, 10.0, 25.0, 50.0, 75.0, 95.0];
-    println!("   Δ⇔ |   LIRA D^C_ev |  LIRA C^C_ov | Uniform D^C_ev | Uniform C^C_ov");
-    println!("-------+---------------+--------------+----------------+---------------");
-    for &fairness in &fairness_values {
-        let outcomes = run_averaged(&args.seeds, &[Policy::Lira, Policy::UniformDelta], |seed| {
+    let rows = run_sweep(
+        &args.seeds,
+        &[Policy::Lira, Policy::UniformDelta],
+        &fairness_values,
+        |&fairness, seed| {
             let mut sc = base.clone();
             sc.seed = seed;
             sc.throttle = 0.75;
             sc.fairness = fairness;
             sc
-        });
+        },
+    );
+    println!("   Δ⇔ |   LIRA D^C_ev |  LIRA C^C_ov | Uniform D^C_ev | Uniform C^C_ov");
+    println!("-------+---------------+--------------+----------------+---------------");
+    for (fairness, outcomes) in fairness_values.iter().zip(&rows) {
         let lira = outcomes[0].1;
         let uni = outcomes[1].1;
         println!(
             "{fairness:>6.0} | {:>13.4} | {:>12.3} | {:>14.4} | {:>14.3}",
-            lira.stddev_containment, lira.cov_containment, uni.stddev_containment, uni.cov_containment
+            lira.stddev_containment,
+            lira.cov_containment,
+            uni.stddev_containment,
+            uni.cov_containment
         );
     }
     println!();

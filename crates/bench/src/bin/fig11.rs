@@ -5,7 +5,7 @@
 //! the error is almost insensitive to `Δ⇔`; for intermediate z the error
 //! falls as `Δ⇔` relaxes (the optimizer gains freedom it actually needs).
 
-use lira_bench::{print_header, run_averaged, ExpArgs};
+use lira_bench::{print_header, run_sweep, ExpArgs};
 use lira_sim::prelude::*;
 
 fn main() {
@@ -15,6 +15,22 @@ fn main() {
 
     let fairness_values = [5.0, 10.0, 25.0, 50.0, 75.0, 95.0];
     let zs = [0.3, 0.5, 0.7, 0.9];
+    let points: Vec<(f64, f64)> = fairness_values
+        .iter()
+        .flat_map(|&fairness| zs.map(|z| (fairness, z)))
+        .collect();
+    let results = run_sweep(
+        &args.seeds,
+        &[Policy::Lira],
+        &points,
+        |&(fairness, z), seed| {
+            let mut sc = base.clone();
+            sc.seed = seed;
+            sc.throttle = z;
+            sc.fairness = fairness;
+            sc
+        },
+    );
     print!("   Δ⇔ |");
     for z in zs {
         print!("  z = {z:<4} |");
@@ -22,18 +38,10 @@ fn main() {
     println!();
     println!("{}", "-".repeat(8 + zs.len() * 12));
     let mut table = Vec::new();
-    for &fairness in &fairness_values {
-        let mut row = Vec::new();
-        for &z in &zs {
-            let outcomes = run_averaged(&args.seeds, &[Policy::Lira], |seed| {
-                let mut sc = base.clone();
-                sc.seed = seed;
-                sc.throttle = z;
-                sc.fairness = fairness;
-                sc
-            });
-            row.push(outcomes[0].1.mean_position);
-        }
+    for (i, &fairness) in fairness_values.iter().enumerate() {
+        let row: Vec<f64> = (0..zs.len())
+            .map(|j| results[i * zs.len() + j][0].1.mean_position)
+            .collect();
         print!("{fairness:>6.0} |");
         for v in &row {
             print!(" {v:>9.3} |");

@@ -7,7 +7,7 @@
 //! regions for LIRA to shed from), yet LIRA still roughly halves the error
 //! even at m/n = 0.1.
 
-use lira_bench::{print_header, run_averaged, ExpArgs};
+use lira_bench::{print_header, run_sweep, ExpArgs};
 use lira_sim::prelude::*;
 
 fn main() {
@@ -26,20 +26,26 @@ fn main() {
         &[16, 64, 169]
     };
     let ratios = [0.01, 0.1];
+    let points: Vec<(usize, f64)> = ls.iter().flat_map(|&l| ratios.map(|mn| (l, mn))).collect();
+    let results = run_sweep(
+        &args.seeds,
+        &[Policy::Lira, Policy::UniformDelta],
+        &points,
+        |&(l, mn), seed| {
+            let mut sc = base.clone().with_regions(l);
+            sc.seed = seed;
+            sc.throttle = 0.5;
+            sc.query_ratio = mn;
+            sc
+        },
+    );
     println!("     l | m/n = 0.01 (rel E^C) | m/n = 0.1 (rel E^C)");
     println!("-------+----------------------+--------------------");
     let mut by_ratio = [Vec::new(), Vec::new()];
-    for &l in ls {
+    for (i, &l) in ls.iter().enumerate() {
         let mut row = Vec::new();
-        for (ri, &mn) in ratios.iter().enumerate() {
-            let outcomes =
-                run_averaged(&args.seeds, &[Policy::Lira, Policy::UniformDelta], |seed| {
-                    let mut sc = base.clone().with_regions(l);
-                    sc.seed = seed;
-                    sc.throttle = 0.5;
-                    sc.query_ratio = mn;
-                    sc
-                });
+        for ri in 0..ratios.len() {
+            let outcomes = &results[i * ratios.len() + ri];
             let lira = outcomes[0].1.mean_containment;
             let uni = outcomes[1].1.mean_containment;
             let rel = if lira > 0.0 { uni / lira } else { f64::NAN };

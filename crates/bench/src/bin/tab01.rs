@@ -23,14 +23,19 @@ fn main() {
         ("low n, low m   (<)", RegionInput::new(low_n, low_m, speed)),
         ("low n, high m  (×)", RegionInput::new(low_n, high_m, speed)),
         ("high n, low m  (✓)", RegionInput::new(high_n, low_m, speed)),
-        ("high n, high m (>)", RegionInput::new(high_n, high_m, speed)),
+        (
+            "high n, high m (>)",
+            RegionInput::new(high_n, high_m, speed),
+        ),
     ];
     let inputs: Vec<RegionInput> = quadrants.iter().map(|(_, r)| *r).collect();
 
     println!("== tab01: region characteristics and preference of load shedding");
     println!("four regions share one budget; larger assigned Δ = more shedding\n");
-    println!("     z | {:<20} | {:<20} | {:<20} | {:<20}",
-        quadrants[0].0, quadrants[1].0, quadrants[2].0, quadrants[3].0);
+    println!(
+        "     z | {:<20} | {:<20} | {:<20} | {:<20}",
+        quadrants[0].0, quadrants[1].0, quadrants[2].0, quadrants[3].0
+    );
     println!("{}", "-".repeat(8 + 4 * 23));
     for z in [0.8, 0.6, 0.4, 0.25] {
         let sol = greedy_increment(&inputs, &model, &GreedyParams::unconstrained(z, true));

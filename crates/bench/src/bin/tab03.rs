@@ -3,11 +3,10 @@
 //! density-dependent placement giving ~41 regions ≈ 656 broadcast bytes
 //! per station, under the 1472-byte UDP payload limit.
 
-use lira_bench::{print_header, ExpArgs};
+use lira_bench::{print_header, snapshot_grid, ExpArgs};
 use lira_core::prelude::*;
-use lira_mobility::prelude::*;
 use lira_server::prelude::*;
-use lira_workload::prelude::*;
+use lira_sim::prelude::SimSetup;
 
 fn main() {
     let mut args = ExpArgs::parse();
@@ -27,49 +26,25 @@ fn main() {
     );
 
     // Build the plan exactly as the server would.
-    let bounds = sc.bounds();
-    let network = generate_network(&NetworkConfig {
+    let SimSetup {
+        config,
         bounds,
-        spacing: sc.road_spacing,
-        arterial_period: sc.arterial_period,
-        expressway_period: sc.expressway_period,
-        jitter_frac: 0.2,
-        seed: sc.seed,
-    });
-    let demand = TrafficDemand::random_hotspots(&bounds, sc.hotspots, sc.seed);
-    let mut sim = TrafficSimulator::new(
-        network,
-        &demand,
-        TrafficConfig { num_cars: sc.num_cars, seed: sc.seed },
-    );
-    for _ in 0..(sc.warmup_s as usize) {
-        sim.step(1.0);
-    }
+        sim,
+        queries,
+        ..
+    } = SimSetup::build(&sc, false);
     let positions: Vec<Point> = sim.cars().iter().map(|c| c.position()).collect();
-    let queries = generate_queries(
-        &bounds,
-        &positions,
-        &WorkloadConfig::from_ratio(
-            sc.query_distribution,
-            sc.num_cars,
-            sc.query_ratio,
-            sc.query_side,
-            sc.seed,
-        ),
-    );
-    let config = sc.lira_config();
-    let mut grid = StatsGrid::new(config.alpha, bounds).unwrap();
-    grid.begin_snapshot();
-    for car in sim.cars() {
-        grid.observe_node(&car.position(), car.speed(), 1.0);
-    }
-    for q in &queries {
-        grid.observe_query(&q.range);
-    }
-    grid.commit_snapshot();
+    let grid = snapshot_grid(config.alpha, bounds, &sim, &queries);
     let shedder = LiraShedder::new(config.clone(), 1000).unwrap();
-    let plan = shedder.adapt_with_throttle(&grid, sc.throttle).unwrap().plan;
-    println!("plan: l = {} regions over {:.0} km²\n", plan.len(), bounds.area() / 1e6);
+    let plan = shedder
+        .adapt_with_throttle(&grid, sc.throttle)
+        .unwrap()
+        .plan;
+    println!(
+        "plan: l = {} regions over {:.0} km²\n",
+        plan.len(),
+        bounds.area() / 1e6
+    );
 
     // Table 3 proper: uniform stations at each radius.
     println!("base station radius (km) |   1.0 |   2.0 |   3.0 |   4.0 |   5.0");
@@ -85,17 +60,22 @@ fn main() {
     let stations = density_dependent_placement(&bounds, &positions, 150, 400.0);
     let mean_regions = mean_regions_per_station(&stations, &plan);
     let mean_bytes = mean_broadcast_bytes(&stations, &plan);
-    println!("\ndensity-dependent placement (≤150 nodes/station): {} stations", stations.len());
+    println!(
+        "\ndensity-dependent placement (≤150 nodes/station): {} stations",
+        stations.len()
+    );
     println!(
         "mean regions per station: {:.1} → broadcast {:.0} bytes per station",
         mean_regions, mean_bytes
     );
-    println!(
-        "paper reference: ~41 regions → 41·(3+1)·4 = 656 bytes; UDP payload limit 1472"
-    );
+    println!("paper reference: ~41 regions → 41·(3+1)·4 = 656 bytes; UDP payload limit 1472");
     println!(
         "single-packet broadcasts: {}",
-        if mean_bytes <= 1472.0 { "yes ✓" } else { "no ✗" }
+        if mean_bytes <= 1472.0 {
+            "yes ✓"
+        } else {
+            "no ✗"
+        }
     );
 
     // Mobile-node-side cost: install on a sample of nodes.

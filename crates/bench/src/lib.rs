@@ -18,6 +18,10 @@
 
 use lira_sim::prelude::*;
 
+pub mod sweep;
+
+pub use sweep::{average_outcomes, run_averaged, run_sweep, AveragedOutcome};
+
 /// Command-line options shared by all experiment binaries.
 #[derive(Debug, Clone)]
 pub struct ExpArgs {
@@ -117,58 +121,6 @@ fn usage(msg: &str) -> ! {
     std::process::exit(2);
 }
 
-/// Metrics plus budget accounting, averaged over seeds.
-#[derive(Debug, Clone, Copy, Default)]
-pub struct AveragedOutcome {
-    pub mean_containment: f64,
-    pub mean_position: f64,
-    pub stddev_containment: f64,
-    pub cov_containment: f64,
-    pub processed_fraction: f64,
-    pub updates_sent: f64,
-    pub adapt_micros: f64,
-}
-
-/// Runs `make_scenario(seed)` for every seed, evaluating `policies`, and
-/// averages each policy's outcome across seeds.
-pub fn run_averaged(
-    seeds: &[u64],
-    policies: &[Policy],
-    mut make_scenario: impl FnMut(u64) -> Scenario,
-) -> Vec<(Policy, AveragedOutcome)> {
-    let mut sums: Vec<AveragedOutcome> = vec![AveragedOutcome::default(); policies.len()];
-    for &seed in seeds {
-        let sc = make_scenario(seed);
-        let report = run_scenario(&sc, policies);
-        for (i, o) in report.outcomes.iter().enumerate() {
-            let s = &mut sums[i];
-            s.mean_containment += o.metrics.mean_containment;
-            s.mean_position += o.metrics.mean_position;
-            s.stddev_containment += o.metrics.stddev_containment;
-            s.cov_containment += o.metrics.cov_containment;
-            s.processed_fraction += o.processed_fraction;
-            s.updates_sent += o.updates_sent as f64;
-            s.adapt_micros +=
-                o.adapt_micros.iter().sum::<u64>() as f64 / o.adapt_micros.len().max(1) as f64;
-        }
-    }
-    let k = seeds.len().max(1) as f64;
-    policies
-        .iter()
-        .zip(sums)
-        .map(|(&p, mut s)| {
-            s.mean_containment /= k;
-            s.mean_position /= k;
-            s.stddev_containment /= k;
-            s.cov_containment /= k;
-            s.processed_fraction /= k;
-            s.updates_sent /= k;
-            s.adapt_micros /= k;
-            (p, s)
-        })
-        .collect()
-}
-
 /// Prints the standard experiment header.
 pub fn print_header(id: &str, title: &str, args: &ExpArgs, sc: &Scenario) {
     println!("== {id}: {title}");
@@ -183,6 +135,27 @@ pub fn print_header(id: &str, title: &str, args: &ExpArgs, sc: &Scenario) {
         sc.alpha,
     );
     println!();
+}
+
+/// Builds a committed [`StatsGrid`] snapshot from the simulator's current
+/// cars and the query workload — the observation step every experiment
+/// binary performs before asking a policy for a shedding plan.
+pub fn snapshot_grid(
+    alpha: usize,
+    bounds: lira_core::geometry::Rect,
+    sim: &lira_mobility::simulator::TrafficSimulator,
+    queries: &[lira_server::query::RangeQuery],
+) -> lira_core::stats_grid::StatsGrid {
+    let mut grid = lira_core::stats_grid::StatsGrid::new(alpha, bounds).unwrap();
+    grid.begin_snapshot();
+    for car in sim.cars() {
+        grid.observe_node(&car.position(), car.speed(), 1.0);
+    }
+    for q in queries {
+        grid.observe_query(&q.range);
+    }
+    grid.commit_snapshot();
+    grid
 }
 
 /// Formats a ratio column: "x.xx", or "-" when the base is zero.
@@ -204,10 +177,11 @@ pub fn z_sweep_experiment(id: &str, title: &str, distribution: lira_workload::Qu
 
     let zs = [0.25, 0.3, 0.4, 0.5, 0.6, 0.75, 0.9];
     println!("metric columns: absolute value (relative to LIRA)");
-    println!(
-        "     z | {:>22} | {:>22} | {:>22} | {:>22}",
-        "LIRA", "Lira-Grid", "Uniform Delta", "Random Drop"
-    );
+    print!("     z |");
+    for p in Policy::ALL {
+        print!(" {:>22} |", p.name());
+    }
+    println!();
     println!("{}", "-".repeat(8 + 4 * 25));
     let fmt = |v: f64, base: f64, position: bool| -> String {
         let abs = if position {
@@ -217,14 +191,14 @@ pub fn z_sweep_experiment(id: &str, title: &str, distribution: lira_workload::Qu
         };
         format!("{abs} ({})", ratio(v, base))
     };
-    for &z in &zs {
-        let outcomes = run_averaged(&args.seeds, &Policy::ALL, |seed| {
-            let mut sc = base.clone();
-            sc.seed = seed;
-            sc.throttle = z;
-            sc.query_distribution = distribution;
-            sc
-        });
+    let rows = run_sweep(&args.seeds, &Policy::ALL, &zs, |&z, seed| {
+        let mut sc = base.clone();
+        sc.seed = seed;
+        sc.throttle = z;
+        sc.query_distribution = distribution;
+        sc
+    });
+    for (z, outcomes) in zs.iter().zip(&rows) {
         let lira_pos = outcomes[0].1.mean_position;
         let lira_con = outcomes[0].1.mean_containment;
         let pos_row: Vec<String> = outcomes
@@ -267,19 +241,6 @@ mod tests {
         assert_eq!(sc.duration_s, 30.0);
         sc.lira_config().validate().unwrap();
         assert_eq!(a.scale_label(), "quick (smoke)");
-    }
-
-    #[test]
-    fn averaging_runs_policies() {
-        let out = run_averaged(&[3, 5], &[Policy::UniformDelta], |seed| {
-            let mut sc = Scenario::small(seed);
-            sc.num_cars = 60;
-            sc.duration_s = 30.0;
-            sc.warmup_s = 10.0;
-            sc
-        });
-        assert_eq!(out.len(), 1);
-        assert!(out[0].1.updates_sent > 0.0);
     }
 
     #[test]

@@ -1,176 +1,80 @@
-//! Baseline load-shedding strategies from Section 4.2: Uniform Δ and
-//! Lira-Grid. (Random Drop is not a planning strategy — it drops excess
-//! updates at the server's input queue and is implemented by the queue in
-//! `lira-server`.)
+//! Deprecated free-function entry points to the Section 4.2 comparators.
+//!
+//! The comparators now live behind the [`crate::policy::SheddingPolicy`]
+//! trait ([`crate::policy::UniformDeltaPolicy`],
+//! [`crate::policy::LiraGridPolicy`], [`crate::policy::RandomDropPolicy`]),
+//! and the `l`-partitioning they build on moved next to its GRIDREDUCE
+//! sibling as [`crate::grid_reduce::l_partitioning`]. The thin wrappers
+//! below remain for source compatibility only.
 
 use crate::config::LiraConfig;
 use crate::error::Result;
 use crate::geometry::Rect;
-use crate::greedy_increment::{greedy_increment, GreedyParams, ThrottlerSolution};
-use crate::grid_reduce::{Partitioning, SheddingRegion};
+use crate::greedy_increment::ThrottlerSolution;
 use crate::plan::SheddingPlan;
+use crate::policy::{LiraGridPolicy, UniformDeltaPolicy};
 use crate::reduction::ReductionModel;
 use crate::stats_grid::StatsGrid;
 
+pub use crate::grid_reduce::l_partitioning;
+
 /// The Uniform Δ baseline: a single system-wide inaccuracy threshold chosen
 /// to retain `z` times the original update volume. Region-unaware.
+#[deprecated(since = "0.1.0", note = "use `policy::UniformDeltaPolicy` instead")]
 pub fn uniform_plan(bounds: Rect, model: &ReductionModel, throttle: f64) -> SheddingPlan {
-    let delta = model.min_delta_for_budget(throttle);
-    SheddingPlan::uniform(bounds, delta)
-}
-
-/// The `l`-partitioning used by Lira-Grid: the space divided into
-/// `⌊√l⌋ × ⌊√l⌋` equal cells (Section 3.2.5), with statistics aggregated
-/// from the statistics grid.
-pub fn l_partitioning(grid: &StatsGrid, num_regions: usize) -> Partitioning {
-    let side = ((num_regions as f64).sqrt().floor() as usize).max(1);
-    let bounds = *grid.bounds();
-    let w = bounds.width() / side as f64;
-    let h = bounds.height() / side as f64;
-    let alpha = grid.alpha();
-
-    let mut regions: Vec<SheddingRegion> = (0..side * side)
-        .map(|i| {
-            let (row, col) = (i / side, i % side);
-            SheddingRegion {
-                area: Rect::from_coords(
-                    bounds.min.x + col as f64 * w,
-                    bounds.min.y + row as f64 * h,
-                    bounds.min.x + (col + 1) as f64 * w,
-                    bounds.min.y + (row + 1) as f64 * h,
-                ),
-                nodes: 0.0,
-                queries: 0.0,
-                speed: 0.0,
-            }
-        })
-        .collect();
-
-    // Aggregate statistics-grid cells into the equal regions by cell-center
-    // assignment (α is typically much larger than √l, making this exact up
-    // to one cell of quantization).
-    let mut speed_sums = vec![0.0f64; regions.len()];
-    for gr in 0..alpha {
-        for gc in 0..alpha {
-            let cell = grid.cell(gr, gc);
-            let center = grid.cell_rect(gr, gc).center();
-            let col = (((center.x - bounds.min.x) / w).floor() as usize).min(side - 1);
-            let row = (((center.y - bounds.min.y) / h).floor() as usize).min(side - 1);
-            let region = &mut regions[row * side + col];
-            region.nodes += cell.nodes;
-            region.queries += cell.queries;
-            speed_sums[row * side + col] += cell.speed_sum;
-        }
-    }
-    for (region, speed_sum) in regions.iter_mut().zip(&speed_sums) {
-        region.speed = if region.nodes > 0.0 {
-            speed_sum / region.nodes
-        } else {
-            0.0
-        };
-    }
-    Partitioning { regions }
+    UniformDeltaPolicy::new(bounds, model.clone()).plan(throttle)
 }
 
 /// The Lira-Grid baseline: equal-size `l`-partitioning + GREEDYINCREMENT.
 /// Region-aware throttling without the intelligent GRIDREDUCE partitioner.
+#[deprecated(since = "0.1.0", note = "use `policy::LiraGridPolicy` instead")]
 pub fn lira_grid_plan(
     grid: &StatsGrid,
     model: &ReductionModel,
     config: &LiraConfig,
 ) -> Result<(SheddingPlan, ThrottlerSolution)> {
-    let partitioning = l_partitioning(grid, config.num_regions);
-    let solution = greedy_increment(
-        &partitioning.inputs(),
-        model,
-        &GreedyParams {
-            throttle: config.throttle,
-            fairness: config.fairness,
-            use_speed: config.use_speed_factor,
-        },
-    );
-    let plan = SheddingPlan::from_solution(
-        *grid.bounds(),
-        &partitioning,
-        &solution,
-        model.delta_min(),
-    )?;
-    Ok((plan, solution))
+    LiraGridPolicy::new(config.clone(), model.clone()).plan_with_solution(grid, config.throttle)
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::geometry::Point;
 
-    fn grid() -> StatsGrid {
-        let mut g = StatsGrid::new(16, Rect::from_coords(0.0, 0.0, 1600.0, 1600.0)).unwrap();
-        g.begin_snapshot();
-        for i in 0..300 {
-            let x = (i % 20) as f64 * 40.0 + 5.0;
-            let y = (i / 20) as f64 * 100.0 + 5.0;
-            g.observe_node(&Point::new(x, y), 12.0, 1.0);
-        }
-        for i in 0..6 {
-            let x = 1000.0 + (i % 3) as f64 * 150.0;
-            let y = 1000.0 + (i / 3) as f64 * 150.0;
-            g.observe_query(&Rect::from_coords(x, y, x + 120.0, y + 120.0));
-        }
-        g.commit_snapshot();
-        g
-    }
-
     #[test]
-    fn uniform_plan_single_region() {
+    fn wrappers_delegate_to_policies() {
+        let bounds = Rect::from_coords(0.0, 0.0, 1600.0, 1600.0);
         let m = ReductionModel::analytic(5.0, 100.0, 95);
-        let p = uniform_plan(Rect::from_coords(0.0, 0.0, 10.0, 10.0), &m, 0.5);
+
+        let p = uniform_plan(bounds, &m, 0.5);
         assert_eq!(p.len(), 1);
-        let d = p.throttler_at(&Point::new(5.0, 5.0));
-        assert!(m.f(d) <= 0.5 + 1e-9);
-        // z = 1 keeps ideal resolution.
-        let p = uniform_plan(Rect::from_coords(0.0, 0.0, 10.0, 10.0), &m, 1.0);
-        assert_eq!(p.throttler_at(&Point::new(5.0, 5.0)), 5.0);
-    }
+        assert!(m.f(p.throttler_at(&Point::new(5.0, 5.0))) <= 0.5 + 1e-9);
 
-    #[test]
-    fn l_partitioning_shape_and_conservation() {
-        let g = grid();
-        for l in [4usize, 16, 250] {
-            let p = l_partitioning(&g, l);
-            let side = (l as f64).sqrt().floor() as usize;
-            assert_eq!(p.regions.len(), side * side);
-            let n: f64 = p.regions.iter().map(|r| r.nodes).sum();
-            let m: f64 = p.regions.iter().map(|r| r.queries).sum();
-            assert!((n - g.total_nodes()).abs() < 1e-9, "l = {l}");
-            assert!((m - g.total_queries()).abs() < 1e-9, "l = {l}");
-            let area: f64 = p.regions.iter().map(|r| r.area.area()).sum();
-            assert!((area - g.bounds().area()).abs() < 1e-6);
+        let mut g = StatsGrid::new(16, bounds).unwrap();
+        g.begin_snapshot();
+        for i in 0..100 {
+            g.observe_node(
+                &Point::new(
+                    (i % 10) as f64 * 150.0 + 10.0,
+                    (i / 10) as f64 * 150.0 + 10.0,
+                ),
+                12.0,
+                1.0,
+            );
         }
-    }
-
-    #[test]
-    fn l_partitioning_regions_are_equal_size() {
-        let p = l_partitioning(&grid(), 250);
-        let a0 = p.regions[0].area.area();
-        for r in &p.regions {
-            assert!((r.area.area() - a0).abs() < 1e-9);
-        }
-    }
-
-    #[test]
-    fn lira_grid_plan_respects_budget() {
-        let g = grid();
-        let m = ReductionModel::analytic(5.0, 100.0, 95);
+        g.observe_query(&Rect::from_coords(600.0, 600.0, 900.0, 900.0));
+        g.commit_snapshot();
         let mut cfg = LiraConfig::default();
-        cfg.bounds = *g.bounds();
+        cfg.bounds = bounds;
         cfg.num_regions = 250;
+        cfg.alpha = 16;
         cfg.throttle = 0.5;
         let (plan, sol) = lira_grid_plan(&g, &m, &cfg).unwrap();
-        assert!(sol.budget_met);
-        assert_eq!(plan.len(), 225); // 15x15 for l = 250
-        // Throttlers in the plan match the solution.
-        for (r, d) in plan.regions().iter().zip(&sol.deltas) {
-            assert_eq!(r.throttler, *d);
-        }
+        let (plan2, sol2) = LiraGridPolicy::new(cfg.clone(), m.clone())
+            .plan_with_solution(&g, cfg.throttle)
+            .unwrap();
+        assert_eq!(sol.deltas, sol2.deltas);
+        assert_eq!(plan.len(), plan2.len());
     }
 }

@@ -69,7 +69,9 @@ impl LiraConfig {
     /// Validates the configuration against the domains stated in the paper.
     pub fn validate(&self) -> Result<()> {
         if !(self.bounds.width() > 0.0 && self.bounds.height() > 0.0) {
-            return Err(LiraError::InvalidConfig("bounds must have positive area".into()));
+            return Err(LiraError::InvalidConfig(
+                "bounds must have positive area".into(),
+            ));
         }
         // The broadcast wire format encodes regions as squares (3 floats +
         // throttler, Section 4.3.2), which requires a square space.
@@ -118,7 +120,9 @@ impl LiraConfig {
             )));
         }
         if self.fairness < 0.0 {
-            return Err(LiraError::InvalidConfig("fairness threshold must be >= 0".into()));
+            return Err(LiraError::InvalidConfig(
+                "fairness threshold must be >= 0".into(),
+            ));
         }
         Ok(())
     }

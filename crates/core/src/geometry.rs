@@ -410,7 +410,10 @@ mod tests {
     fn ordf64_total_order() {
         let mut v = [OrdF64::new(3.0), OrdF64::new(-1.0), OrdF64::new(2.0)];
         v.sort();
-        assert_eq!(v.iter().map(|o| o.0).collect::<Vec<_>>(), vec![-1.0, 2.0, 3.0]);
+        assert_eq!(
+            v.iter().map(|o| o.0).collect::<Vec<_>>(),
+            vec![-1.0, 2.0, 3.0]
+        );
     }
 
     #[test]

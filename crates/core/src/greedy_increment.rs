@@ -34,7 +34,7 @@
 //!   them cannot reduce expenditure, only add inaccuracy.
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, BTreeMap};
+use std::collections::{BTreeMap, BinaryHeap};
 
 use crate::geometry::OrdF64;
 use crate::reduction::ReductionModel;
@@ -54,7 +54,11 @@ pub struct RegionInput {
 impl RegionInput {
     /// Convenience constructor.
     pub fn new(nodes: f64, queries: f64, speed: f64) -> Self {
-        RegionInput { nodes, queries, speed }
+        RegionInput {
+            nodes,
+            queries,
+            speed,
+        }
     }
 }
 
@@ -153,11 +157,7 @@ pub fn greedy_increment(
 
     let mut deltas = vec![d_min; l];
     let solution = |deltas: Vec<f64>, expenditure: f64, steps: usize, final_gain: Option<f64>| {
-        let inaccuracy = deltas
-            .iter()
-            .zip(regions)
-            .map(|(d, r)| r.queries * d)
-            .sum();
+        let inaccuracy = deltas.iter().zip(regions).map(|(d, r)| r.queries * d).sum();
         let budget_met = expenditure <= budget + REL_EPS * expenditure.max(1.0);
         ThrottlerSolution {
             deltas,
@@ -200,7 +200,12 @@ pub fn greedy_increment(
     let mut heap: BinaryHeap<HeapEntry> = BinaryHeap::with_capacity(l);
     for (i, w) in weights.iter().enumerate() {
         if *w > 0.0 {
-            heap.push(gain_entry(i, *w, regions[i].queries, model.max_secant_rate(d_min)));
+            heap.push(gain_entry(
+                i,
+                *w,
+                regions[i].queries,
+                model.max_secant_rate(d_min),
+            ));
         }
     }
     // D: sorted multiset of current throttlers (Algorithm 2 line 2).
@@ -272,7 +277,12 @@ pub fn greedy_increment(
             blocked.push(i);
         } else if target < d_max - 1e-12 * d_max {
             // Re-insert with the refreshed gain (lines 18–19).
-            heap.push(gain_entry(i, weights[i], regions[i].queries, model.max_secant_rate(target)));
+            heap.push(gain_entry(
+                i,
+                weights[i],
+                regions[i].queries,
+                model.max_secant_rate(target),
+            ));
         }
 
         if new_min > floor_min {
@@ -283,7 +293,12 @@ pub fn greedy_increment(
             while j < blocked.len() {
                 let b = blocked[j];
                 if deltas[b] - new_min < fairness - 1e-12 * d_max && deltas[b] < d_max {
-                    heap.push(gain_entry(b, weights[b], regions[b].queries, model.max_secant_rate(deltas[b])));
+                    heap.push(gain_entry(
+                        b,
+                        weights[b],
+                        regions[b].queries,
+                        model.max_secant_rate(deltas[b]),
+                    ));
                     blocked.swap_remove(j);
                 } else {
                     j += 1;
@@ -317,7 +332,12 @@ mod tests {
         }
     }
 
-    fn expenditure_of(regions: &[RegionInput], deltas: &[f64], m: &ReductionModel, speed: bool) -> f64 {
+    fn expenditure_of(
+        regions: &[RegionInput],
+        deltas: &[f64],
+        m: &ReductionModel,
+        speed: bool,
+    ) -> f64 {
         regions
             .iter()
             .zip(deltas)
@@ -401,7 +421,10 @@ mod tests {
         ];
         let s = greedy_increment(&regions, &model(), &params(0.95));
         assert!(s.budget_met);
-        assert!(s.inaccuracy - 10.0 * 5.0 < 1e-9, "only the floor m·Δ⊢ remains");
+        assert!(
+            s.inaccuracy - 10.0 * 5.0 < 1e-9,
+            "only the floor m·Δ⊢ remains"
+        );
     }
 
     #[test]
@@ -500,7 +523,11 @@ mod tests {
         let z = m.f(m.delta_max()) * 0.5;
         let s = greedy_increment(&regions, &m, &GreedyParams::unconstrained(z, true));
         assert!(!s.budget_met);
-        assert!(s.deltas.iter().all(|&d| (d - 100.0).abs() < 1e-9), "{:?}", s.deltas);
+        assert!(
+            s.deltas.iter().all(|&d| (d - 100.0).abs() < 1e-9),
+            "{:?}",
+            s.deltas
+        );
     }
 
     #[test]
@@ -595,11 +622,10 @@ mod tests {
         // the paper's greedy advances an arbitrary (index-order) region;
         // max-secant selection advances the region with the highest w/m —
         // the one whose cliff buys the most reduction per inaccuracy.
-        let m =
-            ReductionModel::from_knots(5.0, 105.0, vec![1.0, 1.0, 1.0, 0.25, 0.05]).unwrap();
+        let m = ReductionModel::from_knots(5.0, 105.0, vec![1.0, 1.0, 1.0, 0.25, 0.05]).unwrap();
         let regions = vec![
-            RegionInput::new(10.0, 5.0, 10.0),   // w/m = 20
-            RegionInput::new(500.0, 1.0, 10.0),  // w/m = 5000: shed me first
+            RegionInput::new(10.0, 5.0, 10.0),  // w/m = 20
+            RegionInput::new(500.0, 1.0, 10.0), // w/m = 5000: shed me first
         ];
         let sol = greedy_increment(&regions, &m, &GreedyParams::unconstrained(0.5, true));
         assert!(sol.budget_met);
@@ -608,7 +634,10 @@ mod tests {
             "high-gain region must cross the flats first: {:?}",
             sol.deltas
         );
-        assert!((sol.deltas[0] - 5.0).abs() < 1e-9, "low-gain region untouched");
+        assert!(
+            (sol.deltas[0] - 5.0).abs() < 1e-9,
+            "low-gain region untouched"
+        );
     }
 
     #[test]

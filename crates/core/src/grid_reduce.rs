@@ -162,7 +162,11 @@ pub fn drill_down(
         let child_side = side * 2;
         for row in 0..side {
             for col in 0..side {
-                let id = NodeId { level, row: row as u32, col: col as u32 };
+                let id = NodeId {
+                    level,
+                    row: row as u32,
+                    col: col as u32,
+                };
                 let own = match price {
                     Some(price) => context_gain(tree, id, model, price, params),
                     None => accuracy_gain(
@@ -178,7 +182,8 @@ pub fn drill_down(
                 if params.lookahead {
                     for (dr, dc) in [(0, 0), (0, 1), (1, 0), (1, 1)] {
                         deep = deep.max(
-                            priority[level as usize + 1][(row * 2 + dr) * child_side + col * 2 + dc],
+                            priority[level as usize + 1]
+                                [(row * 2 + dr) * child_side + col * 2 + dc],
                         );
                     }
                 }
@@ -262,7 +267,11 @@ pub fn accuracy_gain(
     // at Δ⊢ and must not show a phantom gain. (Writing the constraint with
     // the n[t] factor, as the global problem does, makes the zero-load case
     // explicit; the paper's f(Δ) ≤ z·f(Δ⊢) form is the n[t] > 0 case.)
-    let weight = if use_speed { t.nodes * t.speed } else { t.nodes };
+    let weight = if use_speed {
+        t.nodes * t.speed
+    } else {
+        t.nodes
+    };
     let e_single = if weight > 0.0 {
         t.queries * model.min_delta_for_budget(throttle)
     } else {
@@ -379,6 +388,61 @@ pub fn context_gain(
     (single - split).max(0.0)
 }
 
+/// The equal-size `l`-partitioning used by the Lira-Grid comparator: the
+/// space divided into `⌊√l⌋ × ⌊√l⌋` equal cells (Section 3.2.5), with
+/// statistics aggregated from the statistics grid. This is the degenerate
+/// partitioner GRIDREDUCE is compared against — same output type, no
+/// region awareness.
+pub fn l_partitioning(grid: &StatsGrid, num_regions: usize) -> Partitioning {
+    let side = ((num_regions as f64).sqrt().floor() as usize).max(1);
+    let bounds = *grid.bounds();
+    let w = bounds.width() / side as f64;
+    let h = bounds.height() / side as f64;
+    let alpha = grid.alpha();
+
+    let mut regions: Vec<SheddingRegion> = (0..side * side)
+        .map(|i| {
+            let (row, col) = (i / side, i % side);
+            SheddingRegion {
+                area: Rect::from_coords(
+                    bounds.min.x + col as f64 * w,
+                    bounds.min.y + row as f64 * h,
+                    bounds.min.x + (col + 1) as f64 * w,
+                    bounds.min.y + (row + 1) as f64 * h,
+                ),
+                nodes: 0.0,
+                queries: 0.0,
+                speed: 0.0,
+            }
+        })
+        .collect();
+
+    // Aggregate statistics-grid cells into the equal regions by cell-center
+    // assignment (α is typically much larger than √l, making this exact up
+    // to one cell of quantization).
+    let mut speed_sums = vec![0.0f64; regions.len()];
+    for gr in 0..alpha {
+        for gc in 0..alpha {
+            let cell = grid.cell(gr, gc);
+            let center = grid.cell_rect(gr, gc).center();
+            let col = (((center.x - bounds.min.x) / w).floor() as usize).min(side - 1);
+            let row = (((center.y - bounds.min.y) / h).floor() as usize).min(side - 1);
+            let region = &mut regions[row * side + col];
+            region.nodes += cell.nodes;
+            region.queries += cell.queries;
+            speed_sums[row * side + col] += cell.speed_sum;
+        }
+    }
+    for (region, speed_sum) in regions.iter_mut().zip(&speed_sums) {
+        region.speed = if region.nodes > 0.0 {
+            speed_sum / region.nodes
+        } else {
+            0.0
+        };
+    }
+    Partitioning { regions }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -484,10 +548,7 @@ mod tests {
             .collect();
         assert!(!ne_areas.is_empty());
         let ne_min = ne_areas.iter().cloned().fold(f64::MAX, f64::min);
-        let sw_min = sw_only
-            .iter()
-            .cloned()
-            .fold(f64::MAX, f64::min);
+        let sw_min = sw_only.iter().cloned().fold(f64::MAX, f64::min);
         assert!(
             ne_min < sw_min,
             "NE hotspot regions ({ne_min}) should be finer than SW ({sw_min})"
@@ -529,7 +590,10 @@ mod tests {
         g.commit_snapshot();
         let tree = RegionTree::build(&g).unwrap();
         let v = accuracy_gain(&tree, NodeId::ROOT, &model(), 0.5, 50.0, true);
-        assert!(v.abs() < 1e-6, "homogeneous root gain should be ~0, got {v}");
+        assert!(
+            v.abs() < 1e-6,
+            "homogeneous root gain should be ~0, got {v}"
+        );
     }
 
     #[test]
@@ -539,7 +603,11 @@ mod tests {
         let mut g = StatsGrid::new(2, Rect::from_coords(0.0, 0.0, 200.0, 200.0)).unwrap();
         g.begin_snapshot();
         for i in 0..100 {
-            g.observe_node(&Point::new(10.0 + (i % 10) as f64, 10.0 + (i / 10) as f64), 10.0, 1.0);
+            g.observe_node(
+                &Point::new(10.0 + (i % 10) as f64, 10.0 + (i / 10) as f64),
+                10.0,
+                1.0,
+            );
         }
         g.observe_node(&Point::new(150.0, 150.0), 10.0, 1.0);
         for _ in 0..10 {
@@ -558,7 +626,11 @@ mod tests {
         let mut g = StatsGrid::new(2, Rect::from_coords(0.0, 0.0, 200.0, 200.0)).unwrap();
         g.begin_snapshot();
         for i in 0..100 {
-            g.observe_node(&Point::new(10.0 + (i % 10) as f64, 10.0 + (i / 10) as f64), 10.0, 1.0);
+            g.observe_node(
+                &Point::new(10.0 + (i % 10) as f64, 10.0 + (i / 10) as f64),
+                10.0,
+                1.0,
+            );
         }
         for _ in 0..5 {
             g.observe_query(&Rect::from_coords(120.0, 120.0, 180.0, 180.0));
@@ -568,7 +640,10 @@ mod tests {
         let m = model();
         let p = GridReduceParams::new(4, 0.5, 95.0, true);
         let v = context_gain(&tree, NodeId::ROOT, &m, 1.0, &p);
-        assert!(v > 0.0, "isolating queries from load must have positive gain");
+        assert!(
+            v > 0.0,
+            "isolating queries from load must have positive gain"
+        );
     }
 
     #[test]
@@ -594,15 +669,25 @@ mod tests {
     fn context_cost_respects_fairness_cap() {
         // A huge-load query-free... rather: queried region with enormous
         // load would shed to delta_max without the cap; fairness caps it.
-        let stats = crate::quadtree::NodeStats { nodes: 1e6, queries: 1.0, speed: 10.0 };
+        let stats = crate::quadtree::NodeStats {
+            nodes: 1e6,
+            queries: 1.0,
+            speed: 10.0,
+        };
         let m = model();
         let mut p = GridReduceParams::new(4, 0.5, 20.0, true);
         let tiny_price = 1e-12;
         let cost = super::context_cost(stats, &m, tiny_price, &p);
-        assert!((cost - 25.0).abs() < 1e-9, "capped at delta_min + fairness, got {cost}");
+        assert!(
+            (cost - 25.0).abs() < 1e-9,
+            "capped at delta_min + fairness, got {cost}"
+        );
         p.fairness = 1000.0;
         let cost = super::context_cost(stats, &m, tiny_price, &p);
-        assert!((cost - 100.0).abs() < 1e-9, "uncapped goes to delta_max, got {cost}");
+        assert!(
+            (cost - 100.0).abs() < 1e-9,
+            "uncapped goes to delta_max, got {cost}"
+        );
     }
 
     #[test]
@@ -642,6 +727,31 @@ mod tests {
         let cell_area = g.bounds().area() / 256.0;
         for r in &p.regions {
             assert!((r.area.area() - cell_area).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn l_partitioning_shape_and_conservation() {
+        let g = heterogeneous_grid();
+        for l in [4usize, 16, 250] {
+            let p = l_partitioning(&g, l);
+            let side = (l as f64).sqrt().floor() as usize;
+            assert_eq!(p.regions.len(), side * side);
+            let n: f64 = p.regions.iter().map(|r| r.nodes).sum();
+            let m: f64 = p.regions.iter().map(|r| r.queries).sum();
+            assert!((n - g.total_nodes()).abs() < 1e-9, "l = {l}");
+            assert!((m - g.total_queries()).abs() < 1e-9, "l = {l}");
+            let area: f64 = p.regions.iter().map(|r| r.area.area()).sum();
+            assert!((area - g.bounds().area()).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn l_partitioning_regions_are_equal_size() {
+        let p = l_partitioning(&heterogeneous_grid(), 250);
+        let a0 = p.regions[0].area.area();
+        for r in &p.regions {
+            assert!((r.area.area() - a0).abs() < 1e-9);
         }
     }
 }

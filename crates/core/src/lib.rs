@@ -25,7 +25,9 @@
 //! * [`throt_loop::ThrotLoop`] — the throttle-fraction controller;
 //! * [`plan::SheddingPlan`] — the distributable plan with its 16-byte
 //!   per-region wire format;
-//! * [`baselines`] — the Uniform Δ and Lira-Grid comparators;
+//! * [`policy`] — the [`policy::SheddingPolicy`] trait with LIRA and the
+//!   Section 4.2 comparators (Lira-Grid, Uniform Δ, Random Drop) behind
+//!   one adaptation lifecycle;
 //! * [`shedder::LiraShedder`] — the orchestrator running one full
 //!   adaptation step.
 //!
@@ -64,6 +66,7 @@ pub mod geometry;
 pub mod greedy_increment;
 pub mod grid_reduce;
 pub mod plan;
+pub mod policy;
 pub mod quadtree;
 pub mod reduction;
 pub mod shedder;
@@ -72,15 +75,21 @@ pub mod throt_loop;
 
 /// Convenient re-exports of the most used types.
 pub mod prelude {
-    pub use crate::baselines::{l_partitioning, lira_grid_plan, uniform_plan};
+    #[allow(deprecated)]
+    pub use crate::baselines::{lira_grid_plan, uniform_plan};
     pub use crate::config::LiraConfig;
     pub use crate::error::{LiraError, Result};
     pub use crate::geometry::{Circle, Point, Rect};
     pub use crate::greedy_increment::{
         greedy_increment, GreedyParams, RegionInput, ThrottlerSolution,
     };
-    pub use crate::grid_reduce::{grid_reduce, GridReduceParams, Partitioning, SheddingRegion};
+    pub use crate::grid_reduce::{
+        grid_reduce, l_partitioning, GridReduceParams, Partitioning, SheddingRegion,
+    };
     pub use crate::plan::{PlanRegion, SheddingPlan};
+    pub use crate::policy::{
+        LiraGridPolicy, LiraPolicy, RandomDropPolicy, SheddingPolicy, UniformDeltaPolicy,
+    };
     pub use crate::quadtree::{NodeId, RegionTree};
     pub use crate::reduction::ReductionModel;
     pub use crate::shedder::{Adaptation, LiraShedder};

@@ -8,8 +8,8 @@
 
 use crate::error::{LiraError, Result};
 use crate::geometry::{Circle, Point, Rect};
-use crate::grid_reduce::Partitioning;
 use crate::greedy_increment::ThrottlerSolution;
+use crate::grid_reduce::Partitioning;
 
 /// One shedding region with its assigned update throttler.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -81,10 +81,8 @@ impl SheddingPlan {
         for (idx, region) in regions.iter().enumerate() {
             let c0 = (((region.area.min.x - bounds.min.x) / cw).floor().max(0.0)) as usize;
             let r0 = (((region.area.min.y - bounds.min.y) / ch).floor().max(0.0)) as usize;
-            let c1 = ((((region.area.max.x - bounds.min.x) / cw).ceil()) as usize)
-                .min(lookup_side);
-            let r1 = ((((region.area.max.y - bounds.min.y) / ch).ceil()) as usize)
-                .min(lookup_side);
+            let c1 = ((((region.area.max.x - bounds.min.x) / cw).ceil()) as usize).min(lookup_side);
+            let r1 = ((((region.area.max.y - bounds.min.y) / ch).ceil()) as usize).min(lookup_side);
             for row in r0..r1.max(r0 + 1).min(lookup_side) {
                 for col in c0..c1.max(c0 + 1).min(lookup_side) {
                     let cell = Rect::from_coords(
@@ -228,8 +226,7 @@ impl SheddingPlan {
             .iter()
             .filter(|r| {
                 !old.regions.iter().any(|o| {
-                    same_rect(&o.area, &r.area)
-                        && (o.throttler as f32) == (r.throttler as f32)
+                    same_rect(&o.area, &r.area) && (o.throttler as f32) == (r.throttler as f32)
                 })
             })
             .copied()
@@ -409,11 +406,13 @@ mod tests {
         assert_eq!(delta.len(), 1);
         assert_eq!(delta[0].throttler, 99.0);
         // A repartitioning: all four new quadrant-halves differ.
-        let halves: Vec<PlanRegion> = Rect::from_coords(0.0, 0.0, 100.0, 100.0)
-            .quadrants()[0]
+        let halves: Vec<PlanRegion> = Rect::from_coords(0.0, 0.0, 100.0, 100.0).quadrants()[0]
             .quadrants()
             .iter()
-            .map(|r| PlanRegion { area: *r, throttler: 10.0 })
+            .map(|r| PlanRegion {
+                area: *r,
+                throttler: 10.0,
+            })
             .collect();
         let r = SheddingPlan::new(*p.bounds(), halves, 5.0);
         assert_eq!(r.changed_regions(&p).len(), 4);
@@ -431,7 +430,10 @@ mod tests {
         let bounds = Rect::from_coords(0.0, 0.0, 1000.0, 1000.0);
         let regions: Vec<PlanRegion> = (0..41)
             .map(|i| PlanRegion {
-                area: Rect::square(Point::new((i % 7) as f64 * 100.0, (i / 7) as f64 * 100.0), 100.0),
+                area: Rect::square(
+                    Point::new((i % 7) as f64 * 100.0, (i / 7) as f64 * 100.0),
+                    100.0,
+                ),
                 throttler: 10.0,
             })
             .collect();

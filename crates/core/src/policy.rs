@@ -1,0 +1,332 @@
+//! The [`SheddingPolicy`] trait: load-shedding strategies as pluggable
+//! components.
+//!
+//! Every policy of Section 4.2 — LIRA itself and its three comparators —
+//! shares one lifecycle: at each adaptation round the server hands the
+//! policy the committed statistics snapshot and the observed throttle
+//! fraction `z`, and the policy answers with a fresh [`SheddingPlan`] for
+//! distribution to the mobile nodes. Policies differ only in *how* they
+//! partition the space and set throttlers, so the simulation harness, the
+//! sweep driver, and future server frontends can treat them uniformly, one
+//! lane per policy, without matching on an enum inside the hot loop.
+//!
+//! The trait requires `Send` so policy lanes can run on scoped threads.
+//!
+//! | Policy | Partitioning | Throttlers | Server drops? |
+//! |---|---|---|---|
+//! | [`LiraPolicy`] | GRIDREDUCE | GREEDYINCREMENT | no |
+//! | [`LiraGridPolicy`] | equal `⌊√l⌋²` grid | GREEDYINCREMENT | no |
+//! | [`UniformDeltaPolicy`] | none (one region) | `f⁻¹(z)` | no |
+//! | [`RandomDropPolicy`] | none (one region) | `Δ⊢` everywhere | yes, `1−z` |
+
+use crate::config::LiraConfig;
+use crate::error::Result;
+use crate::geometry::Rect;
+use crate::greedy_increment::{greedy_increment, GreedyParams, ThrottlerSolution};
+use crate::grid_reduce::l_partitioning;
+use crate::plan::SheddingPlan;
+use crate::reduction::ReductionModel;
+use crate::shedder::LiraShedder;
+use crate::stats_grid::StatsGrid;
+
+/// A load-shedding policy: turns statistics snapshots into shedding plans.
+pub trait SheddingPolicy: Send {
+    /// Display name used in reports and experiment output (the single
+    /// source of truth; nothing else re-hardcodes these strings).
+    fn name(&self) -> &'static str;
+
+    /// Runs one adaptation step: computes a fresh plan from the committed
+    /// statistics snapshot at the observed throttle fraction `observed_z`.
+    fn adapt(&mut self, stats: &StatsGrid, observed_z: f64) -> Result<SheddingPlan>;
+
+    /// Probability that the *server* admits an arriving update at throttle
+    /// `observed_z`. Source-actuated policies shed at the mobile nodes and
+    /// admit everything; Random Drop pays the wireless cost and drops the
+    /// excess here.
+    fn admission(&self, _observed_z: f64) -> f64 {
+        1.0
+    }
+}
+
+/// Full LIRA: GRIDREDUCE partitioning + GREEDYINCREMENT throttlers.
+#[derive(Debug, Clone)]
+pub struct LiraPolicy {
+    shedder: LiraShedder,
+}
+
+impl LiraPolicy {
+    /// Display name.
+    pub const NAME: &'static str = "LIRA";
+
+    /// Creates the policy from a validated configuration (see
+    /// [`LiraShedder::new`] for `queue_capacity`).
+    pub fn new(config: LiraConfig, queue_capacity: usize) -> Result<Self> {
+        Ok(LiraPolicy {
+            shedder: LiraShedder::new(config, queue_capacity)?,
+        })
+    }
+
+    /// Wraps an existing shedder (keeps its controller state and model).
+    pub fn from_shedder(shedder: LiraShedder) -> Self {
+        LiraPolicy { shedder }
+    }
+
+    /// Replaces the update-reduction model, e.g. with a calibrated one.
+    #[must_use]
+    pub fn with_model(mut self, model: ReductionModel) -> Self {
+        self.shedder = self.shedder.with_model(model);
+        self
+    }
+
+    /// The underlying shedder (partitioning/solution details live there).
+    pub fn shedder(&self) -> &LiraShedder {
+        &self.shedder
+    }
+}
+
+impl SheddingPolicy for LiraPolicy {
+    fn name(&self) -> &'static str {
+        Self::NAME
+    }
+
+    fn adapt(&mut self, stats: &StatsGrid, observed_z: f64) -> Result<SheddingPlan> {
+        Ok(self.shedder.adapt_with_throttle(stats, observed_z)?.plan)
+    }
+}
+
+/// The Lira-Grid comparator: equal-size `l`-partitioning (no GRIDREDUCE)
+/// with GREEDYINCREMENT throttlers — region-aware throttling without the
+/// intelligent partitioner.
+#[derive(Debug, Clone)]
+pub struct LiraGridPolicy {
+    config: LiraConfig,
+    model: ReductionModel,
+}
+
+impl LiraGridPolicy {
+    /// Display name.
+    pub const NAME: &'static str = "Lira-Grid";
+
+    /// Creates the policy for a configuration and reduction model.
+    pub fn new(config: LiraConfig, model: ReductionModel) -> Self {
+        LiraGridPolicy { config, model }
+    }
+
+    /// The full adaptation product, including the optimizer's solution.
+    pub fn plan_with_solution(
+        &self,
+        stats: &StatsGrid,
+        observed_z: f64,
+    ) -> Result<(SheddingPlan, ThrottlerSolution)> {
+        let partitioning = l_partitioning(stats, self.config.num_regions);
+        let solution = greedy_increment(
+            &partitioning.inputs(),
+            &self.model,
+            &GreedyParams {
+                throttle: observed_z,
+                fairness: self.config.fairness,
+                use_speed: self.config.use_speed_factor,
+            },
+        );
+        let plan = SheddingPlan::from_solution(
+            *stats.bounds(),
+            &partitioning,
+            &solution,
+            self.model.delta_min(),
+        )?;
+        Ok((plan, solution))
+    }
+}
+
+impl SheddingPolicy for LiraGridPolicy {
+    fn name(&self) -> &'static str {
+        Self::NAME
+    }
+
+    fn adapt(&mut self, stats: &StatsGrid, observed_z: f64) -> Result<SheddingPlan> {
+        Ok(self.plan_with_solution(stats, observed_z)?.0)
+    }
+}
+
+/// The Uniform Δ comparator: one system-wide inaccuracy threshold chosen
+/// to retain a `z`-fraction of the update volume. Region-unaware.
+#[derive(Debug, Clone)]
+pub struct UniformDeltaPolicy {
+    bounds: Rect,
+    model: ReductionModel,
+}
+
+impl UniformDeltaPolicy {
+    /// Display name.
+    pub const NAME: &'static str = "Uniform Delta";
+
+    /// Creates the policy over the monitored space.
+    pub fn new(bounds: Rect, model: ReductionModel) -> Self {
+        UniformDeltaPolicy { bounds, model }
+    }
+
+    /// The single-region plan at throttle `z` (needs no statistics).
+    pub fn plan(&self, observed_z: f64) -> SheddingPlan {
+        SheddingPlan::uniform(self.bounds, self.model.min_delta_for_budget(observed_z))
+    }
+}
+
+impl SheddingPolicy for UniformDeltaPolicy {
+    fn name(&self) -> &'static str {
+        Self::NAME
+    }
+
+    fn adapt(&mut self, _stats: &StatsGrid, observed_z: f64) -> Result<SheddingPlan> {
+        Ok(self.plan(observed_z))
+    }
+}
+
+/// The Random Drop comparator: no source-side shedding at all — nodes run
+/// at the ideal resolution `Δ⊢` and the overloaded server randomly drops
+/// the excess `1−z` at its input queue (wireless cost fully paid).
+#[derive(Debug, Clone)]
+pub struct RandomDropPolicy {
+    bounds: Rect,
+    delta_min: f64,
+}
+
+impl RandomDropPolicy {
+    /// Display name.
+    pub const NAME: &'static str = "Random Drop";
+
+    /// Creates the policy over the monitored space with ideal threshold
+    /// `delta_min`.
+    pub fn new(bounds: Rect, delta_min: f64) -> Self {
+        RandomDropPolicy { bounds, delta_min }
+    }
+}
+
+impl SheddingPolicy for RandomDropPolicy {
+    fn name(&self) -> &'static str {
+        Self::NAME
+    }
+
+    fn adapt(&mut self, _stats: &StatsGrid, _observed_z: f64) -> Result<SheddingPlan> {
+        Ok(SheddingPlan::uniform(self.bounds, self.delta_min))
+    }
+
+    fn admission(&self, observed_z: f64) -> f64 {
+        observed_z.clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::Point;
+
+    fn grid() -> StatsGrid {
+        let mut g = StatsGrid::new(16, Rect::from_coords(0.0, 0.0, 1600.0, 1600.0)).unwrap();
+        g.begin_snapshot();
+        for i in 0..300 {
+            let x = (i % 20) as f64 * 40.0 + 5.0;
+            let y = (i / 20) as f64 * 100.0 + 5.0;
+            g.observe_node(&Point::new(x, y), 12.0, 1.0);
+        }
+        for i in 0..6 {
+            let x = 1000.0 + (i % 3) as f64 * 150.0;
+            let y = 1000.0 + (i / 3) as f64 * 150.0;
+            g.observe_query(&Rect::from_coords(x, y, x + 120.0, y + 120.0));
+        }
+        g.commit_snapshot();
+        g
+    }
+
+    fn config_for(g: &StatsGrid) -> LiraConfig {
+        let mut cfg = LiraConfig::default();
+        cfg.bounds = *g.bounds();
+        cfg.num_regions = 250;
+        cfg.alpha = 16;
+        cfg.throttle = 0.5;
+        cfg
+    }
+
+    #[test]
+    fn names_are_distinct() {
+        let g = grid();
+        let cfg = config_for(&g);
+        let model = ReductionModel::analytic(5.0, 100.0, 95);
+        let policies: Vec<Box<dyn SheddingPolicy>> = vec![
+            Box::new(LiraPolicy::new(cfg.clone(), 100).unwrap()),
+            Box::new(LiraGridPolicy::new(cfg.clone(), model.clone())),
+            Box::new(UniformDeltaPolicy::new(cfg.bounds, model)),
+            Box::new(RandomDropPolicy::new(cfg.bounds, cfg.delta_min)),
+        ];
+        let names: Vec<&str> = policies.iter().map(|p| p.name()).collect();
+        assert_eq!(names, ["LIRA", "Lira-Grid", "Uniform Delta", "Random Drop"]);
+    }
+
+    #[test]
+    fn uniform_delta_matches_model_inverse() {
+        let m = ReductionModel::analytic(5.0, 100.0, 95);
+        let mut p = UniformDeltaPolicy::new(Rect::from_coords(0.0, 0.0, 10.0, 10.0), m.clone());
+        let plan = p.adapt(&grid(), 0.5).unwrap();
+        assert_eq!(plan.len(), 1);
+        let d = plan.throttler_at(&Point::new(5.0, 5.0));
+        assert!(m.f(d) <= 0.5 + 1e-9);
+        // z = 1 keeps ideal resolution.
+        let plan = p.adapt(&grid(), 1.0).unwrap();
+        assert_eq!(plan.throttler_at(&Point::new(5.0, 5.0)), 5.0);
+    }
+
+    #[test]
+    fn lira_grid_respects_budget_and_solution() {
+        let g = grid();
+        let cfg = config_for(&g);
+        let m = ReductionModel::analytic(5.0, 100.0, 95);
+        let policy = LiraGridPolicy::new(cfg, m);
+        let (plan, sol) = policy.plan_with_solution(&g, 0.5).unwrap();
+        assert!(sol.budget_met);
+        assert_eq!(plan.len(), 225); // 15x15 for l = 250
+        for (r, d) in plan.regions().iter().zip(&sol.deltas) {
+            assert_eq!(r.throttler, *d);
+        }
+    }
+
+    #[test]
+    fn only_random_drop_sheds_at_the_server() {
+        let g = grid();
+        let cfg = config_for(&g);
+        let model = ReductionModel::analytic(5.0, 100.0, 95);
+        let mut policies: Vec<Box<dyn SheddingPolicy>> = vec![
+            Box::new(LiraPolicy::new(cfg.clone(), 100).unwrap()),
+            Box::new(LiraGridPolicy::new(cfg.clone(), model.clone())),
+            Box::new(UniformDeltaPolicy::new(cfg.bounds, model)),
+            Box::new(RandomDropPolicy::new(cfg.bounds, cfg.delta_min)),
+        ];
+        for p in policies.iter_mut() {
+            let expect = if p.name() == RandomDropPolicy::NAME {
+                0.4
+            } else {
+                1.0
+            };
+            assert_eq!(p.admission(0.4), expect, "{}", p.name());
+            // Every policy produces a valid plan through the same lifecycle.
+            let plan = p.adapt(&g, 0.4).unwrap();
+            assert!(plan.len() >= 1, "{}", p.name());
+        }
+    }
+
+    #[test]
+    fn random_drop_plans_ideal_resolution() {
+        let mut p = RandomDropPolicy::new(Rect::from_coords(0.0, 0.0, 10.0, 10.0), 5.0);
+        let plan = p.adapt(&grid(), 0.3).unwrap();
+        assert_eq!(plan.throttler_at(&Point::new(1.0, 1.0)), 5.0);
+        assert_eq!(p.admission(1.7), 1.0, "admission clamps to a probability");
+    }
+
+    #[test]
+    fn policies_are_object_safe_and_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<Box<dyn SheddingPolicy>>();
+        assert_send::<LiraPolicy>();
+        assert_send::<LiraGridPolicy>();
+        assert_send::<UniformDeltaPolicy>();
+        assert_send::<RandomDropPolicy>();
+    }
+}

@@ -21,7 +21,11 @@ pub struct NodeId {
 
 impl NodeId {
     /// The root node (the whole space).
-    pub const ROOT: NodeId = NodeId { level: 0, row: 0, col: 0 };
+    pub const ROOT: NodeId = NodeId {
+        level: 0,
+        row: 0,
+        col: 0,
+    };
 
     /// The four children of this node, ordered `[SW, SE, NW, NE]`.
     #[inline]
@@ -29,10 +33,26 @@ impl NodeId {
         let l = self.level + 1;
         let (r, c) = (self.row * 2, self.col * 2);
         [
-            NodeId { level: l, row: r, col: c },
-            NodeId { level: l, row: r, col: c + 1 },
-            NodeId { level: l, row: r + 1, col: c },
-            NodeId { level: l, row: r + 1, col: c + 1 },
+            NodeId {
+                level: l,
+                row: r,
+                col: c,
+            },
+            NodeId {
+                level: l,
+                row: r,
+                col: c + 1,
+            },
+            NodeId {
+                level: l,
+                row: r + 1,
+                col: c,
+            },
+            NodeId {
+                level: l,
+                row: r + 1,
+                col: c + 1,
+            },
         ]
     }
 }
@@ -102,7 +122,11 @@ impl RegionTree {
                         speed_sum += ch.speed * ch.nodes;
                     }
                     let speed = if nodes > 0.0 { speed_sum / nodes } else { 0.0 };
-                    stats[level][row * side + col] = NodeStats { nodes, queries, speed };
+                    stats[level][row * side + col] = NodeStats {
+                        nodes,
+                        queries,
+                        speed,
+                    };
                 }
             }
         }
@@ -196,7 +220,11 @@ mod tests {
         let t = RegionTree::build(&g).unwrap();
         assert_eq!(t.levels(), 4); // log2(8) + 1
         assert_eq!(t.node_count(), 64 + 16 + 4 + 1); // alpha^2 + (alpha^2-1)/3
-        assert!(t.is_leaf(NodeId { level: 3, row: 0, col: 0 }));
+        assert!(t.is_leaf(NodeId {
+            level: 3,
+            row: 0,
+            col: 0
+        }));
         assert!(!t.is_leaf(NodeId::ROOT));
     }
 

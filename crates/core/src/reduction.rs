@@ -420,9 +420,7 @@ mod tests {
     #[test]
     fn calibration_rejects_degenerate_input() {
         assert!(ReductionModel::from_samples(5.0, 100.0, 95, &[(5.0, 100.0)]).is_err());
-        assert!(
-            ReductionModel::from_samples(5.0, 100.0, 95, &[(5.0, 0.0), (100.0, 0.0)]).is_err()
-        );
+        assert!(ReductionModel::from_samples(5.0, 100.0, 95, &[(5.0, 0.0), (100.0, 0.0)]).is_err());
     }
 
     #[test]

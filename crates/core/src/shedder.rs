@@ -194,7 +194,11 @@ mod tests {
         let cfg = small_config();
         let grid = stats_grid(cfg.alpha, cfg.bounds);
         let mut shedder = LiraShedder::new(cfg, 100).unwrap();
-        assert_eq!(shedder.throttle(), 0.5, "configured z before any observation");
+        assert_eq!(
+            shedder.throttle(),
+            0.5,
+            "configured z before any observation"
+        );
         let a = shedder
             .adapt(
                 &grid,
@@ -223,8 +227,9 @@ mod tests {
     fn calibrated_model_can_be_swapped_in() {
         let cfg = small_config();
         let grid = stats_grid(cfg.alpha, cfg.bounds);
-        let samples: Vec<(f64, f64)> =
-            (0..10).map(|i| (5.0 + 10.0 * i as f64, 1000.0 / (1.0 + i as f64))).collect();
+        let samples: Vec<(f64, f64)> = (0..10)
+            .map(|i| (5.0 + 10.0 * i as f64, 1000.0 / (1.0 + i as f64)))
+            .collect();
         let model =
             ReductionModel::from_samples(cfg.delta_min, cfg.delta_max, cfg.kappa(), &samples)
                 .unwrap();

@@ -63,7 +63,9 @@ impl StatsGrid {
             )));
         }
         if bounds.area() <= 0.0 {
-            return Err(LiraError::InvalidConfig("bounds must have positive area".into()));
+            return Err(LiraError::InvalidConfig(
+                "bounds must have positive area".into(),
+            ));
         }
         Ok(StatsGrid {
             alpha,
@@ -79,7 +81,9 @@ impl StatsGrid {
     /// committing snapshots: `cell = (1−γ)·cell + γ·snapshot`.
     pub fn with_smoothing(mut self, gamma: f64) -> Result<Self> {
         if !(gamma > 0.0 && gamma <= 1.0) {
-            return Err(LiraError::InvalidConfig("smoothing must be in (0, 1]".into()));
+            return Err(LiraError::InvalidConfig(
+                "smoothing must be in (0, 1]".into(),
+            ));
         }
         self.smoothing = gamma;
         Ok(self)
@@ -369,7 +373,11 @@ mod tests {
     fn load_cells_offline_mode() {
         let mut g = grid4();
         let mut cells = vec![CellStats::default(); 16];
-        cells[5] = CellStats { nodes: 7.0, queries: 2.0, speed_sum: 70.0 };
+        cells[5] = CellStats {
+            nodes: 7.0,
+            queries: 2.0,
+            speed_sum: 70.0,
+        };
         g.load_cells(&cells).unwrap();
         assert_eq!(g.cell(1, 1).nodes, 7.0);
         assert_eq!(g.cell(1, 1).mean_speed(), 10.0);

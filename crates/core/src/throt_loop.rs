@@ -151,7 +151,7 @@ mod tests {
     fn underload_recovers_z() {
         let mut t = ThrotLoop::new(100).unwrap();
         t.observe(obs(4.0 * 0.99, 1.0)); // -> 0.25
-        // Load drops to half the sustainable rate: z doubles.
+                                         // Load drops to half the sustainable rate: z doubles.
         let z = t.observe(obs(0.5 * 0.99, 1.0));
         assert!((z - 0.5).abs() < 1e-9, "got {z}");
         // And is capped at 1.

@@ -120,8 +120,7 @@ impl Car {
 
     fn current_edge_speed_limit(&self, network: &RoadNetwork) -> f64 {
         let (a, b) = (self.path[self.leg], self.path[self.leg + 1]);
-        let (edge, _) = crate::router::find_edge(network, a, b)
-            .expect("route nodes are adjacent");
+        let (edge, _) = crate::router::find_edge(network, a, b).expect("route nodes are adjacent");
         network.edge(edge).class.speed_limit()
     }
 
@@ -150,8 +149,8 @@ impl Car {
                 continue;
             }
             let (a, b) = (self.path[self.leg], self.path[self.leg + 1]);
-            let (edge, _) = crate::router::find_edge(network, a, b)
-                .expect("route nodes are adjacent");
+            let (edge, _) =
+                crate::router::find_edge(network, a, b).expect("route nodes are adjacent");
             let length = network.edge(edge).length;
             let room = length - self.offset;
             let advance = self.current_speed * remaining;
@@ -185,8 +184,9 @@ impl Car {
         let len = a.distance(&b).max(1e-9);
         // Offset is measured in road meters; project onto the straight
         // segment geometry.
-        let (edge, _) = crate::router::find_edge(network, self.path[self.leg], self.path[self.leg + 1])
-            .expect("route nodes are adjacent");
+        let (edge, _) =
+            crate::router::find_edge(network, self.path[self.leg], self.path[self.leg + 1])
+                .expect("route nodes are adjacent");
         let t = (self.offset / network.edge(edge).length).clamp(0.0, 1.0);
         self.position = Point::new(a.x + (b.x - a.x) * t, a.y + (b.y - a.y) * t);
         if self.wait_s > 0.0 {

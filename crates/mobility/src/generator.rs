@@ -64,7 +64,10 @@ impl NetworkConfig {
 pub fn generate_network(cfg: &NetworkConfig) -> RoadNetwork {
     assert!(cfg.spacing > 0.0, "spacing must be positive");
     assert!(cfg.arterial_period >= 1 && cfg.expressway_period >= 1);
-    assert!((0.0..0.5).contains(&cfg.jitter_frac), "jitter must be in [0, 0.5)");
+    assert!(
+        (0.0..0.5).contains(&cfg.jitter_frac),
+        "jitter must be in [0, 0.5)"
+    );
     let mut rng = SmallRng::seed_from_u64(cfg.seed);
 
     let cols = ((cfg.bounds.width() / cfg.spacing).floor() as usize).max(1) + 1;

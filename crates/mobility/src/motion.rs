@@ -134,7 +134,10 @@ mod tests {
         // Moving exactly as predicted: never report.
         for t in 1..=60 {
             let p = Point::new(10.0 * t as f64, 0.0);
-            assert!(r.observe(0, t as f64, p, (10.0, 0.0), 5.0).is_none(), "t = {t}");
+            assert!(
+                r.observe(0, t as f64, p, (10.0, 0.0), 5.0).is_none(),
+                "t = {t}"
+            );
         }
         assert_eq!(r.reports(), 1);
     }
@@ -175,7 +178,10 @@ mod tests {
             counts.push(r.reports());
         }
         for w in counts.windows(2) {
-            assert!(w[1] <= w[0], "update counts must be non-increasing in delta: {counts:?}");
+            assert!(
+                w[1] <= w[0],
+                "update counts must be non-increasing in delta: {counts:?}"
+            );
         }
         assert!(counts[0] > counts[counts.len() - 1], "{counts:?}");
     }
@@ -184,9 +190,13 @@ mod tests {
     fn reset_forces_next_report() {
         let mut r = DeadReckoner::new();
         r.observe(0, 0.0, Point::new(0.0, 0.0), (1.0, 0.0), 50.0);
-        assert!(r.observe(0, 1.0, Point::new(1.0, 0.0), (1.0, 0.0), 50.0).is_none());
+        assert!(r
+            .observe(0, 1.0, Point::new(1.0, 0.0), (1.0, 0.0), 50.0)
+            .is_none());
         r.reset();
         assert!(r.last_model().is_none());
-        assert!(r.observe(0, 2.0, Point::new(2.0, 0.0), (1.0, 0.0), 50.0).is_some());
+        assert!(r
+            .observe(0, 2.0, Point::new(2.0, 0.0), (1.0, 0.0), 50.0)
+            .is_some());
     }
 }

@@ -193,9 +193,24 @@ mod tests {
             Point::new(0.0, 10.0),
         ];
         let edges = vec![
-            Edge { from: 0, to: 1, length: 10.0, class: RoadClass::Arterial },
-            Edge { from: 1, to: 2, length: 14.14, class: RoadClass::Collector },
-            Edge { from: 2, to: 0, length: 10.0, class: RoadClass::Expressway },
+            Edge {
+                from: 0,
+                to: 1,
+                length: 10.0,
+                class: RoadClass::Arterial,
+            },
+            Edge {
+                from: 1,
+                to: 2,
+                length: 14.14,
+                class: RoadClass::Collector,
+            },
+            Edge {
+                from: 2,
+                to: 0,
+                length: 10.0,
+                class: RoadClass::Expressway,
+            },
         ];
         RoadNetwork::new(bounds, nodes, edges)
     }
@@ -209,7 +224,12 @@ mod tests {
 
     #[test]
     fn travel_time() {
-        let e = Edge { from: 0, to: 1, length: 300.0, class: RoadClass::Expressway };
+        let e = Edge {
+            from: 0,
+            to: 1,
+            length: 300.0,
+            class: RoadClass::Expressway,
+        };
         assert_eq!(e.travel_time(), 10.0);
     }
 
@@ -222,7 +242,10 @@ mod tests {
             assert_eq!(n.neighbors(node).len(), 2);
             for &(e, nb) in n.neighbors(node) {
                 // The reverse direction exists with the same edge id.
-                assert!(n.neighbors(nb).iter().any(|&(e2, nb2)| e2 == e && nb2 == node));
+                assert!(n
+                    .neighbors(nb)
+                    .iter()
+                    .any(|&(e2, nb2)| e2 == e && nb2 == node));
             }
         }
     }
@@ -258,7 +281,12 @@ mod tests {
         RoadNetwork::new(
             Rect::from_coords(0.0, 0.0, 1.0, 1.0),
             vec![Point::new(0.0, 0.0)],
-            vec![Edge { from: 0, to: 5, length: 1.0, class: RoadClass::Collector }],
+            vec![Edge {
+                from: 0,
+                to: 5,
+                length: 1.0,
+                class: RoadClass::Collector,
+            }],
         );
     }
 }

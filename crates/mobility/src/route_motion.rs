@@ -33,7 +33,10 @@ impl RouteModel {
     /// Panics if `waypoints` is empty or `speed` is negative/non-finite.
     pub fn new(time: f64, waypoints: Vec<Point>, speed: f64) -> Self {
         assert!(!waypoints.is_empty(), "route needs at least one waypoint");
-        assert!(speed.is_finite() && speed >= 0.0, "speed must be finite and >= 0");
+        assert!(
+            speed.is_finite() && speed >= 0.0,
+            "speed must be finite and >= 0"
+        );
         let mut cumulative = Vec::with_capacity(waypoints.len());
         let mut total = 0.0;
         cumulative.push(0.0);
@@ -183,7 +186,9 @@ mod tests {
                 Point::new(100.0, 100.0),
             ]
         };
-        assert!(r.observe(0, 0.0, Point::new(0.0, 0.0), route, 10.0, 20.0).is_some());
+        assert!(r
+            .observe(0, 0.0, Point::new(0.0, 0.0), route, 10.0, 20.0)
+            .is_some());
         // Following the route exactly — including around the corner — never
         // triggers a report (the linear model would report at the turn).
         for t in 1..=19 {
@@ -194,14 +199,28 @@ mod tests {
                 Point::new(100.0, d - 100.0)
             };
             assert!(
-                r.observe(0, t as f64, pos, || unreachable!("no report expected"), 10.0, 20.0)
-                    .is_none(),
+                r.observe(
+                    0,
+                    t as f64,
+                    pos,
+                    || unreachable!("no report expected"),
+                    10.0,
+                    20.0
+                )
+                .is_none(),
                 "t = {t}"
             );
         }
         assert_eq!(r.reports(), 1);
         // A detour beyond delta triggers a fresh report.
-        let rep = r.observe(0, 20.0, Point::new(50.0, 50.0), || vec![Point::new(50.0, 50.0)], 0.0, 20.0);
+        let rep = r.observe(
+            0,
+            20.0,
+            Point::new(50.0, 50.0),
+            || vec![Point::new(50.0, 50.0)],
+            0.0,
+            20.0,
+        );
         assert!(rep.is_some());
         assert_eq!(r.reports(), 2);
     }

@@ -12,7 +12,10 @@ use crate::road::RoadNetwork;
 /// `to` is unreachable. `from == to` yields a single-node route.
 pub fn shortest_path(network: &RoadNetwork, from: u32, to: u32) -> Option<Vec<u32>> {
     let n = network.num_nodes();
-    assert!((from as usize) < n && (to as usize) < n, "node out of range");
+    assert!(
+        (from as usize) < n && (to as usize) < n,
+        "node out of range"
+    );
     if from == to {
         return Some(vec![from]);
     }
@@ -56,7 +59,8 @@ pub fn shortest_path(network: &RoadNetwork, from: u32, to: u32) -> Option<Vec<u3
 pub fn route_travel_time(network: &RoadNetwork, path: &[u32]) -> f64 {
     path.windows(2)
         .map(|w| {
-            let (edge, _) = find_edge(network, w[0], w[1]).expect("consecutive route nodes adjacent");
+            let (edge, _) =
+                find_edge(network, w[0], w[1]).expect("consecutive route nodes adjacent");
             network.edge(edge).travel_time()
         })
         .sum()
@@ -89,13 +93,33 @@ mod tests {
         ];
         let edges = vec![
             // Direct: 0 -> 3 over a collector, 141 m at 8 m/s = 17.7 s.
-            Edge { from: 0, to: 3, length: 141.0, class: RoadClass::Collector },
+            Edge {
+                from: 0,
+                to: 3,
+                length: 141.0,
+                class: RoadClass::Collector,
+            },
             // Detour: 0 -> 1 -> 3 over expressways, 141 m at 30 m/s = 4.7 s.
-            Edge { from: 0, to: 1, length: 70.7, class: RoadClass::Expressway },
-            Edge { from: 1, to: 3, length: 70.7, class: RoadClass::Expressway },
+            Edge {
+                from: 0,
+                to: 1,
+                length: 70.7,
+                class: RoadClass::Expressway,
+            },
+            Edge {
+                from: 1,
+                to: 3,
+                length: 70.7,
+                class: RoadClass::Expressway,
+            },
             // Unreachable component would need node 2 disconnected; keep it
             // connected through a spur for the main tests.
-            Edge { from: 1, to: 2, length: 70.7, class: RoadClass::Collector },
+            Edge {
+                from: 1,
+                to: 2,
+                length: 70.7,
+                class: RoadClass::Collector,
+            },
         ];
         RoadNetwork::new(bounds, nodes, edges)
     }

@@ -143,7 +143,14 @@ mod tests {
     fn small_sim(cars: usize, seed: u64) -> TrafficSimulator {
         let net = generate_network(&NetworkConfig::small(seed));
         let demand = TrafficDemand::random_hotspots(net.bounds(), 3, seed);
-        TrafficSimulator::new(net, &demand, TrafficConfig { num_cars: cars, seed })
+        TrafficSimulator::new(
+            net,
+            &demand,
+            TrafficConfig {
+                num_cars: cars,
+                seed,
+            },
+        )
     }
 
     #[test]

@@ -168,7 +168,14 @@ mod tests {
     fn small_trace() -> Trace {
         let net = generate_network(&NetworkConfig::small(31));
         let demand = TrafficDemand::random_hotspots(net.bounds(), 2, 31);
-        let mut sim = TrafficSimulator::new(net, &demand, TrafficConfig { num_cars: 40, seed: 31 });
+        let mut sim = TrafficSimulator::new(
+            net,
+            &demand,
+            TrafficConfig {
+                num_cars: 40,
+                seed: 31,
+            },
+        );
         Trace::record(&mut sim, 120.0, 1.0)
     }
 

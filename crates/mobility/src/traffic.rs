@@ -135,7 +135,11 @@ impl NodeSampler {
     /// The normalized weight of intersection `id` (for tests/inspection).
     pub fn weight(&self, id: u32) -> f64 {
         let total = *self.cumulative.last().expect("non-empty sampler");
-        let prev = if id == 0 { 0.0 } else { self.cumulative[id as usize - 1] };
+        let prev = if id == 0 {
+            0.0
+        } else {
+            self.cumulative[id as usize - 1]
+        };
         (self.cumulative[id as usize] - prev) / total
     }
 }

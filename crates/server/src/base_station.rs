@@ -157,7 +157,12 @@ mod tests {
     fn density_placement_splits_dense_areas() {
         // Cluster of 300 nodes in the SW corner, 10 in the rest.
         let mut positions: Vec<Point> = (0..300)
-            .map(|i| Point::new(100.0 + (i % 20) as f64 * 10.0, 100.0 + (i / 20) as f64 * 10.0))
+            .map(|i| {
+                Point::new(
+                    100.0 + (i % 20) as f64 * 10.0,
+                    100.0 + (i / 20) as f64 * 10.0,
+                )
+            })
             .collect();
         positions.extend((0..10).map(|i| Point::new(6000.0 + i as f64 * 300.0, 8000.0)));
         let stations = density_dependent_placement(&bounds(), &positions, 50, 100.0);
@@ -200,12 +205,21 @@ mod tests {
         let plan_regions: Vec<PlanRegion> = b
             .quadrants()
             .iter()
-            .map(|q| PlanRegion { area: *q, throttler: 10.0 })
+            .map(|q| PlanRegion {
+                area: *q,
+                throttler: 10.0,
+            })
             .collect();
         let plan = SheddingPlan::new(b, plan_regions, 5.0);
         let stations = vec![
-            BaseStation { id: 0, coverage: Circle::new(Point::new(50.0, 50.0), 10.0) },
-            BaseStation { id: 1, coverage: Circle::new(Point::new(10.0, 10.0), 10.0) },
+            BaseStation {
+                id: 0,
+                coverage: Circle::new(Point::new(50.0, 50.0), 10.0),
+            },
+            BaseStation {
+                id: 1,
+                coverage: Circle::new(Point::new(10.0, 10.0), 10.0),
+            },
         ];
         assert_eq!(mean_regions_per_station(&stations, &plan), 2.5);
         assert_eq!(mean_broadcast_bytes(&stations, &plan), 40.0);
@@ -226,9 +240,7 @@ mod tests {
         let id = station_for(&stations, &p).unwrap();
         let chosen = &stations[id as usize];
         for s in &stations {
-            assert!(
-                chosen.coverage.center.distance(&p) <= s.coverage.center.distance(&p) + 1e-9
-            );
+            assert!(chosen.coverage.center.distance(&p) <= s.coverage.center.distance(&p) + 1e-9);
         }
         assert!(station_for(&[], &p).is_none());
     }

@@ -22,6 +22,15 @@ pub struct CqServer<I: MovingIndex = PredictedGrid> {
     evaluations: u64,
 }
 
+// The simulation pipeline moves whole servers into per-policy lane
+// threads; keep that property from regressing (e.g. by an Rc sneaking
+// into the store or an index).
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<CqServer<PredictedGrid>>();
+    assert_send::<CqServer<crate::tpr_tree::TprTree>>();
+};
+
 impl CqServer<PredictedGrid> {
     /// Creates a server for `num_nodes` nodes over `bounds`, with an
     /// `index_side × index_side` grid index.
@@ -163,7 +172,11 @@ impl<I: MovingIndex> CqServer<I> {
             must.dedup();
             maybe.sort_unstable();
             maybe.dedup();
-            results.push(UncertainResult { query: q.id, must, maybe });
+            results.push(UncertainResult {
+                query: q.id,
+                must,
+                maybe,
+            });
         }
         results
     }
@@ -248,7 +261,10 @@ mod tests {
     #[test]
     fn evaluate_on_reported_positions() {
         let mut s = server();
-        s.register_query(RangeQuery { id: 0, range: Rect::from_coords(0.0, 0.0, 100.0, 100.0) });
+        s.register_query(RangeQuery {
+            id: 0,
+            range: Rect::from_coords(0.0, 0.0, 100.0, 100.0),
+        });
         s.ingest(0, 0.0, Point::new(50.0, 50.0), (0.0, 0.0));
         s.ingest(1, 0.0, Point::new(500.0, 500.0), (0.0, 0.0));
         let r = s.evaluate(0.0);
@@ -260,7 +276,10 @@ mod tests {
     #[test]
     fn evaluation_uses_predicted_positions() {
         let mut s = server();
-        s.register_query(RangeQuery { id: 0, range: Rect::from_coords(90.0, 0.0, 200.0, 50.0) });
+        s.register_query(RangeQuery {
+            id: 0,
+            range: Rect::from_coords(90.0, 0.0, 200.0, 50.0),
+        });
         // Node reported at x=50 moving +10 m/s in x: enters the range at
         // t=4 (x=90 is the inclusive min edge... half-open: x >= 90).
         s.ingest(0, 0.0, Point::new(50.0, 10.0), (10.0, 0.0));
@@ -273,7 +292,10 @@ mod tests {
     #[test]
     fn unreported_nodes_are_invisible() {
         let mut s = server();
-        s.register_query(RangeQuery { id: 3, range: Rect::from_coords(0.0, 0.0, 1000.0, 1000.0) });
+        s.register_query(RangeQuery {
+            id: 3,
+            range: Rect::from_coords(0.0, 0.0, 1000.0, 1000.0),
+        });
         let r = s.evaluate(1.0);
         assert!(r[0].nodes.is_empty());
         s.ingest(4, 1.0, Point::new(10.0, 10.0), (0.0, 0.0));
@@ -285,8 +307,14 @@ mod tests {
     fn multiple_queries_evaluated_together() {
         let mut s = server();
         s.register_queries([
-            RangeQuery { id: 0, range: Rect::from_coords(0.0, 0.0, 100.0, 100.0) },
-            RangeQuery { id: 1, range: Rect::from_coords(0.0, 0.0, 1000.0, 1000.0) },
+            RangeQuery {
+                id: 0,
+                range: Rect::from_coords(0.0, 0.0, 100.0, 100.0),
+            },
+            RangeQuery {
+                id: 1,
+                range: Rect::from_coords(0.0, 0.0, 1000.0, 1000.0),
+            },
         ]);
         s.ingest(2, 0.0, Point::new(400.0, 400.0), (0.0, 0.0));
         s.ingest(5, 0.0, Point::new(10.0, 20.0), (0.0, 0.0));
@@ -298,12 +326,21 @@ mod tests {
     #[test]
     fn replace_queries_swaps_workload() {
         let mut s = server();
-        s.register_query(RangeQuery { id: 0, range: Rect::from_coords(0.0, 0.0, 100.0, 100.0) });
+        s.register_query(RangeQuery {
+            id: 0,
+            range: Rect::from_coords(0.0, 0.0, 100.0, 100.0),
+        });
         s.ingest(0, 0.0, Point::new(50.0, 50.0), (0.0, 0.0));
         assert_eq!(s.evaluate(0.0).len(), 1);
         s.replace_queries([
-            RangeQuery { id: 5, range: Rect::from_coords(0.0, 0.0, 60.0, 60.0) },
-            RangeQuery { id: 6, range: Rect::from_coords(500.0, 500.0, 900.0, 900.0) },
+            RangeQuery {
+                id: 5,
+                range: Rect::from_coords(0.0, 0.0, 60.0, 60.0),
+            },
+            RangeQuery {
+                id: 6,
+                range: Rect::from_coords(500.0, 500.0, 900.0, 900.0),
+            },
         ]);
         let r = s.evaluate(0.0);
         assert_eq!(r.len(), 2);
@@ -315,7 +352,10 @@ mod tests {
     #[test]
     fn uncertain_evaluation_three_valued_membership() {
         let mut s = server();
-        s.register_query(RangeQuery { id: 0, range: Rect::from_coords(100.0, 100.0, 300.0, 300.0) });
+        s.register_query(RangeQuery {
+            id: 0,
+            range: Rect::from_coords(100.0, 100.0, 300.0, 300.0),
+        });
         // Deep inside (depth 100 > delta 20): must.
         s.ingest(0, 0.0, Point::new(200.0, 200.0), (0.0, 0.0));
         // Near the inner edge (depth 5 < delta 20): maybe.
@@ -332,7 +372,10 @@ mod tests {
     #[test]
     fn uncertain_with_zero_delta_equals_exact() {
         let mut s = server();
-        s.register_query(RangeQuery { id: 0, range: Rect::from_coords(0.0, 0.0, 500.0, 500.0) });
+        s.register_query(RangeQuery {
+            id: 0,
+            range: Rect::from_coords(0.0, 0.0, 500.0, 500.0),
+        });
         for i in 0..6u32 {
             s.ingest(i, 0.0, Point::new(i as f64 * 150.0, 100.0), (0.0, 0.0));
         }
@@ -345,7 +388,10 @@ mod tests {
     #[test]
     fn stale_updates_do_not_corrupt_results() {
         let mut s = server();
-        s.register_query(RangeQuery { id: 0, range: Rect::from_coords(0.0, 0.0, 100.0, 100.0) });
+        s.register_query(RangeQuery {
+            id: 0,
+            range: Rect::from_coords(0.0, 0.0, 100.0, 100.0),
+        });
         assert!(s.ingest(0, 10.0, Point::new(50.0, 50.0), (0.0, 0.0)));
         // A delayed packet placing the node far away at an earlier time.
         assert!(!s.ingest(0, 2.0, Point::new(900.0, 900.0), (0.0, 0.0)));
@@ -357,10 +403,18 @@ mod tests {
         let mut s = server();
         for i in 0..6u32 {
             // Nodes on a line at x = 100·(i+1).
-            s.ingest(i, 0.0, Point::new(100.0 * (i + 1) as f64, 500.0), (0.0, 0.0));
+            s.ingest(
+                i,
+                0.0,
+                Point::new(100.0 * (i + 1) as f64, 500.0),
+                (0.0, 0.0),
+            );
         }
         let knn = s.nearest(Point::new(0.0, 500.0), 3, 0.0);
-        assert_eq!(knn.iter().map(|(n, _)| *n).collect::<Vec<_>>(), vec![0, 1, 2]);
+        assert_eq!(
+            knn.iter().map(|(n, _)| *n).collect::<Vec<_>>(),
+            vec![0, 1, 2]
+        );
         assert_eq!(knn[0].1, 100.0);
         assert_eq!(knn[2].1, 300.0);
         // k larger than the population returns everyone.
@@ -400,7 +454,11 @@ mod tests {
             tpr.ingest(i, 0.0, p, v);
             truth.push((i, p, v));
         }
-        for (t, cx, cy, k) in [(0.0, 10.0, 10.0, 5usize), (20.0, 500.0, 500.0, 10), (40.0, 990.0, 5.0, 1)] {
+        for (t, cx, cy, k) in [
+            (0.0, 10.0, 10.0, 5usize),
+            (20.0, 500.0, 500.0, 10),
+            (40.0, 990.0, 5.0, 1),
+        ] {
             let center = Point::new(cx, cy);
             let mut expected: Vec<(u32, f64)> = truth
                 .iter()
@@ -428,8 +486,14 @@ mod tests {
         use crate::tpr_tree::TprTree;
         let bounds = Rect::from_coords(0.0, 0.0, 1000.0, 1000.0);
         let queries = [
-            RangeQuery { id: 0, range: Rect::from_coords(100.0, 100.0, 400.0, 400.0) },
-            RangeQuery { id: 1, range: Rect::from_coords(500.0, 0.0, 1000.0, 500.0) },
+            RangeQuery {
+                id: 0,
+                range: Rect::from_coords(100.0, 100.0, 400.0, 400.0),
+            },
+            RangeQuery {
+                id: 1,
+                range: Rect::from_coords(500.0, 0.0, 1000.0, 500.0),
+            },
         ];
         let mut grid = CqServer::new(bounds, 50, 10);
         let mut tpr = CqServer::with_index(bounds, 50, TprTree::new(60.0));

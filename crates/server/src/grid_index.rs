@@ -92,9 +92,7 @@ impl GridIndex {
             .clamp(0.0, self.side as f64) as usize;
         let side = self.side;
         (r0..r1.max(r0 + 1).min(side))
-            .flat_map(move |row| {
-                (c0..c1.max(c0 + 1).min(side)).map(move |col| row * side + col)
-            })
+            .flat_map(move |row| (c0..c1.max(c0 + 1).min(side)).map(move |col| row * side + col))
             .flat_map(move |cell| self.cells[cell].iter().copied())
     }
 
@@ -123,7 +121,9 @@ mod tests {
         g.update(0, &Point::new(5.0, 5.0));
         g.update(1, &Point::new(55.0, 55.0));
         g.update(2, &Point::new(95.0, 95.0));
-        let hits: Vec<u32> = g.candidates(&Rect::from_coords(0.0, 0.0, 20.0, 20.0)).collect();
+        let hits: Vec<u32> = g
+            .candidates(&Rect::from_coords(0.0, 0.0, 20.0, 20.0))
+            .collect();
         assert!(hits.contains(&0));
         assert!(!hits.contains(&2));
         assert_eq!(g.len(), 3);
@@ -134,9 +134,13 @@ mod tests {
         let mut g = index();
         g.update(0, &Point::new(5.0, 5.0));
         g.update(0, &Point::new(95.0, 95.0));
-        let old: Vec<u32> = g.candidates(&Rect::from_coords(0.0, 0.0, 15.0, 15.0)).collect();
+        let old: Vec<u32> = g
+            .candidates(&Rect::from_coords(0.0, 0.0, 15.0, 15.0))
+            .collect();
         assert!(old.is_empty());
-        let new: Vec<u32> = g.candidates(&Rect::from_coords(90.0, 90.0, 100.0, 100.0)).collect();
+        let new: Vec<u32> = g
+            .candidates(&Rect::from_coords(90.0, 90.0, 100.0, 100.0))
+            .collect();
         assert_eq!(new, vec![0]);
         assert_eq!(g.len(), 1);
     }
@@ -146,7 +150,9 @@ mod tests {
         let mut g = index();
         g.update(0, &Point::new(5.0, 5.0));
         g.update(0, &Point::new(6.0, 6.0)); // Same cell.
-        let hits: Vec<u32> = g.candidates(&Rect::from_coords(0.0, 0.0, 10.0, 10.0)).collect();
+        let hits: Vec<u32> = g
+            .candidates(&Rect::from_coords(0.0, 0.0, 10.0, 10.0))
+            .collect();
         assert_eq!(hits, vec![0]);
     }
 
@@ -156,7 +162,9 @@ mod tests {
         g.update(3, &Point::new(50.0, 50.0));
         g.remove(3);
         assert!(g.is_empty());
-        let hits: Vec<u32> = g.candidates(&Rect::from_coords(0.0, 0.0, 100.0, 100.0)).collect();
+        let hits: Vec<u32> = g
+            .candidates(&Rect::from_coords(0.0, 0.0, 100.0, 100.0))
+            .collect();
         assert!(hits.is_empty());
         // Removing twice is a no-op.
         g.remove(3);
@@ -188,7 +196,9 @@ mod tests {
         let mut g = index();
         g.update(0, &Point::new(-10.0, 500.0));
         assert_eq!(g.len(), 1);
-        let hits: Vec<u32> = g.candidates(&Rect::from_coords(0.0, 90.0, 10.0, 100.0)).collect();
+        let hits: Vec<u32> = g
+            .candidates(&Rect::from_coords(0.0, 90.0, 10.0, 100.0))
+            .collect();
         assert_eq!(hits, vec![0]);
     }
 }

@@ -153,12 +153,17 @@ mod tests {
         let mut h = store_with_node_track();
         h.record(1, 0.0, Point::new(500.0, 500.0), (0.0, 0.0));
         // At t=5: node 0 at (50,0), node 1 at (500,500).
-        assert_eq!(h.snapshot_range(&Rect::from_coords(0.0, -10.0, 100.0, 10.0), 5.0), vec![0]);
+        assert_eq!(
+            h.snapshot_range(&Rect::from_coords(0.0, -10.0, 100.0, 10.0), 5.0),
+            vec![0]
+        );
         assert_eq!(
             h.snapshot_range(&Rect::from_coords(0.0, -10.0, 600.0, 600.0), 5.0),
             vec![0, 1]
         );
-        assert!(h.snapshot_range(&Rect::from_coords(900.0, 900.0, 999.0, 999.0), 5.0).is_empty());
+        assert!(h
+            .snapshot_range(&Rect::from_coords(900.0, 900.0, 999.0, 999.0), 5.0)
+            .is_empty());
     }
 
     #[test]

@@ -14,7 +14,11 @@ use crate::node_store::NodeStore;
 use crate::tpr_tree::{MovingPoint, TprTree};
 
 /// An index over the predicted positions of dead-reckoned mobile nodes.
-pub trait MovingIndex {
+///
+/// `Send` is required so a `CqServer` built over any index can be moved
+/// into a per-policy simulation lane running on its own thread (the
+/// `lira-sim` pipeline).
+pub trait MovingIndex: Send {
     /// Applies a position update (a fresh motion model) for `node`.
     fn apply(&mut self, node: u32, t: f64, origin: Point, velocity: (f64, f64));
 
@@ -115,7 +119,10 @@ mod tests {
         index.prepare(100.0, &store);
         out.clear();
         index.candidates_into(&Rect::from_coords(100.0, 0.0, 150.0, 50.0), 100.0, &mut out);
-        assert!(out.contains(&0), "drifted node must be found at its prediction");
+        assert!(
+            out.contains(&0),
+            "drifted node must be found at its prediction"
+        );
 
         // Removal.
         index.remove(0);

@@ -18,29 +18,29 @@
 //! ```
 
 pub mod base_station;
-pub mod index;
 pub mod cq_engine;
 pub mod grid_index;
 pub mod history;
+pub mod index;
 pub mod mobile;
 pub mod node_store;
 pub mod query;
-pub mod tpr_tree;
 pub mod queue;
+pub mod tpr_tree;
 
 /// Convenient re-exports of the most used types.
 pub mod prelude {
     pub use crate::base_station::{
-        density_dependent_placement, mean_broadcast_bytes, mean_regions_per_station,
-        station_for, uniform_placement, BaseStation,
+        density_dependent_placement, mean_broadcast_bytes, mean_regions_per_station, station_for,
+        uniform_placement, BaseStation,
     };
     pub use crate::cq_engine::CqServer;
     pub use crate::grid_index::GridIndex;
     pub use crate::history::HistoryStore;
     pub use crate::index::{MovingIndex, PredictedGrid};
-    pub use crate::tpr_tree::{MovingPoint, TprTree};
     pub use crate::mobile::{MobileShedder, LOCAL_GRID_SIDE};
     pub use crate::node_store::{NodeStore, StoredModel};
     pub use crate::query::{sorted_difference_count, QueryResult, RangeQuery, UncertainResult};
     pub use crate::queue::UpdateQueue;
+    pub use crate::tpr_tree::{MovingPoint, TprTree};
 }

@@ -114,7 +114,10 @@ mod tests {
             .quadrants()
             .iter()
             .enumerate()
-            .map(|(i, q)| PlanRegion { area: *q, throttler: 10.0 * (i + 1) as f64 })
+            .map(|(i, q)| PlanRegion {
+                area: *q,
+                throttler: 10.0 * (i + 1) as f64,
+            })
             .collect()
     }
 
@@ -147,7 +150,10 @@ mod tests {
         // A subset of one small region: the 5x5 grid degenerates gracefully.
         let m = MobileShedder::install(
             0,
-            vec![PlanRegion { area: Rect::from_coords(10.0, 10.0, 10.5, 10.5), throttler: 42.0 }],
+            vec![PlanRegion {
+                area: Rect::from_coords(10.0, 10.0, 10.5, 10.5),
+                throttler: 42.0,
+            }],
             5.0,
         );
         assert_eq!(m.throttler_at(&Point::new(10.2, 10.2)), 42.0);
@@ -172,9 +178,18 @@ mod tests {
     fn lookup_agrees_with_linear_scan() {
         // Irregular subset (non-tiling) as a station would really send.
         let rs = vec![
-            PlanRegion { area: Rect::from_coords(0.0, 0.0, 30.0, 30.0), throttler: 11.0 },
-            PlanRegion { area: Rect::from_coords(30.0, 0.0, 90.0, 60.0), throttler: 22.0 },
-            PlanRegion { area: Rect::from_coords(0.0, 30.0, 30.0, 90.0), throttler: 33.0 },
+            PlanRegion {
+                area: Rect::from_coords(0.0, 0.0, 30.0, 30.0),
+                throttler: 11.0,
+            },
+            PlanRegion {
+                area: Rect::from_coords(30.0, 0.0, 90.0, 60.0),
+                throttler: 22.0,
+            },
+            PlanRegion {
+                area: Rect::from_coords(0.0, 30.0, 30.0, 90.0),
+                throttler: 33.0,
+            },
         ];
         let m = MobileShedder::install(0, rs.clone(), 5.0);
         for i in 0..30 {

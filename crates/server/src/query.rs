@@ -72,15 +72,24 @@ mod tests {
 
     #[test]
     fn missing_from() {
-        let a = QueryResult { query: 0, nodes: vec![1, 2, 3] };
-        let b = QueryResult { query: 0, nodes: vec![2, 4] };
+        let a = QueryResult {
+            query: 0,
+            nodes: vec![1, 2, 3],
+        };
+        let b = QueryResult {
+            query: 0,
+            nodes: vec![2, 4],
+        };
         assert_eq!(a.missing_from(&b), 2); // 1 and 3
         assert_eq!(b.missing_from(&a), 1); // 4
     }
 
     #[test]
     fn query_holds_range() {
-        let q = RangeQuery { id: 7, range: Rect::from_coords(0.0, 0.0, 10.0, 10.0) };
+        let q = RangeQuery {
+            id: 7,
+            range: Rect::from_coords(0.0, 0.0, 10.0, 10.0),
+        };
         assert_eq!(q.id, 7);
         assert_eq!(q.range.area(), 100.0);
     }

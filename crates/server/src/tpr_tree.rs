@@ -551,7 +551,9 @@ mod tests {
         tree.update(mp(7, 0.0, 10.0, 10.0, 0.0, 0.0));
         tree.update(mp(7, 50.0, 900.0, 900.0, 0.0, 0.0));
         assert_eq!(tree.len(), 1);
-        assert!(tree.query(&Rect::from_coords(0.0, 0.0, 50.0, 50.0), 50.0).is_empty());
+        assert!(tree
+            .query(&Rect::from_coords(0.0, 0.0, 50.0, 50.0), 50.0)
+            .is_empty());
         assert_eq!(
             tree.query(&Rect::from_coords(800.0, 800.0, 1000.0, 1000.0), 50.0),
             vec![7]
@@ -590,11 +592,16 @@ mod tests {
         }
         assert!(tree.is_empty());
         assert_eq!(tree.height(), 1);
-        assert!(tree.query(&Rect::from_coords(0.0, 0.0, 500.0, 500.0), 0.0).is_empty());
+        assert!(tree
+            .query(&Rect::from_coords(0.0, 0.0, 500.0, 500.0), 0.0)
+            .is_empty());
         tree.check_invariants();
         // And the tree is fully usable again.
         tree.update(mp(7, 0.0, 10.0, 10.0, 0.0, 0.0));
-        assert_eq!(tree.query(&Rect::from_coords(0.0, 0.0, 20.0, 20.0), 0.0), vec![7]);
+        assert_eq!(
+            tree.query(&Rect::from_coords(0.0, 0.0, 20.0, 20.0), 0.0),
+            vec![7]
+        );
         tree.check_invariants();
     }
 

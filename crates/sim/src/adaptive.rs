@@ -9,18 +9,13 @@
 //! not feasibility).
 
 use lira_core::plan::SheddingPlan;
-use lira_core::reduction::ReductionModel;
 use lira_core::shedder::LiraShedder;
 use lira_core::stats_grid::StatsGrid;
-use lira_mobility::generator::{generate_network, NetworkConfig};
 use lira_mobility::motion::{DeadReckoner, MotionReport};
-use lira_mobility::simulator::{TrafficConfig, TrafficSimulator};
-use lira_mobility::traffic::TrafficDemand;
-use lira_server::cq_engine::CqServer;
 use lira_server::queue::UpdateQueue;
-use lira_workload::{generate_queries, WorkloadConfig};
 
 use crate::metrics::{evaluation_errors, MetricsAccumulator, MetricsReport};
+use crate::pipeline::SimSetup;
 use crate::scenario::Scenario;
 
 /// Server capacity model for the closed loop.
@@ -74,51 +69,22 @@ pub struct AdaptiveReport {
 
 /// Runs the closed loop for `sc.duration_s` seconds.
 pub fn run_adaptive(sc: &Scenario, cfg: &AdaptiveConfig) -> AdaptiveReport {
-    let config = sc.lira_config();
-    config.validate().expect("scenario produces a valid LiraConfig");
-    let bounds = sc.bounds();
-    let model = ReductionModel::analytic(sc.delta_min, sc.delta_max, config.kappa());
+    // The closed loop always uses the analytic f(Δ): the controller is
+    // being tested against the model the paper derives, not a calibrated
+    // refinement of it.
+    let mut setup = SimSetup::build(sc, false);
+    let bounds = setup.bounds;
+    let queries = setup.queries.clone();
 
-    let network = generate_network(&NetworkConfig {
-        bounds,
-        spacing: sc.road_spacing,
-        arterial_period: sc.arterial_period,
-        expressway_period: sc.expressway_period,
-        jitter_frac: 0.2,
-        seed: sc.seed,
-    });
-    let demand = TrafficDemand::random_hotspots(&bounds, sc.hotspots, sc.seed);
-    let mut sim = TrafficSimulator::new(
-        network,
-        &demand,
-        TrafficConfig { num_cars: sc.num_cars, seed: sc.seed },
-    );
-    for _ in 0..(sc.warmup_s / sc.dt).round() as usize {
-        sim.step(sc.dt);
-    }
-    let positions: Vec<_> = sim.cars().iter().map(|c| c.position()).collect();
-    let queries = generate_queries(
-        &bounds,
-        &positions,
-        &WorkloadConfig::from_ratio(
-            sc.query_distribution,
-            sc.num_cars,
-            sc.query_ratio,
-            sc.query_side,
-            sc.seed,
-        ),
-    );
-
-    let mut reference = CqServer::new(bounds, sc.num_cars, 64);
-    let mut shed = CqServer::new(bounds, sc.num_cars, 64);
-    reference.register_queries(queries.iter().copied());
-    shed.register_queries(queries.iter().copied());
+    let mut reference = setup.new_server(sc);
+    let mut shed = setup.new_server(sc);
     let mut ref_reckoners = vec![DeadReckoner::new(); sc.num_cars];
     let mut shed_reckoners = vec![DeadReckoner::new(); sc.num_cars];
 
-    let mut shedder =
-        LiraShedder::new(config.clone(), cfg.queue_capacity).expect("validated config")
-            .with_model(model);
+    let mut shedder = LiraShedder::new(setup.config.clone(), cfg.queue_capacity)
+        .expect("validated config")
+        .with_model(setup.model.clone());
+    let sim = &mut setup.sim;
     let mut grid = StatsGrid::new(sc.alpha, bounds).expect("valid grid");
     let mut queue: UpdateQueue<MotionReport> = UpdateQueue::new(cfg.queue_capacity);
     let mut plan = SheddingPlan::uniform(bounds, sc.delta_min);
@@ -146,7 +112,12 @@ pub fn run_adaptive(sc: &Scenario, cfg: &AdaptiveConfig) -> AdaptiveReport {
         }
         // The server drains at its fixed capacity.
         for rep in queue.service(service_per_tick) {
-            shed.ingest(rep.node, rep.model.time, rep.model.origin, rep.model.velocity);
+            shed.ingest(
+                rep.node,
+                rep.model.time,
+                rep.model.origin,
+                rep.model.velocity,
+            );
         }
 
         if tick % control_every == 0 {
@@ -212,7 +183,11 @@ mod tests {
             control_period_s: 20.0,
         };
         let report = run_adaptive(&sc, &cfg);
-        assert!(report.final_throttle > 0.95, "z = {}", report.final_throttle);
+        assert!(
+            report.final_throttle > 0.95,
+            "z = {}",
+            report.final_throttle
+        );
         assert_eq!(report.drop_fraction, 0.0);
         // Nothing shed: near-perfect accuracy.
         assert!(report.metrics.mean_containment < 0.01);

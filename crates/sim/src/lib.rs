@@ -17,14 +17,16 @@
 
 pub mod adaptive;
 pub mod metrics;
+pub mod pipeline;
 pub mod runner;
 pub mod scenario;
 
 /// Convenient re-exports of the most used types.
 pub mod prelude {
     pub use crate::adaptive::{run_adaptive, AdaptiveConfig, AdaptiveReport, WindowStats};
-    pub use crate::metrics::{
-        evaluation_errors, MetricsAccumulator, MetricsReport, QueryErrors,
+    pub use crate::metrics::{evaluation_errors, MetricsAccumulator, MetricsReport, QueryErrors};
+    pub use crate::pipeline::{
+        CarState, Parallelism, ReferenceTimeline, SimPipeline, SimSetup, TrafficTrace,
     };
     pub use crate::runner::{run_scenario, Policy, PolicyOutcome, RunReport};
     pub use crate::scenario::Scenario;

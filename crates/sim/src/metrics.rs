@@ -188,7 +188,12 @@ mod tests {
         let errs = evaluation_errors(&reference, &shed, |_| None, |_| None);
         assert_eq!(errs[0].containment, 2.0);
         // Both empty: zero error.
-        let errs = evaluation_errors(&[result(0, vec![])], &[result(0, vec![])], |_| None, |_| None);
+        let errs = evaluation_errors(
+            &[result(0, vec![])],
+            &[result(0, vec![])],
+            |_| None,
+            |_| None,
+        );
         assert_eq!(errs[0].containment, 0.0);
     }
 
@@ -197,7 +202,12 @@ mod tests {
         let reference = vec![result(0, vec![1, 2])];
         let shed = vec![result(0, vec![1, 2])];
         let ref_pos = |n: u32| Some(Point::new(n as f64 * 10.0, 0.0));
-        let shed_pos = |n: u32| Some(Point::new(n as f64 * 10.0 + if n == 1 { 3.0 } else { 7.0 }, 0.0));
+        let shed_pos = |n: u32| {
+            Some(Point::new(
+                n as f64 * 10.0 + if n == 1 { 3.0 } else { 7.0 },
+                0.0,
+            ))
+        };
         let errs = evaluation_errors(&reference, &shed, ref_pos, shed_pos);
         assert!((errs[0].position - 5.0).abs() < 1e-12);
     }
@@ -217,12 +227,24 @@ mod tests {
     fn accumulator_means_over_rounds_and_queries() {
         let mut acc = MetricsAccumulator::new(2);
         acc.record(&[
-            QueryErrors { containment: 0.2, position: 10.0 },
-            QueryErrors { containment: 0.4, position: 20.0 },
+            QueryErrors {
+                containment: 0.2,
+                position: 10.0,
+            },
+            QueryErrors {
+                containment: 0.4,
+                position: 20.0,
+            },
         ]);
         acc.record(&[
-            QueryErrors { containment: 0.4, position: 30.0 },
-            QueryErrors { containment: 0.6, position: 40.0 },
+            QueryErrors {
+                containment: 0.4,
+                position: 30.0,
+            },
+            QueryErrors {
+                containment: 0.6,
+                position: 40.0,
+            },
         ]);
         let r = acc.report();
         // Per-query means: (0.3, 0.5) -> mean 0.4; positions (20, 30) -> 25.

@@ -1,0 +1,485 @@
+//! The composable simulation pipeline behind
+//! [`run_scenario`](crate::runner::run_scenario).
+//!
+//! A scenario run decomposes into stages with explicit data products:
+//!
+//! 1. [`SimSetup`] — road network, traffic demand, a warmed-up (and
+//!    optionally model-calibrating) [`TrafficSimulator`], and the query
+//!    workload. Shared by the fixed-`z` runner and the closed-loop
+//!    [`run_adaptive`](crate::adaptive::run_adaptive).
+//! 2. [`TrafficTrace`] — the measured window's car states, recorded once.
+//!    The trace is the *only* coupling between the traffic model and the
+//!    servers, so every downstream lane sees byte-identical inputs.
+//! 3. [`ReferenceTimeline`] — the `Δ⊢` reference server replayed over the
+//!    trace: its update count, and per evaluation round its query results
+//!    and per-node predicted positions (the paper's `R*(q)` and `p*(o)`).
+//! 4. N independent policy lanes — each owns its CQ server, dead
+//!    reckoners, statistics grid, policy (a
+//!    [`SheddingPolicy`] trait object), and metrics accumulator. Lanes
+//!    share the trace and reference read-only, so with two or more
+//!    policies they run on scoped threads ([`std::thread::scope`], no
+//!    extra dependencies).
+//!
+//! Lane results are deterministic regardless of execution mode: each lane
+//! derives its RNG from the scenario seed and its policy index
+//! (`seed + 1000 + index`, the same rule the sequential runner always
+//! used), and touches no shared mutable state — so a parallel run is
+//! bit-identical to [`Parallelism::Sequential`], which exists for tests
+//! and debugging.
+
+use std::time::Instant;
+
+use lira_core::config::LiraConfig;
+use lira_core::geometry::{Point, Rect};
+use lira_core::plan::SheddingPlan;
+use lira_core::policy::SheddingPolicy;
+use lira_core::reduction::ReductionModel;
+use lira_core::stats_grid::StatsGrid;
+use lira_mobility::generator::{generate_network, NetworkConfig};
+use lira_mobility::motion::DeadReckoner;
+use lira_mobility::simulator::{TrafficConfig, TrafficSimulator};
+use lira_mobility::traffic::TrafficDemand;
+use lira_server::cq_engine::CqServer;
+use lira_server::query::{QueryResult, RangeQuery};
+use lira_workload::{generate_queries, WorkloadConfig};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::metrics::{evaluation_errors, MetricsAccumulator};
+use crate::runner::{Policy, PolicyOutcome, RunReport};
+use crate::scenario::Scenario;
+
+/// How policy lanes are executed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Parallelism {
+    /// One scoped thread per lane when two or more policies are evaluated.
+    #[default]
+    Auto,
+    /// Lanes run one after another on the calling thread. Produces
+    /// bit-identical results to [`Parallelism::Auto`]; useful for tests
+    /// and single-threaded profiling.
+    Sequential,
+}
+
+/// Stage 1: everything the measured window depends on — validated config,
+/// reduction model (analytic or trace-calibrated), warmed-up traffic, and
+/// the query workload.
+pub struct SimSetup {
+    /// Validated LIRA configuration derived from the scenario.
+    pub config: LiraConfig,
+    /// The monitored space.
+    pub bounds: Rect,
+    /// The update-reduction model `f(Δ)`.
+    pub model: ReductionModel,
+    /// The traffic simulator, already past `warmup_s`.
+    pub sim: TrafficSimulator,
+    /// The registered continual queries.
+    pub queries: Vec<RangeQuery>,
+}
+
+impl SimSetup {
+    /// Builds the substrate for a scenario. When `calibrate` is set the
+    /// analytic `f(Δ)` is replaced by one measured from a cloned traffic
+    /// probe (the clone leaves the measured run untouched).
+    pub fn build(sc: &Scenario, calibrate: bool) -> Self {
+        let config = sc.lira_config();
+        config
+            .validate()
+            .expect("scenario produces a valid LiraConfig");
+        let bounds = sc.bounds();
+        let model = ReductionModel::analytic(sc.delta_min, sc.delta_max, config.kappa());
+
+        let network = generate_network(&NetworkConfig {
+            bounds,
+            spacing: sc.road_spacing,
+            arterial_period: sc.arterial_period,
+            expressway_period: sc.expressway_period,
+            jitter_frac: 0.2,
+            seed: sc.seed,
+        });
+        let demand = TrafficDemand::random_hotspots(&bounds, sc.hotspots, sc.seed);
+        let mut sim = TrafficSimulator::new(
+            network,
+            &demand,
+            TrafficConfig {
+                num_cars: sc.num_cars,
+                seed: sc.seed,
+            },
+        );
+        for _ in 0..(sc.warmup_s / sc.dt).round() as usize {
+            sim.step(sc.dt);
+        }
+
+        let model = if calibrate {
+            let mut probe = sim.clone();
+            let trace = lira_mobility::trace::Trace::record(
+                &mut probe,
+                180.0_f64.min(sc.duration_s),
+                sc.dt,
+            );
+            trace
+                .calibrate_reduction(sc.delta_min, sc.delta_max, config.kappa(), 10)
+                .expect("calibration trace produces updates")
+        } else {
+            model
+        };
+
+        let positions: Vec<_> = sim.cars().iter().map(|c| c.position()).collect();
+        let queries = generate_queries(
+            &bounds,
+            &positions,
+            &WorkloadConfig::from_ratio(
+                sc.query_distribution,
+                sc.num_cars,
+                sc.query_ratio,
+                sc.query_side,
+                sc.seed,
+            ),
+        );
+
+        SimSetup {
+            config,
+            bounds,
+            model,
+            sim,
+            queries,
+        }
+    }
+
+    /// Advances the setup's simulator through the measured window,
+    /// recording the traffic trace every downstream stage replays.
+    pub fn record_trace(&mut self, sc: &Scenario) -> TrafficTrace {
+        let total_ticks = (sc.duration_s / sc.dt).round() as usize;
+        TrafficTrace::record(&mut self.sim, total_ticks, sc.dt)
+    }
+
+    /// A CQ server over this setup's space with the workload registered.
+    pub fn new_server(&self, sc: &Scenario) -> CqServer {
+        let mut s = CqServer::new(self.bounds, sc.num_cars, 64);
+        s.register_queries(self.queries.iter().copied());
+        s
+    }
+}
+
+/// One car's kinematic state at one trace tick.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CarState {
+    /// Position (m).
+    pub position: Point,
+    /// Velocity vector (m/s).
+    pub velocity: (f64, f64),
+}
+
+impl CarState {
+    /// Scalar speed (m/s).
+    pub fn speed(&self) -> f64 {
+        (self.velocity.0 * self.velocity.0 + self.velocity.1 * self.velocity.1).sqrt()
+    }
+}
+
+/// Stage 2: the recorded traffic of the measured window, tick-major.
+/// Tick 0 is the post-warmup snapshot (where the initial adaptation runs);
+/// ticks `1..=ticks()` follow each simulation step.
+pub struct TrafficTrace {
+    num_cars: usize,
+    times: Vec<f64>,
+    states: Vec<CarState>,
+}
+
+impl TrafficTrace {
+    /// Advances `sim` by `total_ticks` steps of `dt`, recording every car's
+    /// state at every tick (including the starting state).
+    pub fn record(sim: &mut TrafficSimulator, total_ticks: usize, dt: f64) -> Self {
+        let num_cars = sim.cars().len();
+        let mut times = Vec::with_capacity(total_ticks + 1);
+        let mut states = Vec::with_capacity((total_ticks + 1) * num_cars);
+        let snapshot =
+            |sim: &TrafficSimulator, times: &mut Vec<f64>, states: &mut Vec<CarState>| {
+                times.push(sim.time());
+                states.extend(sim.cars().iter().map(|c| CarState {
+                    position: c.position(),
+                    velocity: c.velocity(),
+                }));
+            };
+        snapshot(sim, &mut times, &mut states);
+        for _ in 0..total_ticks {
+            sim.step(dt);
+            snapshot(sim, &mut times, &mut states);
+        }
+        TrafficTrace {
+            num_cars,
+            times,
+            states,
+        }
+    }
+
+    /// Number of recorded steps (excluding the starting snapshot).
+    pub fn ticks(&self) -> usize {
+        self.times.len() - 1
+    }
+
+    /// Number of cars per tick.
+    pub fn num_cars(&self) -> usize {
+        self.num_cars
+    }
+
+    /// Simulation time at `tick`.
+    pub fn time(&self, tick: usize) -> f64 {
+        self.times[tick]
+    }
+
+    /// All car states at `tick`.
+    pub fn cars(&self, tick: usize) -> &[CarState] {
+        &self.states[tick * self.num_cars..(tick + 1) * self.num_cars]
+    }
+}
+
+/// One evaluation round of the reference server.
+pub struct EvalFrame {
+    /// The trace tick the round ran at.
+    pub tick: usize,
+    /// Simulation time of the round.
+    pub time: f64,
+    /// The reference result sets `R*(q)`, index-aligned with the queries.
+    pub results: Vec<QueryResult>,
+    /// The reference predicted position `p*(o)` per node id.
+    pub predictions: Vec<Option<Point>>,
+}
+
+/// Stage 3: the `Δ⊢` reference server replayed over the trace — the
+/// paper's definition of the correct answer, computed once and shared
+/// read-only by every policy lane.
+pub struct ReferenceTimeline {
+    /// Updates the reference server received (the unshed volume).
+    pub reference_updates: u64,
+    /// One frame per evaluation round, in tick order.
+    pub frames: Vec<EvalFrame>,
+}
+
+impl ReferenceTimeline {
+    /// Replays the reference server (threshold `Δ⊢` everywhere) over the
+    /// trace, evaluating every `sc.eval_period_s`.
+    pub fn compute(trace: &TrafficTrace, setup: &SimSetup, sc: &Scenario) -> Self {
+        let mut server = setup.new_server(sc);
+        let mut reckoners = vec![DeadReckoner::new(); trace.num_cars()];
+        let eval_every = (sc.eval_period_s / sc.dt).round().max(1.0) as usize;
+        let mut reference_updates = 0u64;
+        let mut frames = Vec::new();
+
+        for tick in 1..=trace.ticks() {
+            let t = trace.time(tick);
+            for (i, car) in trace.cars(tick).iter().enumerate() {
+                if let Some(rep) =
+                    reckoners[i].observe(i as u32, t, car.position, car.velocity, sc.delta_min)
+                {
+                    reference_updates += 1;
+                    server.ingest(rep.node, t, rep.model.origin, rep.model.velocity);
+                }
+            }
+            if tick % eval_every == 0 {
+                let results = server.evaluate(t);
+                let predictions = (0..trace.num_cars() as u32)
+                    .map(|n| server.predict(n, t))
+                    .collect();
+                frames.push(EvalFrame {
+                    tick,
+                    time: t,
+                    results,
+                    predictions,
+                });
+            }
+        }
+        ReferenceTimeline {
+            reference_updates,
+            frames,
+        }
+    }
+}
+
+/// Stage 4: one policy's isolated simulation state. Owns everything it
+/// mutates, so lanes can run on separate threads.
+struct PolicyLane {
+    policy: Policy,
+    shedding: Box<dyn SheddingPolicy>,
+    server: CqServer,
+    reckoners: Vec<DeadReckoner>,
+    grid: StatsGrid,
+    plan: SheddingPlan,
+    drop_rng: SmallRng,
+    updates_sent: u64,
+    updates_processed: u64,
+    adapt_micros: Vec<u64>,
+    accumulator: MetricsAccumulator,
+}
+
+impl PolicyLane {
+    /// Builds the lane for `policy` at position `index` in the run. The
+    /// lane RNG seed is `scenario seed + 1000 + index`, matching the
+    /// historical sequential runner so results stay reproducible.
+    fn new(policy: Policy, index: usize, setup: &SimSetup, sc: &Scenario) -> Self {
+        PolicyLane {
+            policy,
+            shedding: policy.build(sc, &setup.config, &setup.model),
+            server: setup.new_server(sc),
+            reckoners: vec![DeadReckoner::new(); sc.num_cars],
+            grid: StatsGrid::new(sc.alpha, setup.bounds).expect("valid grid"),
+            plan: SheddingPlan::uniform(setup.bounds, sc.delta_min),
+            drop_rng: SmallRng::seed_from_u64(sc.seed.wrapping_add(1000 + index as u64)),
+            updates_sent: 0,
+            updates_processed: 0,
+            adapt_micros: Vec::new(),
+            accumulator: MetricsAccumulator::new(setup.queries.len()),
+        }
+    }
+
+    /// One adaptation round: snapshot statistics from the tick's car
+    /// states and the workload, then let the policy re-plan. Only the
+    /// policy's own computation is timed (the paper's server-side cost).
+    fn adapt(&mut self, cars: &[CarState], queries: &[RangeQuery], z: f64) {
+        self.grid.begin_snapshot();
+        for car in cars {
+            self.grid.observe_node(&car.position, car.speed(), 1.0);
+        }
+        for q in queries {
+            self.grid.observe_query(&q.range);
+        }
+        self.grid.commit_snapshot();
+        let started = Instant::now();
+        self.plan = self
+            .shedding
+            .adapt(&self.grid, z)
+            .expect("adaptation succeeds on a committed snapshot");
+        self.adapt_micros.push(started.elapsed().as_micros() as u64);
+    }
+
+    /// Replays the lane over the whole trace and produces its outcome.
+    fn run(
+        mut self,
+        trace: &TrafficTrace,
+        reference: &ReferenceTimeline,
+        queries: &[RangeQuery],
+        sc: &Scenario,
+    ) -> PolicyOutcome {
+        let total_ticks = trace.ticks();
+        let adapt_every = (sc.adapt_period_s / sc.dt).round().max(1.0) as usize;
+        let admission = self.shedding.admission(sc.throttle);
+
+        self.adapt(trace.cars(0), queries, sc.throttle);
+        let mut next_frame = 0usize;
+
+        for tick in 1..=total_ticks {
+            let t = trace.time(tick);
+            for (i, car) in trace.cars(tick).iter().enumerate() {
+                let delta = self.plan.throttler_at(&car.position);
+                if let Some(rep) =
+                    self.reckoners[i].observe(i as u32, t, car.position, car.velocity, delta)
+                {
+                    self.updates_sent += 1;
+                    // Server-actuated policies (Random Drop) admit only a
+                    // fraction of the arrivals; the wireless cost is
+                    // already paid at this point.
+                    if admission >= 1.0 || self.drop_rng.gen_bool(admission) {
+                        self.updates_processed += 1;
+                        self.server
+                            .ingest(rep.node, t, rep.model.origin, rep.model.velocity);
+                    }
+                }
+            }
+
+            if tick % adapt_every == 0 && tick != total_ticks {
+                self.adapt(trace.cars(tick), queries, sc.throttle);
+            }
+
+            if reference
+                .frames
+                .get(next_frame)
+                .is_some_and(|f| f.tick == tick)
+            {
+                let frame = &reference.frames[next_frame];
+                let shed_results = self.server.evaluate(t);
+                let errors = evaluation_errors(
+                    &frame.results,
+                    &shed_results,
+                    |n| frame.predictions[n as usize],
+                    |n| self.server.predict(n, t),
+                );
+                self.accumulator.record(&errors);
+                next_frame += 1;
+            }
+        }
+
+        PolicyOutcome {
+            policy: self.policy,
+            metrics: self.accumulator.report(),
+            updates_sent: self.updates_sent,
+            updates_processed: self.updates_processed,
+            processed_fraction: if reference.reference_updates > 0 {
+                self.updates_processed as f64 / reference.reference_updates as f64
+            } else {
+                0.0
+            },
+            adapt_micros: self.adapt_micros,
+            plan_regions: self.plan.len(),
+        }
+    }
+}
+
+/// The composed pipeline: setup → trace → reference → policy lanes.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SimPipeline {
+    parallelism: Parallelism,
+}
+
+impl SimPipeline {
+    /// A pipeline with automatic lane parallelism.
+    pub fn new() -> Self {
+        SimPipeline::default()
+    }
+
+    /// Overrides how policy lanes are executed.
+    #[must_use]
+    pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = parallelism;
+        self
+    }
+
+    /// Runs the scenario for the given policies and reports the comparison.
+    pub fn run(&self, sc: &Scenario, policies: &[Policy]) -> RunReport {
+        let mut setup = SimSetup::build(sc, sc.calibrate_model);
+        let trace = setup.record_trace(sc);
+        let reference = ReferenceTimeline::compute(&trace, &setup, sc);
+
+        let lanes: Vec<PolicyLane> = policies
+            .iter()
+            .enumerate()
+            .map(|(i, &policy)| PolicyLane::new(policy, i, &setup, sc))
+            .collect();
+
+        let run_parallel = self.parallelism == Parallelism::Auto && lanes.len() >= 2;
+        let outcomes: Vec<PolicyOutcome> = if run_parallel {
+            let (trace, reference, queries) = (&trace, &reference, &setup.queries[..]);
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = lanes
+                    .into_iter()
+                    .map(|lane| scope.spawn(move || lane.run(trace, reference, queries, sc)))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("policy lane panicked"))
+                    .collect()
+            })
+        } else {
+            lanes
+                .into_iter()
+                .map(|lane| lane.run(&trace, &reference, &setup.queries, sc))
+                .collect()
+        };
+
+        RunReport {
+            reference_updates: reference.reference_updates,
+            num_queries: setup.queries.len(),
+            num_cars: sc.num_cars,
+            outcomes,
+        }
+    }
+}

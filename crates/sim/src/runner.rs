@@ -1,30 +1,28 @@
-//! The end-to-end evaluation harness: one traffic simulation feeding a
+//! The end-to-end evaluation entry point: one traffic trace feeding a
 //! *reference* CQ server (`Δ⊢` everywhere — the paper's definition of the
 //! correct answer) and one shedding CQ server per policy under test, with
 //! the accuracy metrics of Section 4.1 accumulated at every evaluation
 //! round.
+//!
+//! The actual staging (trace recording, reference replay, per-policy
+//! lanes on scoped threads) lives in [`crate::pipeline`]; this module
+//! holds the policy roster and the report types.
 
-use std::time::Instant;
-
-use lira_core::baselines::{lira_grid_plan, uniform_plan};
-use lira_core::plan::SheddingPlan;
+use lira_core::config::LiraConfig;
+use lira_core::policy::{
+    LiraGridPolicy, LiraPolicy, RandomDropPolicy, SheddingPolicy, UniformDeltaPolicy,
+};
 use lira_core::reduction::ReductionModel;
 use lira_core::shedder::LiraShedder;
-use lira_core::stats_grid::StatsGrid;
-use lira_mobility::generator::{generate_network, NetworkConfig};
-use lira_mobility::motion::DeadReckoner;
-use lira_mobility::simulator::{TrafficConfig, TrafficSimulator};
-use lira_mobility::traffic::TrafficDemand;
-use lira_server::cq_engine::CqServer;
-use lira_server::query::RangeQuery;
-use lira_workload::{generate_queries, WorkloadConfig};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 
-use crate::metrics::{evaluation_errors, MetricsAccumulator, MetricsReport};
+use crate::metrics::MetricsReport;
+use crate::pipeline::SimPipeline;
 use crate::scenario::Scenario;
 
-/// A load-shedding policy under evaluation (Section 4.2).
+/// A load-shedding policy under evaluation (Section 4.2). This is only a
+/// *roster* — construction happens in [`Policy::build`], and everything
+/// after construction goes through the
+/// [`SheddingPolicy`] trait.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Policy {
     /// Full LIRA: GRIDREDUCE partitioning + GREEDYINCREMENT throttlers.
@@ -46,13 +44,35 @@ impl Policy {
         Policy::RandomDrop,
     ];
 
-    /// Display name used in experiment output.
+    /// Display name used in experiment output, delegated to the policy
+    /// implementations (the single source of these strings).
     pub fn name(self) -> &'static str {
         match self {
-            Policy::Lira => "LIRA",
-            Policy::LiraGrid => "Lira-Grid",
-            Policy::UniformDelta => "Uniform Delta",
-            Policy::RandomDrop => "Random Drop",
+            Policy::Lira => LiraPolicy::NAME,
+            Policy::LiraGrid => LiraGridPolicy::NAME,
+            Policy::UniformDelta => UniformDeltaPolicy::NAME,
+            Policy::RandomDrop => RandomDropPolicy::NAME,
+        }
+    }
+
+    /// Constructs the policy implementation for a scenario. The one place
+    /// that matches on the roster; the simulation loop itself only sees
+    /// `dyn SheddingPolicy`.
+    pub fn build(
+        self,
+        sc: &Scenario,
+        config: &LiraConfig,
+        model: &ReductionModel,
+    ) -> Box<dyn SheddingPolicy> {
+        match self {
+            Policy::Lira => Box::new(LiraPolicy::from_shedder(
+                LiraShedder::new(config.clone(), 1000)
+                    .expect("validated config")
+                    .with_model(model.clone()),
+            )),
+            Policy::LiraGrid => Box::new(LiraGridPolicy::new(config.clone(), model.clone())),
+            Policy::UniformDelta => Box::new(UniformDeltaPolicy::new(config.bounds, model.clone())),
+            Policy::RandomDrop => Box::new(RandomDropPolicy::new(config.bounds, sc.delta_min)),
         }
     }
 }
@@ -100,232 +120,12 @@ impl RunReport {
     }
 }
 
-/// Internal per-policy simulation state.
-struct PolicyState {
-    policy: Policy,
-    server: CqServer,
-    reckoners: Vec<DeadReckoner>,
-    plan: SheddingPlan,
-    shedder: Option<LiraShedder>,
-    drop_rng: SmallRng,
-    updates_sent: u64,
-    updates_processed: u64,
-    adapt_micros: Vec<u64>,
-    accumulator: MetricsAccumulator,
-}
-
 /// Runs one scenario, evaluating all `policies` over the *same* traffic and
 /// query workload (shared reference server), and returns the comparison.
+/// With two or more policies the per-policy lanes run on scoped threads;
+/// see [`SimPipeline`] for execution control.
 pub fn run_scenario(sc: &Scenario, policies: &[Policy]) -> RunReport {
-    let config = sc.lira_config();
-    config.validate().expect("scenario produces a valid LiraConfig");
-    let bounds = sc.bounds();
-    // The analytic default model; possibly replaced by an empirically
-    // calibrated one after traffic warm-up (below).
-    let model = ReductionModel::analytic(sc.delta_min, sc.delta_max, config.kappa());
-
-    // --- Traffic substrate -------------------------------------------------
-    let network = generate_network(&NetworkConfig {
-        bounds,
-        spacing: sc.road_spacing,
-        arterial_period: sc.arterial_period,
-        expressway_period: sc.expressway_period,
-        jitter_frac: 0.2,
-        seed: sc.seed,
-    });
-    let demand = TrafficDemand::random_hotspots(&bounds, sc.hotspots, sc.seed);
-    let mut sim = TrafficSimulator::new(
-        network,
-        &demand,
-        TrafficConfig {
-            num_cars: sc.num_cars,
-            seed: sc.seed,
-        },
-    );
-    let warmup_ticks = (sc.warmup_s / sc.dt).round() as usize;
-    for _ in 0..warmup_ticks {
-        sim.step(sc.dt);
-    }
-
-    // Optionally calibrate f(Δ) from the workload itself: replay a short
-    // trace of a cloned simulation through dead reckoning at sampled
-    // thresholds (the simulation is deterministic, so the clone leaves the
-    // measured run untouched).
-    let model = if sc.calibrate_model {
-        let mut probe = sim.clone();
-        let trace = lira_mobility::trace::Trace::record(&mut probe, 180.0_f64.min(sc.duration_s), sc.dt);
-        trace
-            .calibrate_reduction(sc.delta_min, sc.delta_max, config.kappa(), 10)
-            .expect("calibration trace produces updates")
-    } else {
-        model
-    };
-
-    // --- Query workload ----------------------------------------------------
-    let positions: Vec<_> = sim.cars().iter().map(|c| c.position()).collect();
-    let queries = generate_queries(
-        &bounds,
-        &positions,
-        &WorkloadConfig::from_ratio(
-            sc.query_distribution,
-            sc.num_cars,
-            sc.query_ratio,
-            sc.query_side,
-            sc.seed,
-        ),
-    );
-
-    // --- Servers -----------------------------------------------------------
-    let index_side = 64usize;
-    let new_server = |queries: &[RangeQuery]| {
-        let mut s = CqServer::new(bounds, sc.num_cars, index_side);
-        s.register_queries(queries.iter().copied());
-        s
-    };
-    let mut reference = new_server(&queries);
-    let mut ref_reckoners = vec![DeadReckoner::new(); sc.num_cars];
-    let mut reference_updates = 0u64;
-
-    let mut states: Vec<PolicyState> = policies
-        .iter()
-        .enumerate()
-        .map(|(i, &policy)| PolicyState {
-            policy,
-            server: new_server(&queries),
-            reckoners: vec![DeadReckoner::new(); sc.num_cars],
-            plan: SheddingPlan::uniform(bounds, sc.delta_min),
-            shedder: match policy {
-                Policy::Lira => Some(
-                    LiraShedder::new(config.clone(), 1000)
-                        .expect("validated config")
-                        .with_model(model.clone()),
-                ),
-                _ => None,
-            },
-            drop_rng: SmallRng::seed_from_u64(sc.seed.wrapping_add(1000 + i as u64)),
-            updates_sent: 0,
-            updates_processed: 0,
-            adapt_micros: Vec::new(),
-            accumulator: MetricsAccumulator::new(queries.len()),
-        })
-        .collect();
-
-    // --- Adaptation closure --------------------------------------------------
-    let mut grid = StatsGrid::new(sc.alpha, bounds).expect("valid grid");
-    let adapt = |grid: &mut StatsGrid,
-                 sim: &TrafficSimulator,
-                 queries: &[RangeQuery],
-                 states: &mut [PolicyState]| {
-        grid.begin_snapshot();
-        for car in sim.cars() {
-            grid.observe_node(&car.position(), car.speed(), 1.0);
-        }
-        for q in queries {
-            grid.observe_query(&q.range);
-        }
-        grid.commit_snapshot();
-        for st in states.iter_mut() {
-            let started = Instant::now();
-            st.plan = match st.policy {
-                Policy::Lira => {
-                    let adaptation = st
-                        .shedder
-                        .as_ref()
-                        .expect("Lira state holds a shedder")
-                        .adapt_with_throttle(grid, sc.throttle)
-                        .expect("adaptation succeeds on a committed grid");
-                    adaptation.plan
-                }
-                Policy::LiraGrid => {
-                    lira_grid_plan(grid, &model, &config)
-                        .expect("lira-grid plan succeeds")
-                        .0
-                }
-                Policy::UniformDelta => uniform_plan(bounds, &model, sc.throttle),
-                // Random Drop nodes always run at the ideal resolution.
-                Policy::RandomDrop => SheddingPlan::uniform(bounds, sc.delta_min),
-            };
-            st.adapt_micros.push(started.elapsed().as_micros() as u64);
-        }
-    };
-
-    adapt(&mut grid, &sim, &queries, &mut states);
-
-    // --- Main measured loop --------------------------------------------------
-    let total_ticks = (sc.duration_s / sc.dt).round() as usize;
-    let eval_every = (sc.eval_period_s / sc.dt).round().max(1.0) as usize;
-    let adapt_every = (sc.adapt_period_s / sc.dt).round().max(1.0) as usize;
-
-    for tick in 1..=total_ticks {
-        sim.step(sc.dt);
-        let t = sim.time();
-
-        for (i, car) in sim.cars().iter().enumerate() {
-            let (pos, vel) = (car.position(), car.velocity());
-            if let Some(rep) = ref_reckoners[i].observe(i as u32, t, pos, vel, sc.delta_min) {
-                reference_updates += 1;
-                reference.ingest(rep.node, t, rep.model.origin, rep.model.velocity);
-            }
-            for st in states.iter_mut() {
-                let delta = st.plan.throttler_at(&pos);
-                if let Some(rep) = st.reckoners[i].observe(i as u32, t, pos, vel, delta) {
-                    st.updates_sent += 1;
-                    // Random Drop: the update is sent (wireless cost paid)
-                    // but the overloaded server only processes a z-fraction.
-                    let admitted = match st.policy {
-                        Policy::RandomDrop => st.drop_rng.gen_bool(sc.throttle.clamp(0.0, 1.0)),
-                        _ => true,
-                    };
-                    if admitted {
-                        st.updates_processed += 1;
-                        st.server.ingest(rep.node, t, rep.model.origin, rep.model.velocity);
-                    }
-                }
-            }
-        }
-
-        if tick % adapt_every == 0 && tick != total_ticks {
-            adapt(&mut grid, &sim, &queries, &mut states);
-        }
-
-        if tick % eval_every == 0 {
-            let ref_results = reference.evaluate(t);
-            for st in states.iter_mut() {
-                let shed_results = st.server.evaluate(t);
-                let errors = evaluation_errors(
-                    &ref_results,
-                    &shed_results,
-                    |n| reference.predict(n, t),
-                    |n| st.server.predict(n, t),
-                );
-                st.accumulator.record(&errors);
-            }
-        }
-    }
-
-    let outcomes = states
-        .into_iter()
-        .map(|st| PolicyOutcome {
-            policy: st.policy,
-            metrics: st.accumulator.report(),
-            updates_sent: st.updates_sent,
-            updates_processed: st.updates_processed,
-            processed_fraction: if reference_updates > 0 {
-                st.updates_processed as f64 / reference_updates as f64
-            } else {
-                0.0
-            },
-            adapt_micros: st.adapt_micros,
-            plan_regions: st.plan.len(),
-        })
-        .collect();
-
-    RunReport {
-        reference_updates,
-        num_queries: queries.len(),
-        num_cars: sc.num_cars,
-        outcomes,
-    }
+    SimPipeline::new().run(sc, policies)
 }
 
 #[cfg(test)]
@@ -410,5 +210,11 @@ mod tests {
             b.outcomes[0].metrics.mean_containment
         );
         assert_eq!(a.outcomes[0].updates_sent, b.outcomes[0].updates_sent);
+    }
+
+    #[test]
+    fn names_come_from_the_policy_impls() {
+        let names: Vec<&str> = Policy::ALL.iter().map(|p| p.name()).collect();
+        assert_eq!(names, ["LIRA", "Lira-Grid", "Uniform Delta", "Random Drop"]);
     }
 }

@@ -203,7 +203,12 @@ mod tests {
     /// Node cluster in the SW corner.
     fn clustered_nodes() -> Vec<Point> {
         (0..500)
-            .map(|i| Point::new(100.0 + (i % 25) as f64 * 40.0, 100.0 + (i / 25) as f64 * 40.0))
+            .map(|i| {
+                Point::new(
+                    100.0 + (i % 25) as f64 * 40.0,
+                    100.0 + (i / 25) as f64 * 40.0,
+                )
+            })
             .collect()
     }
 
@@ -227,7 +232,11 @@ mod tests {
 
     #[test]
     fn query_count_and_ids() {
-        let qs = generate_queries(&bounds(), &clustered_nodes(), &cfg(QueryDistribution::Random));
+        let qs = generate_queries(
+            &bounds(),
+            &clustered_nodes(),
+            &cfg(QueryDistribution::Random),
+        );
         assert_eq!(qs.len(), 400);
         for (i, q) in qs.iter().enumerate() {
             assert_eq!(q.id, i as u32);
@@ -281,7 +290,11 @@ mod tests {
 
     #[test]
     fn random_is_roughly_uniform() {
-        let qs = generate_queries(&bounds(), &clustered_nodes(), &cfg(QueryDistribution::Random));
+        let qs = generate_queries(
+            &bounds(),
+            &clustered_nodes(),
+            &cfg(QueryDistribution::Random),
+        );
         let f = fraction_in_sw(&qs);
         // SW box is 4% of the area.
         assert!((0.005..0.12).contains(&f), "fraction {f}");
@@ -289,8 +302,16 @@ mod tests {
 
     #[test]
     fn deterministic_given_seed() {
-        let a = generate_queries(&bounds(), &clustered_nodes(), &cfg(QueryDistribution::Random));
-        let b = generate_queries(&bounds(), &clustered_nodes(), &cfg(QueryDistribution::Random));
+        let a = generate_queries(
+            &bounds(),
+            &clustered_nodes(),
+            &cfg(QueryDistribution::Random),
+        );
+        let b = generate_queries(
+            &bounds(),
+            &clustered_nodes(),
+            &cfg(QueryDistribution::Random),
+        );
         assert_eq!(a, b);
         let mut c2 = cfg(QueryDistribution::Random);
         c2.seed = 6;

@@ -16,7 +16,14 @@ fn main() -> Result<()> {
     let bounds = net_cfg.bounds;
     let network = generate_network(&net_cfg);
     let demand = TrafficDemand::random_hotspots(&bounds, 4, 23);
-    let mut sim = TrafficSimulator::new(network, &demand, TrafficConfig { num_cars: 800, seed: 23 });
+    let mut sim = TrafficSimulator::new(
+        network,
+        &demand,
+        TrafficConfig {
+            num_cars: 800,
+            seed: 23,
+        },
+    );
     for _ in 0..90 {
         sim.step(1.0);
     }
@@ -42,11 +49,18 @@ fn main() -> Result<()> {
     grid.commit_snapshot();
     let shedder = LiraShedder::new(config.clone(), 1000)?;
     let plan = shedder.adapt_with_throttle(&grid, 0.5)?.plan;
-    println!("plan: {} regions, {} bytes total", plan.len(), plan.encode().len());
+    println!(
+        "plan: {} regions, {} bytes total",
+        plan.len(),
+        plan.encode().len()
+    );
 
     // Density-dependent base stations: ≤ 120 nodes per station.
     let stations = density_dependent_placement(&bounds, &positions, 120, 200.0);
-    println!("\nplaced {} base stations (density-dependent)", stations.len());
+    println!(
+        "\nplaced {} base stations (density-dependent)",
+        stations.len()
+    );
     println!(
         "mean regions per station: {:.1} | mean broadcast: {:.0} bytes (UDP payload limit 1472)",
         mean_regions_per_station(&stations, &plan),

@@ -17,7 +17,14 @@ fn main() -> Result<()> {
     let bounds = net_cfg.bounds;
     let network = generate_network(&net_cfg);
     let demand = TrafficDemand::random_hotspots(&bounds, 3, 31);
-    let mut sim = TrafficSimulator::new(network, &demand, TrafficConfig { num_cars: 300, seed: 31 });
+    let mut sim = TrafficSimulator::new(
+        network,
+        &demand,
+        TrafficConfig {
+            num_cars: 300,
+            seed: 31,
+        },
+    );
     for _ in 0..60 {
         sim.step(1.0);
     }
@@ -40,10 +47,16 @@ fn main() -> Result<()> {
     // The CQ server runs on the TPR-tree (time-parameterized) index: no
     // per-evaluation refresh needed.
     let mut server = CqServer::with_index(bounds, 300, TprTree::new(60.0));
-    server.register_query(RangeQuery { id: 0, range: fence });
+    server.register_query(RangeQuery {
+        id: 0,
+        range: fence,
+    });
     let mut reckoners = vec![DeadReckoner::new(); 300];
 
-    println!("geofence {fence} | z = 0.4 | {} shedding regions", plan.len());
+    println!(
+        "geofence {fence} | z = 0.4 | {} shedding regions",
+        plan.len()
+    );
     println!("\n  time | must | maybe | true inside | guarantee check");
     println!("-------+------+-------+-------------+----------------");
     let mut updates = 0u64;
@@ -52,7 +65,8 @@ fn main() -> Result<()> {
         let t = sim.time();
         for (i, car) in sim.cars().iter().enumerate() {
             let delta = plan.throttler_at(&car.position());
-            if let Some(rep) = reckoners[i].observe(i as u32, t, car.position(), car.velocity(), delta)
+            if let Some(rep) =
+                reckoners[i].observe(i as u32, t, car.position(), car.velocity(), delta)
             {
                 server.ingest(rep.node, t, rep.model.origin, rep.model.velocity);
                 updates += 1;
@@ -72,21 +86,26 @@ fn main() -> Result<()> {
             .map(|(i, _)| i as u32)
             .collect();
         // Guarantee 1: every `must` node is truly inside.
-        let must_ok = result
-            .must
-            .iter()
-            .all(|n| fence.expand(1e-6).contains_closed(&sim.cars()[*n as usize].position()));
-        // Guarantee 2: every truly-inside node is in must ∪ maybe.
-        let recall_ok = truly_inside.iter().all(|n| {
-            result.must.binary_search(n).is_ok() || result.maybe.binary_search(n).is_ok()
+        let must_ok = result.must.iter().all(|n| {
+            fence
+                .expand(1e-6)
+                .contains_closed(&sim.cars()[*n as usize].position())
         });
+        // Guarantee 2: every truly-inside node is in must ∪ maybe.
+        let recall_ok = truly_inside
+            .iter()
+            .all(|n| result.must.binary_search(n).is_ok() || result.maybe.binary_search(n).is_ok());
         println!(
             "{:>5.0}s | {:>4} | {:>5} | {:>11} | {}",
             t,
             result.must.len(),
             result.maybe.len(),
             truly_inside.len(),
-            if must_ok && recall_ok { "✓ sound + complete" } else { "✗ VIOLATED" }
+            if must_ok && recall_ok {
+                "✓ sound + complete"
+            } else {
+                "✗ VIOLATED"
+            }
         );
         assert!(must_ok, "a must-node was outside the fence");
         assert!(recall_ok, "a vehicle inside the fence was missed");

@@ -22,7 +22,14 @@ fn main() -> Result<()> {
     let bounds = net_cfg.bounds;
     let network = generate_network(&net_cfg);
     let demand = TrafficDemand::random_hotspots(&bounds, 3, 11);
-    let mut sim = TrafficSimulator::new(network, &demand, TrafficConfig { num_cars: 600, seed: 11 });
+    let mut sim = TrafficSimulator::new(
+        network,
+        &demand,
+        TrafficConfig {
+            num_cars: 600,
+            seed: 11,
+        },
+    );
 
     let mut config = LiraConfig::default();
     config.bounds = bounds;

@@ -14,7 +14,14 @@ fn main() -> Result<()> {
     let bounds = net_cfg.bounds;
     let network = generate_network(&net_cfg);
     let demand = TrafficDemand::random_hotspots(&bounds, 3, 42);
-    let mut sim = TrafficSimulator::new(network, &demand, TrafficConfig { num_cars: 400, seed: 42 });
+    let mut sim = TrafficSimulator::new(
+        network,
+        &demand,
+        TrafficConfig {
+            num_cars: 400,
+            seed: 42,
+        },
+    );
     println!(
         "city: {:.1} km² | {} intersections | {} cars",
         bounds.area() / 1e6,

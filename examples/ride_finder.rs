@@ -49,7 +49,9 @@ fn main() {
     }
 
     let lira = report.outcome(Policy::Lira).expect("LIRA evaluated");
-    let drop = report.outcome(Policy::RandomDrop).expect("Random Drop evaluated");
+    let drop = report
+        .outcome(Policy::RandomDrop)
+        .expect("Random Drop evaluated");
     if lira.metrics.mean_position > 0.0 {
         println!(
             "\nRandom Drop has {:.1}x the position error of LIRA at the same processing budget,",

@@ -221,7 +221,10 @@ fn cmd_plan(opts: &Options) -> ExitCode {
     let mut sim = TrafficSimulator::new(
         network,
         &demand,
-        TrafficConfig { num_cars: sc.num_cars, seed: sc.seed },
+        TrafficConfig {
+            num_cars: sc.num_cars,
+            seed: sc.seed,
+        },
     );
     for _ in 0..(sc.warmup_s as usize) {
         sim.step(1.0);

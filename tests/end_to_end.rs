@@ -11,12 +11,28 @@ fn policy_quality_ordering_matches_paper() {
     // Section 4.3.1: LIRA outperforms Lira-Grid, which outperforms
     // Uniform Δ, which outperforms Random Drop. The LIRA vs Lira-Grid gap
     // needs spatial heterogeneity to show (paper: 1.08–2×), so this test
-    // runs the medium default scenario rather than the tiny one.
-    let mut sc = Scenario::default();
-    sc.seed = 101;
-    sc.duration_s = 240.0;
-    let report = run_scenario(&sc, &Policy::ALL);
-    let m = |p: Policy| report.outcome(p).unwrap().metrics;
+    // runs the medium default scenario rather than the tiny one, averaged
+    // over two seeds: on a single seed the LIRA/Lira-Grid ratio wobbles
+    // between ~0.85 and ~1.26 (see EXPERIMENTS.md), which is exactly the
+    // single-run noise the parity tolerance below is meant to absorb.
+    let reports: Vec<RunReport> = [101u64, 202]
+        .iter()
+        .map(|&seed| {
+            let mut sc = Scenario::default();
+            sc.seed = seed;
+            sc.duration_s = 240.0;
+            run_scenario(&sc, &Policy::ALL)
+        })
+        .collect();
+    let m = |p: Policy| {
+        let mut mean = MetricsReport::default();
+        for report in &reports {
+            let r = report.outcome(p).unwrap().metrics;
+            mean.mean_position += r.mean_position / reports.len() as f64;
+            mean.mean_containment += r.mean_containment / reports.len() as f64;
+        }
+        mean
+    };
 
     let lira = m(Policy::Lira);
     let grid = m(Policy::LiraGrid);
@@ -150,7 +166,14 @@ fn fairness_threshold_bounds_plan_spread() {
         seed: sc.seed,
     });
     let demand = TrafficDemand::random_hotspots(&bounds, sc.hotspots, sc.seed);
-    let mut sim = TrafficSimulator::new(network, &demand, TrafficConfig { num_cars: sc.num_cars, seed: sc.seed });
+    let mut sim = TrafficSimulator::new(
+        network,
+        &demand,
+        TrafficConfig {
+            num_cars: sc.num_cars,
+            seed: sc.seed,
+        },
+    );
     for _ in 0..60 {
         sim.step(1.0);
     }
@@ -162,9 +185,21 @@ fn fairness_threshold_bounds_plan_spread() {
     grid.commit_snapshot();
     let shedder = LiraShedder::new(config, 100).unwrap();
     let plan = shedder.adapt_with_throttle(&grid, 0.3).unwrap().plan;
-    let max = plan.regions().iter().map(|r| r.throttler).fold(f64::MIN, f64::max);
-    let min = plan.regions().iter().map(|r| r.throttler).fold(f64::MAX, f64::min);
-    assert!(max - min <= 20.0 + 1e-9, "plan spread {} exceeds fairness", max - min);
+    let max = plan
+        .regions()
+        .iter()
+        .map(|r| r.throttler)
+        .fold(f64::MIN, f64::max);
+    let min = plan
+        .regions()
+        .iter()
+        .map(|r| r.throttler)
+        .fold(f64::MAX, f64::min);
+    assert!(
+        max - min <= 20.0 + 1e-9,
+        "plan spread {} exceeds fairness",
+        max - min
+    );
 }
 
 #[test]

@@ -26,7 +26,12 @@ fn demo_grid(bounds: Rect, alpha: usize) -> StatsGrid {
     for i in 0..12 {
         let x = bounds.width() * (0.55 + 0.03 * (i % 4) as f64);
         let y = bounds.height() * (0.55 + 0.03 * (i / 4) as f64);
-        grid.observe_query(&Rect::from_coords(x, y, x + bounds.width() * 0.05, y + bounds.height() * 0.05));
+        grid.observe_query(&Rect::from_coords(
+            x,
+            y,
+            x + bounds.width() * 0.05,
+            y + bounds.height() * 0.05,
+        ));
     }
     grid.commit_snapshot();
     grid
@@ -95,7 +100,14 @@ fn dead_reckoning_keeps_server_within_delta() {
     let net = generate_network(&NetworkConfig::small(3));
     let bounds = *net.bounds();
     let demand = TrafficDemand::random_hotspots(&bounds, 2, 3);
-    let mut sim = TrafficSimulator::new(net, &demand, TrafficConfig { num_cars: 30, seed: 3 });
+    let mut sim = TrafficSimulator::new(
+        net,
+        &demand,
+        TrafficConfig {
+            num_cars: 30,
+            seed: 3,
+        },
+    );
     let mut server = CqServer::new(bounds, 30, 16);
     let mut reckoners = vec![DeadReckoner::new(); 30];
     let delta = 25.0;
@@ -103,7 +115,8 @@ fn dead_reckoning_keeps_server_within_delta() {
         sim.step(1.0);
         let t = sim.time();
         for (i, car) in sim.cars().iter().enumerate() {
-            if let Some(rep) = reckoners[i].observe(i as u32, t, car.position(), car.velocity(), delta)
+            if let Some(rep) =
+                reckoners[i].observe(i as u32, t, car.position(), car.velocity(), delta)
             {
                 server.ingest(rep.node, t, rep.model.origin, rep.model.velocity);
             }
@@ -132,8 +145,74 @@ fn reference_and_shed_servers_agree_at_z_one() {
             "{:?} containment at z=1",
             o.policy
         );
-        assert_eq!(o.metrics.mean_position, 0.0, "{:?} position at z=1", o.policy);
+        assert_eq!(
+            o.metrics.mean_position, 0.0,
+            "{:?} position at z=1",
+            o.policy
+        );
         assert_eq!(o.updates_processed, report.reference_updates);
+    }
+}
+
+#[test]
+fn parallel_lanes_are_bit_identical_to_sequential() {
+    // The pipeline's determinism contract: with two or more policies the
+    // lanes run on scoped threads, and the report must still match a
+    // forced single-threaded run bit for bit — every lane derives its RNG
+    // from the scenario seed and its policy index, and shares no mutable
+    // state. Only the wall-clock `adapt_micros` may differ between modes.
+    let mut sc = Scenario::small(23);
+    sc.duration_s = 90.0;
+    let parallel = SimPipeline::new().run(&sc, &Policy::ALL);
+    let sequential = SimPipeline::new()
+        .with_parallelism(Parallelism::Sequential)
+        .run(&sc, &Policy::ALL);
+
+    assert_eq!(parallel.reference_updates, sequential.reference_updates);
+    assert_eq!(parallel.num_queries, sequential.num_queries);
+    assert_eq!(parallel.outcomes.len(), sequential.outcomes.len());
+    for (p, s) in parallel.outcomes.iter().zip(&sequential.outcomes) {
+        assert_eq!(p.policy, s.policy);
+        assert_eq!(
+            p.updates_sent, s.updates_sent,
+            "{:?} updates sent",
+            p.policy
+        );
+        assert_eq!(
+            p.updates_processed, s.updates_processed,
+            "{:?} processed",
+            p.policy
+        );
+        for (label, a, b) in [
+            (
+                "E^C_rr",
+                p.metrics.mean_containment,
+                s.metrics.mean_containment,
+            ),
+            ("E^P_rr", p.metrics.mean_position, s.metrics.mean_position),
+            (
+                "D^C_ev",
+                p.metrics.stddev_containment,
+                s.metrics.stddev_containment,
+            ),
+            (
+                "C^C_ov",
+                p.metrics.cov_containment,
+                s.metrics.cov_containment,
+            ),
+            (
+                "processed fraction",
+                p.processed_fraction,
+                s.processed_fraction,
+            ),
+        ] {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "{:?} {label}: parallel {a} vs sequential {b}",
+                p.policy
+            );
+        }
     }
 }
 
@@ -154,7 +233,10 @@ fn table3_region_counts_grow_with_radius() {
         let n = plan
             .subset_for(&Circle::new(center, radius_km * 1000.0))
             .len();
-        assert!(n > prev, "radius {radius_km} km: {n} regions not more than {prev}");
+        assert!(
+            n > prev,
+            "radius {radius_km} km: {n} regions not more than {prev}"
+        );
         prev = n;
     }
     // Across a whole placement the mean also grows from the smallest to
@@ -174,7 +256,14 @@ fn uncertain_evaluation_guarantees_hold_end_to_end() {
     let net = generate_network(&NetworkConfig::small(47));
     let bounds = *net.bounds();
     let demand = TrafficDemand::random_hotspots(&bounds, 2, 47);
-    let mut sim = TrafficSimulator::new(net, &demand, TrafficConfig { num_cars: 120, seed: 47 });
+    let mut sim = TrafficSimulator::new(
+        net,
+        &demand,
+        TrafficConfig {
+            num_cars: 120,
+            seed: 47,
+        },
+    );
     for _ in 0..45 {
         sim.step(1.0);
     }
@@ -195,8 +284,14 @@ fn uncertain_evaluation_guarantees_hold_end_to_end() {
 
     let mut server = CqServer::new(bounds, 120, 16);
     server.register_queries([
-        RangeQuery { id: 0, range: Rect::from_coords(400.0, 400.0, 1200.0, 1200.0) },
-        RangeQuery { id: 1, range: Rect::from_coords(0.0, 1000.0, 900.0, 2000.0) },
+        RangeQuery {
+            id: 0,
+            range: Rect::from_coords(400.0, 400.0, 1200.0, 1200.0),
+        },
+        RangeQuery {
+            id: 1,
+            range: Rect::from_coords(0.0, 1000.0, 900.0, 2000.0),
+        },
     ]);
     let queries = server.queries().to_vec();
     let mut reckoners = vec![DeadReckoner::new(); 120];
@@ -206,7 +301,8 @@ fn uncertain_evaluation_guarantees_hold_end_to_end() {
         let t = sim.time();
         for (i, car) in sim.cars().iter().enumerate() {
             let delta = plan.throttler_at(&car.position());
-            if let Some(rep) = reckoners[i].observe(i as u32, t, car.position(), car.velocity(), delta)
+            if let Some(rep) =
+                reckoners[i].observe(i as u32, t, car.position(), car.velocity(), delta)
             {
                 server.ingest(rep.node, t, rep.model.origin, rep.model.velocity);
             }

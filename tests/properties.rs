@@ -9,19 +9,18 @@ use proptest::prelude::*;
 /// Strategy for a random reduction model: random non-increasing knots
 /// (plateaus allowed — calibrated models can have them).
 fn reduction_model(kappa: usize) -> impl Strategy<Value = ReductionModel> {
-    prop::collection::vec(0.0f64..1.0, kappa)
-        .prop_map(move |drops| {
-            // Turn arbitrary values into a non-increasing sequence from 1.
-            let total: f64 = drops.iter().sum::<f64>().max(1e-9);
-            let mut knots = Vec::with_capacity(kappa + 1);
-            let mut v = 1.0;
-            knots.push(1.0);
-            for d in &drops {
-                v -= 0.95 * d / total; // keep f(delta_max) > 0
-                knots.push(v.max(0.0));
-            }
-            ReductionModel::from_knots(5.0, 105.0, knots).expect("constructed monotone")
-        })
+    prop::collection::vec(0.0f64..1.0, kappa).prop_map(move |drops| {
+        // Turn arbitrary values into a non-increasing sequence from 1.
+        let total: f64 = drops.iter().sum::<f64>().max(1e-9);
+        let mut knots = Vec::with_capacity(kappa + 1);
+        let mut v = 1.0;
+        knots.push(1.0);
+        for d in &drops {
+            v -= 0.95 * d / total; // keep f(delta_max) > 0
+            knots.push(v.max(0.0));
+        }
+        ReductionModel::from_knots(5.0, 105.0, knots).expect("constructed monotone")
+    })
 }
 
 /// Strategy for a *convex* decreasing reduction model (non-increasing
@@ -32,20 +31,19 @@ fn reduction_model(kappa: usize) -> impl Strategy<Value = ReductionModel> {
 /// exhausts mid-commitment; that variant is a non-convex knapsack (see
 /// `greedy_increment.rs` docs).
 fn convex_reduction_model(kappa: usize) -> impl Strategy<Value = ReductionModel> {
-    prop::collection::vec(0.05f64..1.0, kappa)
-        .prop_map(move |mut drops| {
-            // Sorting the per-segment drops descending makes r non-increasing.
-            drops.sort_by(|a, b| b.partial_cmp(a).expect("finite drops"));
-            let total: f64 = drops.iter().sum::<f64>().max(1e-9);
-            let mut knots = Vec::with_capacity(kappa + 1);
-            let mut v = 1.0;
-            knots.push(1.0);
-            for d in &drops {
-                v -= 0.95 * d / total;
-                knots.push(v.max(0.0));
-            }
-            ReductionModel::from_knots(5.0, 105.0, knots).expect("constructed monotone")
-        })
+    prop::collection::vec(0.05f64..1.0, kappa).prop_map(move |mut drops| {
+        // Sorting the per-segment drops descending makes r non-increasing.
+        drops.sort_by(|a, b| b.partial_cmp(a).expect("finite drops"));
+        let total: f64 = drops.iter().sum::<f64>().max(1e-9);
+        let mut knots = Vec::with_capacity(kappa + 1);
+        let mut v = 1.0;
+        knots.push(1.0);
+        for d in &drops {
+            v -= 0.95 * d / total;
+            knots.push(v.max(0.0));
+        }
+        ReductionModel::from_knots(5.0, 105.0, knots).expect("constructed monotone")
+    })
 }
 
 /// Strategy for random region statistics.
@@ -307,6 +305,84 @@ proptest! {
             prop_assert!((a.throttler - b.throttler).abs() < 1e-4);
             prop_assert!((a.area.min.x - b.area.min.x).abs() < 0.5);
             prop_assert!((a.area.width() - b.area.width()).abs() < 0.5);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The `SheddingPolicy` contract, checked uniformly for all four
+    /// implementations: every plan stays inside the throttler domain
+    /// `[Δ⊢, Δ⊣]`, and the *expected* post-shedding update rate — the
+    /// speed-weighted `Σ_c s_c·f(Δ(center_c))` over the statistics-grid
+    /// cells, scaled by the server-side admission probability — meets the
+    /// budget `z`. Cells are the granularity at which every partitioner
+    /// attributes nodes to regions, so this recomputation is exact.
+    #[test]
+    fn every_policy_respects_domain_and_budget(
+        nodes in prop::collection::vec((0.0f64..1.0, 0.0f64..1.0, 0.5f64..30.0), 50..250),
+        queries in prop::collection::vec((0.0f64..0.9, 0.0f64..0.9, 0.01f64..0.1), 1..20),
+        z in 0.3f64..0.95,
+    ) {
+        let bounds = Rect::from_coords(0.0, 0.0, 4096.0, 4096.0);
+        let mut config = LiraConfig::default();
+        config.bounds = bounds;
+        config = config.with_regions(25);
+        let model = ReductionModel::analytic(config.delta_min, config.delta_max, config.kappa());
+        let mut grid = StatsGrid::new(config.alpha, bounds).unwrap();
+        grid.begin_snapshot();
+        for &(x, y, s) in &nodes {
+            grid.observe_node(&Point::new(x * 4096.0, y * 4096.0), s, 1.0);
+        }
+        for &(x, y, w) in &queries {
+            let side = w * 4096.0;
+            grid.observe_query(&Rect::from_coords(
+                x * 4096.0,
+                y * 4096.0,
+                x * 4096.0 + side,
+                y * 4096.0 + side,
+            ));
+        }
+        grid.commit_snapshot();
+
+        let policies: Vec<Box<dyn SheddingPolicy>> = vec![
+            Box::new(LiraPolicy::new(config.clone(), 1000).unwrap().with_model(model.clone())),
+            Box::new(LiraGridPolicy::new(config.clone(), model.clone())),
+            Box::new(UniformDeltaPolicy::new(bounds, model.clone())),
+            Box::new(RandomDropPolicy::new(bounds, config.delta_min)),
+        ];
+        for mut policy in policies {
+            let plan = policy.adapt(&grid, z).unwrap();
+            for r in plan.regions() {
+                prop_assert!(
+                    r.throttler >= config.delta_min - 1e-9
+                        && r.throttler <= config.delta_max + 1e-9,
+                    "{}: throttler {} outside [{}, {}]",
+                    policy.name(), r.throttler, config.delta_min, config.delta_max
+                );
+            }
+            let admission = policy.admission(z);
+            prop_assert!((0.0..=1.0).contains(&admission));
+            let mut total = 0.0;
+            let mut expected = 0.0;
+            for r in 0..config.alpha {
+                for c in 0..config.alpha {
+                    let cell = grid.cell(r, c);
+                    if cell.nodes <= 0.0 {
+                        continue;
+                    }
+                    let center = grid.cell_rect(r, c).center();
+                    total += cell.speed_sum;
+                    expected += cell.speed_sum * model.f(plan.throttler_at(&center));
+                }
+            }
+            expected *= admission;
+            prop_assert!(
+                expected <= z * total * (1.0 + 1e-6) + 1e-6,
+                "{}: expected update rate {} exceeds budget {}",
+                policy.name(), expected, z * total
+            );
         }
     }
 }

