@@ -29,6 +29,12 @@ pub struct AveragedOutcome {
     pub processed_fraction: f64,
     pub updates_sent: f64,
     pub adapt_micros: f64,
+    /// Fraction of uplink sends terminally lost (0 on the perfect channel).
+    pub loss_fraction: f64,
+    /// Retransmissions per run (0 without a retry policy).
+    pub retries: f64,
+    /// Mean delivery staleness in seconds (0 on the perfect channel).
+    pub mean_staleness_s: f64,
 }
 
 /// Averages each policy's outcome across the given reports (one report
@@ -49,6 +55,9 @@ pub fn average_outcomes(
             s.updates_sent += o.updates_sent as f64;
             s.adapt_micros +=
                 o.adapt_micros.iter().sum::<u64>() as f64 / o.adapt_micros.len().max(1) as f64;
+            s.loss_fraction += o.faults.loss_fraction();
+            s.retries += o.faults.retries as f64;
+            s.mean_staleness_s += o.faults.mean_staleness_s;
         }
     }
     let k = reports.len().max(1) as f64;
@@ -63,6 +72,9 @@ pub fn average_outcomes(
             s.processed_fraction /= k;
             s.updates_sent /= k;
             s.adapt_micros /= k;
+            s.loss_fraction /= k;
+            s.retries /= k;
+            s.mean_staleness_s /= k;
             (p, s)
         })
         .collect()

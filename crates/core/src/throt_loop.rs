@@ -7,8 +7,19 @@
 //! `ρ = 1 − 1/B`. THROTLOOP therefore periodically computes
 //! `u = ρ / (1 − 1/B)` and updates `z ← min(1, z/u)`: utilization above the
 //! sustainable level shrinks the budget, spare capacity grows it back.
+//!
+//! The controller degrades gracefully under measurement faults: the
+//! multiplicative step is clamped (one window can at most halve or double
+//! `z`), so rate estimates that collapse to zero or blow up to infinity
+//! during a base-station outage can neither slam `z` to the floor in one
+//! step nor poison it with NaN/∞.
 
 use crate::error::{LiraError, Result};
+
+/// Largest per-window step factor: one observation may at most halve
+/// (`u = MAX_STEP`) or double (`u = 1/MAX_STEP`) the throttle fraction.
+/// Keeps the loop stable when λ/μ estimates degenerate during outages.
+const MAX_STEP: f64 = 2.0;
 
 /// The throttle-fraction controller.
 #[derive(Debug, Clone, PartialEq)]
@@ -74,23 +85,38 @@ impl ThrotLoop {
     }
 
     /// Performs one periodic adaptation step:
-    /// `u ← ρ/(1 − B⁻¹)`, `z ← min(1, z/u)`, clamped to the floor.
+    /// `u ← ρ/(1 − B⁻¹)`, `z ← min(1, z/u)`, with `u` clamped to
+    /// `[1/MAX_STEP, MAX_STEP]` and `z` clamped to the floor.
     ///
-    /// A window with no observed service capacity (`μ = 0`) is treated as
-    /// full overload and halves `z`.
+    /// Degenerate windows are handled explicitly: a NaN rate estimate
+    /// (e.g. a measurement window torn apart by an outage) carries no
+    /// signal and leaves `z` unchanged; a window with no observed service
+    /// capacity (`μ ≤ 0`, dead server or outage) is full overload and
+    /// steps `z` down at the cap. `z` is therefore always finite and in
+    /// `[floor, 1]`, whatever the observation.
     pub fn observe(&mut self, obs: QueueObservation) -> f64 {
         self.iterations += 1;
+        if obs.arrival_rate.is_nan() || obs.service_rate.is_nan() {
+            return self.z;
+        }
         if obs.arrival_rate <= 0.0 {
             // Nothing arriving: the system is trivially underloaded.
             self.z = 1.0;
             return self.z;
         }
         let u = if obs.service_rate <= 0.0 {
-            2.0
+            MAX_STEP
         } else {
             let rho = obs.arrival_rate / obs.service_rate;
+            if rho.is_nan() {
+                // ∞/∞: two blown-up estimates cancel into no signal.
+                return self.z;
+            }
             rho / self.target_utilization()
         };
+        // The clamp both bounds the reaction speed and absorbs ρ = ∞
+        // (λ = ∞, or μ underflowed): the division below stays finite.
+        let u = u.clamp(1.0 / MAX_STEP, MAX_STEP);
         self.z = (self.z / u).min(1.0).max(self.floor);
         self.z
     }
@@ -150,7 +176,8 @@ mod tests {
     #[test]
     fn underload_recovers_z() {
         let mut t = ThrotLoop::new(100).unwrap();
-        t.observe(obs(4.0 * 0.99, 1.0)); // -> 0.25
+        t.observe(obs(4.0 * 0.99, 1.0)); // clamped step -> 0.5
+        t.observe(obs(2.0 * 0.99, 1.0)); // -> 0.25
                                          // Load drops to half the sustainable rate: z doubles.
         let z = t.observe(obs(0.5 * 0.99, 1.0));
         assert!((z - 0.5).abs() < 1e-9, "got {z}");
@@ -199,6 +226,62 @@ mod tests {
             t.observe(obs(100.0, 1.0));
         }
         assert_eq!(t.throttle(), 0.1);
+    }
+
+    #[test]
+    fn step_factor_is_clamped_both_ways() {
+        // A 100x overload window halves z instead of slamming it down...
+        let mut t = ThrotLoop::new(100).unwrap();
+        let z = t.observe(obs(100.0, 1.0));
+        assert!((z - 0.5).abs() < 1e-12, "got {z}");
+        // ...and a near-idle (but non-zero) window doubles it back.
+        let z = t.observe(obs(1e-6, 1.0));
+        assert!((z - 1.0).abs() < 1e-12, "got {z}");
+    }
+
+    #[test]
+    fn z_recovers_after_outage() {
+        // An outage collapses the μ estimate to zero for several windows;
+        // z steps down at the clamp but stays above the floor, and once
+        // service resumes with slack capacity z climbs back to 1.
+        let mut t = ThrotLoop::new(100).unwrap();
+        for _ in 0..4 {
+            let z = t.observe(obs(50.0, 0.0));
+            assert!(z.is_finite() && z >= 1e-3);
+        }
+        assert!(t.throttle() <= 0.0625 + 1e-12);
+        let mut recovered = 0;
+        while t.throttle() < 1.0 {
+            t.observe(obs(0.2 * 0.99, 1.0));
+            recovered += 1;
+            assert!(recovered < 32, "z must recover, stuck at {}", t.throttle());
+        }
+        assert_eq!(t.throttle(), 1.0);
+    }
+
+    #[test]
+    fn nan_window_holds_z_steady() {
+        let mut t = ThrotLoop::new(100).unwrap();
+        t.observe(obs(2.0 * 0.99, 1.0)); // -> 0.5
+        let z = t.observe(obs(f64::NAN, 1.0));
+        assert_eq!(z, 0.5);
+        let z = t.observe(obs(5.0, f64::NAN));
+        assert_eq!(z, 0.5);
+    }
+
+    #[test]
+    fn degenerate_observations_never_poison_z() {
+        let bad = [0.0, -1.0, 1e-300, 1e300, f64::INFINITY, f64::NAN];
+        let mut t = ThrotLoop::new(100).unwrap();
+        for &lambda in &bad {
+            for &mu in &bad {
+                let z = t.observe(obs(lambda, mu));
+                assert!(
+                    z.is_finite() && (1e-3..=1.0).contains(&z),
+                    "λ = {lambda}, μ = {mu} produced z = {z}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,243 @@
+//! Golden-value tests: GREEDYINCREMENT and GRIDREDUCE pinned against
+//! hand-computed optima on a tiny piecewise-linear reduction model, so a
+//! future refactor that silently changes plans fails loudly here.
+//!
+//! The model used throughout: `Δ⊢ = 10`, `Δ⊣ = 40`, knots
+//! `f = [1.0, 0.6, 0.3, 0.1]` at `Δ = 10, 20, 30, 40` (κ = 3, segment
+//! width `c_Δ = 10`). Per-segment reduction rates `0.04, 0.03, 0.02` are
+//! strictly decreasing, so `f` is convex and Theorem 3.1 applies: the
+//! whole-segment greedy walk is optimal, and every optimum below can be
+//! verified by hand with secant arithmetic.
+
+use lira_core::geometry::{Point, Rect};
+use lira_core::greedy_increment::{greedy_increment, GreedyParams, RegionInput};
+use lira_core::grid_reduce::{grid_reduce, GridReduceParams};
+use lira_core::reduction::ReductionModel;
+use lira_core::stats_grid::StatsGrid;
+
+fn model() -> ReductionModel {
+    ReductionModel::from_knots(10.0, 40.0, vec![1.0, 0.6, 0.3, 0.1]).unwrap()
+}
+
+fn close(a: f64, b: f64) -> bool {
+    (a - b).abs() < 1e-9
+}
+
+#[test]
+fn greedy_two_regions_hand_computed_optimum() {
+    // Region A: 100 nodes, 1 query. Region B: 50 nodes, 2 queries.
+    // z = 0.7: budget = 0.7·150 = 105, so 45 update-units must go.
+    //
+    // Marginal inaccuracy price of shedding (m/(w·r)): A pays 1/(100·0.04)
+    // = 0.25 per unit in its first segment and 1/3 in its second; B pays
+    // 2/(50·0.04) = 1. The optimum therefore sheds A alone: its first
+    // segment yields 100·0.4 = 40 units (Δ_A = 20), the remaining 5 come
+    // from the second segment at rate 3/m, i.e. 5/3 extra meters:
+    // Δ_A = 20 + 5/3, Δ_B = Δ⊢ = 10,
+    // inaccuracy = 1·(65/3) + 2·10 = 125/3.
+    let regions = [
+        RegionInput::new(100.0, 1.0, 0.0),
+        RegionInput::new(50.0, 2.0, 0.0),
+    ];
+    let sol = greedy_increment(
+        &regions,
+        &model(),
+        &GreedyParams {
+            throttle: 0.7,
+            fairness: 1000.0,
+            use_speed: false,
+        },
+    );
+    assert!(sol.budget_met);
+    assert!(close(sol.budget, 105.0));
+    assert!(close(sol.expenditure, 105.0), "exp = {}", sol.expenditure);
+    assert!(
+        close(sol.deltas[0], 20.0 + 5.0 / 3.0),
+        "Δ_A = {}",
+        sol.deltas[0]
+    );
+    assert!(close(sol.deltas[1], 10.0), "Δ_B = {}", sol.deltas[1]);
+    assert!(close(sol.inaccuracy, 125.0 / 3.0), "E = {}", sol.inaccuracy);
+    assert_eq!(sol.steps, 2);
+    // The marginal price: the last accepted gain is A's second-segment
+    // rate, w·r/m = 100·0.03/1.
+    assert!(close(sol.final_gain.unwrap(), 3.0));
+}
+
+#[test]
+fn greedy_sub_segment_fairness_degenerates_to_uniform_delta() {
+    // Δ⇔ = 5 < c_Δ = 10: whole-segment steps cannot respect the fairness
+    // band, so the solver falls back to one system-wide threshold:
+    // f(Δ) = 0.7 in the first segment at Δ = 10 + 0.3/0.04 = 17.5.
+    let regions = [
+        RegionInput::new(100.0, 1.0, 0.0),
+        RegionInput::new(50.0, 2.0, 0.0),
+    ];
+    let sol = greedy_increment(
+        &regions,
+        &model(),
+        &GreedyParams {
+            throttle: 0.7,
+            fairness: 5.0,
+            use_speed: false,
+        },
+    );
+    assert!(sol.budget_met);
+    assert!(close(sol.deltas[0], 17.5));
+    assert!(close(sol.deltas[1], 17.5));
+    assert!(close(sol.expenditure, 105.0));
+    assert!(close(sol.inaccuracy, 3.0 * 17.5));
+    assert_eq!(sol.steps, 1);
+}
+
+#[test]
+fn greedy_fairness_band_forces_spread_shedding() {
+    // Same workload, Δ⇔ = c_Δ = 10. A's first step lands at Δ_A = 20 and
+    // hits the band (spread 20 − 10 = Δ⇔), blocking A. The remaining 5
+    // units must come from B despite its worse price: Δ_B = 10 + 5/2 =
+    // 12.5 (rate w·r = 50·0.04 = 2). Inaccuracy 1·20 + 2·12.5 = 45 — the
+    // fairness-constrained optimum, worse than the unconstrained 125/3.
+    let regions = [
+        RegionInput::new(100.0, 1.0, 0.0),
+        RegionInput::new(50.0, 2.0, 0.0),
+    ];
+    let sol = greedy_increment(
+        &regions,
+        &model(),
+        &GreedyParams {
+            throttle: 0.7,
+            fairness: 10.0,
+            use_speed: false,
+        },
+    );
+    assert!(sol.budget_met);
+    assert!(close(sol.deltas[0], 20.0), "Δ_A = {}", sol.deltas[0]);
+    assert!(close(sol.deltas[1], 12.5), "Δ_B = {}", sol.deltas[1]);
+    assert!(close(sol.expenditure, 105.0));
+    assert!(close(sol.inaccuracy, 45.0));
+    assert_eq!(sol.steps, 2);
+    assert!(close(sol.final_gain.unwrap(), 1.0));
+}
+
+#[test]
+fn greedy_query_free_regions_absorb_all_shedding() {
+    // A: 100 nodes, no queries — shedding is free (tier above every
+    // queried region, whatever the gain values). B: 50 nodes, 1 query.
+    // z = 0.6: need 60 of 150. A's first segment gives 40 (Δ_A = 20),
+    // the next 20 come at rate 100·0.03 = 3: Δ_A = 20 + 20/3. B stays
+    // at Δ⊢, so query inaccuracy is the Δ⊢ floor: 10.
+    let regions = [
+        RegionInput::new(100.0, 0.0, 0.0),
+        RegionInput::new(50.0, 1.0, 0.0),
+    ];
+    let sol = greedy_increment(
+        &regions,
+        &model(),
+        &GreedyParams {
+            throttle: 0.6,
+            fairness: 1000.0,
+            use_speed: false,
+        },
+    );
+    assert!(sol.budget_met);
+    assert!(
+        close(sol.deltas[0], 20.0 + 20.0 / 3.0),
+        "Δ_A = {}",
+        sol.deltas[0]
+    );
+    assert!(close(sol.deltas[1], 10.0));
+    assert!(close(sol.expenditure, 90.0));
+    assert!(close(sol.inaccuracy, 10.0));
+    // Free-tier steps never set the marginal price.
+    assert_eq!(sol.final_gain, None);
+}
+
+/// The 4×4 golden grid: 400×400 m, 100 m cells.
+///
+/// * SW quadrant: 8 nodes at 10 m/s (the slow cluster);
+/// * NE quadrant: 2 nodes at 25 m/s (sparse fast traffic);
+/// * NW quadrant: one query, 100×100 m at (50, 250)–(150, 350), split
+///   evenly (0.25 each) across its four overlapped cells;
+/// * SE quadrant: empty.
+fn golden_grid() -> StatsGrid {
+    let bounds = Rect::from_coords(0.0, 0.0, 400.0, 400.0);
+    let mut g = StatsGrid::new(4, bounds).unwrap();
+    g.begin_snapshot();
+    for i in 0..8 {
+        let p = Point::new(25.0 + (i % 4) as f64 * 50.0, 25.0 + (i / 4) as f64 * 50.0);
+        g.observe_node(&p, 10.0, 1.0);
+    }
+    g.observe_node(&Point::new(250.0, 250.0), 25.0, 1.0);
+    g.observe_node(&Point::new(350.0, 350.0), 25.0, 1.0);
+    g.observe_query(&Rect::from_coords(50.0, 250.0, 150.0, 350.0));
+    g.commit_snapshot();
+    g
+}
+
+#[test]
+fn grid_reduce_l4_produces_the_four_quadrants_with_exact_stats() {
+    // l = 4 forces exactly one drill-down (the root), whatever the gain
+    // values: the partitioning is the four 200×200 quadrants in
+    // deterministic (row, col) order — SW, SE, NW, NE.
+    let p = grid_reduce(
+        &golden_grid(),
+        &model(),
+        &GridReduceParams::new(4, 0.5, 1000.0, true),
+    )
+    .unwrap();
+    assert_eq!(p.regions.len(), 4);
+
+    let sw = &p.regions[0];
+    assert_eq!(sw.area, Rect::from_coords(0.0, 0.0, 200.0, 200.0));
+    assert!(close(sw.nodes, 8.0) && close(sw.queries, 0.0) && close(sw.speed, 10.0));
+
+    let se = &p.regions[1];
+    assert_eq!(se.area, Rect::from_coords(200.0, 0.0, 400.0, 200.0));
+    assert!(close(se.nodes, 0.0) && close(se.queries, 0.0));
+
+    let nw = &p.regions[2];
+    assert_eq!(nw.area, Rect::from_coords(0.0, 200.0, 200.0, 400.0));
+    assert!(close(nw.nodes, 0.0), "NW nodes = {}", nw.nodes);
+    assert!(close(nw.queries, 1.0), "NW queries = {}", nw.queries);
+
+    let ne = &p.regions[3];
+    assert_eq!(ne.area, Rect::from_coords(200.0, 200.0, 400.0, 400.0));
+    assert!(close(ne.nodes, 2.0) && close(ne.queries, 0.0) && close(ne.speed, 25.0));
+}
+
+#[test]
+fn grid_reduce_plus_greedy_pins_the_full_plan() {
+    // End-to-end golden value: partition the golden grid (l = 4), then
+    // optimize throttlers with the speed factor at z = 0.5.
+    //
+    // Speed-weighted loads: SW w = 8·10 = 80, NE w = 2·25 = 50, total
+    // 130; budget 65. The queried quadrant (NW) carries no load, so both
+    // loaded quadrants are free-tier and the walk is pure secant
+    // arithmetic: SW → 20 (−32), SW → 30 (−24), then NE covers the last
+    // 9 units at rate 50·0.04 = 2: Δ_NE = 10 + 4.5. The query never pays
+    // more than the Δ⊢ floor.
+    let p = grid_reduce(
+        &golden_grid(),
+        &model(),
+        &GridReduceParams::new(4, 0.5, 1000.0, true),
+    )
+    .unwrap();
+    let sol = greedy_increment(
+        &p.inputs(),
+        &model(),
+        &GreedyParams {
+            throttle: 0.5,
+            fairness: 1000.0,
+            use_speed: true,
+        },
+    );
+    assert!(sol.budget_met);
+    assert!(close(sol.budget, 65.0));
+    assert!(close(sol.expenditure, 65.0), "exp = {}", sol.expenditure);
+    let expect = [30.0, 10.0, 10.0, 14.5]; // SW, SE, NW, NE
+    for (i, (got, want)) in sol.deltas.iter().zip(expect).enumerate() {
+        assert!(close(*got, want), "region {i}: Δ = {got}, want {want}");
+    }
+    assert!(close(sol.inaccuracy, 10.0), "E = {}", sol.inaccuracy);
+    assert_eq!(sol.steps, 3);
+}

@@ -18,6 +18,7 @@
 //! ```
 
 pub mod base_station;
+pub mod channel;
 pub mod cq_engine;
 pub mod grid_index;
 pub mod history;
@@ -33,6 +34,10 @@ pub mod prelude {
     pub use crate::base_station::{
         density_dependent_placement, mean_broadcast_bytes, mean_regions_per_station, station_for,
         uniform_placement, BaseStation,
+    };
+    pub use crate::channel::{
+        ChannelStats, DelayModel, Delivery, FaultProfile, FaultyChannel, LossModel, Outage,
+        RetryPolicy,
     };
     pub use crate::cq_engine::CqServer;
     pub use crate::grid_index::GridIndex;

@@ -196,6 +196,65 @@ mod tests {
     }
 
     #[test]
+    fn overflow_accounting_at_exact_capacity() {
+        // Filling to exactly `B` drops nothing; only the `B+1`-th arrival
+        // is tail-dropped, and freeing one slot re-admits exactly one.
+        let mut q = UpdateQueue::new(4);
+        for i in 0..4 {
+            assert!(q.offer(i), "item {i} fits");
+        }
+        assert_eq!((q.len(), q.dropped()), (4, 0));
+        assert!(!q.offer(4));
+        assert!(!q.offer(5));
+        assert_eq!((q.len(), q.dropped(), q.arrived()), (4, 2, 6));
+        assert_eq!(q.service(1), vec![0]);
+        assert!(q.offer(6));
+        assert!(!q.offer(7));
+        assert_eq!((q.len(), q.dropped()), (4, 3));
+    }
+
+    #[test]
+    fn window_counters_reset_independently_of_lifetime() {
+        let mut q = UpdateQueue::new(10);
+        for i in 0..6 {
+            q.offer(i);
+        }
+        q.service(4);
+        let w1 = q.window_observation(2.0, 7.0);
+        assert_eq!(w1.arrival_rate, 3.0);
+        // Lifetime counters survive the window close...
+        assert_eq!((q.arrived(), q.serviced(), q.dropped()), (6, 4, 0));
+        // ...while the window starts from zero and counts only new traffic.
+        q.offer(100);
+        q.service(10);
+        let w2 = q.window_observation(1.0, 7.0);
+        assert_eq!(w2.arrival_rate, 1.0);
+        assert_eq!((q.arrived(), q.serviced()), (7, 7));
+        // An empty window reads as silent, not as stale traffic.
+        let w3 = q.window_observation(5.0, 7.0);
+        assert_eq!(w3.arrival_rate, 0.0);
+    }
+
+    #[test]
+    fn zero_service_capacity_window_is_safe_for_throtloop() {
+        // An outage window: arrivals piled up but the server drained
+        // nothing (capacity estimate 0). The observation must flow
+        // through THROTLOOP without dividing by zero — z steps down at
+        // the clamp and stays finite.
+        use lira_core::throt_loop::ThrotLoop;
+        let mut q = UpdateQueue::new(8);
+        for i in 0..20 {
+            q.offer(i);
+        }
+        let obs = q.window_observation(1.0, 0.0);
+        assert_eq!(obs.service_rate, 0.0);
+        assert_eq!(obs.arrival_rate, 20.0);
+        let mut ctl = ThrotLoop::new(8).unwrap();
+        let z = ctl.observe(obs);
+        assert!(z.is_finite() && (z - 0.5).abs() < 1e-12, "z = {z}");
+    }
+
+    #[test]
     #[should_panic(expected = "window_seconds > 0.0")]
     fn rejects_zero_window() {
         let mut q: UpdateQueue<u8> = UpdateQueue::new(4);

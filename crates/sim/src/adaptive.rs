@@ -12,9 +12,10 @@ use lira_core::plan::SheddingPlan;
 use lira_core::shedder::LiraShedder;
 use lira_core::stats_grid::StatsGrid;
 use lira_mobility::motion::{DeadReckoner, MotionReport};
+use lira_server::channel::FaultyChannel;
 use lira_server::queue::UpdateQueue;
 
-use crate::metrics::{evaluation_errors, MetricsAccumulator, MetricsReport};
+use crate::metrics::{evaluation_errors, FaultReport, MetricsAccumulator, MetricsReport};
 use crate::pipeline::SimSetup;
 use crate::scenario::Scenario;
 
@@ -65,6 +66,8 @@ pub struct AdaptiveReport {
     pub drop_fraction: f64,
     /// Accuracy vs the (infinitely provisioned) reference server.
     pub metrics: MetricsReport,
+    /// Uplink delivery accounting (zeros on the perfect channel).
+    pub faults: FaultReport,
 }
 
 /// Runs the closed loop for `sc.duration_s` seconds.
@@ -89,6 +92,14 @@ pub fn run_adaptive(sc: &Scenario, cfg: &AdaptiveConfig) -> AdaptiveReport {
     let mut queue: UpdateQueue<MotionReport> = UpdateQueue::new(cfg.queue_capacity);
     let mut plan = SheddingPlan::uniform(bounds, sc.delta_min);
     let mut accumulator = MetricsAccumulator::new(queries.len());
+    // The uplink sits between the shedding reckoners and the input queue;
+    // the reference server keeps its perfect feed (it defines the right
+    // answer, so channel faults must not corrupt the yardstick). Seeded
+    // with the single-lane channel rule (`seed + 2000`).
+    let mut channel: Option<FaultyChannel<MotionReport>> = sc
+        .faults
+        .clone()
+        .map(|profile| FaultyChannel::new(profile, sc.seed.wrapping_add(2000)));
 
     let total_ticks = (sc.duration_s / sc.dt).round() as usize;
     let control_every = (cfg.control_period_s / sc.dt).round().max(1.0) as usize;
@@ -107,7 +118,19 @@ pub fn run_adaptive(sc: &Scenario, cfg: &AdaptiveConfig) -> AdaptiveReport {
             }
             let delta = plan.throttler_at(&pos);
             if let Some(rep) = shed_reckoners[i].observe(i as u32, t, pos, vel, delta) {
-                queue.offer(rep);
+                match &mut channel {
+                    None => {
+                        queue.offer(rep);
+                    }
+                    Some(ch) => ch.send(t, rep),
+                }
+            }
+        }
+        if let Some(ch) = &mut channel {
+            for d in ch.poll(t) {
+                // The report's own model time is the send time, so stale
+                // arrivals are rejected downstream by the node store.
+                queue.offer(d.payload);
             }
         }
         // The server drains at its fixed capacity.
@@ -160,6 +183,10 @@ pub fn run_adaptive(sc: &Scenario, cfg: &AdaptiveConfig) -> AdaptiveReport {
         final_throttle: shedder.throttle(),
         drop_fraction: queue.drop_fraction(),
         metrics: accumulator.report(),
+        faults: match &channel {
+            Some(ch) => FaultReport::from_channel(ch.stats(), ch.pending()),
+            None => FaultReport::default(),
+        },
     }
 }
 

@@ -24,7 +24,9 @@ pub mod scenario;
 /// Convenient re-exports of the most used types.
 pub mod prelude {
     pub use crate::adaptive::{run_adaptive, AdaptiveConfig, AdaptiveReport, WindowStats};
-    pub use crate::metrics::{evaluation_errors, MetricsAccumulator, MetricsReport, QueryErrors};
+    pub use crate::metrics::{
+        evaluation_errors, FaultReport, MetricsAccumulator, MetricsReport, QueryErrors,
+    };
     pub use crate::pipeline::{
         CarState, Parallelism, ReferenceTimeline, SimPipeline, SimSetup, TrafficTrace,
     };

@@ -6,6 +6,7 @@
 //! paper defines them (not physical ground truth).
 
 use lira_core::geometry::Point;
+use lira_server::channel::ChannelStats;
 use lira_server::query::QueryResult;
 
 /// Errors of one query at one evaluation instant.
@@ -152,6 +153,62 @@ pub struct MetricsReport {
     pub cov_containment: f64,
 }
 
+/// Uplink delivery accounting for one policy lane (all zeros on the
+/// perfect-channel path, i.e. when the scenario has no
+/// [`FaultProfile`](lira_server::channel::FaultProfile)).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct FaultReport {
+    /// Position updates handed to the channel.
+    pub sent: u64,
+    /// Wireless transmissions (originals + retries + duplicate copies) —
+    /// the airtime cost under faults.
+    pub transmissions: u64,
+    /// Retransmission attempts.
+    pub retries: u64,
+    /// Updates whose primary copy arrived at the server.
+    pub delivered: u64,
+    /// Duplicate copies delivered on top of `delivered`.
+    pub duplicates: u64,
+    /// Updates lost after exhausting the retry budget.
+    pub lost: u64,
+    /// Updates still in flight (or awaiting a retry) at the end of the
+    /// run — neither delivered nor lost.
+    pub pending: u64,
+    /// Mean delivery latency of the arrived updates, seconds: how stale a
+    /// position report is by the time the server applies it.
+    pub mean_staleness_s: f64,
+}
+
+impl FaultReport {
+    /// Snapshot of a channel's accounting at the end of a lane.
+    pub fn from_channel(stats: ChannelStats, pending: u64) -> Self {
+        FaultReport {
+            sent: stats.sent,
+            transmissions: stats.transmissions,
+            retries: stats.retries,
+            delivered: stats.delivered,
+            duplicates: stats.duplicates,
+            lost: stats.lost,
+            pending,
+            mean_staleness_s: stats.mean_delay_s(),
+        }
+    }
+
+    /// Fraction of sent updates that never arrived.
+    pub fn loss_fraction(&self) -> f64 {
+        if self.sent == 0 {
+            0.0
+        } else {
+            self.lost as f64 / self.sent as f64
+        }
+    }
+
+    /// Accounting invariant: sent = delivered + lost + pending.
+    pub fn accounted(&self) -> bool {
+        self.sent == self.delivered + self.lost + self.pending
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -263,6 +320,26 @@ mod tests {
         assert_eq!(r, MetricsReport::default());
         let acc = MetricsAccumulator::new(3);
         assert_eq!(acc.report(), MetricsReport::default());
+    }
+
+    #[test]
+    fn fault_report_mirrors_channel_stats() {
+        let stats = ChannelStats {
+            sent: 10,
+            transmissions: 14,
+            retries: 3,
+            delivered: 7,
+            duplicates: 1,
+            lost: 2,
+            delay_sum_s: 3.5,
+        };
+        let r = FaultReport::from_channel(stats, 1);
+        assert!(r.accounted());
+        assert!((r.loss_fraction() - 0.2).abs() < 1e-12);
+        assert!((r.mean_staleness_s - 0.5).abs() < 1e-12);
+        let zero = FaultReport::default();
+        assert!(zero.accounted());
+        assert_eq!(zero.loss_fraction(), 0.0);
     }
 
     #[test]

@@ -39,13 +39,14 @@ use lira_mobility::generator::{generate_network, NetworkConfig};
 use lira_mobility::motion::DeadReckoner;
 use lira_mobility::simulator::{TrafficConfig, TrafficSimulator};
 use lira_mobility::traffic::TrafficDemand;
+use lira_server::channel::FaultyChannel;
 use lira_server::cq_engine::CqServer;
 use lira_server::query::{QueryResult, RangeQuery};
 use lira_workload::{generate_queries, WorkloadConfig};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
-use crate::metrics::{evaluation_errors, MetricsAccumulator};
+use crate::metrics::{evaluation_errors, FaultReport, MetricsAccumulator};
 use crate::runner::{Policy, PolicyOutcome, RunReport};
 use crate::scenario::Scenario;
 
@@ -296,6 +297,10 @@ impl ReferenceTimeline {
     }
 }
 
+/// What one position update carries across the uplink: node id, motion
+/// model origin, and velocity. Send time rides on the channel envelope.
+type UplinkPayload = (u32, Point, (f64, f64));
+
 /// Stage 4: one policy's isolated simulation state. Owns everything it
 /// mutates, so lanes can run on separate threads.
 struct PolicyLane {
@@ -306,6 +311,9 @@ struct PolicyLane {
     grid: StatsGrid,
     plan: SheddingPlan,
     drop_rng: SmallRng,
+    /// The uplink between this lane's dead reckoners and its server;
+    /// `None` is the historical perfect channel.
+    channel: Option<FaultyChannel<UplinkPayload>>,
     updates_sent: u64,
     updates_processed: u64,
     adapt_micros: Vec<u64>,
@@ -315,7 +323,10 @@ struct PolicyLane {
 impl PolicyLane {
     /// Builds the lane for `policy` at position `index` in the run. The
     /// lane RNG seed is `scenario seed + 1000 + index`, matching the
-    /// historical sequential runner so results stay reproducible.
+    /// historical sequential runner so results stay reproducible; the
+    /// channel RNG extends the same rule at offset 2000, keeping fault
+    /// draws out of the admission stream (a faulty run perturbs traffic,
+    /// never the drop decisions of an identically-seeded perfect run).
     fn new(policy: Policy, index: usize, setup: &SimSetup, sc: &Scenario) -> Self {
         PolicyLane {
             policy,
@@ -325,6 +336,9 @@ impl PolicyLane {
             grid: StatsGrid::new(sc.alpha, setup.bounds).expect("valid grid"),
             plan: SheddingPlan::uniform(setup.bounds, sc.delta_min),
             drop_rng: SmallRng::seed_from_u64(sc.seed.wrapping_add(1000 + index as u64)),
+            channel: sc.faults.clone().map(|profile| {
+                FaultyChannel::new(profile, sc.seed.wrapping_add(2000 + index as u64))
+            }),
             updates_sent: 0,
             updates_processed: 0,
             adapt_micros: Vec::new(),
@@ -375,13 +389,43 @@ impl PolicyLane {
                     self.reckoners[i].observe(i as u32, t, car.position, car.velocity, delta)
                 {
                     self.updates_sent += 1;
-                    // Server-actuated policies (Random Drop) admit only a
-                    // fraction of the arrivals; the wireless cost is
-                    // already paid at this point.
+                    match &mut self.channel {
+                        // Perfect channel: the historical inline path.
+                        // Server-actuated policies (Random Drop) admit
+                        // only a fraction of the arrivals; the wireless
+                        // cost is already paid at this point.
+                        None => {
+                            if admission >= 1.0 || self.drop_rng.gen_bool(admission) {
+                                self.updates_processed += 1;
+                                self.server.ingest(
+                                    rep.node,
+                                    t,
+                                    rep.model.origin,
+                                    rep.model.velocity,
+                                );
+                            }
+                        }
+                        Some(ch) => ch.send(t, (rep.node, rep.model.origin, rep.model.velocity)),
+                    }
+                }
+            }
+            if let Some(ch) = &mut self.channel {
+                for d in ch.poll(t) {
+                    // Admission is drawn per arrival: server-actuated
+                    // drops happen at the input queue, after the wireless
+                    // hop. A zero-fault profile delivers same-tick in
+                    // send order, so the draw sequence is identical to
+                    // the perfect-channel path above.
                     if admission >= 1.0 || self.drop_rng.gen_bool(admission) {
-                        self.updates_processed += 1;
-                        self.server
-                            .ingest(rep.node, t, rep.model.origin, rep.model.velocity);
+                        let (node, origin, velocity) = d.payload;
+                        // Ingest at *send* time: delayed copies arrive
+                        // stale, and the node store's per-node reorder
+                        // guard (not this loop) decides what still
+                        // applies — duplicates and overtaken reports
+                        // fall out there.
+                        if self.server.ingest(node, d.sent_at, origin, velocity) {
+                            self.updates_processed += 1;
+                        }
                     }
                 }
             }
@@ -408,9 +452,14 @@ impl PolicyLane {
             }
         }
 
+        let faults = match &self.channel {
+            Some(ch) => FaultReport::from_channel(ch.stats(), ch.pending()),
+            None => FaultReport::default(),
+        };
         PolicyOutcome {
             policy: self.policy,
             metrics: self.accumulator.report(),
+            faults,
             updates_sent: self.updates_sent,
             updates_processed: self.updates_processed,
             processed_fraction: if reference.reference_updates > 0 {

@@ -15,7 +15,7 @@ use lira_core::policy::{
 use lira_core::reduction::ReductionModel;
 use lira_core::shedder::LiraShedder;
 
-use crate::metrics::MetricsReport;
+use crate::metrics::{FaultReport, MetricsReport};
 use crate::pipeline::SimPipeline;
 use crate::scenario::Scenario;
 
@@ -84,7 +84,11 @@ pub struct PolicyOutcome {
     pub policy: Policy,
     /// Accuracy metrics vs. the reference server.
     pub metrics: MetricsReport,
-    /// Position updates sent by the mobile nodes (wireless cost).
+    /// Uplink delivery/loss/retry accounting (all zeros when the
+    /// scenario runs the perfect channel).
+    pub faults: FaultReport,
+    /// Position updates sent by the mobile nodes (wireless cost; under
+    /// faults, see `faults.transmissions` for the airtime actually paid).
     pub updates_sent: u64,
     /// Updates actually applied by the server (differs from `updates_sent`
     /// only for Random Drop).

@@ -3,6 +3,7 @@
 
 use lira_core::config::LiraConfig;
 use lira_core::geometry::Rect;
+use lira_server::channel::FaultProfile;
 use lira_workload::QueryDistribution;
 
 /// Full configuration of one simulation run.
@@ -60,6 +61,14 @@ pub struct Scenario {
     /// Plan re-adaptation period, seconds.
     pub adapt_period_s: f64,
 
+    /// Uplink fault model between the dead reckoners and the server's
+    /// input queue. `None` is the historical perfect channel (and takes
+    /// the exact code path the seed runs always took); `Some` routes
+    /// every policy lane's updates through a
+    /// [`FaultyChannel`](lira_server::channel::FaultyChannel) seeded from
+    /// the lane-RNG rule (`seed + 2000 + lane index`).
+    pub faults: Option<FaultProfile>,
+
     /// Master seed (traffic, queries, and drop decisions derive from it).
     pub seed: u64,
 }
@@ -92,6 +101,7 @@ impl Default for Scenario {
             dt: 1.0,
             eval_period_s: 15.0,
             adapt_period_s: 300.0,
+            faults: None,
             seed: 17,
         }
     }
@@ -162,6 +172,15 @@ impl Scenario {
     pub fn with_regions(mut self, l: usize) -> Self {
         self.num_regions = l;
         self.alpha = LiraConfig::alpha_for(l, 10.0);
+        self
+    }
+
+    /// Routes the uplink through a faulty channel. The profile is
+    /// validated here so a bad sweep parameter fails loudly at scenario
+    /// construction, not mid-run inside a lane thread.
+    pub fn with_faults(mut self, profile: FaultProfile) -> Self {
+        profile.validate().expect("valid fault profile");
+        self.faults = Some(profile);
         self
     }
 }

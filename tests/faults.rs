@@ -1,0 +1,318 @@
+//! Chaos/conformance suite for the fault-injected uplink: every test is
+//! seeded-deterministic (no wall clock, no ambient entropy), so a failure
+//! here is a real regression, not flake.
+//!
+//! The suite pins four contracts:
+//! 1. **Reproducibility** — a `(FaultProfile, seed)` pair yields
+//!    bit-identical reports, in sequential *and* parallel pipeline modes.
+//! 2. **Conformance** — the zero-fault profile is bit-identical to the
+//!    perfect-channel path the seed repository always ran.
+//! 3. **Degradation** — accuracy degrades monotonically (within
+//!    tolerance) as channel loss rises, and the closed-loop controller
+//!    survives outages with finite, recovering `z`.
+//! 4. **Accounting** — sent = delivered + lost + pending, always.
+
+use lira::prelude::*;
+
+/// A compact scenario so the whole suite stays debug-build friendly.
+fn base_scenario(seed: u64) -> Scenario {
+    let mut sc = Scenario::small(seed);
+    sc.num_cars = 150;
+    sc.warmup_s = 20.0;
+    sc.duration_s = 60.0;
+    sc
+}
+
+/// A profile exercising every fault model at once.
+fn stormy_profile() -> FaultProfile {
+    FaultProfile {
+        loss: LossModel::GilbertElliott {
+            p_g2b: 0.05,
+            p_b2g: 0.3,
+            loss_good: 0.02,
+            loss_bad: 0.8,
+        },
+        delay: DelayModel::Uniform {
+            min_s: 0.0,
+            max_s: 3.0,
+        },
+        duplicate_prob: 0.05,
+        outages: vec![Outage {
+            start_s: 50.0,
+            end_s: 60.0,
+        }],
+        retry: RetryPolicy {
+            max_retries: 2,
+            backoff_s: 1.0,
+        },
+    }
+}
+
+/// Field-by-field bitwise comparison of two outcomes, excluding the
+/// wall-clock `adapt_micros` timings (their *length* must still agree)
+/// and the fault books (compared separately where both sides keep them —
+/// the perfect-channel path reports all zeros by construction).
+fn assert_outcomes_identical(a: &PolicyOutcome, b: &PolicyOutcome, ctx: &str) {
+    assert_eq!(a.policy, b.policy, "{ctx}");
+    assert_eq!(a.metrics, b.metrics, "{ctx}: metrics diverged");
+    assert_eq!(a.updates_sent, b.updates_sent, "{ctx}");
+    assert_eq!(a.updates_processed, b.updates_processed, "{ctx}");
+    assert_eq!(
+        a.processed_fraction.to_bits(),
+        b.processed_fraction.to_bits(),
+        "{ctx}"
+    );
+    assert_eq!(a.plan_regions, b.plan_regions, "{ctx}");
+    assert_eq!(a.adapt_micros.len(), b.adapt_micros.len(), "{ctx}");
+}
+
+#[test]
+fn zero_fault_profile_is_bit_identical_to_perfect_channel() {
+    // `None` runs the historical inline ingest path; `FaultProfile::none`
+    // routes through the channel machinery with every model disabled.
+    // The two must be indistinguishable down to the last bit, for every
+    // policy — this is the conformance proof that inserting the channel
+    // layer cannot have changed the seed repository's behavior.
+    let perfect = base_scenario(91);
+    let faultless = base_scenario(91).with_faults(FaultProfile::none());
+    let a = run_scenario(&perfect, &Policy::ALL);
+    let b = run_scenario(&faultless, &Policy::ALL);
+    assert_eq!(a.reference_updates, b.reference_updates);
+    for (oa, ob) in a.outcomes.iter().zip(&b.outcomes) {
+        assert_outcomes_identical(oa, ob, oa.policy.name());
+        // The channel path *does* keep its own books.
+        assert_eq!(ob.faults.sent, ob.faults.delivered);
+        assert_eq!(ob.faults.lost, 0);
+    }
+}
+
+#[test]
+fn same_profile_and_seed_reproduce_bit_identical_reports() {
+    let sc = base_scenario(17).with_faults(stormy_profile());
+    let a = run_scenario(&sc, &[Policy::Lira, Policy::RandomDrop]);
+    let b = run_scenario(&sc, &[Policy::Lira, Policy::RandomDrop]);
+    assert_eq!(a.reference_updates, b.reference_updates);
+    for (oa, ob) in a.outcomes.iter().zip(&b.outcomes) {
+        assert_outcomes_identical(oa, ob, oa.policy.name());
+        assert_eq!(oa.faults, ob.faults, "{}: fault books", oa.policy.name());
+    }
+    // The profile actually bites: faults fired somewhere.
+    let f = &a.outcomes[0].faults;
+    assert!(f.lost + f.retries + f.duplicates > 0, "{f:?}");
+}
+
+#[test]
+fn parallel_lanes_match_sequential_under_faults() {
+    // The per-lane channel derives from the lane-RNG rule, so lanes stay
+    // self-contained and thread scheduling cannot leak into results.
+    let sc = base_scenario(23).with_faults(stormy_profile());
+    let seq = SimPipeline::new()
+        .with_parallelism(Parallelism::Sequential)
+        .run(&sc, &Policy::ALL);
+    let par = SimPipeline::new()
+        .with_parallelism(Parallelism::Auto)
+        .run(&sc, &Policy::ALL);
+    assert_eq!(seq.reference_updates, par.reference_updates);
+    for (os, op) in seq.outcomes.iter().zip(&par.outcomes) {
+        assert_outcomes_identical(os, op, os.policy.name());
+        assert_eq!(os.faults, op.faults, "{}: fault books", os.policy.name());
+    }
+}
+
+#[test]
+fn fault_accounting_is_conserved_across_policies() {
+    let sc = base_scenario(31).with_faults(stormy_profile());
+    let report = run_scenario(&sc, &Policy::ALL);
+    for o in &report.outcomes {
+        let f = &o.faults;
+        assert!(f.accounted(), "{}: {f:?}", o.policy.name());
+        assert_eq!(f.sent, o.updates_sent, "{}", o.policy.name());
+        assert!(f.delivered <= f.sent);
+        assert!(f.transmissions >= f.sent, "retries only add transmissions");
+        // A duplicate copy rides the same transmission (ack-loss model),
+        // so airtime decomposes as originals + retries exactly.
+        assert_eq!(f.transmissions, f.sent + f.retries);
+        // The server can only apply what the channel delivered.
+        assert!(o.updates_processed <= f.delivered + f.duplicates);
+        assert!(f.mean_staleness_s >= 0.0 && f.mean_staleness_s.is_finite());
+    }
+}
+
+#[test]
+fn accuracy_degrades_monotonically_with_loss_rate() {
+    // Position error under LIRA must not *improve* when the channel gets
+    // worse. Exact monotonicity is too strict for a stochastic system —
+    // a 10% relative tolerance absorbs single-seed noise while still
+    // failing on any real inversion (the 0 → 0.6 gap is far larger).
+    let losses = [0.0, 0.3, 0.6];
+    let errors: Vec<f64> = losses
+        .iter()
+        .map(|&p| {
+            let mut sc = base_scenario(47);
+            if p > 0.0 {
+                sc = sc.with_faults(FaultProfile::iid_loss(p));
+            }
+            let report = run_scenario(&sc, &[Policy::Lira]);
+            report.outcomes[0].metrics.mean_position
+        })
+        .collect();
+    for w in errors.windows(2) {
+        assert!(
+            w[1] >= w[0] * 0.9,
+            "error must not shrink as loss rises: {errors:?}"
+        );
+    }
+    assert!(
+        errors[2] > errors[0],
+        "60% loss must hurt vs a clean channel: {errors:?}"
+    );
+}
+
+#[test]
+fn pure_duplication_is_accuracy_neutral() {
+    // A duplicate of an undelayed update carries the same motion model at
+    // the same timestamp: the node store overwrite is idempotent, so
+    // accuracy must be bit-identical to the clean channel — only the
+    // accounting may differ.
+    let clean = base_scenario(53);
+    let dup = base_scenario(53).with_faults(FaultProfile {
+        duplicate_prob: 1.0,
+        ..FaultProfile::none()
+    });
+    let a = run_scenario(&clean, &[Policy::Lira]);
+    let b = run_scenario(&dup, &[Policy::Lira]);
+    assert_eq!(a.outcomes[0].metrics, b.outcomes[0].metrics);
+    assert_eq!(b.outcomes[0].faults.duplicates, b.outcomes[0].faults.sent);
+}
+
+#[test]
+fn retries_recover_updates_an_outage_would_lose() {
+    let outage = Outage {
+        start_s: 40.0,
+        end_s: 55.0,
+    };
+    let run = |retry: RetryPolicy| {
+        let sc = base_scenario(59).with_faults(FaultProfile {
+            outages: vec![outage],
+            retry,
+            ..FaultProfile::none()
+        });
+        run_scenario(&sc, &[Policy::Lira]).outcomes[0].clone()
+    };
+    let without = run(RetryPolicy::none());
+    let with = run(RetryPolicy {
+        max_retries: 30,
+        backoff_s: 1.0,
+    });
+    assert!(
+        without.faults.lost > 0,
+        "the outage must actually lose traffic: {:?}",
+        without.faults
+    );
+    assert!(with.faults.retries > 0);
+    assert!(
+        with.faults.lost < without.faults.lost,
+        "retries must recover losses: {:?} vs {:?}",
+        with.faults,
+        without.faults
+    );
+    assert!(with.faults.delivered > without.faults.delivered);
+}
+
+#[test]
+fn closed_loop_survives_outage_and_recovers_throttle() {
+    // An outage starves the input queue (λ collapses), then ends with the
+    // retry backlog flushing in. The controller must keep z finite and in
+    // range at every window and come back up once conditions normalize.
+    let mut sc = base_scenario(67);
+    sc.duration_s = 120.0;
+    let sc = sc.with_faults(FaultProfile {
+        outages: vec![Outage {
+            start_s: 50.0,
+            end_s: 80.0,
+        }],
+        retry: RetryPolicy {
+            max_retries: 5,
+            backoff_s: 2.0,
+        },
+        ..FaultProfile::none()
+    });
+    let cfg = AdaptiveConfig {
+        service_rate: 400.0,
+        queue_capacity: 400,
+        control_period_s: 10.0,
+    };
+    let report = run_adaptive(&sc, &cfg);
+    for w in &report.windows {
+        assert!(
+            w.throttle.is_finite() && (1e-3..=1.0).contains(&w.throttle),
+            "window at t = {} has z = {}",
+            w.time,
+            w.throttle
+        );
+        assert!(w.arrival_rate.is_finite());
+    }
+    // Capacity is ample outside the outage: the controller ends back at
+    // (or near) the full budget instead of wedging low.
+    assert!(
+        report.final_throttle > 0.9,
+        "z failed to recover: {}",
+        report.final_throttle
+    );
+    assert!(report.faults.accounted(), "{:?}", report.faults);
+}
+
+#[test]
+fn adaptive_zero_fault_profile_matches_perfect_channel() {
+    // The closed loop gets the same conformance guarantee as the fixed-z
+    // pipeline: a disabled channel changes nothing.
+    let mut perfect = base_scenario(71);
+    perfect.duration_s = 80.0;
+    let faultless = perfect.clone().with_faults(FaultProfile::none());
+    let cfg = AdaptiveConfig {
+        service_rate: 60.0,
+        queue_capacity: 150,
+        control_period_s: 10.0,
+    };
+    let a = run_adaptive(&perfect, &cfg);
+    let b = run_adaptive(&faultless, &cfg);
+    assert_eq!(a.windows, b.windows);
+    assert_eq!(a.metrics, b.metrics);
+    assert_eq!(
+        a.final_throttle.to_bits(),
+        b.final_throttle.to_bits(),
+        "z diverged: {} vs {}",
+        a.final_throttle,
+        b.final_throttle
+    );
+    assert_eq!(a.drop_fraction.to_bits(), b.drop_fraction.to_bits());
+}
+
+#[test]
+fn delay_reordering_keeps_metrics_finite_and_bounded() {
+    // Heavy reordering (delays far beyond the update cadence) stresses
+    // the node store's stale-rejection path; the run must stay sane:
+    // finite errors, monotone accounting, staleness within the delay
+    // bound.
+    let sc = base_scenario(83).with_faults(FaultProfile {
+        delay: DelayModel::Uniform {
+            min_s: 0.0,
+            max_s: 8.0,
+        },
+        ..FaultProfile::none()
+    });
+    let report = run_scenario(&sc, &[Policy::Lira, Policy::UniformDelta]);
+    for o in &report.outcomes {
+        assert!(o.metrics.mean_containment.is_finite());
+        assert!(o.metrics.mean_position.is_finite());
+        assert!(o.faults.accounted(), "{:?}", o.faults);
+        assert!(
+            o.faults.mean_staleness_s > 0.0 && o.faults.mean_staleness_s < 8.0,
+            "staleness {} outside the delay envelope",
+            o.faults.mean_staleness_s
+        );
+        // Delayed-but-delivered updates may be rejected as stale, never
+        // invented: processed ≤ delivered.
+        assert!(o.updates_processed <= o.faults.delivered);
+    }
+}

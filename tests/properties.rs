@@ -196,6 +196,105 @@ proptest! {
     }
 }
 
+/// Pinned proptest counterexample (formerly persisted in
+/// `properties.proptest-regressions`; the vendored generation-only
+/// proptest shim never replays that file, so the case lives here as a
+/// named test instead).
+///
+/// Proptest found this instance when `greedy_matches_exhaustive_lattice
+/// _optimum` still ran over arbitrary non-increasing models: `f` is a
+/// flat plateau (`f = 1` up to Δ = 80) followed by a cliff down to 0.05,
+/// which is maximally *non-convex*. Crossing the plateau costs inaccuracy
+/// without reducing load, so a naive next-knot greedy stalls on zero
+/// gains and was beaten by the exhaustive lattice optimum here. The
+/// *max-secant* gain computation fixed this instance — it prices a step
+/// by the best secant slope to any later knot, so it sees across the
+/// plateau to the cliff, and with continuous (mid-segment) stops it now
+/// strictly beats the knot lattice on this workload. Non-convex models
+/// in general remain a non-convex knapsack where greedy carries no
+/// optimality guarantee (hence the convex restriction on the lattice
+/// property above; see also the `greedy_increment.rs` module docs).
+///
+/// This test pins two things on the counterexample: (a) the solution
+/// satisfies every feasibility invariant — optimality may be forfeited
+/// on non-convex models, feasibility never is — and (b) the max-secant
+/// plateau handling does not regress: greedy must stay at least as good
+/// as the exhaustive knot-lattice optimum on this instance.
+#[test]
+fn nonconvex_cliff_model_regression_stays_feasible_and_beats_lattice() {
+    let rs = [
+        RegionInput::new(213.46372074371246, 8.064587140221777, 23.861618936213063),
+        RegionInput::new(361.64285692232323, 6.618431343035539, 1.0),
+        RegionInput::new(266.083799567616, 9.019998749055278, 23.448672982450226),
+    ];
+    let model = ReductionModel::from_knots(5.0, 105.0, vec![1.0, 1.0, 1.0, 1.0, 0.05]).unwrap();
+    let z = 0.2;
+    let sol = greedy_increment(&rs, &model, &GreedyParams::unconstrained(z, true));
+
+    // (a) Feasibility invariants hold even on the adversarial model.
+    assert!(sol.budget_met);
+    for &d in &sol.deltas {
+        assert!(d >= model.delta_min() - 1e-9 && d <= model.delta_max() + 1e-9);
+    }
+    let exp = expenditure(&rs, &sol.deltas, &model, true);
+    assert!(
+        (exp - sol.expenditure).abs() <= 1e-6 * exp.max(1.0),
+        "reported {} vs recomputed {exp}",
+        sol.expenditure
+    );
+    assert!(exp <= sol.budget * (1.0 + 1e-6), "{exp} > {}", sol.budget);
+
+    // (b) The exhaustive knot-lattice optimum: with weights w = n·s of
+    // roughly (5094, 362, 6239) and budget 0.2·Σw ≈ 2339, the only
+    // feasible lattice shape is "push two regions off the cliff";
+    // keeping the light region 1 at Δ⊢ is lattice-optimal
+    // (inaccuracy ≈ 1827). Greedy does strictly better (≈ 1768) by
+    // stopping region 2 partway down the cliff instead of at the knot.
+    let kappa = model.kappa();
+    let budget = sol.budget;
+    let mut best = f64::INFINITY;
+    let mut idx = [0usize; 3];
+    loop {
+        let ds: [f64; 3] = [
+            model.knot_delta(idx[0]),
+            model.knot_delta(idx[1]),
+            model.knot_delta(idx[2]),
+        ];
+        let exp: f64 = rs
+            .iter()
+            .zip(&ds)
+            .map(|(r, d)| r.nodes * r.speed * model.f(*d))
+            .sum();
+        if exp <= budget * (1.0 + 1e-9) {
+            let obj: f64 = rs.iter().zip(&ds).map(|(r, d)| r.queries * d).sum();
+            best = best.min(obj);
+        }
+        let mut i = 0;
+        loop {
+            if i == 3 {
+                break;
+            }
+            idx[i] += 1;
+            if idx[i] <= kappa {
+                break;
+            }
+            idx[i] = 0;
+            i += 1;
+        }
+        if i == 3 {
+            break;
+        }
+    }
+    assert!(best.is_finite());
+    assert!(
+        sol.inaccuracy <= best + 1e-6,
+        "greedy ({}) trails the lattice optimum ({best}) again on the \
+         non-convex counterexample — the max-secant plateau handling \
+         regressed",
+        sol.inaccuracy
+    );
+}
+
 /// Random statistics grids for partitioning properties.
 fn arbitrary_grid() -> impl Strategy<Value = StatsGrid> {
     (
