@@ -191,7 +191,7 @@ fn ablation_speed_factor(args: &ExpArgs, base: &Scenario) {
             sc.use_speed_factor = on;
             sc
         });
-        let o = out[0].1;
+        let o = &out[0].1;
         println!(
             "{label:<11} | {:>10.3} | {:>7.4} | {:.3} (target z = {})",
             o.mean_position, o.mean_containment, o.processed_fraction, base.throttle
@@ -210,7 +210,7 @@ fn ablation_model_calibration(args: &ExpArgs, base: &Scenario) {
             sc.calibrate_model = calibrate;
             sc
         });
-        let o = out[0].1;
+        let o = &out[0].1;
         println!(
             "{label:<10} | {:>10.3} | {:>7.4} | {:>16.3} | {:>9.3}",
             o.mean_position,
@@ -350,7 +350,7 @@ fn ablation_distributed_mimicry(args: &ExpArgs, base: &Scenario) {
             sc.throttle = 0.25;
             sc
         });
-        let o = out[0].1;
+        let o = &out[0].1;
         println!(
             "{delta_max:>6.0} | {:>20.3} | {:>6.4}",
             o.processed_fraction, o.mean_containment

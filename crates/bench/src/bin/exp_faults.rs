@@ -3,7 +3,7 @@
 //! The paper evaluates LIRA over a perfect channel; real mobile uplinks
 //! lose, delay, and repeat messages. This experiment re-runs the policy
 //! comparison with the deterministic fault-injection channel
-//! ([`FaultyChannel`]) between the dead-reckoners and the server: i.i.d.
+//! (`FaultyChannel`) between the dead-reckoners and the server: i.i.d.
 //! loss at a swept rate, a small bounded delivery delay, and a two-shot
 //! retry budget.
 //!

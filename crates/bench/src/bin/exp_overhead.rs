@@ -1,0 +1,157 @@
+//! `exp_overhead` — quantifies the wall-time cost of the telemetry layer.
+//!
+//! Runs the same multi-policy scenario repeatedly, alternating telemetry
+//! *enabled* and telemetry *runtime-disabled* lanes within one process
+//! (interleaved A/B so thermal and cache drift hit both arms equally),
+//! and reports the median wall time of each arm:
+//!
+//! ```text
+//! exp_overhead [--runs N] [--quick] [--assert] [--baseline-ms M]
+//! ```
+//!
+//! * default output: `median_ms=<on>` plus both arms and the overhead
+//!   percentage — machine-readable one-liners for CI;
+//! * `--baseline-ms M` — compare the enabled arm against an externally
+//!   measured baseline instead of the in-process disabled arm. CI uses
+//!   this to compare against a `--features telemetry-off` build of this
+//!   same binary (the compile-time no-op), closing the loop on the
+//!   "zero-overhead" claim;
+//! * `--assert` — exit nonzero when the enabled arm exceeds the baseline
+//!   by more than the 2% budget (plus a small absolute allowance for
+//!   scheduler noise on short runs).
+//!
+//! Verifying identical *outcomes* (not just cost) between the modes is
+//! `tests/telemetry.rs`'s job.
+
+use std::time::Instant;
+
+use lira_sim::prelude::*;
+
+/// Overhead budget: the enabled arm may cost at most 2% more wall time.
+const BUDGET_FRAC: f64 = 0.02;
+/// Absolute allowance (ms) so sub-second runs don't fail on OS jitter.
+const NOISE_ALLOWANCE_MS: f64 = 30.0;
+
+fn scenario() -> Scenario {
+    let mut sc = Scenario::small(17);
+    sc.num_cars = 1000;
+    sc.duration_s = 240.0;
+    sc
+}
+
+fn median(samples: &mut [f64]) -> f64 {
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    samples[samples.len() / 2]
+}
+
+fn time_run(sc: &Scenario, telemetry: bool) -> f64 {
+    let started = Instant::now();
+    let report = SimPipeline::new()
+        .with_parallelism(Parallelism::Sequential)
+        .with_telemetry(telemetry)
+        .run(sc, &Policy::ALL);
+    // Keep the report alive past the clock read so the work can't be
+    // optimized away.
+    let elapsed = started.elapsed().as_secs_f64() * 1e3;
+    assert!(report.reference_updates > 0);
+    elapsed
+}
+
+fn main() {
+    let mut runs = 5usize;
+    let mut do_assert = false;
+    let mut baseline_ms: Option<f64> = None;
+    let mut quick = false;
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--runs" => {
+                runs = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--runs needs a count"));
+            }
+            "--baseline-ms" => {
+                baseline_ms = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage("--baseline-ms needs milliseconds")),
+                );
+            }
+            "--assert" => do_assert = true,
+            "--quick" => quick = true,
+            "--help" | "-h" => {
+                usage("exp_overhead [--runs N] [--quick] [--assert] [--baseline-ms M]")
+            }
+            other => usage(&format!("unknown flag {other}")),
+        }
+    }
+
+    let mut sc = scenario();
+    if quick {
+        sc.num_cars = 150;
+        sc.duration_s = 60.0;
+    }
+    println!(
+        "== exp_overhead: telemetry instrumentation cost ({} runs/arm, {} nodes, {} s, telemetry {})",
+        runs,
+        sc.num_cars,
+        sc.duration_s,
+        if cfg!(feature = "telemetry-off") {
+            "compiled out"
+        } else {
+            "compiled in"
+        },
+    );
+
+    // Warm-up run: page in the binary, build the allocator arenas.
+    time_run(&sc, true);
+
+    let mut on_ms = Vec::with_capacity(runs);
+    let mut off_ms = Vec::with_capacity(runs);
+    for i in 0..runs {
+        // Interleave arms; alternate which goes first per round so
+        // neither systematically benefits from a warmer cache.
+        if i % 2 == 0 {
+            on_ms.push(time_run(&sc, true));
+            off_ms.push(time_run(&sc, false));
+        } else {
+            off_ms.push(time_run(&sc, false));
+            on_ms.push(time_run(&sc, true));
+        }
+    }
+    let on = median(&mut on_ms);
+    let off = median(&mut off_ms);
+    let baseline = baseline_ms.unwrap_or(off);
+    let overhead_pct = (on - baseline) / baseline * 100.0;
+
+    println!("median_ms={on:.1}");
+    println!("telemetry_on_median_ms={on:.1}");
+    println!("telemetry_disabled_median_ms={off:.1}");
+    println!("baseline_ms={baseline:.1}");
+    println!("overhead_pct={overhead_pct:.2}");
+
+    if do_assert {
+        let budget_ms = baseline * BUDGET_FRAC + NOISE_ALLOWANCE_MS;
+        if on - baseline > budget_ms {
+            eprintln!(
+                "FAIL: telemetry overhead {:.1} ms exceeds budget {:.1} ms ({}% of baseline + {} ms noise allowance)",
+                on - baseline,
+                budget_ms,
+                BUDGET_FRAC * 100.0,
+                NOISE_ALLOWANCE_MS,
+            );
+            std::process::exit(1);
+        }
+        println!(
+            "PASS: overhead {:.1} ms within budget {:.1} ms",
+            on - baseline,
+            budget_ms
+        );
+    }
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!("{msg}");
+    std::process::exit(2);
+}

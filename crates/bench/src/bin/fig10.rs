@@ -38,8 +38,8 @@ fn main() {
     println!("   Δ⇔ |   LIRA D^C_ev |  LIRA C^C_ov | Uniform D^C_ev | Uniform C^C_ov");
     println!("-------+---------------+--------------+----------------+---------------");
     for (fairness, outcomes) in fairness_values.iter().zip(&rows) {
-        let lira = outcomes[0].1;
-        let uni = outcomes[1].1;
+        let lira = &outcomes[0].1;
+        let uni = &outcomes[1].1;
         println!(
             "{fairness:>6.0} | {:>13.4} | {:>12.3} | {:>14.4} | {:>14.3}",
             lira.stddev_containment,

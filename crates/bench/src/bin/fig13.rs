@@ -36,7 +36,7 @@ fn main() {
     let mut pos = Vec::new();
     let mut con = Vec::new();
     for (w, outcomes) in ws.iter().zip(&rows) {
-        let o = outcomes[0].1;
+        let o = &outcomes[0].1;
         println!(
             "{w:>7.0} | {:>10.3} | {:>6.4}",
             o.mean_position, o.mean_containment

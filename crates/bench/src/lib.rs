@@ -121,6 +121,33 @@ fn usage(msg: &str) -> ! {
     std::process::exit(2);
 }
 
+/// Writes labelled telemetry snapshots to `results/telemetry/<id>.json`
+/// (created if missing) and returns the path. The file is a JSON array of
+/// `{"label": ..., "snapshot": ...}` objects, each snapshot in the schema
+/// of docs/TELEMETRY.md, so experiment telemetry lands next to the
+/// experiment's printed results without altering them.
+pub fn write_telemetry_json(
+    id: &str,
+    entries: &[(String, &TelemetrySnapshot)],
+) -> std::io::Result<std::path::PathBuf> {
+    use lira_core::telemetry::json::Json;
+    let dir = std::path::Path::new("results").join("telemetry");
+    std::fs::create_dir_all(&dir)?;
+    let items = entries
+        .iter()
+        .map(|(label, snap)| {
+            let snapshot = Json::parse(&snap.to_json()).expect("snapshot serializes to valid JSON");
+            Json::Obj(vec![
+                ("label".to_string(), Json::Str(label.clone())),
+                ("snapshot".to_string(), snapshot),
+            ])
+        })
+        .collect();
+    let path = dir.join(format!("{id}.json"));
+    std::fs::write(&path, format!("{}\n", Json::Arr(items)))?;
+    Ok(path)
+}
+
 /// Prints the standard experiment header.
 pub fn print_header(id: &str, title: &str, args: &ExpArgs, sc: &Scenario) {
     println!("== {id}: {title}");
@@ -137,7 +164,8 @@ pub fn print_header(id: &str, title: &str, args: &ExpArgs, sc: &Scenario) {
     println!();
 }
 
-/// Builds a committed [`StatsGrid`] snapshot from the simulator's current
+/// Builds a committed [`StatsGrid`](lira_core::stats_grid::StatsGrid)
+/// snapshot from the simulator's current
 /// cars and the query workload — the observation step every experiment
 /// binary performs before asking a policy for a shedding plan.
 pub fn snapshot_grid(
@@ -221,6 +249,21 @@ pub fn z_sweep_experiment(id: &str, title: &str, distribution: lira_workload::Qu
     println!();
     println!("paper shape to check: LIRA best everywhere; Random Drop worst by orders of");
     println!("magnitude near z = 1; all threshold policies converge at small z (≈ 0.25).");
+
+    // Telemetry rides along: one merged snapshot per (z, policy) cell.
+    let entries: Vec<(String, &TelemetrySnapshot)> = zs
+        .iter()
+        .zip(&rows)
+        .flat_map(|(z, outcomes)| {
+            outcomes
+                .iter()
+                .map(move |(p, o)| (format!("z={z} {}", p.name()), &o.telemetry))
+        })
+        .collect();
+    match write_telemetry_json(id, &entries) {
+        Ok(path) => println!("telemetry: {}", path.display()),
+        Err(e) => eprintln!("telemetry: not written ({e})"),
+    }
 }
 
 #[cfg(test)]

@@ -20,7 +20,7 @@ use std::sync::OnceLock;
 use lira_sim::prelude::*;
 
 /// Metrics plus budget accounting, averaged over seeds.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct AveragedOutcome {
     pub mean_containment: f64,
     pub mean_position: f64,
@@ -35,6 +35,9 @@ pub struct AveragedOutcome {
     pub retries: f64,
     /// Mean delivery staleness in seconds (0 on the perfect channel).
     pub mean_staleness_s: f64,
+    /// The policy's lane telemetry merged across seeds (counters and
+    /// histograms sum; see docs/TELEMETRY.md for the schema).
+    pub telemetry: TelemetrySnapshot,
 }
 
 /// Averages each policy's outcome across the given reports (one report
@@ -58,6 +61,7 @@ pub fn average_outcomes(
             s.loss_fraction += o.faults.loss_fraction();
             s.retries += o.faults.retries as f64;
             s.mean_staleness_s += o.faults.mean_staleness_s;
+            s.telemetry.merge(&o.telemetry);
         }
     }
     let k = reports.len().max(1) as f64;
@@ -75,6 +79,7 @@ pub fn average_outcomes(
             s.loss_fraction /= k;
             s.retries /= k;
             s.mean_staleness_s /= k;
+            s.telemetry.component = format!("lane:{}", p.name());
             (p, s)
         })
         .collect()

@@ -8,7 +8,9 @@ use std::fmt;
 /// A point in the monitored space, in meters.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct Point {
+    /// Easting in meters.
     pub x: f64,
+    /// Northing in meters.
     pub y: f64,
 }
 
@@ -53,7 +55,9 @@ impl fmt::Display for Point {
 /// rectangles assigns every point to exactly one partition cell.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Rect {
+    /// Inclusive lower-left corner.
     pub min: Point,
+    /// Exclusive upper-right corner (must be component-wise `>= min`).
     pub max: Point,
 }
 
@@ -226,7 +230,9 @@ impl fmt::Display for Rect {
 /// A circle, used to model base-station coverage areas.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Circle {
+    /// Center of the circle.
     pub center: Point,
+    /// Radius in meters (non-negative).
     pub radius: f64,
 }
 

@@ -39,11 +39,31 @@ impl SheddingRegion {
     }
 }
 
+/// Work counters from one partitioner run, for telemetry.
+///
+/// Plain (non-atomic) `u64`s computed deterministically alongside the
+/// algorithm: equal inputs always produce equal stats.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct GridReduceStats {
+    /// Tree nodes whose statistics were examined (bottom-up priority
+    /// pass plus drill-down pops).
+    pub cells_visited: u64,
+    /// Accuracy/context gain evaluations performed (one per internal
+    /// node of the hierarchy).
+    pub gain_evals: u64,
+    /// Drill-down heap pops (splits attempted).
+    pub heap_pops: u64,
+    /// Shedding regions emitted.
+    pub regions_emitted: u64,
+}
+
 /// A partitioning of the space into shedding regions.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Partitioning {
     /// The shedding regions `A_i`, `i ∈ [1..l]`. They tile the space.
     pub regions: Vec<SheddingRegion>,
+    /// Work counters from the run that produced this partitioning.
+    pub stats: GridReduceStats,
 }
 
 impl Partitioning {
@@ -151,6 +171,8 @@ pub fn drill_down(
         None
     };
 
+    let mut stats = GridReduceStats::default();
+
     // Bottom-up pass: V[t] for every internal node, folded into the
     // lookahead priority P[t].
     let levels = tree.levels();
@@ -167,6 +189,8 @@ pub fn drill_down(
                     row: row as u32,
                     col: col as u32,
                 };
+                stats.cells_visited += 1;
+                stats.gain_evals += 1;
                 let own = match price {
                     Some(price) => context_gain(tree, id, model, price, params),
                     None => accuracy_gain(
@@ -216,6 +240,8 @@ pub fn drill_down(
             break; // Hierarchy exhausted.
         };
         let id = NodeId { level, row, col };
+        stats.heap_pops += 1;
+        stats.cells_visited += 1;
         if tree.is_leaf(id) {
             // No further partitioning possible (Algorithm 1 lines 18–19).
             finalized.push(id);
@@ -235,7 +261,7 @@ pub fn drill_down(
     // Deterministic output order: by level, then row, then col.
     ids.sort_by_key(|id| (id.level, id.row, id.col));
 
-    let regions = ids
+    let regions: Vec<SheddingRegion> = ids
         .into_iter()
         .map(|id| {
             let s = tree.stats(id);
@@ -247,7 +273,8 @@ pub fn drill_down(
             }
         })
         .collect();
-    Partitioning { regions }
+    stats.regions_emitted = regions.len() as u64;
+    Partitioning { regions, stats }
 }
 
 /// CALCERRGAIN (Algorithm 1, bottom): the expected reduction in query-result
@@ -440,7 +467,13 @@ pub fn l_partitioning(grid: &StatsGrid, num_regions: usize) -> Partitioning {
             0.0
         };
     }
-    Partitioning { regions }
+    let stats = GridReduceStats {
+        cells_visited: (alpha * alpha) as u64,
+        gain_evals: 0,
+        heap_pops: 0,
+        regions_emitted: regions.len() as u64,
+    };
+    Partitioning { regions, stats }
 }
 
 #[cfg(test)]
@@ -707,6 +740,25 @@ mod tests {
         let p2 = GridReduceParams::new(13, 0.05, 50.0, true);
         let price = super::estimate_price(&tree, &m, &p2);
         assert!(price.is_some_and(|v| v > 0.0), "{price:?}");
+    }
+
+    #[test]
+    fn partitioner_reports_work_stats() {
+        let g = heterogeneous_grid();
+        let p = grid_reduce(&g, &model(), &params(13)).unwrap();
+        assert_eq!(p.stats.regions_emitted, 13);
+        assert!(p.stats.gain_evals > 0);
+        assert!(p.stats.cells_visited > p.stats.gain_evals);
+        // Reaching 13 regions takes at least (13 − 1)/3 = 4 splits.
+        assert!(p.stats.heap_pops >= 4);
+        // Stats are deterministic: same inputs, same counters.
+        let p2 = grid_reduce(&g, &model(), &params(13)).unwrap();
+        assert_eq!(p.stats, p2.stats);
+
+        let lp = l_partitioning(&g, 16);
+        assert_eq!(lp.stats.regions_emitted, 16);
+        assert_eq!(lp.stats.cells_visited, 256);
+        assert_eq!(lp.stats.gain_evals, 0);
     }
 
     #[test]

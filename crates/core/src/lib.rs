@@ -59,6 +59,8 @@
 //! assert!((5.0..=100.0).contains(&delta));
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod baselines;
 pub mod config;
 pub mod error;
@@ -71,6 +73,7 @@ pub mod quadtree;
 pub mod reduction;
 pub mod shedder;
 pub mod stats_grid;
+pub mod telemetry;
 pub mod throt_loop;
 
 /// Convenient re-exports of the most used types.
@@ -84,15 +87,20 @@ pub mod prelude {
         greedy_increment, GreedyParams, RegionInput, ThrottlerSolution,
     };
     pub use crate::grid_reduce::{
-        grid_reduce, l_partitioning, GridReduceParams, Partitioning, SheddingRegion,
+        grid_reduce, l_partitioning, GridReduceParams, GridReduceStats, Partitioning,
+        SheddingRegion,
     };
     pub use crate::plan::{PlanRegion, SheddingPlan};
     pub use crate::policy::{
-        LiraGridPolicy, LiraPolicy, RandomDropPolicy, SheddingPolicy, UniformDeltaPolicy,
+        AdaptCost, LiraGridPolicy, LiraPolicy, RandomDropPolicy, SheddingPolicy, UniformDeltaPolicy,
     };
     pub use crate::quadtree::{NodeId, RegionTree};
     pub use crate::reduction::ReductionModel;
     pub use crate::shedder::{Adaptation, LiraShedder};
     pub use crate::stats_grid::{CellStats, StatsGrid};
+    pub use crate::telemetry::{
+        Clock, Counter, Gauge, Histogram, Level, ManualClock, MetricSpec, MonotonicClock,
+        Telemetry, TelemetrySnapshot,
+    };
     pub use crate::throt_loop::{QueueObservation, ThrotLoop};
 }

@@ -145,6 +145,15 @@ impl SheddingPlan {
     /// The update throttler for a mobile node at `p` — what a node looks up
     /// locally each time it crosses into a new shedding region.
     pub fn throttler_at(&self, p: &Point) -> f64 {
+        self.region_at(p).1
+    }
+
+    /// The shedding region containing `p` — its index into
+    /// [`Self::regions`] and its throttler. The index is `None` when `p`
+    /// falls outside every region (the default throttler applies). Used
+    /// by telemetry to attribute admitted/shed updates per region; the
+    /// throttler returned is byte-identical to [`Self::throttler_at`].
+    pub fn region_at(&self, p: &Point) -> (Option<usize>, f64) {
         let col = ((p.x - self.bounds.min.x) / self.bounds.width() * self.lookup_side as f64)
             .floor()
             .clamp(0.0, (self.lookup_side - 1) as f64) as usize;
@@ -155,15 +164,14 @@ impl SheddingPlan {
         if idx != u32::MAX {
             let region = &self.regions[idx as usize];
             if region.area.contains(p) || region.area.contains_closed(p) {
-                return region.throttler;
+                return (Some(idx as usize), region.throttler);
             }
         }
         // Fallback: exact scan (cells straddling region borders).
-        self.regions
-            .iter()
-            .find(|r| r.area.contains(p))
-            .map(|r| r.throttler)
-            .unwrap_or(self.default_delta)
+        match self.regions.iter().position(|r| r.area.contains(p)) {
+            Some(i) => (Some(i), self.regions[i].throttler),
+            None => (None, self.default_delta),
+        }
     }
 
     /// A sound upper bound on the throttler a node *predicted* at `p` may

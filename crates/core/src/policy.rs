@@ -23,11 +23,24 @@ use crate::config::LiraConfig;
 use crate::error::Result;
 use crate::geometry::Rect;
 use crate::greedy_increment::{greedy_increment, GreedyParams, ThrottlerSolution};
-use crate::grid_reduce::l_partitioning;
+use crate::grid_reduce::{l_partitioning, GridReduceStats};
 use crate::plan::SheddingPlan;
 use crate::reduction::ReductionModel;
 use crate::shedder::LiraShedder;
 use crate::stats_grid::StatsGrid;
+
+/// Deterministic work counters from one [`SheddingPolicy::adapt`] call,
+/// surfaced for telemetry. Equal inputs always produce equal costs —
+/// these are plain counts computed alongside the algorithms, never
+/// wall-clock measurements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AdaptCost {
+    /// Partitioner work (GRIDREDUCE drill-down, or the trivial equal-grid
+    /// scan for Lira-Grid).
+    pub partitioner: GridReduceStats,
+    /// GREEDYINCREMENT iterations (accepted segment advances).
+    pub greedy_steps: u64,
+}
 
 /// A load-shedding policy: turns statistics snapshots into shedding plans.
 pub trait SheddingPolicy: Send {
@@ -46,12 +59,20 @@ pub trait SheddingPolicy: Send {
     fn admission(&self, _observed_z: f64) -> f64 {
         1.0
     }
+
+    /// Work counters from the most recent [`Self::adapt`] call, for
+    /// policies that run a partitioner/optimizer; `None` before the first
+    /// adaptation or for trivial policies (Uniform Δ, Random Drop).
+    fn last_cost(&self) -> Option<AdaptCost> {
+        None
+    }
 }
 
 /// Full LIRA: GRIDREDUCE partitioning + GREEDYINCREMENT throttlers.
 #[derive(Debug, Clone)]
 pub struct LiraPolicy {
     shedder: LiraShedder,
+    last_cost: Option<AdaptCost>,
 }
 
 impl LiraPolicy {
@@ -63,12 +84,16 @@ impl LiraPolicy {
     pub fn new(config: LiraConfig, queue_capacity: usize) -> Result<Self> {
         Ok(LiraPolicy {
             shedder: LiraShedder::new(config, queue_capacity)?,
+            last_cost: None,
         })
     }
 
     /// Wraps an existing shedder (keeps its controller state and model).
     pub fn from_shedder(shedder: LiraShedder) -> Self {
-        LiraPolicy { shedder }
+        LiraPolicy {
+            shedder,
+            last_cost: None,
+        }
     }
 
     /// Replaces the update-reduction model, e.g. with a calibrated one.
@@ -90,7 +115,16 @@ impl SheddingPolicy for LiraPolicy {
     }
 
     fn adapt(&mut self, stats: &StatsGrid, observed_z: f64) -> Result<SheddingPlan> {
-        Ok(self.shedder.adapt_with_throttle(stats, observed_z)?.plan)
+        let adaptation = self.shedder.adapt_with_throttle(stats, observed_z)?;
+        self.last_cost = Some(AdaptCost {
+            partitioner: adaptation.partitioning.stats,
+            greedy_steps: adaptation.solution.steps as u64,
+        });
+        Ok(adaptation.plan)
+    }
+
+    fn last_cost(&self) -> Option<AdaptCost> {
+        self.last_cost
     }
 }
 
@@ -101,6 +135,7 @@ impl SheddingPolicy for LiraPolicy {
 pub struct LiraGridPolicy {
     config: LiraConfig,
     model: ReductionModel,
+    last_cost: Option<AdaptCost>,
 }
 
 impl LiraGridPolicy {
@@ -109,7 +144,11 @@ impl LiraGridPolicy {
 
     /// Creates the policy for a configuration and reduction model.
     pub fn new(config: LiraConfig, model: ReductionModel) -> Self {
-        LiraGridPolicy { config, model }
+        LiraGridPolicy {
+            config,
+            model,
+            last_cost: None,
+        }
     }
 
     /// The full adaptation product, including the optimizer's solution.
@@ -144,7 +183,30 @@ impl SheddingPolicy for LiraGridPolicy {
     }
 
     fn adapt(&mut self, stats: &StatsGrid, observed_z: f64) -> Result<SheddingPlan> {
-        Ok(self.plan_with_solution(stats, observed_z)?.0)
+        let partitioning = l_partitioning(stats, self.config.num_regions);
+        let solution = greedy_increment(
+            &partitioning.inputs(),
+            &self.model,
+            &GreedyParams {
+                throttle: observed_z,
+                fairness: self.config.fairness,
+                use_speed: self.config.use_speed_factor,
+            },
+        );
+        self.last_cost = Some(AdaptCost {
+            partitioner: partitioning.stats,
+            greedy_steps: solution.steps as u64,
+        });
+        SheddingPlan::from_solution(
+            *stats.bounds(),
+            &partitioning,
+            &solution,
+            self.model.delta_min(),
+        )
+    }
+
+    fn last_cost(&self) -> Option<AdaptCost> {
+        self.last_cost
     }
 }
 

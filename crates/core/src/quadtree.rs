@@ -14,8 +14,11 @@ use crate::stats_grid::StatsGrid;
 /// `(0, 0, 0)` and leaves at level `log2(α)` in grid-cell coordinates.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct NodeId {
+    /// Tree depth: 0 at the root, `log2(α)` at the leaves.
     pub level: u32,
+    /// Row within the level's `2^level × 2^level` lattice (south = 0).
     pub row: u32,
+    /// Column within the level's lattice (west = 0).
     pub col: u32,
 }
 

@@ -71,6 +71,12 @@ impl LiraShedder {
         &self.model
     }
 
+    /// The THROTLOOP controller (read-only), exposing its step counters
+    /// for telemetry.
+    pub fn controller(&self) -> &ThrotLoop {
+        &self.controller
+    }
+
     /// The current throttle fraction: the controller's value when adaptive,
     /// otherwise the configured constant.
     pub fn throttle(&self) -> f64 {

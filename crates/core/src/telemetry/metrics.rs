@@ -1,0 +1,305 @@
+//! Lock-free metric primitives: counters, gauges, log-scale histograms
+//! and scoped wall-clock timers.
+//!
+//! All recording operations are wait-free single atomic RMW ops with
+//! `Relaxed` ordering — there is no cross-metric consistency guarantee,
+//! only per-metric monotonicity, which is all a snapshot needs. Under
+//! the `telemetry-off` cargo feature every recording method compiles to
+//! an empty body so the instrumented binary carries zero runtime cost.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use super::clock::Clock;
+
+/// Number of histogram buckets: one underflow bucket for the value `0`
+/// plus one bucket per power of two up to `u64::MAX`.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// A monotonically increasing event count.
+///
+/// Values saturate at `u64::MAX` in practice (wrapping would require
+/// ~5.8e11 years of nanosecond increments); overflow is not handled.
+#[derive(Debug, Default)]
+pub struct Counter {
+    #[cfg_attr(feature = "telemetry-off", allow(dead_code))]
+    active: bool,
+    value: AtomicU64,
+}
+
+impl Counter {
+    pub(super) fn new(active: bool) -> Self {
+        Self {
+            active,
+            value: AtomicU64::new(0),
+        }
+    }
+
+    /// Adds 1 to the counter.
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n` to the counter.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        #[cfg(not(feature = "telemetry-off"))]
+        if self.active {
+            self.value.fetch_add(n, Ordering::Relaxed);
+        }
+        #[cfg(feature = "telemetry-off")]
+        let _ = n;
+    }
+
+    /// Current value. Always 0 when the owning registry is disabled.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-value-wins instantaneous measurement (an `f64` stored as raw
+/// bits in an atomic, so reads and writes are lock-free and tear-free).
+///
+/// Non-finite values are silently ignored by [`Gauge::set`] so a NaN
+/// produced by a degenerate window can never poison a snapshot.
+#[derive(Debug)]
+pub struct Gauge {
+    #[cfg_attr(feature = "telemetry-off", allow(dead_code))]
+    active: bool,
+    bits: AtomicU64,
+}
+
+impl Gauge {
+    pub(super) fn new(active: bool) -> Self {
+        Self {
+            active,
+            bits: AtomicU64::new(0f64.to_bits()),
+        }
+    }
+
+    /// Stores `v`, unless `v` is NaN or infinite (then the call is a
+    /// no-op and the previous value is kept).
+    #[inline]
+    pub fn set(&self, v: f64) {
+        #[cfg(not(feature = "telemetry-off"))]
+        if self.active && v.is_finite() {
+            self.bits.store(v.to_bits(), Ordering::Relaxed);
+        }
+        #[cfg(feature = "telemetry-off")]
+        let _ = v;
+    }
+
+    /// Current value. Always 0.0 when the owning registry is disabled.
+    #[inline]
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+/// A fixed-bucket base-2 log-scale histogram of `u64` samples.
+///
+/// Bucket 0 holds the value `0`; bucket `i ≥ 1` holds values in
+/// `[2^(i-1), 2^i - 1]`. 65 buckets cover the whole `u64` range with no
+/// dynamic allocation and ~3 ns per record. Alongside the buckets the
+/// histogram tracks exact `count`, `sum`, `min` and `max`, so means are
+/// exact and only quantiles are bucket-approximate (error ≤ 2× by
+/// construction).
+#[derive(Debug)]
+pub struct Histogram {
+    #[cfg_attr(feature = "telemetry-off", allow(dead_code))]
+    active: bool,
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+}
+
+/// Index of the bucket that holds `v`: 0 for 0, else `64 - leading_zeros`.
+#[inline]
+pub fn bucket_index(v: u64) -> usize {
+    (64 - v.leading_zeros()) as usize
+}
+
+/// Inclusive upper bound of bucket `i` (used when reporting quantiles).
+pub fn bucket_upper_bound(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else if i >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+impl Histogram {
+    pub(super) fn new(active: bool) -> Self {
+        Self {
+            active,
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        #[cfg(not(feature = "telemetry-off"))]
+        if self.active {
+            self.count.fetch_add(1, Ordering::Relaxed);
+            self.sum.fetch_add(v, Ordering::Relaxed);
+            self.min.fetch_min(v, Ordering::Relaxed);
+            self.max.fetch_max(v, Ordering::Relaxed);
+            self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        }
+        #[cfg(feature = "telemetry-off")]
+        let _ = v;
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all recorded samples (wrapping on overflow).
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Smallest recorded sample, or `None` if the histogram is empty.
+    pub fn min(&self) -> Option<u64> {
+        if self.count() == 0 {
+            None
+        } else {
+            Some(self.min.load(Ordering::Relaxed))
+        }
+    }
+
+    /// Largest recorded sample, or `None` if the histogram is empty.
+    pub fn max(&self) -> Option<u64> {
+        if self.count() == 0 {
+            None
+        } else {
+            Some(self.max.load(Ordering::Relaxed))
+        }
+    }
+
+    /// Mean of the recorded samples (exact, from `sum`/`count`), or
+    /// `None` if empty.
+    pub fn mean(&self) -> Option<f64> {
+        let n = self.count();
+        if n == 0 {
+            None
+        } else {
+            Some(self.sum() as f64 / n as f64)
+        }
+    }
+
+    /// Copies the bucket counts out (index = [`bucket_index`]).
+    pub fn bucket_counts(&self) -> [u64; HISTOGRAM_BUCKETS] {
+        std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed))
+    }
+}
+
+/// Wall-clock timer that records elapsed microseconds into a
+/// [`Histogram`] when dropped.
+///
+/// Obtained from [`super::Telemetry::timer`]. Timings are inherently
+/// nondeterministic — they never feed back into any policy decision and
+/// are excluded from determinism comparisons.
+pub struct ScopedTimer<'a> {
+    hist: &'a Histogram,
+    clock: &'a dyn Clock,
+    start_ns: u64,
+}
+
+impl<'a> ScopedTimer<'a> {
+    pub(super) fn start(hist: &'a Histogram, clock: &'a dyn Clock) -> Self {
+        Self {
+            hist,
+            clock,
+            start_ns: clock.now_ns(),
+        }
+    }
+}
+
+impl Drop for ScopedTimer<'_> {
+    fn drop(&mut self) {
+        let elapsed_ns = self.clock.now_ns().saturating_sub(self.start_ns);
+        self.hist.record(elapsed_ns / 1_000);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_boundaries() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(1023), 10);
+        assert_eq!(bucket_index(1024), 11);
+        assert_eq!(bucket_index(u64::MAX), 64);
+    }
+
+    #[test]
+    fn bucket_upper_bounds_bracket_their_indices() {
+        for v in [0u64, 1, 2, 3, 7, 8, 1000, 1 << 40, u64::MAX] {
+            let i = bucket_index(v);
+            assert!(v <= bucket_upper_bound(i));
+            if i > 0 {
+                assert!(v > bucket_upper_bound(i - 1));
+            }
+        }
+    }
+
+    #[cfg(not(feature = "telemetry-off"))]
+    #[test]
+    fn histogram_tracks_exact_aggregates() {
+        let h = Histogram::new(true);
+        for v in [3u64, 5, 0, 100] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum(), 108);
+        assert_eq!(h.min(), Some(0));
+        assert_eq!(h.max(), Some(100));
+        assert_eq!(h.mean(), Some(27.0));
+        let buckets = h.bucket_counts();
+        assert_eq!(buckets[0], 1); // 0
+        assert_eq!(buckets[2], 1); // 3
+        assert_eq!(buckets[3], 1); // 5
+        assert_eq!(buckets[7], 1); // 100
+    }
+
+    #[cfg(not(feature = "telemetry-off"))]
+    #[test]
+    fn gauge_ignores_non_finite() {
+        let g = Gauge::new(true);
+        g.set(2.5);
+        g.set(f64::NAN);
+        g.set(f64::INFINITY);
+        assert_eq!(g.get(), 2.5);
+    }
+
+    #[test]
+    fn inactive_metrics_record_nothing() {
+        let c = Counter::new(false);
+        c.add(10);
+        assert_eq!(c.get(), 0);
+        let h = Histogram::new(false);
+        h.record(7);
+        assert_eq!(h.count(), 0);
+        let g = Gauge::new(false);
+        g.set(1.0);
+        assert_eq!(g.get(), 0.0);
+    }
+}

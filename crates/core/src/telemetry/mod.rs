@@ -1,0 +1,334 @@
+//! Zero-overhead telemetry: lock-free metrics, scoped timers and a
+//! structured event journal.
+//!
+//! # Architecture
+//!
+//! A [`Telemetry`] registry hands out [`Arc`] handles to three metric
+//! kinds — [`Counter`], [`Gauge`] and log-scale [`Histogram`] — plus a
+//! bounded [`Journal`] of structured events. Registration (name lookup,
+//! allocation) takes a mutex and happens once per run; *recording* is a
+//! single relaxed atomic RMW per call, wait-free and allocation-free, so
+//! handles can be hammered from every pipeline lane thread concurrently.
+//!
+//! Wall-clock time only enters through the [`Clock`] trait:
+//! [`MonotonicClock`] backs [`ScopedTimer`]s in live runs, while sim
+//! time is threaded explicitly (journal events are stamped with sim
+//! seconds, never wall-clock), keeping instrumented simulations
+//! bit-deterministic. Timings land only in histograms that are
+//! documented as nondeterministic.
+//!
+//! # Disabling
+//!
+//! Two independent switches, both leaving the API intact:
+//!
+//! - **Runtime**: [`Telemetry::disabled`] returns a registry whose
+//!   handles drop every record on a predictable branch — used by the
+//!   determinism test and the `exp_overhead` baseline.
+//! - **Compile time**: the `telemetry-off` cargo feature compiles every
+//!   recording body to a no-op, for measuring the cost of the
+//!   instrumentation itself.
+//!
+//! Snapshots ([`TelemetrySnapshot`]) serialize to JSON; the schema is
+//! documented in `docs/TELEMETRY.md`.
+
+mod clock;
+mod journal;
+pub mod json;
+mod metrics;
+mod snapshot;
+
+pub use clock::{Clock, ManualClock, MonotonicClock};
+pub use journal::{Event, Journal, Level, DEFAULT_JOURNAL_CAPACITY};
+pub use metrics::{
+    bucket_index, bucket_upper_bound, Counter, Gauge, Histogram, ScopedTimer, HISTOGRAM_BUCKETS,
+};
+pub use snapshot::{
+    CounterSnapshot, EventSnapshot, GaugeSnapshot, HistogramSnapshot, SnapshotParseError,
+    TelemetrySnapshot, SNAPSHOT_SCHEMA_VERSION,
+};
+
+use std::sync::{Arc, Mutex};
+
+/// `true` when this crate was built with the `telemetry-off` feature,
+/// i.e. every recording body is a no-op regardless of runtime toggles.
+/// Downstream crates can consult this instead of their own feature flag,
+/// which stays correct even in mixed-feature builds.
+pub const COMPILED_OUT: bool = cfg!(feature = "telemetry-off");
+
+/// Static description of a metric: where it lives and what it measures.
+///
+/// The `name` is the registry key — registering the same name twice
+/// returns the existing handle (the first spec wins).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MetricSpec {
+    /// Dotted metric name, unique per registry (e.g. `"queue.depth"`).
+    pub name: &'static str,
+    /// Owning component (e.g. `"server.queue"`).
+    pub component: &'static str,
+    /// Unit of the recorded value (e.g. `"updates"`, `"us"`, `"m"`).
+    pub unit: &'static str,
+}
+
+impl MetricSpec {
+    /// Shorthand constructor.
+    pub const fn new(name: &'static str, component: &'static str, unit: &'static str) -> Self {
+        Self {
+            name,
+            component,
+            unit,
+        }
+    }
+}
+
+/// A registry of metrics and events for one run, lane or component.
+///
+/// Cheap to create (a few empty `Vec`s); intended to be instantiated
+/// per pipeline lane so snapshots are naturally per-policy. All handles
+/// are `Arc`s — recording never touches the registry's mutex.
+pub struct Telemetry {
+    enabled: bool,
+    clock: Arc<dyn Clock>,
+    counters: Mutex<Vec<(MetricSpec, Arc<Counter>)>>,
+    gauges: Mutex<Vec<(MetricSpec, Arc<Gauge>)>>,
+    histograms: Mutex<Vec<(MetricSpec, Arc<Histogram>)>>,
+    journal: Journal,
+}
+
+impl std::fmt::Debug for Telemetry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Telemetry")
+            .field("enabled", &self.enabled)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Telemetry {
+    /// An enabled registry using a fresh [`MonotonicClock`] and the
+    /// default journal capacity at [`Level::Debug`].
+    pub fn new() -> Self {
+        Self::with_clock(Arc::new(MonotonicClock::new()))
+    }
+
+    /// An enabled registry with an explicit clock (use [`ManualClock`]
+    /// in tests for deterministic timer histograms).
+    pub fn with_clock(clock: Arc<dyn Clock>) -> Self {
+        Self::build(true, clock, Level::Debug, DEFAULT_JOURNAL_CAPACITY)
+    }
+
+    /// A registry whose handles drop every record. Snapshots come back
+    /// with `enabled: false` and zeroed metrics.
+    pub fn disabled() -> Self {
+        Self::build(false, Arc::new(ManualClock::new()), Level::Warn, 0)
+    }
+
+    /// An enabled or disabled registry depending on `enabled` — the
+    /// runtime analogue of the `telemetry-off` feature.
+    pub fn toggled(enabled: bool) -> Self {
+        if enabled {
+            Self::new()
+        } else {
+            Self::disabled()
+        }
+    }
+
+    fn build(enabled: bool, clock: Arc<dyn Clock>, min_level: Level, cap: usize) -> Self {
+        // Under `telemetry-off` the handles' bodies are compiled out, so
+        // the `active` flag is irrelevant; keep it consistent anyway.
+        let active = enabled && cfg!(not(feature = "telemetry-off"));
+        Self {
+            enabled: active,
+            clock,
+            counters: Mutex::new(Vec::new()),
+            gauges: Mutex::new(Vec::new()),
+            histograms: Mutex::new(Vec::new()),
+            journal: Journal::new(active, min_level, cap),
+        }
+    }
+
+    /// Whether handles from this registry record anything.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Registers (or retrieves) a counter.
+    pub fn counter(&self, spec: MetricSpec) -> Arc<Counter> {
+        let mut metrics = self.counters.lock().unwrap();
+        if let Some((_, c)) = metrics.iter().find(|(s, _)| s.name == spec.name) {
+            return Arc::clone(c);
+        }
+        let c = Arc::new(Counter::new(self.enabled));
+        metrics.push((spec, Arc::clone(&c)));
+        c
+    }
+
+    /// Registers (or retrieves) a gauge.
+    pub fn gauge(&self, spec: MetricSpec) -> Arc<Gauge> {
+        let mut metrics = self.gauges.lock().unwrap();
+        if let Some((_, g)) = metrics.iter().find(|(s, _)| s.name == spec.name) {
+            return Arc::clone(g);
+        }
+        let g = Arc::new(Gauge::new(self.enabled));
+        metrics.push((spec, Arc::clone(&g)));
+        g
+    }
+
+    /// Registers (or retrieves) a histogram.
+    pub fn histogram(&self, spec: MetricSpec) -> Arc<Histogram> {
+        let mut metrics = self.histograms.lock().unwrap();
+        if let Some((_, h)) = metrics.iter().find(|(s, _)| s.name == spec.name) {
+            return Arc::clone(h);
+        }
+        let h = Arc::new(Histogram::new(self.enabled));
+        metrics.push((spec, Arc::clone(&h)));
+        h
+    }
+
+    /// Starts a wall-clock timer that records elapsed **microseconds**
+    /// into `hist` when dropped.
+    pub fn timer<'a>(&'a self, hist: &'a Histogram) -> ScopedTimer<'a> {
+        ScopedTimer::start(hist, self.clock.as_ref())
+    }
+
+    /// The registry's journal.
+    pub fn journal(&self) -> &Journal {
+        &self.journal
+    }
+
+    /// Records a journal event stamped with *sim* time (seconds).
+    pub fn event(&self, level: Level, target: &'static str, sim_time_s: f64, message: String) {
+        self.journal.record(level, target, sim_time_s, message);
+    }
+
+    /// Exports everything into a plain-data [`TelemetrySnapshot`]
+    /// labelled with `component`.
+    pub fn snapshot(&self, component: &str) -> TelemetrySnapshot {
+        let counters = self
+            .counters
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(s, c)| CounterSnapshot {
+                name: s.name.to_string(),
+                component: s.component.to_string(),
+                unit: s.unit.to_string(),
+                value: c.get(),
+            })
+            .collect();
+        let gauges = self
+            .gauges
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(s, g)| GaugeSnapshot {
+                name: s.name.to_string(),
+                component: s.component.to_string(),
+                unit: s.unit.to_string(),
+                value: g.get(),
+            })
+            .collect();
+        let histograms = self
+            .histograms
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(s, h)| {
+                let counts = h.bucket_counts();
+                HistogramSnapshot {
+                    name: s.name.to_string(),
+                    component: s.component.to_string(),
+                    unit: s.unit.to_string(),
+                    count: h.count(),
+                    sum: h.sum(),
+                    min: h.min(),
+                    max: h.max(),
+                    buckets: counts
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, &n)| n > 0)
+                        .map(|(i, &n)| (i as u32, n))
+                        .collect(),
+                }
+            })
+            .collect();
+        TelemetrySnapshot {
+            component: component.to_string(),
+            enabled: self.enabled,
+            counters,
+            gauges,
+            histograms,
+            events: self
+                .journal
+                .events()
+                .iter()
+                .map(EventSnapshot::from)
+                .collect(),
+            events_dropped: self.journal.dropped(),
+        }
+    }
+}
+
+impl Default for Telemetry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[cfg(not(feature = "telemetry-off"))]
+    #[test]
+    fn registry_snapshot_reflects_recordings() {
+        let tel = Telemetry::with_clock(Arc::new(ManualClock::new()));
+        let c = tel.counter(MetricSpec::new("a.count", "test", "updates"));
+        let g = tel.gauge(MetricSpec::new("a.level", "test", "fraction"));
+        let h = tel.histogram(MetricSpec::new("a.lat", "test", "us"));
+        c.add(3);
+        g.set(0.5);
+        h.record(9);
+        tel.event(Level::Info, "test", 1.0, "hello".into());
+        let snap = tel.snapshot("unit");
+        assert!(snap.enabled);
+        assert_eq!(snap.counter("a.count"), Some(3));
+        assert_eq!(snap.gauge("a.level"), Some(0.5));
+        assert_eq!(snap.histogram("a.lat").unwrap().count, 1);
+        assert_eq!(snap.events.len(), 1);
+    }
+
+    #[test]
+    fn registration_is_idempotent_by_name() {
+        let tel = Telemetry::new();
+        let a = tel.counter(MetricSpec::new("x", "t", "u"));
+        let b = tel.counter(MetricSpec::new("x", "t2", "u2"));
+        a.incr();
+        assert_eq!(b.get(), a.get());
+        assert_eq!(tel.snapshot("s").counters.len(), 1);
+    }
+
+    #[test]
+    fn disabled_registry_snapshots_empty_values() {
+        let tel = Telemetry::disabled();
+        let c = tel.counter(MetricSpec::new("x", "t", "u"));
+        c.add(100);
+        tel.event(Level::Warn, "t", 0.0, "dropped".into());
+        let snap = tel.snapshot("off");
+        assert!(!snap.enabled);
+        assert_eq!(snap.counter("x"), Some(0));
+        assert!(snap.events.is_empty());
+    }
+
+    #[cfg(not(feature = "telemetry-off"))]
+    #[test]
+    fn scoped_timer_records_elapsed_micros() {
+        let clock = Arc::new(ManualClock::new());
+        let tel = Telemetry::with_clock(Arc::clone(&clock) as Arc<dyn Clock>);
+        let h = tel.histogram(MetricSpec::new("t.us", "test", "us"));
+        {
+            let _t = tel.timer(&h);
+            clock.advance_ns(5_000);
+        }
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.sum(), 5);
+    }
+}

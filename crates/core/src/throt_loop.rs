@@ -28,6 +28,9 @@ pub struct ThrotLoop {
     queue_capacity: f64,
     floor: f64,
     iterations: u64,
+    clamped_steps: u64,
+    held_steps: u64,
+    overload_steps: u64,
 }
 
 /// A single observation window of the input queue.
@@ -53,6 +56,9 @@ impl ThrotLoop {
             queue_capacity: queue_capacity as f64,
             floor: 1e-3,
             iterations: 0,
+            clamped_steps: 0,
+            held_steps: 0,
+            overload_steps: 0,
         })
     }
 
@@ -78,6 +84,27 @@ impl ThrotLoop {
         self.iterations
     }
 
+    /// Windows whose raw step factor `u` fell outside `[1/2, 2]` and was
+    /// clamped (includes every dead-server window).
+    #[inline]
+    pub fn clamped_steps(&self) -> u64 {
+        self.clamped_steps
+    }
+
+    /// Windows that carried no signal (NaN λ or μ, or ∞/∞) and left `z`
+    /// unchanged — the NaN/outage holds.
+    #[inline]
+    pub fn held_steps(&self) -> u64 {
+        self.held_steps
+    }
+
+    /// Windows with no observed service capacity (`μ ≤ 0` while updates
+    /// were arriving): full-overload steps at the clamp.
+    #[inline]
+    pub fn overload_steps(&self) -> u64 {
+        self.overload_steps
+    }
+
     /// The sustainable utilization level `ρ* = 1 − 1/B`.
     #[inline]
     pub fn target_utilization(&self) -> f64 {
@@ -97,6 +124,7 @@ impl ThrotLoop {
     pub fn observe(&mut self, obs: QueueObservation) -> f64 {
         self.iterations += 1;
         if obs.arrival_rate.is_nan() || obs.service_rate.is_nan() {
+            self.held_steps += 1;
             return self.z;
         }
         if obs.arrival_rate <= 0.0 {
@@ -104,19 +132,27 @@ impl ThrotLoop {
             self.z = 1.0;
             return self.z;
         }
-        let u = if obs.service_rate <= 0.0 {
+        let raw = if obs.service_rate <= 0.0 {
+            // Full overload: step down at the cap (and count the clamp —
+            // the true ρ is unbounded).
+            self.overload_steps += 1;
+            self.clamped_steps += 1;
             MAX_STEP
         } else {
             let rho = obs.arrival_rate / obs.service_rate;
             if rho.is_nan() {
                 // ∞/∞: two blown-up estimates cancel into no signal.
+                self.held_steps += 1;
                 return self.z;
             }
             rho / self.target_utilization()
         };
         // The clamp both bounds the reaction speed and absorbs ρ = ∞
         // (λ = ∞, or μ underflowed): the division below stays finite.
-        let u = u.clamp(1.0 / MAX_STEP, MAX_STEP);
+        let u = raw.clamp(1.0 / MAX_STEP, MAX_STEP);
+        if u != raw {
+            self.clamped_steps += 1;
+        }
         self.z = (self.z / u).min(1.0).max(self.floor);
         self.z
     }
@@ -125,6 +161,9 @@ impl ThrotLoop {
     pub fn reset(&mut self) {
         self.z = 1.0;
         self.iterations = 0;
+        self.clamped_steps = 0;
+        self.held_steps = 0;
+        self.overload_steps = 0;
     }
 }
 
@@ -291,5 +330,27 @@ mod tests {
         t.reset();
         assert_eq!(t.throttle(), 1.0);
         assert_eq!(t.iterations(), 0);
+        assert_eq!(t.clamped_steps(), 0);
+        assert_eq!(t.held_steps(), 0);
+        assert_eq!(t.overload_steps(), 0);
+    }
+
+    #[test]
+    fn counters_classify_degenerate_windows() {
+        let mut t = ThrotLoop::new(100).unwrap();
+        t.observe(obs(1.0 * 0.99, 1.0)); // balanced: no counter moves
+        assert_eq!(
+            (t.clamped_steps(), t.held_steps(), t.overload_steps()),
+            (0, 0, 0)
+        );
+        t.observe(obs(100.0, 1.0)); // 100x overload: clamped
+        assert_eq!(t.clamped_steps(), 1);
+        t.observe(obs(f64::NAN, 1.0)); // no signal: held
+        t.observe(obs(f64::INFINITY, f64::INFINITY)); // ∞/∞: held
+        assert_eq!(t.held_steps(), 2);
+        t.observe(obs(5.0, 0.0)); // dead server: overload + clamp
+        assert_eq!(t.overload_steps(), 1);
+        assert_eq!(t.clamped_steps(), 2);
+        assert_eq!(t.iterations(), 5);
     }
 }

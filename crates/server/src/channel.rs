@@ -252,6 +252,11 @@ pub struct ChannelStats {
     pub lost: u64,
     /// Sum of primary-copy delivery latencies, seconds (staleness).
     pub delay_sum_s: f64,
+    /// RNG draws consumed by this channel's fault models (loss, delay and
+    /// duplication draws). Zero for [`FaultProfile::none`] — the
+    /// telemetry-visible form of the "zero draws on the null profile"
+    /// guarantee.
+    pub rng_draws: u64,
 }
 
 impl ChannelStats {
@@ -443,21 +448,29 @@ impl<T: Clone> FaultyChannel<T> {
             .collect()
     }
 
-    /// Drains everything still in flight regardless of due time (end of
-    /// simulation). Pending retries are abandoned and counted lost.
-    pub fn drain(&mut self) -> Vec<Delivery<T>> {
+    /// Closes the channel's books at end of run (`now` = the run's final
+    /// clock): delivers every copy already due, then abandons the rest.
+    /// Queued retries and primary copies still in flight past `now` could
+    /// never have reached the server within the run, so they are counted
+    /// **lost** — never delivered — and contribute nothing to the
+    /// staleness sum. Afterwards `pending() == 0` and
+    /// [`ChannelStats::accounted`]`(0)` holds.
+    ///
+    /// (An earlier version polled at the latest in-flight due time, which
+    /// counted updates still pending at end-of-run — e.g. when the run
+    /// ends mid-outage — as delivered, inflating both the delivery count
+    /// and the mean staleness.)
+    pub fn drain(&mut self, now: f64) -> Vec<Delivery<T>> {
+        // No more transmissions happen after the run: every queued retry
+        // is abandoned and its payload lost.
         self.stats.lost += self.retries.len() as u64;
         self.retries.clear();
-        let horizon = self
-            .in_flight
-            .iter()
-            .map(|f| f.due)
-            .fold(f64::NEG_INFINITY, f64::max);
-        if horizon.is_finite() {
-            self.poll(horizon)
-        } else {
-            Vec::new()
-        }
+        let out = self.poll(now);
+        // Copies due after `now` never arrive. Duplicates are dropped
+        // silently (their primary copy is already accounted).
+        self.stats.lost += self.in_flight.iter().filter(|f| !f.duplicate).count() as u64;
+        self.in_flight.clear();
+        out
     }
 
     /// One wireless transmission attempt: outage check, loss draw, then
@@ -472,7 +485,7 @@ impl<T: Clone> FaultyChannel<T> {
         } else {
             match self.profile.loss {
                 LossModel::None => false,
-                LossModel::Iid { p } => p > 0.0 && self.rng.gen_bool(p),
+                LossModel::Iid { p } => p > 0.0 && self.draw_bool(p),
                 LossModel::GilbertElliott {
                     p_g2b,
                     p_b2g,
@@ -480,11 +493,11 @@ impl<T: Clone> FaultyChannel<T> {
                     loss_bad,
                 } => {
                     let flip = if self.ge_bad { p_b2g } else { p_g2b };
-                    if flip > 0.0 && self.rng.gen_bool(flip) {
+                    if flip > 0.0 && self.draw_bool(flip) {
                         self.ge_bad = !self.ge_bad;
                     }
                     let p = if self.ge_bad { loss_bad } else { loss_good };
-                    p > 0.0 && self.rng.gen_bool(p)
+                    p > 0.0 && self.draw_bool(p)
                 }
             }
         };
@@ -512,7 +525,7 @@ impl<T: Clone> FaultyChannel<T> {
             duplicate: false,
             payload: payload.clone(),
         });
-        if self.profile.duplicate_prob > 0.0 && self.rng.gen_bool(self.profile.duplicate_prob) {
+        if self.profile.duplicate_prob > 0.0 && self.draw_bool(self.profile.duplicate_prob) {
             let dup_due = now + self.draw_delay();
             self.in_flight.push(InFlight {
                 due: dup_due,
@@ -524,11 +537,20 @@ impl<T: Clone> FaultyChannel<T> {
         }
     }
 
+    /// One Bernoulli draw, counted in `stats.rng_draws`. Callers keep the
+    /// `p > 0` short-circuit *outside*, so a degenerate probability costs
+    /// no draw (preserving the null profile's zero-draw guarantee).
+    fn draw_bool(&mut self, p: f64) -> bool {
+        self.stats.rng_draws += 1;
+        self.rng.gen_bool(p)
+    }
+
     fn draw_delay(&mut self) -> f64 {
         match self.profile.delay {
             DelayModel::None => 0.0,
             DelayModel::Uniform { min_s, max_s } => {
                 if max_s > min_s {
+                    self.stats.rng_draws += 1;
                     self.rng.gen_range(min_s..max_s)
                 } else {
                     min_s
@@ -788,7 +810,7 @@ mod tests {
     }
 
     #[test]
-    fn drain_flushes_in_flight_and_abandons_retries() {
+    fn drain_abandons_retries_and_undue_in_flight() {
         let profile = FaultProfile {
             delay: DelayModel::Uniform {
                 min_s: 50.0,
@@ -805,16 +827,110 @@ mod tests {
             ..FaultProfile::none()
         };
         let mut ch = FaultyChannel::new(profile, 2);
-        ch.send(0.0, 1); // delivered far in the future
+        ch.send(0.0, 1); // in flight, due in [50, 60) — past end of run
         ch.send(6.0, 2); // stuck retrying inside the endless outage
         assert!(ch.poll(10.0).is_empty());
-        let got = ch.drain();
+        // The run ends at t = 10: neither payload ever reached the server,
+        // so drain must count both lost, not pretend payload 1 arrived.
+        let got = ch.drain(10.0);
+        assert!(got.is_empty());
+        let s = ch.stats();
+        assert_eq!((s.delivered, s.lost), (0, 2));
+        assert_eq!(s.delay_sum_s, 0.0, "no delivery, no staleness");
+        assert_eq!(ch.pending(), 0);
+        assert!(s.accounted(0));
+    }
+
+    #[test]
+    fn drain_delivers_copies_already_due() {
+        // Same shape but the run ends after the delayed copy's due time:
+        // drain hands it over like a final poll would have.
+        let profile = FaultProfile {
+            delay: DelayModel::Uniform {
+                min_s: 50.0,
+                max_s: 60.0,
+            },
+            ..FaultProfile::none()
+        };
+        let mut ch = FaultyChannel::new(profile, 2);
+        ch.send(0.0, 1);
+        let got = ch.drain(60.0);
         assert_eq!(got.len(), 1);
         assert_eq!(got[0].payload, 1);
         let s = ch.stats();
-        assert_eq!((s.delivered, s.lost), (1, 1));
-        assert_eq!(ch.pending(), 0);
+        assert_eq!((s.delivered, s.lost), (1, 0));
+        assert!(s.delay_sum_s >= 50.0);
         assert!(s.accounted(0));
+    }
+
+    #[test]
+    fn end_of_run_mid_outage_does_not_inflate_staleness() {
+        // Regression: a run ending mid-outage used to poll at the latest
+        // in-flight due time, booking the pending update as a delivery
+        // with its full (post-run) latency. Mean staleness must reflect
+        // only deliveries that happened within the run.
+        let profile = FaultProfile {
+            outages: vec![Outage {
+                start_s: 10.0,
+                end_s: 1e18,
+            }],
+            retry: RetryPolicy {
+                max_retries: 1000,
+                backoff_s: 5.0,
+            },
+            delay: DelayModel::Uniform {
+                min_s: 0.5,
+                max_s: 1.0,
+            },
+            ..FaultProfile::none()
+        };
+        let mut ch = FaultyChannel::new(profile, 7);
+        ch.send(0.0, 1);
+        let ok = ch.poll(5.0);
+        assert_eq!(ok.len(), 1, "pre-outage send delivers normally");
+        let mean_before = ch.stats().mean_delay_s();
+        ch.send(12.0, 2); // swallowed by the endless outage
+        assert!(ch.poll(20.0).is_empty());
+        let got = ch.drain(20.0);
+        assert!(got.is_empty());
+        let s = ch.stats();
+        assert_eq!((s.delivered, s.lost), (1, 1));
+        assert_eq!(s.mean_delay_s(), mean_before, "staleness unchanged");
+        assert!(s.accounted(0));
+    }
+
+    #[test]
+    fn null_profile_consumes_no_rng_draws() {
+        let mut ch = FaultyChannel::new(FaultProfile::none(), 9);
+        for t in 0..50 {
+            ch.send(t as f64, t);
+        }
+        ch.poll(100.0);
+        assert_eq!(ch.stats().rng_draws, 0);
+    }
+
+    #[test]
+    fn faulty_profiles_report_rng_draw_counts() {
+        let mut ch = FaultyChannel::new(FaultProfile::iid_loss(0.5), 3);
+        for t in 0..20 {
+            ch.send(t as f64, t);
+        }
+        // One loss draw per transmission, no delay/duplicate draws.
+        assert_eq!(ch.stats().rng_draws, ch.stats().transmissions);
+        let mut dup = FaultyChannel::new(
+            FaultProfile {
+                duplicate_prob: 0.5,
+                delay: DelayModel::Uniform {
+                    min_s: 0.1,
+                    max_s: 0.2,
+                },
+                ..FaultProfile::none()
+            },
+            4,
+        );
+        dup.send(0.0, 1);
+        // Duplicate draw + at least one delay draw for the primary copy.
+        assert!(dup.stats().rng_draws >= 2, "{}", dup.stats().rng_draws);
     }
 
     #[test]

@@ -5,9 +5,14 @@
 use lira_core::throt_loop::QueueObservation;
 
 /// A bounded FIFO of position updates with drop accounting.
+///
+/// Each entry carries the sim time at which it was offered (NaN when
+/// enqueued through the untimed [`UpdateQueue::offer`]), so
+/// [`UpdateQueue::service_at`] can report per-update queueing latency
+/// without a second bookkeeping structure.
 #[derive(Debug, Clone)]
 pub struct UpdateQueue<T> {
-    items: std::collections::VecDeque<T>,
+    items: std::collections::VecDeque<(f64, T)>,
     capacity: usize,
     arrived: u64,
     dropped: u64,
@@ -53,21 +58,38 @@ impl<T> UpdateQueue<T> {
     /// Offers an update. A full queue drops it (tail drop) and returns
     /// `false` — the server-actuated shedding the paper argues against.
     pub fn offer(&mut self, item: T) -> bool {
+        self.offer_at(f64::NAN, item)
+    }
+
+    /// [`Self::offer`] with an arrival timestamp (sim seconds), so later
+    /// [`Self::service_at`] calls can report the update's queueing
+    /// latency.
+    pub fn offer_at(&mut self, now_s: f64, item: T) -> bool {
         self.arrived += 1;
         self.window_arrived += 1;
         if self.items.len() >= self.capacity {
             self.dropped += 1;
             false
         } else {
-            self.items.push_back(item);
+            self.items.push_back((now_s, item));
             true
         }
     }
 
     /// Dequeues up to `n` updates for processing (FIFO order).
     pub fn service(&mut self, n: usize) -> Vec<T> {
+        self.service_at(n)
+            .into_iter()
+            .map(|(_, item)| item)
+            .collect()
+    }
+
+    /// Dequeues up to `n` updates with their arrival timestamps (the
+    /// value passed to [`Self::offer_at`]; NaN for untimed offers). The
+    /// caller computes queueing latency as `now − arrived_at`.
+    pub fn service_at(&mut self, n: usize) -> Vec<(f64, T)> {
         let take = n.min(self.items.len());
-        let out: Vec<T> = self.items.drain(..take).collect();
+        let out: Vec<(f64, T)> = self.items.drain(..take).collect();
         self.serviced += out.len() as u64;
         self.window_serviced += out.len() as u64;
         out
@@ -252,6 +274,25 @@ mod tests {
         let mut ctl = ThrotLoop::new(8).unwrap();
         let z = ctl.observe(obs);
         assert!(z.is_finite() && (z - 0.5).abs() < 1e-12, "z = {z}");
+    }
+
+    #[test]
+    fn timestamped_offers_report_queueing_latency() {
+        let mut q = UpdateQueue::new(4);
+        q.offer_at(10.0, "a");
+        q.offer_at(11.0, "b");
+        q.offer(
+            "c", // untimed: arrival timestamp is NaN
+        );
+        let now = 12.5;
+        let served = q.service_at(3);
+        let latencies: Vec<f64> = served.iter().map(|(t, _)| now - t).collect();
+        assert_eq!(served[0].1, "a");
+        assert!((latencies[0] - 2.5).abs() < 1e-12);
+        assert!((latencies[1] - 1.5).abs() < 1e-12);
+        assert!(latencies[2].is_nan(), "untimed offers carry no latency");
+        // Mixed-API use keeps the counters coherent.
+        assert_eq!((q.arrived(), q.serviced(), q.dropped()), (3, 3, 0));
     }
 
     #[test]

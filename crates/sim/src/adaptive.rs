@@ -18,6 +18,7 @@ use lira_server::queue::UpdateQueue;
 use crate::metrics::{evaluation_errors, FaultReport, MetricsAccumulator, MetricsReport};
 use crate::pipeline::SimSetup;
 use crate::scenario::Scenario;
+use crate::telemetry::AdaptiveTelemetry;
 
 /// Server capacity model for the closed loop.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -68,6 +69,10 @@ pub struct AdaptiveReport {
     pub metrics: MetricsReport,
     /// Uplink delivery accounting (zeros on the perfect channel).
     pub faults: FaultReport,
+    /// Controller/queue telemetry snapshot (per-window λ, μ, ρ, z,
+    /// clamp/hold classification, queue depth and service latency);
+    /// schema in docs/TELEMETRY.md.
+    pub telemetry: lira_core::telemetry::TelemetrySnapshot,
 }
 
 /// Runs the closed loop for `sc.duration_s` seconds.
@@ -101,6 +106,7 @@ pub fn run_adaptive(sc: &Scenario, cfg: &AdaptiveConfig) -> AdaptiveReport {
         .clone()
         .map(|profile| FaultyChannel::new(profile, sc.seed.wrapping_add(2000)));
 
+    let tel = AdaptiveTelemetry::new(true);
     let total_ticks = (sc.duration_s / sc.dt).round() as usize;
     let control_every = (cfg.control_period_s / sc.dt).round().max(1.0) as usize;
     let eval_every = (sc.eval_period_s / sc.dt).round().max(1.0) as usize;
@@ -120,7 +126,7 @@ pub fn run_adaptive(sc: &Scenario, cfg: &AdaptiveConfig) -> AdaptiveReport {
             if let Some(rep) = shed_reckoners[i].observe(i as u32, t, pos, vel, delta) {
                 match &mut channel {
                     None => {
-                        queue.offer(rep);
+                        queue.offer_at(t, rep);
                     }
                     Some(ch) => ch.send(t, rep),
                 }
@@ -130,11 +136,14 @@ pub fn run_adaptive(sc: &Scenario, cfg: &AdaptiveConfig) -> AdaptiveReport {
             for d in ch.poll(t) {
                 // The report's own model time is the send time, so stale
                 // arrivals are rejected downstream by the node store.
-                queue.offer(d.payload);
+                // The queue timestamp is the *delivery* time: service
+                // latency measures queueing, not the wireless hop.
+                queue.offer_at(t, d.payload);
             }
         }
         // The server drains at its fixed capacity.
-        for rep in queue.service(service_per_tick) {
+        for (arrived_at, rep) in queue.service_at(service_per_tick) {
+            tel.on_serviced(t - arrived_at);
             shed.ingest(
                 rep.node,
                 rep.model.time,
@@ -155,12 +164,21 @@ pub fn run_adaptive(sc: &Scenario, cfg: &AdaptiveConfig) -> AdaptiveReport {
             grid.commit_snapshot();
             let adaptation = shedder.adapt(&grid, obs).expect("adaptation succeeds");
             plan = adaptation.plan;
+            let dropped_in_window = queue.dropped() - dropped_before;
+            tel.on_window(
+                t,
+                queue.len(),
+                dropped_in_window,
+                obs.arrival_rate,
+                obs.service_rate,
+                shedder.controller(),
+            );
             windows.push(WindowStats {
                 time: t,
                 arrival_rate: obs.arrival_rate,
                 throttle: adaptation.throttle,
                 queue_len: queue.len(),
-                dropped: queue.dropped() - dropped_before,
+                dropped: dropped_in_window,
             });
             dropped_before = queue.dropped();
         }
@@ -178,15 +196,20 @@ pub fn run_adaptive(sc: &Scenario, cfg: &AdaptiveConfig) -> AdaptiveReport {
         }
     }
 
+    let faults = match &channel {
+        Some(ch) => {
+            tel.on_channel(&ch.stats());
+            FaultReport::from_channel(ch.stats(), ch.pending())
+        }
+        None => FaultReport::default(),
+    };
     AdaptiveReport {
         windows,
         final_throttle: shedder.throttle(),
         drop_fraction: queue.drop_fraction(),
         metrics: accumulator.report(),
-        faults: match &channel {
-            Some(ch) => FaultReport::from_channel(ch.stats(), ch.pending()),
-            None => FaultReport::default(),
-        },
+        faults,
+        telemetry: tel.snapshot(),
     }
 }
 

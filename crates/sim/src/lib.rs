@@ -20,6 +20,7 @@ pub mod metrics;
 pub mod pipeline;
 pub mod runner;
 pub mod scenario;
+pub mod telemetry;
 
 /// Convenient re-exports of the most used types.
 pub mod prelude {
@@ -32,4 +33,6 @@ pub mod prelude {
     };
     pub use crate::runner::{run_scenario, Policy, PolicyOutcome, RunReport};
     pub use crate::scenario::Scenario;
+    pub use crate::telemetry::{AdaptiveTelemetry, LaneTelemetry, PipelineTelemetry};
+    pub use lira_core::telemetry::TelemetrySnapshot;
 }

@@ -177,6 +177,10 @@ pub struct FaultReport {
     /// Mean delivery latency of the arrived updates, seconds: how stale a
     /// position report is by the time the server applies it.
     pub mean_staleness_s: f64,
+    /// RNG draws consumed by the channel's fault models — zero on the
+    /// perfect-channel path, so telemetry can prove the fault layer is
+    /// free when disabled.
+    pub rng_draws: u64,
 }
 
 impl FaultReport {
@@ -191,6 +195,7 @@ impl FaultReport {
             lost: stats.lost,
             pending,
             mean_staleness_s: stats.mean_delay_s(),
+            rng_draws: stats.rng_draws,
         }
     }
 
@@ -332,11 +337,13 @@ mod tests {
             duplicates: 1,
             lost: 2,
             delay_sum_s: 3.5,
+            rng_draws: 14,
         };
         let r = FaultReport::from_channel(stats, 1);
         assert!(r.accounted());
         assert!((r.loss_fraction() - 0.2).abs() < 1e-12);
         assert!((r.mean_staleness_s - 0.5).abs() < 1e-12);
+        assert_eq!(r.rng_draws, 14);
         let zero = FaultReport::default();
         assert!(zero.accounted());
         assert_eq!(zero.loss_fraction(), 0.0);

@@ -49,6 +49,7 @@ use rand::{Rng, SeedableRng};
 use crate::metrics::{evaluation_errors, FaultReport, MetricsAccumulator};
 use crate::runner::{Policy, PolicyOutcome, RunReport};
 use crate::scenario::Scenario;
+use crate::telemetry::{LaneTelemetry, PipelineTelemetry};
 
 /// How policy lanes are executed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -298,8 +299,14 @@ impl ReferenceTimeline {
 }
 
 /// What one position update carries across the uplink: node id, motion
-/// model origin, and velocity. Send time rides on the channel envelope.
-type UplinkPayload = (u32, Point, (f64, f64));
+/// model origin, velocity, and the shedding-region index the sender was
+/// in (`u32::MAX` when the plan resolved no region) — the last field
+/// exists so per-region admission accounting survives the channel's
+/// delay. Send time rides on the channel envelope.
+type UplinkPayload = (u32, Point, (f64, f64), u32);
+
+/// Region sentinel for "the plan had no region covering this position".
+const NO_REGION: u32 = u32::MAX;
 
 /// Stage 4: one policy's isolated simulation state. Owns everything it
 /// mutates, so lanes can run on separate threads.
@@ -318,6 +325,14 @@ struct PolicyLane {
     updates_processed: u64,
     adapt_micros: Vec<u64>,
     accumulator: MetricsAccumulator,
+    tel: LaneTelemetry,
+    /// Updates admitted per plan region in the current plan epoch. Kept
+    /// as plain vectors — maintained identically whether telemetry is
+    /// enabled or not, so the lane does the same work either way.
+    region_admitted: Vec<u64>,
+    /// Updates shed (server-actuated admission drop) per plan region in
+    /// the current plan epoch.
+    region_shed: Vec<u64>,
 }
 
 impl PolicyLane {
@@ -327,7 +342,7 @@ impl PolicyLane {
     /// channel RNG extends the same rule at offset 2000, keeping fault
     /// draws out of the admission stream (a faulty run perturbs traffic,
     /// never the drop decisions of an identically-seeded perfect run).
-    fn new(policy: Policy, index: usize, setup: &SimSetup, sc: &Scenario) -> Self {
+    fn new(policy: Policy, index: usize, setup: &SimSetup, sc: &Scenario, telemetry: bool) -> Self {
         PolicyLane {
             policy,
             shedding: policy.build(sc, &setup.config, &setup.model),
@@ -343,6 +358,9 @@ impl PolicyLane {
             updates_processed: 0,
             adapt_micros: Vec::new(),
             accumulator: MetricsAccumulator::new(setup.queries.len()),
+            tel: LaneTelemetry::new(telemetry),
+            region_admitted: Vec::new(),
+            region_shed: Vec::new(),
         }
     }
 
@@ -350,6 +368,10 @@ impl PolicyLane {
     /// states and the workload, then let the policy re-plan. Only the
     /// policy's own computation is timed (the paper's server-side cost).
     fn adapt(&mut self, cars: &[CarState], queries: &[RangeQuery], z: f64) {
+        // Close out the outgoing plan's per-region epoch before replacing
+        // it (the region indices are only meaningful against one plan).
+        self.tel
+            .flush_regions(&self.region_admitted, &self.region_shed);
         self.grid.begin_snapshot();
         for car in cars {
             self.grid.observe_node(&car.position, car.speed(), 1.0);
@@ -363,7 +385,22 @@ impl PolicyLane {
             .shedding
             .adapt(&self.grid, z)
             .expect("adaptation succeeds on a committed snapshot");
-        self.adapt_micros.push(started.elapsed().as_micros() as u64);
+        let micros = started.elapsed().as_micros() as u64;
+        self.adapt_micros.push(micros);
+        self.tel
+            .on_adapt(micros, z, self.shedding.last_cost(), &self.plan);
+        self.region_admitted.clear();
+        self.region_admitted.resize(self.plan.len(), 0);
+        self.region_shed.clear();
+        self.region_shed.resize(self.plan.len(), 0);
+    }
+
+    /// Bumps a per-region epoch counter, ignoring the [`NO_REGION`]
+    /// sentinel and indices from a superseded plan.
+    fn bump_region(counts: &mut [u64], region: u32) {
+        if let Some(slot) = counts.get_mut(region as usize) {
+            *slot += 1;
+        }
     }
 
     /// Replays the lane over the whole trace and produces its outcome.
@@ -384,11 +421,15 @@ impl PolicyLane {
         for tick in 1..=total_ticks {
             let t = trace.time(tick);
             for (i, car) in trace.cars(tick).iter().enumerate() {
-                let delta = self.plan.throttler_at(&car.position);
+                // One lookup resolves both the throttler and the region
+                // index (identical cost to the old `throttler_at` path).
+                let (region, delta) = self.plan.region_at(&car.position);
+                let region = region.map_or(NO_REGION, |r| r as u32);
                 if let Some(rep) =
                     self.reckoners[i].observe(i as u32, t, car.position, car.velocity, delta)
                 {
                     self.updates_sent += 1;
+                    self.tel.on_sent();
                     match &mut self.channel {
                         // Perfect channel: the historical inline path.
                         // Server-actuated policies (Random Drop) admit
@@ -397,15 +438,22 @@ impl PolicyLane {
                         None => {
                             if admission >= 1.0 || self.drop_rng.gen_bool(admission) {
                                 self.updates_processed += 1;
+                                self.tel.on_admitted();
+                                Self::bump_region(&mut self.region_admitted, region);
                                 self.server.ingest(
                                     rep.node,
                                     t,
                                     rep.model.origin,
                                     rep.model.velocity,
                                 );
+                            } else {
+                                self.tel.on_shed();
+                                Self::bump_region(&mut self.region_shed, region);
                             }
                         }
-                        Some(ch) => ch.send(t, (rep.node, rep.model.origin, rep.model.velocity)),
+                        Some(ch) => {
+                            ch.send(t, (rep.node, rep.model.origin, rep.model.velocity, region))
+                        }
                     }
                 }
             }
@@ -416,8 +464,8 @@ impl PolicyLane {
                     // hop. A zero-fault profile delivers same-tick in
                     // send order, so the draw sequence is identical to
                     // the perfect-channel path above.
+                    let (node, origin, velocity, region) = d.payload;
                     if admission >= 1.0 || self.drop_rng.gen_bool(admission) {
-                        let (node, origin, velocity) = d.payload;
                         // Ingest at *send* time: delayed copies arrive
                         // stale, and the node store's per-node reorder
                         // guard (not this loop) decides what still
@@ -425,7 +473,12 @@ impl PolicyLane {
                         // fall out there.
                         if self.server.ingest(node, d.sent_at, origin, velocity) {
                             self.updates_processed += 1;
+                            self.tel.on_admitted();
+                            Self::bump_region(&mut self.region_admitted, region);
                         }
+                    } else {
+                        self.tel.on_shed();
+                        Self::bump_region(&mut self.region_shed, region);
                     }
                 }
             }
@@ -456,10 +509,17 @@ impl PolicyLane {
             Some(ch) => FaultReport::from_channel(ch.stats(), ch.pending()),
             None => FaultReport::default(),
         };
+        self.tel
+            .flush_regions(&self.region_admitted, &self.region_shed);
+        if let Some(ch) = &self.channel {
+            self.tel.on_channel(&ch.stats());
+        }
+        let telemetry = self.tel.snapshot(&format!("lane:{}", self.policy.name()));
         PolicyOutcome {
             policy: self.policy,
             metrics: self.accumulator.report(),
             faults,
+            telemetry,
             updates_sent: self.updates_sent,
             updates_processed: self.updates_processed,
             processed_fraction: if reference.reference_updates > 0 {
@@ -474,13 +534,23 @@ impl PolicyLane {
 }
 
 /// The composed pipeline: setup → trace → reference → policy lanes.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy)]
 pub struct SimPipeline {
     parallelism: Parallelism,
+    telemetry: bool,
+}
+
+impl Default for SimPipeline {
+    fn default() -> Self {
+        SimPipeline {
+            parallelism: Parallelism::default(),
+            telemetry: true,
+        }
+    }
 }
 
 impl SimPipeline {
-    /// A pipeline with automatic lane parallelism.
+    /// A pipeline with automatic lane parallelism and telemetry enabled.
     pub fn new() -> Self {
         SimPipeline::default()
     }
@@ -492,18 +562,35 @@ impl SimPipeline {
         self
     }
 
+    /// Enables or disables telemetry recording at runtime. Disabled
+    /// lanes do identical simulation work and produce bit-identical
+    /// policy outcomes; only the snapshots come back empty.
+    #[must_use]
+    pub fn with_telemetry(mut self, telemetry: bool) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
+
     /// Runs the scenario for the given policies and reports the comparison.
     pub fn run(&self, sc: &Scenario, policies: &[Policy]) -> RunReport {
+        let ptel = PipelineTelemetry::new(self.telemetry);
+        let stage = Instant::now();
         let mut setup = SimSetup::build(sc, sc.calibrate_model);
+        ptel.on_setup(stage.elapsed().as_micros() as u64);
+        let stage = Instant::now();
         let trace = setup.record_trace(sc);
+        ptel.on_trace(stage.elapsed().as_micros() as u64);
+        let stage = Instant::now();
         let reference = ReferenceTimeline::compute(&trace, &setup, sc);
+        ptel.on_reference(stage.elapsed().as_micros() as u64);
 
         let lanes: Vec<PolicyLane> = policies
             .iter()
             .enumerate()
-            .map(|(i, &policy)| PolicyLane::new(policy, i, &setup, sc))
+            .map(|(i, &policy)| PolicyLane::new(policy, i, &setup, sc, self.telemetry))
             .collect();
 
+        let stage = Instant::now();
         let run_parallel = self.parallelism == Parallelism::Auto && lanes.len() >= 2;
         let outcomes: Vec<PolicyOutcome> = if run_parallel {
             let (trace, reference, queries) = (&trace, &reference, &setup.queries[..]);
@@ -523,12 +610,14 @@ impl SimPipeline {
                 .map(|lane| lane.run(&trace, &reference, &setup.queries, sc))
                 .collect()
         };
+        ptel.on_lanes(stage.elapsed().as_micros() as u64);
 
         RunReport {
             reference_updates: reference.reference_updates,
             num_queries: setup.queries.len(),
             num_cars: sc.num_cars,
             outcomes,
+            pipeline_telemetry: ptel.snapshot(),
         }
     }
 }

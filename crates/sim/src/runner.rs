@@ -87,6 +87,10 @@ pub struct PolicyOutcome {
     /// Uplink delivery/loss/retry accounting (all zeros when the
     /// scenario runs the perfect channel).
     pub faults: FaultReport,
+    /// The lane's telemetry snapshot (metrics schema in
+    /// docs/TELEMETRY.md); `enabled: false` with zeroed metrics when the
+    /// pipeline ran with telemetry off.
+    pub telemetry: lira_core::telemetry::TelemetrySnapshot,
     /// Position updates sent by the mobile nodes (wireless cost; under
     /// faults, see `faults.transmissions` for the airtime actually paid).
     pub updates_sent: u64,
@@ -115,6 +119,9 @@ pub struct RunReport {
     pub num_cars: usize,
     /// Per-policy outcomes, in the order requested.
     pub outcomes: Vec<PolicyOutcome>,
+    /// Stage wall-time telemetry for the whole pipeline run (setup,
+    /// trace, reference replay, lanes).
+    pub pipeline_telemetry: lira_core::telemetry::TelemetrySnapshot,
 }
 
 impl RunReport {

@@ -1,0 +1,475 @@
+//! Telemetry wiring for the simulation harness: pre-registered metric
+//! handles for the hot paths of a policy lane and of the closed-loop
+//! adaptive runner.
+//!
+//! The core algorithms stay telemetry-free — they return plain counters
+//! ([`GridReduceStats`](lira_core::grid_reduce::GridReduceStats),
+//! [`AdaptCost`], the THROTLOOP step classification) that this module
+//! copies into per-lane [`Telemetry`] registries at adaptation
+//! boundaries. Recording is a relaxed atomic per call, so the lane loop
+//! pays the same instructions whether telemetry is enabled, runtime
+//! disabled, or compiled out with the `telemetry-off` feature; policy
+//! outcomes are bit-identical in all three modes (see
+//! `tests/telemetry.rs`).
+//!
+//! Metric names, units and firing points are documented in
+//! `docs/TELEMETRY.md`.
+
+use std::sync::Arc;
+
+use lira_core::plan::SheddingPlan;
+use lira_core::policy::AdaptCost;
+use lira_core::telemetry::{
+    Counter, Gauge, Histogram, Level, MetricSpec, Telemetry, TelemetrySnapshot,
+};
+use lira_core::throt_loop::ThrotLoop;
+use lira_server::channel::ChannelStats;
+
+// Lane metrics (component "sim.lane").
+const LANE_UPDATES_SENT: MetricSpec = MetricSpec::new("lane.updates_sent", "sim.lane", "updates");
+const LANE_UPDATES_ADMITTED: MetricSpec =
+    MetricSpec::new("lane.updates_admitted", "sim.lane", "updates");
+const LANE_UPDATES_SHED: MetricSpec = MetricSpec::new("lane.updates_shed", "sim.lane", "updates");
+const LANE_ADAPT_US: MetricSpec = MetricSpec::new("lane.adapt_us", "sim.lane", "us");
+const LANE_THROTTLE: MetricSpec = MetricSpec::new("lane.throttle", "sim.lane", "fraction");
+const GRID_CELLS_VISITED: MetricSpec =
+    MetricSpec::new("grid_reduce.cells_visited", "core.grid_reduce", "cells");
+const GRID_GAIN_EVALS: MetricSpec =
+    MetricSpec::new("grid_reduce.gain_evals", "core.grid_reduce", "evals");
+const GRID_HEAP_POPS: MetricSpec =
+    MetricSpec::new("grid_reduce.heap_pops", "core.grid_reduce", "pops");
+const GRID_REGIONS_EMITTED: MetricSpec =
+    MetricSpec::new("grid_reduce.regions_emitted", "core.grid_reduce", "regions");
+const GREEDY_STEPS: MetricSpec = MetricSpec::new("greedy.steps", "core.greedy_increment", "steps");
+const PLAN_DELTA_M: MetricSpec = MetricSpec::new("plan.delta_m", "core.plan", "m");
+const REGION_ADMITTED: MetricSpec = MetricSpec::new("lane.region_admitted", "sim.lane", "updates");
+const REGION_SHED: MetricSpec = MetricSpec::new("lane.region_shed", "sim.lane", "updates");
+const CHANNEL_RNG_DRAWS: MetricSpec =
+    MetricSpec::new("channel.rng_draws", "server.channel", "draws");
+const CHANNEL_TRANSMISSIONS: MetricSpec =
+    MetricSpec::new("channel.transmissions", "server.channel", "sends");
+const CHANNEL_RETRIES: MetricSpec = MetricSpec::new("channel.retries", "server.channel", "sends");
+const CHANNEL_LOST: MetricSpec = MetricSpec::new("channel.lost", "server.channel", "updates");
+const CHANNEL_DUPLICATES: MetricSpec =
+    MetricSpec::new("channel.duplicates", "server.channel", "updates");
+
+// Adaptive-runner metrics (component "sim.adaptive").
+const QUEUE_DEPTH: MetricSpec = MetricSpec::new("queue.depth", "server.queue", "updates");
+const QUEUE_OVERFLOW: MetricSpec =
+    MetricSpec::new("queue.overflow_drops", "server.queue", "updates");
+const QUEUE_LATENCY_US: MetricSpec =
+    MetricSpec::new("queue.service_latency_us", "server.queue", "us");
+const THROT_LAMBDA: MetricSpec =
+    MetricSpec::new("throtloop.lambda", "core.throt_loop", "updates/s");
+const THROT_MU: MetricSpec = MetricSpec::new("throtloop.mu", "core.throt_loop", "updates/s");
+const THROT_RHO: MetricSpec = MetricSpec::new("throtloop.rho", "core.throt_loop", "fraction");
+const THROT_Z: MetricSpec = MetricSpec::new("throtloop.z", "core.throt_loop", "fraction");
+const THROT_CLAMPED: MetricSpec =
+    MetricSpec::new("throtloop.clamped_steps", "core.throt_loop", "steps");
+const THROT_HELD: MetricSpec = MetricSpec::new("throtloop.held_steps", "core.throt_loop", "steps");
+const THROT_OVERLOAD: MetricSpec =
+    MetricSpec::new("throtloop.overload_steps", "core.throt_loop", "steps");
+
+// Pipeline stage metrics (component "sim.pipeline"). Wall-clock, hence
+// nondeterministic across runs — excluded from the determinism contract.
+const STAGE_SETUP_US: MetricSpec = MetricSpec::new("pipeline.setup_us", "sim.pipeline", "us");
+const STAGE_TRACE_US: MetricSpec = MetricSpec::new("pipeline.trace_us", "sim.pipeline", "us");
+const STAGE_REFERENCE_US: MetricSpec =
+    MetricSpec::new("pipeline.reference_us", "sim.pipeline", "us");
+const STAGE_LANES_US: MetricSpec = MetricSpec::new("pipeline.lanes_us", "sim.pipeline", "us");
+
+/// Journal target for lane-level events.
+pub const TARGET_LANE: &str = "sim.lane";
+/// Journal target for the closed-loop controller.
+pub const TARGET_ADAPTIVE: &str = "sim.adaptive";
+
+/// Pre-registered handles for one policy lane. Creation locks the
+/// registry once; every recording after that is lock-free.
+pub struct LaneTelemetry {
+    registry: Telemetry,
+    updates_sent: Arc<Counter>,
+    updates_admitted: Arc<Counter>,
+    updates_shed: Arc<Counter>,
+    adapt_us: Arc<Histogram>,
+    throttle: Arc<Gauge>,
+    grid_cells_visited: Arc<Counter>,
+    grid_gain_evals: Arc<Counter>,
+    grid_heap_pops: Arc<Counter>,
+    grid_regions_emitted: Arc<Counter>,
+    greedy_steps: Arc<Counter>,
+    delta_m: Arc<Histogram>,
+    region_admitted: Arc<Histogram>,
+    region_shed: Arc<Histogram>,
+}
+
+impl LaneTelemetry {
+    /// Creates the lane's registry; `enabled = false` produces inert
+    /// handles (every record is a dropped branch).
+    pub fn new(enabled: bool) -> Self {
+        let registry = Telemetry::toggled(enabled);
+        LaneTelemetry {
+            updates_sent: registry.counter(LANE_UPDATES_SENT),
+            updates_admitted: registry.counter(LANE_UPDATES_ADMITTED),
+            updates_shed: registry.counter(LANE_UPDATES_SHED),
+            adapt_us: registry.histogram(LANE_ADAPT_US),
+            throttle: registry.gauge(LANE_THROTTLE),
+            grid_cells_visited: registry.counter(GRID_CELLS_VISITED),
+            grid_gain_evals: registry.counter(GRID_GAIN_EVALS),
+            grid_heap_pops: registry.counter(GRID_HEAP_POPS),
+            grid_regions_emitted: registry.counter(GRID_REGIONS_EMITTED),
+            greedy_steps: registry.counter(GREEDY_STEPS),
+            delta_m: registry.histogram(PLAN_DELTA_M),
+            region_admitted: registry.histogram(REGION_ADMITTED),
+            region_shed: registry.histogram(REGION_SHED),
+            registry,
+        }
+    }
+
+    /// A mobile node produced a position update.
+    #[inline]
+    pub fn on_sent(&self) {
+        self.updates_sent.incr();
+    }
+
+    /// The server admitted (applied) an update.
+    #[inline]
+    pub fn on_admitted(&self) {
+        self.updates_admitted.incr();
+    }
+
+    /// An update was shed at the input (server-actuated drop).
+    #[inline]
+    pub fn on_shed(&self) {
+        self.updates_shed.incr();
+    }
+
+    /// Records one adaptation round: wall time, the throttle in force,
+    /// the partitioner/optimizer work counters, and the plan's final Δ
+    /// distribution (meters, one sample per region).
+    pub fn on_adapt(&self, micros: u64, z: f64, cost: Option<AdaptCost>, plan: &SheddingPlan) {
+        self.adapt_us.record(micros);
+        self.throttle.set(z);
+        if let Some(c) = cost {
+            self.grid_cells_visited.add(c.partitioner.cells_visited);
+            self.grid_gain_evals.add(c.partitioner.gain_evals);
+            self.grid_heap_pops.add(c.partitioner.heap_pops);
+            self.grid_regions_emitted.add(c.partitioner.regions_emitted);
+            self.greedy_steps.add(c.greedy_steps);
+        }
+        if !self.registry.is_enabled() {
+            return; // skip the per-region walk entirely when inert
+        }
+        for r in plan.regions() {
+            self.delta_m.record(r.throttler.round() as u64);
+        }
+    }
+
+    /// Flushes one plan epoch's per-region admitted/shed counts into the
+    /// shed-skew histograms (one sample per region per epoch).
+    pub fn flush_regions(&self, admitted: &[u64], shed: &[u64]) {
+        if !self.registry.is_enabled() {
+            return;
+        }
+        for &n in admitted {
+            self.region_admitted.record(n);
+        }
+        for &n in shed {
+            self.region_shed.record(n);
+        }
+    }
+
+    /// Copies the uplink channel's end-of-run accounting into counters.
+    pub fn on_channel(&self, stats: &ChannelStats) {
+        self.registry
+            .counter(CHANNEL_RNG_DRAWS)
+            .add(stats.rng_draws);
+        self.registry
+            .counter(CHANNEL_TRANSMISSIONS)
+            .add(stats.transmissions);
+        self.registry.counter(CHANNEL_RETRIES).add(stats.retries);
+        self.registry.counter(CHANNEL_LOST).add(stats.lost);
+        self.registry
+            .counter(CHANNEL_DUPLICATES)
+            .add(stats.duplicates);
+    }
+
+    /// Records a journal event stamped with sim time.
+    pub fn event(&self, level: Level, sim_time_s: f64, message: String) {
+        self.registry.event(level, TARGET_LANE, sim_time_s, message);
+    }
+
+    /// Exports the lane's snapshot labelled `component` (conventionally
+    /// `"lane:<policy name>"`).
+    pub fn snapshot(&self, component: &str) -> TelemetrySnapshot {
+        self.registry.snapshot(component)
+    }
+}
+
+/// Wall-time accounting for the four pipeline stages (setup → trace →
+/// reference → lanes). One sample per stage per run.
+pub struct PipelineTelemetry {
+    registry: Telemetry,
+    setup_us: Arc<Histogram>,
+    trace_us: Arc<Histogram>,
+    reference_us: Arc<Histogram>,
+    lanes_us: Arc<Histogram>,
+}
+
+impl PipelineTelemetry {
+    /// Creates the pipeline's registry.
+    pub fn new(enabled: bool) -> Self {
+        let registry = Telemetry::toggled(enabled);
+        PipelineTelemetry {
+            setup_us: registry.histogram(STAGE_SETUP_US),
+            trace_us: registry.histogram(STAGE_TRACE_US),
+            reference_us: registry.histogram(STAGE_REFERENCE_US),
+            lanes_us: registry.histogram(STAGE_LANES_US),
+            registry,
+        }
+    }
+
+    /// Records the setup stage's wall time (microseconds).
+    pub fn on_setup(&self, us: u64) {
+        self.setup_us.record(us);
+    }
+
+    /// Records the trace-recording stage's wall time.
+    pub fn on_trace(&self, us: u64) {
+        self.trace_us.record(us);
+    }
+
+    /// Records the reference-replay stage's wall time.
+    pub fn on_reference(&self, us: u64) {
+        self.reference_us.record(us);
+    }
+
+    /// Records the policy-lane stage's wall time (all lanes).
+    pub fn on_lanes(&self, us: u64) {
+        self.lanes_us.record(us);
+    }
+
+    /// Exports the pipeline's snapshot.
+    pub fn snapshot(&self) -> TelemetrySnapshot {
+        self.registry.snapshot("pipeline")
+    }
+}
+
+/// Pre-registered handles for the closed-loop adaptive runner.
+pub struct AdaptiveTelemetry {
+    registry: Telemetry,
+    queue_depth: Arc<Gauge>,
+    queue_overflow: Arc<Counter>,
+    queue_latency_us: Arc<Histogram>,
+    lambda: Arc<Gauge>,
+    mu: Arc<Gauge>,
+    rho: Arc<Gauge>,
+    z: Arc<Gauge>,
+    clamped: Arc<Counter>,
+    held: Arc<Counter>,
+    overload: Arc<Counter>,
+    /// Last-seen controller totals, for per-window deltas.
+    seen: std::cell::Cell<(u64, u64, u64)>,
+}
+
+impl AdaptiveTelemetry {
+    /// Creates the runner's registry.
+    pub fn new(enabled: bool) -> Self {
+        let registry = Telemetry::toggled(enabled);
+        AdaptiveTelemetry {
+            queue_depth: registry.gauge(QUEUE_DEPTH),
+            queue_overflow: registry.counter(QUEUE_OVERFLOW),
+            queue_latency_us: registry.histogram(QUEUE_LATENCY_US),
+            lambda: registry.gauge(THROT_LAMBDA),
+            mu: registry.gauge(THROT_MU),
+            rho: registry.gauge(THROT_RHO),
+            z: registry.gauge(THROT_Z),
+            clamped: registry.counter(THROT_CLAMPED),
+            held: registry.counter(THROT_HELD),
+            overload: registry.counter(THROT_OVERLOAD),
+            seen: std::cell::Cell::new((0, 0, 0)),
+            registry,
+        }
+    }
+
+    /// Whether recording is live.
+    pub fn is_enabled(&self) -> bool {
+        self.registry.is_enabled()
+    }
+
+    /// Records one serviced update's queueing latency (seconds; skipped
+    /// for untimed NaN arrivals).
+    #[inline]
+    pub fn on_serviced(&self, latency_s: f64) {
+        if latency_s.is_finite() {
+            self.queue_latency_us.record((latency_s * 1e6) as u64);
+        }
+    }
+
+    /// Records one control window: queue state, the `(λ, μ, ρ, z)`
+    /// operating point, and the controller's step classification since
+    /// the previous window. Degenerate windows (holds, overload clamps)
+    /// produce `Warn` journal entries — the operator-facing signals in
+    /// docs/TELEMETRY.md.
+    #[allow(clippy::too_many_arguments)]
+    pub fn on_window(
+        &self,
+        time_s: f64,
+        queue_len: usize,
+        dropped_in_window: u64,
+        lambda: f64,
+        mu: f64,
+        controller: &ThrotLoop,
+    ) {
+        self.queue_depth.set(queue_len as f64);
+        self.queue_overflow.add(dropped_in_window);
+        self.lambda.set(lambda);
+        self.mu.set(mu);
+        self.rho
+            .set(if mu > 0.0 { lambda / mu } else { f64::INFINITY });
+        self.z.set(controller.throttle());
+        let now = (
+            controller.clamped_steps(),
+            controller.held_steps(),
+            controller.overload_steps(),
+        );
+        let prev = self.seen.replace(now);
+        self.clamped.add(now.0 - prev.0);
+        self.held.add(now.1 - prev.1);
+        self.overload.add(now.2 - prev.2);
+        if !self.registry.is_enabled() {
+            return;
+        }
+        if now.2 > prev.2 {
+            self.registry.event(
+                Level::Warn,
+                TARGET_ADAPTIVE,
+                time_s,
+                format!(
+                    "overload window: mu <= 0, z stepped at clamp (z = {:.4})",
+                    controller.throttle()
+                ),
+            );
+        } else if now.1 > prev.1 {
+            self.registry.event(
+                Level::Warn,
+                TARGET_ADAPTIVE,
+                time_s,
+                "degenerate window held: non-finite rate observation".to_string(),
+            );
+        } else if now.0 > prev.0 {
+            self.registry.event(
+                Level::Info,
+                TARGET_ADAPTIVE,
+                time_s,
+                format!("step factor clamped (z = {:.4})", controller.throttle()),
+            );
+        }
+        if dropped_in_window > 0 {
+            self.registry.event(
+                Level::Warn,
+                TARGET_ADAPTIVE,
+                time_s,
+                format!("queue overflow: {dropped_in_window} updates tail-dropped"),
+            );
+        }
+    }
+
+    /// Copies the uplink channel's end-of-run accounting into counters.
+    pub fn on_channel(&self, stats: &ChannelStats) {
+        self.registry
+            .counter(CHANNEL_RNG_DRAWS)
+            .add(stats.rng_draws);
+        self.registry
+            .counter(CHANNEL_TRANSMISSIONS)
+            .add(stats.transmissions);
+        self.registry.counter(CHANNEL_RETRIES).add(stats.retries);
+        self.registry.counter(CHANNEL_LOST).add(stats.lost);
+        self.registry
+            .counter(CHANNEL_DUPLICATES)
+            .add(stats.duplicates);
+    }
+
+    /// Exports the runner's snapshot.
+    pub fn snapshot(&self) -> TelemetrySnapshot {
+        self.registry.snapshot("adaptive")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lira_core::geometry::Rect;
+    use lira_core::grid_reduce::GridReduceStats;
+
+    #[test]
+    fn lane_telemetry_records_adapt_cost() {
+        let tel = LaneTelemetry::new(true);
+        let plan = SheddingPlan::uniform(Rect::from_coords(0.0, 0.0, 100.0, 100.0), 12.0);
+        let cost = AdaptCost {
+            partitioner: GridReduceStats {
+                cells_visited: 10,
+                gain_evals: 4,
+                heap_pops: 3,
+                regions_emitted: 1,
+            },
+            greedy_steps: 7,
+        };
+        tel.on_sent();
+        tel.on_admitted();
+        tel.on_adapt(42, 0.5, Some(cost), &plan);
+        let snap = tel.snapshot("lane:test");
+        if cfg!(feature = "telemetry-off") || lira_core::telemetry::COMPILED_OUT {
+            assert!(!snap.enabled);
+            return;
+        }
+        assert_eq!(snap.counter("lane.updates_sent"), Some(1));
+        assert_eq!(snap.counter("grid_reduce.cells_visited"), Some(10));
+        assert_eq!(snap.counter("greedy.steps"), Some(7));
+        assert_eq!(snap.gauge("lane.throttle"), Some(0.5));
+        let deltas = snap.histogram("plan.delta_m").unwrap();
+        assert_eq!(deltas.count, 1);
+        assert_eq!(deltas.sum, 12);
+    }
+
+    #[test]
+    fn disabled_lane_telemetry_is_inert() {
+        let tel = LaneTelemetry::new(false);
+        tel.on_sent();
+        tel.flush_regions(&[5, 6], &[1, 0]);
+        let snap = tel.snapshot("lane:off");
+        assert!(!snap.enabled);
+        assert_eq!(snap.counter("lane.updates_sent"), Some(0));
+        assert_eq!(snap.histogram("lane.region_admitted").unwrap().count, 0);
+    }
+
+    #[test]
+    fn adaptive_window_deltas_track_controller() {
+        use lira_core::throt_loop::QueueObservation;
+        let tel = AdaptiveTelemetry::new(true);
+        let mut ctl = ThrotLoop::new(100).unwrap();
+        // Overload window: mu = 0 counts as overload + clamp.
+        ctl.observe(QueueObservation {
+            arrival_rate: 50.0,
+            service_rate: 0.0,
+        });
+        tel.on_window(20.0, 3, 2, 50.0, 0.0, &ctl);
+        // Healthy window: no new degenerate steps.
+        ctl.observe(QueueObservation {
+            arrival_rate: 10.0,
+            service_rate: 100.0,
+        });
+        tel.on_window(40.0, 0, 0, 10.0, 100.0, &ctl);
+        let snap = tel.snapshot();
+        if cfg!(feature = "telemetry-off") || lira_core::telemetry::COMPILED_OUT {
+            assert!(!snap.enabled);
+            return;
+        }
+        assert_eq!(snap.counter("throtloop.overload_steps"), Some(1));
+        assert_eq!(snap.counter("queue.overflow_drops"), Some(2));
+        assert_eq!(snap.gauge("throtloop.z"), Some(ctl.throttle()));
+        assert!(snap
+            .events
+            .iter()
+            .any(|e| e.message.contains("overload window")));
+    }
+}

@@ -1,0 +1,128 @@
+//! Telemetry tour: what the pipeline tells you about itself.
+//!
+//! Runs one policy-comparison scenario and one deliberately starved
+//! closed loop, then reads the story back from the telemetry snapshots
+//! alone — partitioner work, per-adaptation cost, the plan's Δ spread,
+//! shed-skew, queue latency quantiles, and the controller's journal.
+//! Metric names and the operator's guide: docs/TELEMETRY.md.
+//!
+//! Run with: `cargo run --release --example telemetry_tour`
+
+use lira::prelude::*;
+
+fn main() {
+    let mut sc = Scenario::small(23);
+    sc.num_cars = 400;
+    sc.duration_s = 120.0;
+
+    // --- Open-loop policy comparison: one snapshot per lane. -----------
+    println!(
+        "== policy lanes ({} nodes, {} s, z = {})\n",
+        sc.num_cars, sc.duration_s, sc.throttle
+    );
+    let report = run_scenario(&sc, &Policy::ALL);
+    println!("lane           |   sent | admitted | adapt p50 (µs) | Δ spread (m) | greedy steps");
+    println!("---------------+--------+----------+----------------+--------------+-------------");
+    for o in &report.outcomes {
+        let t = &o.telemetry;
+        let adapts = t.histogram("lane.adapt_us");
+        let deltas = t.histogram("plan.delta_m");
+        println!(
+            "{:<14} | {:>6} | {:>8} | {:>14} | {:>12} | {:>12}",
+            o.policy.name(),
+            t.counter("lane.updates_sent").unwrap_or(0),
+            t.counter("lane.updates_admitted").unwrap_or(0),
+            adapts
+                .and_then(|h| h.quantile(0.5))
+                .map_or("-".into(), |v| v.to_string()),
+            deltas
+                .and_then(|h| Some(format!("{}..{}", h.min?, h.max?)))
+                .unwrap_or_else(|| "-".into()),
+            t.counter("greedy.steps").unwrap_or(0),
+        );
+    }
+
+    // Shed-skew: region-aware policies concentrate shedding, and the
+    // per-region histograms show it (docs/TELEMETRY.md §4.3).
+    println!("\nshed-skew (per-region admitted updates per plan epoch):");
+    for o in &report.outcomes {
+        if let Some(h) = o.telemetry.histogram("lane.region_admitted") {
+            if h.count > 0 {
+                println!(
+                    "  {:<14} mean {:>6.1}   min {:>4}   max {:>5}",
+                    o.policy.name(),
+                    h.mean().unwrap_or(0.0),
+                    h.min.unwrap_or(0),
+                    h.max.unwrap_or(0),
+                );
+            }
+        }
+    }
+
+    // Where the wall time went (nondeterministic, wall-clock).
+    let p = &report.pipeline_telemetry;
+    println!("\npipeline stages (µs):");
+    for name in [
+        "pipeline.setup_us",
+        "pipeline.trace_us",
+        "pipeline.reference_us",
+        "pipeline.lanes_us",
+    ] {
+        if let Some(h) = p.histogram(name) {
+            println!("  {:<24} {:>8}", name, h.sum);
+        }
+    }
+
+    // --- Closed loop, starved on purpose: the journal tells the story. -
+    let cfg = AdaptiveConfig {
+        service_rate: 60.0,
+        queue_capacity: 100,
+        control_period_s: 20.0,
+    };
+    println!(
+        "\n== closed loop, starved (µ = {} upd/s, B = {})\n",
+        cfg.service_rate, cfg.queue_capacity
+    );
+    let adaptive = run_adaptive(&sc, &cfg);
+    let t = &adaptive.telemetry;
+    println!(
+        "final operating point: λ = {:.1}/s  ρ = {:.2}  z = {:.3}  queue = {:.0}",
+        t.gauge("throtloop.lambda").unwrap_or(f64::NAN),
+        t.gauge("throtloop.rho").unwrap_or(f64::NAN),
+        t.gauge("throtloop.z").unwrap_or(f64::NAN),
+        t.gauge("queue.depth").unwrap_or(f64::NAN),
+    );
+    if let Some(h) = t.histogram("queue.service_latency_us") {
+        println!(
+            "queue latency: p50 {:?} µs  p99 {:?} µs  ({} serviced; {} overflow drops)",
+            h.quantile(0.5).unwrap_or(0),
+            h.quantile(0.99).unwrap_or(0),
+            h.count,
+            t.counter("queue.overflow_drops").unwrap_or(0),
+        );
+    }
+    println!(
+        "controller steps: {} clamped, {} held, {} overload",
+        t.counter("throtloop.clamped_steps").unwrap_or(0),
+        t.counter("throtloop.held_steps").unwrap_or(0),
+        t.counter("throtloop.overload_steps").unwrap_or(0),
+    );
+    if !t.events.is_empty() {
+        println!("\njournal ({} events):", t.events.len());
+        for e in t.events.iter().take(8) {
+            println!(
+                "  [{:>5.0}s] {:<5} {}",
+                e.sim_time_s,
+                e.level.as_str(),
+                e.message
+            );
+        }
+    }
+
+    // Every snapshot is JSON; this is what --telemetry-json writes.
+    let json = adaptive.telemetry.to_json();
+    println!(
+        "\nsnapshot JSON: {} bytes (schema v1, docs/TELEMETRY.md §3)",
+        json.len()
+    );
+}

@@ -20,6 +20,9 @@
 //! adaptive options:
 //!   --service-rate R              server capacity, updates/s (default 200)
 //!   --capacity B                  input queue size           (default 500)
+//! run/adaptive options:
+//!   --telemetry-json PATH         write the run's telemetry snapshot(s)
+//!                                 as JSON (schema: docs/TELEMETRY.md)
 //! ```
 
 use lira::prelude::*;
@@ -60,6 +63,7 @@ struct Options {
     policies: Vec<Policy>,
     service_rate: f64,
     capacity: usize,
+    telemetry_json: Option<String>,
 }
 
 impl Options {
@@ -91,6 +95,7 @@ impl Options {
         let mut policies = Policy::ALL.to_vec();
         let mut service_rate = 200.0;
         let mut capacity = 500usize;
+        let mut telemetry_json = None;
 
         for (key, value) in kv {
             match key.as_str() {
@@ -125,6 +130,7 @@ impl Options {
                 }
                 "service-rate" => service_rate = parse(&key, &value)?,
                 "capacity" => capacity = parse(&key, &value)?,
+                "telemetry-json" => telemetry_json = Some(value),
                 other => return Err(format!("unknown option --{other}")),
             }
         }
@@ -136,6 +142,7 @@ impl Options {
             policies,
             service_rate,
             capacity,
+            telemetry_json,
         })
     }
 }
@@ -173,7 +180,24 @@ fn cmd_run(opts: &Options) -> ExitCode {
             o.updates_processed,
         );
     }
+    if let Some(path) = &opts.telemetry_json {
+        let mut snapshots: Vec<&TelemetrySnapshot> =
+            report.outcomes.iter().map(|o| &o.telemetry).collect();
+        snapshots.push(&report.pipeline_telemetry);
+        if let Err(e) = write_snapshots(path, &snapshots) {
+            eprintln!("telemetry: not written ({e})");
+            return ExitCode::FAILURE;
+        }
+        println!("\ntelemetry written to {path}");
+    }
     ExitCode::SUCCESS
+}
+
+/// Writes snapshots as a JSON array (one element per lane, plus the
+/// pipeline stage timings for `run`).
+fn write_snapshots(path: &str, snapshots: &[&TelemetrySnapshot]) -> std::io::Result<()> {
+    let body: Vec<String> = snapshots.iter().map(|s| s.to_json()).collect();
+    std::fs::write(path, format!("[{}]\n", body.join(",")))
 }
 
 fn cmd_adaptive(opts: &Options) -> ExitCode {
@@ -202,6 +226,13 @@ fn cmd_adaptive(opts: &Options) -> ExitCode {
         report.metrics.mean_containment,
         report.metrics.mean_position
     );
+    if let Some(path) = &opts.telemetry_json {
+        if let Err(e) = write_snapshots(path, &[&report.telemetry]) {
+            eprintln!("telemetry: not written ({e})");
+            return ExitCode::FAILURE;
+        }
+        println!("telemetry written to {path}");
+    }
     ExitCode::SUCCESS
 }
 
