@@ -1,0 +1,378 @@
+//! `exp_eval` — perf trajectory of the CQ evaluation engines.
+//!
+//! Benchmarks the inverted-incremental engine against the legacy
+//! per-query engine on the same churning node population, across
+//! node × query scales, for all three server operations:
+//! `evaluate`, `evaluate_uncertain` and `nearest`. Before timing, each
+//! scale cross-checks the two engines for equal results — a benchmark of
+//! a wrong engine is worthless.
+//!
+//! ```text
+//! exp_eval [--quick] [--assert] [--min-speedup X] [--churn F] [--out PATH]
+//! ```
+//!
+//! * default: the full scale ladder up to 10 000 nodes × 1 000 queries;
+//! * `--quick` — two small scales, for the CI perf-smoke step;
+//! * `--churn F` — fraction of nodes re-reporting between evaluation
+//!   rounds (default 0.10);
+//! * `--out PATH` — where to write the JSON report (default
+//!   `BENCH_eval.json` in the current directory);
+//! * `--assert` — exit nonzero unless, at the largest scale, inverted
+//!   `evaluate` is at least `--min-speedup`× (default 1.0×) faster than
+//!   legacy.
+//!
+//! Output: the shim's one-line-per-benchmark timings, machine-readable
+//! `key=value` lines per scale, and a `BENCH_eval.json` report with the
+//! mean ns/iter of every (operation, engine, scale) cell — the first
+//! point of the repo's perf trajectory (see EXPERIMENTS.md).
+
+use criterion::{black_box, Criterion};
+use lira_core::geometry::{Point, Rect};
+use lira_core::plan::{PlanRegion, SheddingPlan};
+use lira_core::telemetry::json::Json;
+use lira_server::prelude::*;
+use lira_workload::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Monitored space: the paper's 10 km × 10 km region.
+const SPACE_M: f64 = 10_000.0;
+/// Fraction of nodes re-reporting between evaluation rounds (default;
+/// see `--churn`).
+const CHURN_FRAC: f64 = 0.10;
+/// Δ⊣ for the uncertainty-aware benchmark (Table 2's upper bound).
+const MAX_DELTA: f64 = 320.0;
+/// k for the nearest-neighbor benchmark (Ride Finder's "10 nearby taxis").
+const NEAREST_K: usize = 10;
+
+fn bounds() -> Rect {
+    Rect::from_coords(0.0, 0.0, SPACE_M, SPACE_M)
+}
+
+/// One churning benchmark workload: a node population plus the walk that
+/// re-reports `CHURN_FRAC` of it per round, identically for both engines.
+struct Workload {
+    positions: Vec<Point>,
+    velocities: Vec<(f64, f64)>,
+    churn: usize,
+    round: usize,
+}
+
+impl Workload {
+    fn new(num_nodes: usize, seed: u64, churn_frac: f64) -> Self {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let positions = (0..num_nodes)
+            .map(|_| Point::new(rng.gen_range(0.0..SPACE_M), rng.gen_range(0.0..SPACE_M)))
+            .collect();
+        let velocities = (0..num_nodes)
+            .map(|_| (rng.gen_range(-15.0..15.0), rng.gen_range(-15.0..15.0)))
+            .collect();
+        Workload {
+            positions,
+            velocities,
+            churn: ((num_nodes as f64 * churn_frac) as usize).max(1),
+            round: 0,
+        }
+    }
+
+    fn prime(&self, server: &mut CqServer) {
+        for (i, (&p, &v)) in self.positions.iter().zip(&self.velocities).enumerate() {
+            server.ingest(i as u32, 0.0, p, v);
+        }
+    }
+
+    /// Advances one round: `churn` nodes walk one step (reflecting off the
+    /// bounds) and re-report. Reports stay at t = 0 — the store accepts
+    /// same-time updates, so occupancy is stationary no matter how many
+    /// rounds the timing loop runs.
+    fn step(&mut self, server: &mut CqServer) {
+        let n = self.positions.len();
+        let start = (self.round * self.churn) % n;
+        for k in 0..self.churn {
+            let i = (start + k) % n;
+            let (vx, vy) = &mut self.velocities[i];
+            let p = &mut self.positions[i];
+            p.x += *vx;
+            p.y += *vy;
+            if p.x < 0.0 || p.x >= SPACE_M {
+                *vx = -*vx;
+                p.x = p.x.clamp(0.0, SPACE_M - 1e-6);
+            }
+            if p.y < 0.0 || p.y >= SPACE_M {
+                *vy = -*vy;
+                p.y = p.y.clamp(0.0, SPACE_M - 1e-6);
+            }
+            server.ingest(i as u32, 0.0, *p, (*vx, *vy));
+        }
+        self.round += 1;
+    }
+}
+
+fn make_server(num_nodes: usize, queries: &[RangeQuery], engine: EvalEngine) -> CqServer {
+    let mut server = CqServer::new(bounds(), num_nodes, 64).with_engine(engine);
+    server.register_queries(queries.iter().copied());
+    server
+}
+
+/// A 4×4 tiling of plan regions with varied throttlers, so the
+/// uncertainty benchmark exercises `max_throttler_within` across real
+/// region borders rather than a uniform plan's trivial lookup.
+fn bench_plan() -> SheddingPlan {
+    let cell = SPACE_M / 4.0;
+    let regions = (0..16)
+        .map(|i| {
+            let (row, col) = (i / 4, i % 4);
+            PlanRegion {
+                area: Rect::from_coords(
+                    col as f64 * cell,
+                    row as f64 * cell,
+                    (col + 1) as f64 * cell,
+                    (row + 1) as f64 * cell,
+                ),
+                throttler: 20.0 * (i % 5 + 1) as f64,
+            }
+        })
+        .collect();
+    SheddingPlan::new(bounds(), regions, 20.0)
+}
+
+/// Cross-checks the engines before timing them.
+fn verify_engines_agree(num_nodes: usize, queries: &[RangeQuery], plan: &SheddingPlan) {
+    let mut inv = make_server(num_nodes, queries, EvalEngine::Inverted);
+    let mut leg = make_server(num_nodes, queries, EvalEngine::Legacy);
+    let mut w_inv = Workload::new(num_nodes, 7, CHURN_FRAC);
+    let mut w_leg = Workload::new(num_nodes, 7, CHURN_FRAC);
+    w_inv.prime(&mut inv);
+    w_leg.prime(&mut leg);
+    for round in 0..5 {
+        w_inv.step(&mut inv);
+        w_leg.step(&mut leg);
+        assert_eq!(
+            inv.evaluate(0.5),
+            leg.evaluate(0.5),
+            "engines disagree on evaluate ({num_nodes} nodes, round {round})"
+        );
+        let delta_of = |_: u32, p: Point| plan.max_throttler_within(&p, MAX_DELTA);
+        assert_eq!(
+            inv.evaluate_uncertain(0.5, MAX_DELTA, delta_of),
+            leg.evaluate_uncertain(0.5, MAX_DELTA, delta_of),
+            "engines disagree on evaluate_uncertain ({num_nodes} nodes)"
+        );
+        let center = Point::new(5_000.0, 5_000.0);
+        assert_eq!(
+            inv.nearest(center, NEAREST_K, 0.5),
+            leg.nearest(center, NEAREST_K, 0.5),
+            "engines disagree on nearest ({num_nodes} nodes)"
+        );
+    }
+}
+
+/// Runs one benchmark and returns its mean ns/iter from the shim.
+fn bench_one(c: &mut Criterion, label: String, mut f: impl FnMut(&mut criterion::Bencher)) -> f64 {
+    c.bench_function(label, &mut f);
+    c.results().last().expect("benchmark just ran").1
+}
+
+/// Mean ns/iter for each operation, per engine.
+struct ScaleResult {
+    nodes: usize,
+    queries: usize,
+    /// `[(operation, inverted_ns, legacy_ns)]`.
+    ops: Vec<(&'static str, f64, f64)>,
+}
+
+fn bench_scale(
+    c: &mut Criterion,
+    num_nodes: usize,
+    num_queries: usize,
+    plan: &SheddingPlan,
+    churn_frac: f64,
+) -> ScaleResult {
+    let node_positions: Vec<Point> = Workload::new(num_nodes, 7, churn_frac).positions;
+    let cfg = WorkloadConfig {
+        distribution: QueryDistribution::Random,
+        count: num_queries,
+        side_length: 1_000.0,
+        seed: 11,
+    };
+    let queries = generate_queries(&bounds(), &node_positions, &cfg);
+    verify_engines_agree(num_nodes, &queries, plan);
+
+    let tag = format!("{num_nodes}x{num_queries}");
+    let mut ops = Vec::new();
+    for op in ["evaluate", "evaluate_uncertain", "nearest"] {
+        let mut per_engine = [0.0f64; 2];
+        for (slot, engine) in [EvalEngine::Inverted, EvalEngine::Legacy]
+            .into_iter()
+            .enumerate()
+        {
+            let name = if engine == EvalEngine::Inverted {
+                "inverted"
+            } else {
+                "legacy"
+            };
+            let mut server = make_server(num_nodes, &queries, engine);
+            let mut workload = Workload::new(num_nodes, 7, churn_frac);
+            workload.prime(&mut server);
+            let mut results = Vec::new();
+            let mut uresults = Vec::new();
+            let mut centers = node_positions.iter().cycle().copied();
+            per_engine[slot] = bench_one(
+                c,
+                format!("{op}/{name}/{tag}"),
+                |b: &mut criterion::Bencher| {
+                    b.iter(|| match op {
+                        "evaluate" => {
+                            workload.step(&mut server);
+                            server.evaluate_into(0.5, &mut results);
+                            black_box(results.len())
+                        }
+                        "evaluate_uncertain" => {
+                            workload.step(&mut server);
+                            server.evaluate_uncertain_into(
+                                0.5,
+                                MAX_DELTA,
+                                |_, p| plan.max_throttler_within(&p, MAX_DELTA),
+                                &mut uresults,
+                            );
+                            black_box(uresults.len())
+                        }
+                        _ => {
+                            let center = centers.next().expect("cycle");
+                            black_box(server.nearest(center, NEAREST_K, 0.5).len())
+                        }
+                    });
+                },
+            );
+        }
+        ops.push((op, per_engine[0], per_engine[1]));
+        println!(
+            "{op}_speedup_{tag}={:.2}",
+            per_engine[1] / per_engine[0].max(1e-9)
+        );
+    }
+    ScaleResult {
+        nodes: num_nodes,
+        queries: num_queries,
+        ops,
+    }
+}
+
+fn report_json(mode: &str, churn_frac: f64, scales: &[ScaleResult]) -> Json {
+    Json::Obj(vec![
+        ("experiment".into(), Json::Str("exp_eval".into())),
+        ("mode".into(), Json::Str(mode.into())),
+        ("space_m".into(), Json::Float(SPACE_M)),
+        ("churn_frac".into(), Json::Float(churn_frac)),
+        ("max_delta".into(), Json::Float(MAX_DELTA)),
+        ("nearest_k".into(), Json::UInt(NEAREST_K as u64)),
+        (
+            "scales".into(),
+            Json::Arr(
+                scales
+                    .iter()
+                    .map(|s| {
+                        let mut members = vec![
+                            ("nodes".into(), Json::UInt(s.nodes as u64)),
+                            ("queries".into(), Json::UInt(s.queries as u64)),
+                        ];
+                        for &(op, inv, leg) in &s.ops {
+                            members.push((
+                                op.into(),
+                                Json::Obj(vec![
+                                    ("inverted_ns".into(), Json::Float(inv)),
+                                    ("legacy_ns".into(), Json::Float(leg)),
+                                    ("speedup".into(), Json::Float(leg / inv.max(1e-9))),
+                                ]),
+                            ));
+                        }
+                        Json::Obj(members)
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn main() {
+    let mut quick = false;
+    let mut do_assert = false;
+    let mut min_speedup = 1.0f64;
+    let mut churn_frac = CHURN_FRAC;
+    let mut out_path = String::from("BENCH_eval.json");
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--assert" => do_assert = true,
+            "--min-speedup" => {
+                min_speedup = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--min-speedup needs a factor"));
+            }
+            "--churn" => {
+                churn_frac = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--churn needs a fraction"));
+            }
+            "--out" => {
+                out_path = it.next().unwrap_or_else(|| usage("--out needs a path"));
+            }
+            "--help" | "-h" => {
+                usage("exp_eval [--quick] [--assert] [--min-speedup X] [--churn F] [--out PATH]")
+            }
+            other => usage(&format!("unknown flag {other}")),
+        }
+    }
+
+    let (mode, ladder): (&str, &[(usize, usize)]) = if quick {
+        ("quick", &[(500, 50), (2_000, 200)])
+    } else {
+        ("full", &[(1_000, 100), (4_000, 400), (10_000, 1_000)])
+    };
+    println!(
+        "== exp_eval: inverted vs legacy engine, {mode} ladder ({} scales, {:.0}% churn/round)",
+        ladder.len(),
+        churn_frac * 100.0
+    );
+
+    let plan = bench_plan();
+    let mut criterion = Criterion::default();
+    let scales: Vec<ScaleResult> = ladder
+        .iter()
+        .map(|&(n, q)| bench_scale(&mut criterion, n, q, &plan, churn_frac))
+        .collect();
+
+    let json = report_json(mode, churn_frac, &scales);
+    std::fs::write(&out_path, format!("{json}\n")).expect("write BENCH_eval.json");
+    println!("report={out_path}");
+
+    if do_assert {
+        let largest = scales.last().expect("at least one scale");
+        let (_, inv, leg) = largest
+            .ops
+            .iter()
+            .find(|(op, _, _)| *op == "evaluate")
+            .expect("evaluate benched");
+        let speedup = leg / inv.max(1e-9);
+        if speedup < min_speedup {
+            eprintln!(
+                "FAIL: inverted evaluate speedup {speedup:.2}x below required {min_speedup:.2}x \
+                 at {}x{}",
+                largest.nodes, largest.queries
+            );
+            std::process::exit(1);
+        }
+        println!(
+            "PASS: inverted evaluate {speedup:.2}x faster than legacy at {}x{}",
+            largest.nodes, largest.queries
+        );
+    }
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!("{msg}");
+    std::process::exit(2);
+}

@@ -11,6 +11,18 @@ use crate::geometry::{Circle, Point, Rect};
 use crate::greedy_increment::ThrottlerSolution;
 use crate::grid_reduce::Partitioning;
 
+/// Maps one coordinate onto a lookup-grid cell along one axis, clamped
+/// into `[0, side)`. The *same* monotone map is used for point lookups and
+/// for region cover computation, which makes the cover lists exact: for
+/// any `x ∈ [lo, hi]`, `axis_cell(x)` lies in
+/// `axis_cell(lo)..=axis_cell(hi)` — no epsilon padding needed.
+#[inline]
+fn axis_cell(v: f64, lo: f64, extent: f64, side: usize) -> usize {
+    ((v - lo) / extent * side as f64)
+        .floor()
+        .clamp(0.0, (side - 1) as f64) as usize
+}
+
 /// One shedding region with its assigned update throttler.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PlanRegion {
@@ -29,6 +41,13 @@ pub struct SheddingPlan {
     /// indices, giving O(1) throttler lookups on the hot update path.
     lookup_side: usize,
     lookup: Vec<u32>,
+    /// Per lookup cell, the indices of every region whose *closed* area
+    /// covers the cell, ascending, in CSR layout: cell `c`'s regions are
+    /// `cell_regions[cell_regions_offsets[c]..cell_regions_offsets[c+1]]`.
+    /// Backs the exact-scan fallback of [`Self::region_at`] and the
+    /// grid-accelerated [`Self::max_throttler_within`].
+    cell_regions_offsets: Vec<u32>,
+    cell_regions: Vec<u32>,
     /// Fallback threshold for points outside every region.
     default_delta: f64,
 }
@@ -100,11 +119,40 @@ impl SheddingPlan {
                 }
             }
         }
+        // Cell → covering regions, using the same cell map as `region_at`
+        // so the lists are exact for clamped lookups. The cover is over
+        // the *closed* region rect: any point a region can match — via
+        // `contains`, `contains_closed`, or `Circle::intersects_rect`
+        // (whose closest rect point lies on the closed boundary) — maps
+        // into one of the covered cells, even after out-of-bounds points
+        // clamp into border cells.
+        let mut cell_lists: Vec<Vec<u32>> = vec![Vec::new(); lookup_side * lookup_side];
+        let (w, h) = (bounds.width(), bounds.height());
+        for (idx, region) in regions.iter().enumerate() {
+            let c0 = axis_cell(region.area.min.x, bounds.min.x, w, lookup_side);
+            let c1 = axis_cell(region.area.max.x, bounds.min.x, w, lookup_side);
+            let r0 = axis_cell(region.area.min.y, bounds.min.y, h, lookup_side);
+            let r1 = axis_cell(region.area.max.y, bounds.min.y, h, lookup_side);
+            for row in r0..=r1 {
+                for col in c0..=c1 {
+                    cell_lists[row * lookup_side + col].push(idx as u32);
+                }
+            }
+        }
+        let mut cell_regions_offsets = Vec::with_capacity(cell_lists.len() + 1);
+        cell_regions_offsets.push(0u32);
+        let mut cell_regions = Vec::new();
+        for list in &cell_lists {
+            cell_regions.extend_from_slice(list);
+            cell_regions_offsets.push(cell_regions.len() as u32);
+        }
         SheddingPlan {
             bounds,
             regions,
             lookup_side,
             lookup,
+            cell_regions_offsets,
+            cell_regions,
             default_delta,
         }
     }
@@ -154,24 +202,43 @@ impl SheddingPlan {
     /// by telemetry to attribute admitted/shed updates per region; the
     /// throttler returned is byte-identical to [`Self::throttler_at`].
     pub fn region_at(&self, p: &Point) -> (Option<usize>, f64) {
-        let col = ((p.x - self.bounds.min.x) / self.bounds.width() * self.lookup_side as f64)
-            .floor()
-            .clamp(0.0, (self.lookup_side - 1) as f64) as usize;
-        let row = ((p.y - self.bounds.min.y) / self.bounds.height() * self.lookup_side as f64)
-            .floor()
-            .clamp(0.0, (self.lookup_side - 1) as f64) as usize;
-        let idx = self.lookup[row * self.lookup_side + col];
+        let col = axis_cell(
+            p.x,
+            self.bounds.min.x,
+            self.bounds.width(),
+            self.lookup_side,
+        );
+        let row = axis_cell(
+            p.y,
+            self.bounds.min.y,
+            self.bounds.height(),
+            self.lookup_side,
+        );
+        let cell = row * self.lookup_side + col;
+        let idx = self.lookup[cell];
         if idx != u32::MAX {
             let region = &self.regions[idx as usize];
-            if region.area.contains(p) || region.area.contains_closed(p) {
+            // `contains_closed` subsumes the half-open `contains`: one
+            // closed test keeps both the interior and the upper edges
+            // (borders resolve to the cell's assigned region, as before).
+            if region.area.contains_closed(p) {
                 return (Some(idx as usize), region.throttler);
             }
         }
-        // Fallback: exact scan (cells straddling region borders).
-        match self.regions.iter().position(|r| r.area.contains(p)) {
-            Some(i) => (Some(i), self.regions[i].throttler),
-            None => (None, self.default_delta),
+        // Fallback: exact scan of the regions covering this cell, in
+        // ascending region order. Any region containing `p` covers `p`'s
+        // clamped cell (the cover uses the same monotone cell map), so the
+        // first match here equals the first match of a full linear scan.
+        let (lo, hi) = (
+            self.cell_regions_offsets[cell] as usize,
+            self.cell_regions_offsets[cell + 1] as usize,
+        );
+        for &ri in &self.cell_regions[lo..hi] {
+            if self.regions[ri as usize].area.contains(p) {
+                return (Some(ri as usize), self.regions[ri as usize].throttler);
+            }
         }
+        (None, self.default_delta)
     }
 
     /// A sound upper bound on the throttler a node *predicted* at `p` may
@@ -179,13 +246,40 @@ impl SheddingPlan {
     /// threshold of `p`, so taking the maximum throttler over all regions
     /// within `radius` (pass `Δ⊣`) of `p` is conservative. Used by
     /// uncertainty-aware query evaluation.
+    /// Grid-accelerated: only the lookup cells overlapping the disk's
+    /// bounding box are scanned (this is on the per-node hot path of
+    /// uncertainty-aware evaluation). Exact — the closest rect point to
+    /// `p` of any intersecting region lies both on the region's closed
+    /// boundary and inside the disk's bbox, so the region appears in a
+    /// scanned cell's cover list; the result is the same maximum the old
+    /// linear scan computed.
     pub fn max_throttler_within(&self, p: &Point, radius: f64) -> f64 {
         let disk = Circle::new(*p, radius.max(0.0));
-        self.regions
-            .iter()
-            .filter(|r| disk.intersects_rect(&r.area))
-            .map(|r| r.throttler)
-            .fold(self.default_delta, f64::max)
+        let side = self.lookup_side;
+        let (w, h) = (self.bounds.width(), self.bounds.height());
+        let c0 = axis_cell(p.x - disk.radius, self.bounds.min.x, w, side);
+        let c1 = axis_cell(p.x + disk.radius, self.bounds.min.x, w, side);
+        let r0 = axis_cell(p.y - disk.radius, self.bounds.min.y, h, side);
+        let r1 = axis_cell(p.y + disk.radius, self.bounds.min.y, h, side);
+        let mut best = self.default_delta;
+        for row in r0..=r1 {
+            for col in c0..=c1 {
+                let cell = row * side + col;
+                let (lo, hi) = (
+                    self.cell_regions_offsets[cell] as usize,
+                    self.cell_regions_offsets[cell + 1] as usize,
+                );
+                for &ri in &self.cell_regions[lo..hi] {
+                    let r = &self.regions[ri as usize];
+                    // Cheap threshold test first; regions covering many
+                    // cells are re-visited, but a max is idempotent.
+                    if r.throttler > best && disk.intersects_rect(&r.area) {
+                        best = r.throttler;
+                    }
+                }
+            }
+        }
+        best
     }
 
     /// The subset of regions a base station with the given coverage area
@@ -322,6 +416,104 @@ mod tests {
                     .map(|r| r.throttler)
                     .unwrap();
                 assert_eq!(p.throttler_at(&pt), scan, "at {pt}");
+            }
+        }
+    }
+
+    /// The pre-CSR `region_at` algorithm: lookup-table fast path, full
+    /// linear-scan fallback. The refactored version must match it on
+    /// every input, border points included.
+    fn region_at_reference(plan: &SheddingPlan, p: &Point) -> (Option<usize>, f64) {
+        let col = axis_cell(
+            p.x,
+            plan.bounds.min.x,
+            plan.bounds.width(),
+            plan.lookup_side,
+        );
+        let row = axis_cell(
+            p.y,
+            plan.bounds.min.y,
+            plan.bounds.height(),
+            plan.lookup_side,
+        );
+        let idx = plan.lookup[row * plan.lookup_side + col];
+        if idx != u32::MAX {
+            let region = &plan.regions[idx as usize];
+            if region.area.contains(p) || region.area.contains_closed(p) {
+                return (Some(idx as usize), region.throttler);
+            }
+        }
+        match plan.regions.iter().position(|r| r.area.contains(p)) {
+            Some(i) => (Some(i), plan.regions[i].throttler),
+            None => (None, plan.default_delta),
+        }
+    }
+
+    /// Regions deliberately misaligned with the lookup grid (and one
+    /// poking outside bounds, as a decoded broadcast can produce), so
+    /// many cells straddle region borders and exercise the fallback.
+    fn misaligned_plan() -> SheddingPlan {
+        let bounds = Rect::from_coords(0.0, 0.0, 100.0, 100.0);
+        let regions = vec![
+            PlanRegion {
+                area: Rect::from_coords(7.0, 3.0, 44.0, 61.0),
+                throttler: 12.0,
+            },
+            PlanRegion {
+                area: Rect::from_coords(44.0, 3.0, 93.0, 61.0),
+                throttler: 33.0,
+            },
+            PlanRegion {
+                area: Rect::from_coords(7.0, 61.0, 93.0, 97.0),
+                throttler: 21.0,
+            },
+            PlanRegion {
+                area: Rect::from_coords(85.0, -10.0, 115.0, 20.0),
+                throttler: 48.0,
+            },
+        ];
+        SheddingPlan::new(bounds, regions, 5.0)
+    }
+
+    #[test]
+    fn region_at_matches_reference_on_borders() {
+        for plan in [quad_plan(), misaligned_plan()] {
+            // A lattice hitting region borders exactly (region edges of
+            // both plans lie on integer coordinates), plus out-of-bounds
+            // points and the bounds corners.
+            let mut coords: Vec<f64> = (-2..=21).map(|i| i as f64 * 5.0).collect();
+            coords.extend([3.0, 7.0, 44.0, 61.0, 85.0, 93.0, 97.0, 99.999, 100.0]);
+            for &x in &coords {
+                for &y in &coords {
+                    let p = Point::new(x, y);
+                    assert_eq!(plan.region_at(&p), region_at_reference(&plan, &p), "at {p}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn max_throttler_grid_matches_linear_scan() {
+        for plan in [quad_plan(), misaligned_plan()] {
+            let linear = |p: &Point, radius: f64| {
+                let disk = Circle::new(*p, radius.max(0.0));
+                plan.regions
+                    .iter()
+                    .filter(|r| disk.intersects_rect(&r.area))
+                    .map(|r| r.throttler)
+                    .fold(plan.default_delta, f64::max)
+            };
+            for i in -3..24 {
+                for j in -3..24 {
+                    let p = Point::new(i as f64 * 4.7, j as f64 * 4.3);
+                    for radius in [0.0, 2.5, 10.0, 44.0, 500.0] {
+                        assert_eq!(
+                            plan.max_throttler_within(&p, radius),
+                            linear(&p, radius),
+                            "at {p} radius {radius}"
+                        );
+                    }
+                }
             }
         }
     }

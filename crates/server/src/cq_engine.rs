@@ -6,8 +6,34 @@
 use lira_core::geometry::{Point, Rect};
 
 use crate::index::{MovingIndex, PredictedGrid};
+use crate::inverted::InvertedEval;
 use crate::node_store::NodeStore;
 use crate::query::{QueryResult, RangeQuery, UncertainResult};
+
+/// Safety padding added to the *candidate-gathering* rectangle of the
+/// legacy uncertain path: when a query's expanded edge lands exactly on a
+/// grid-cell boundary, a node sitting at distance exactly `Δ⊣` could fall
+/// outside the half-open candidate rect. Classification afterwards uses
+/// the real range and real `Δ`, so over-approximating candidates never
+/// changes results.
+const CANDIDATE_PAD: f64 = 1e-6;
+
+/// Which evaluation strategy [`CqServer`] uses.
+///
+/// Both engines produce identical results (`tests/eval_equiv.rs` proves
+/// the equivalence property-style); they differ only in cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EvalEngine {
+    /// The inverted, incremental engine: a cell→queries index plus
+    /// per-query member sets maintained across rounds — `O(nodes +
+    /// matches)` per round, no per-round allocations in steady state.
+    #[default]
+    Inverted,
+    /// The original per-query engine: each query gathers candidates from
+    /// the [`MovingIndex`] and filters them. Kept as the
+    /// [`MovingIndex`]-generic fallback and as the equivalence oracle.
+    Legacy,
+}
 
 /// A mobile CQ server instance, generic over the moving-object index (the
 /// SINA-style [`PredictedGrid`] by default; see
@@ -20,6 +46,10 @@ pub struct CqServer<I: MovingIndex = PredictedGrid> {
     index: I,
     queries: Vec<RangeQuery>,
     evaluations: u64,
+    engine: EvalEngine,
+    inverted: InvertedEval,
+    /// Legacy-path candidate scratch, reused across queries and rounds.
+    scratch: Vec<u32>,
 }
 
 // The simulation pipeline moves whole servers into per-policy lane
@@ -52,7 +82,23 @@ impl<I: MovingIndex> CqServer<I> {
             index,
             queries: Vec::new(),
             evaluations: 0,
+            engine: EvalEngine::default(),
+            inverted: InvertedEval::new(bounds, num_nodes),
+            scratch: Vec::new(),
         }
+    }
+
+    /// Selects the evaluation engine (builder-style; the default is
+    /// [`EvalEngine::Inverted`]).
+    pub fn with_engine(mut self, engine: EvalEngine) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// The active evaluation engine.
+    #[inline]
+    pub fn engine(&self) -> EvalEngine {
+        self.engine
     }
 
     /// The monitored space.
@@ -64,11 +110,13 @@ impl<I: MovingIndex> CqServer<I> {
     /// Registers one continual range query.
     pub fn register_query(&mut self, query: RangeQuery) {
         self.queries.push(query);
+        self.inverted.invalidate();
     }
 
     /// Registers many continual range queries.
     pub fn register_queries<Q: IntoIterator<Item = RangeQuery>>(&mut self, queries: Q) {
         self.queries.extend(queries);
+        self.inverted.invalidate();
     }
 
     /// The registered queries.
@@ -82,6 +130,7 @@ impl<I: MovingIndex> CqServer<I> {
     pub fn replace_queries<Q: IntoIterator<Item = RangeQuery>>(&mut self, queries: Q) {
         self.queries.clear();
         self.queries.extend(queries);
+        self.inverted.invalidate();
     }
 
     /// Ingests one position update (a new motion model for `node`). Stale
@@ -105,27 +154,43 @@ impl<I: MovingIndex> CqServer<I> {
     /// Evaluates every registered query at time `t` against the predicted
     /// node positions. Results are sorted by node id.
     pub fn evaluate(&mut self, t: f64) -> Vec<QueryResult> {
-        self.refresh_index(t);
-        self.evaluations += 1;
         let mut results = Vec::with_capacity(self.queries.len());
-        let mut candidates = Vec::new();
-        for q in &self.queries {
-            candidates.clear();
-            self.index.candidates_into(&q.range, t, &mut candidates);
-            let mut nodes: Vec<u32> = candidates
-                .iter()
-                .copied()
-                .filter(|&n| {
-                    self.store
-                        .predict(n, t)
-                        .is_some_and(|p| q.range.contains(&p))
-                })
-                .collect();
-            nodes.sort_unstable();
-            nodes.dedup();
-            results.push(QueryResult { query: q.id, nodes });
-        }
+        self.evaluate_into(t, &mut results);
         results
+    }
+
+    /// Like [`evaluate`](Self::evaluate), but writes into `out`, reusing
+    /// its allocations — the steady-state entry point for simulation
+    /// lanes, which evaluate every round.
+    pub fn evaluate_into(&mut self, t: f64, out: &mut Vec<QueryResult>) {
+        self.evaluations += 1;
+        match self.engine {
+            EvalEngine::Inverted => {
+                // The inverted engine reads the node store directly; the
+                // moving-object index needs no per-round refresh.
+                self.inverted
+                    .evaluate_into(&self.queries, &self.store, t, out);
+            }
+            EvalEngine::Legacy => {
+                self.index.prepare(t, &self.store);
+                out.resize_with(self.queries.len(), QueryResult::default);
+                out.truncate(self.queries.len());
+                for (slot, q) in out.iter_mut().zip(&self.queries) {
+                    self.scratch.clear();
+                    self.index.candidates_into(&q.range, t, &mut self.scratch);
+                    slot.query = q.id;
+                    slot.nodes.clear();
+                    slot.nodes.extend(self.scratch.iter().copied().filter(|&n| {
+                        self.store
+                            .predict(n, t)
+                            .is_some_and(|p| q.range.contains(&p))
+                    }));
+                    // Candidates are unique by the `MovingIndex` contract,
+                    // so a sort suffices — no dedup.
+                    slot.nodes.sort_unstable();
+                }
+            }
+        }
     }
 
     /// Evaluates every query at time `t` with three-valued membership:
@@ -139,46 +204,71 @@ impl<I: MovingIndex> CqServer<I> {
     /// which the server only knows to within Δ — use
     /// [`SheddingPlan::max_throttler_within`](lira_core::plan::SheddingPlan::max_throttler_within)
     /// with radius `Δ⊣` for a sound bound near region borders.
+    /// `delta_of` must be a pure function of `(node, position)`: the two
+    /// engines call it in different orders (legacy per query × candidate,
+    /// inverted once per node), so a stateful closure would diverge.
     pub fn evaluate_uncertain(
         &mut self,
         t: f64,
         max_delta: f64,
-        mut delta_of: impl FnMut(u32, Point) -> f64,
+        delta_of: impl FnMut(u32, Point) -> f64,
     ) -> Vec<UncertainResult> {
-        assert!(max_delta >= 0.0);
-        self.refresh_index(t);
-        self.evaluations += 1;
         let mut results = Vec::with_capacity(self.queries.len());
-        let mut candidates = Vec::new();
-        for q in &self.queries {
-            // Candidates from the range expanded by the worst-case bound.
-            let expanded = q.range.expand(max_delta);
-            candidates.clear();
-            self.index.candidates_into(&expanded, t, &mut candidates);
-            let mut must = Vec::new();
-            let mut maybe = Vec::new();
-            for &n in &candidates {
-                let Some(p) = self.store.predict(n, t) else {
-                    continue;
-                };
-                let delta = delta_of(n, p).clamp(0.0, max_delta);
-                if q.range.interior_depth(&p) >= delta {
-                    must.push(n);
-                } else if q.range.distance_to_point(&p) <= delta {
-                    maybe.push(n);
+        self.evaluate_uncertain_into(t, max_delta, delta_of, &mut results);
+        results
+    }
+
+    /// Like [`evaluate_uncertain`](Self::evaluate_uncertain), but writes
+    /// into `out`, reusing its allocations.
+    pub fn evaluate_uncertain_into(
+        &mut self,
+        t: f64,
+        max_delta: f64,
+        mut delta_of: impl FnMut(u32, Point) -> f64,
+        out: &mut Vec<UncertainResult>,
+    ) {
+        assert!(max_delta >= 0.0);
+        self.evaluations += 1;
+        match self.engine {
+            EvalEngine::Inverted => {
+                self.inverted.evaluate_uncertain_into(
+                    &self.queries,
+                    &self.store,
+                    t,
+                    max_delta,
+                    delta_of,
+                    out,
+                );
+            }
+            EvalEngine::Legacy => {
+                self.index.prepare(t, &self.store);
+                out.resize_with(self.queries.len(), UncertainResult::default);
+                out.truncate(self.queries.len());
+                for (slot, q) in out.iter_mut().zip(&self.queries) {
+                    // Candidates from the range expanded by the worst-case
+                    // bound (padded — see [`CANDIDATE_PAD`]).
+                    let expanded = q.range.expand(max_delta + CANDIDATE_PAD);
+                    self.scratch.clear();
+                    self.index.candidates_into(&expanded, t, &mut self.scratch);
+                    slot.query = q.id;
+                    slot.must.clear();
+                    slot.maybe.clear();
+                    for &n in &self.scratch {
+                        let Some(p) = self.store.predict(n, t) else {
+                            continue;
+                        };
+                        let delta = delta_of(n, p).clamp(0.0, max_delta);
+                        if q.range.contains(&p) && q.range.interior_depth(&p) >= delta {
+                            slot.must.push(n);
+                        } else if q.range.distance_to_point(&p) <= delta {
+                            slot.maybe.push(n);
+                        }
+                    }
+                    slot.must.sort_unstable();
+                    slot.maybe.sort_unstable();
                 }
             }
-            must.sort_unstable();
-            must.dedup();
-            maybe.sort_unstable();
-            maybe.dedup();
-            results.push(UncertainResult {
-                query: q.id,
-                must,
-                maybe,
-            });
         }
-        results
     }
 
     /// The `k` nodes nearest to `center` at time `t` (by predicted
@@ -189,13 +279,16 @@ impl<I: MovingIndex> CqServer<I> {
     /// `center`: a box of side `s` guarantees every unseen node is farther
     /// than `s/2`, so the search stops as soon as the k-th hit is within
     /// that bound. Returns fewer than `k` entries when fewer nodes have
-    /// reported.
+    /// reported. Both engines share this path — the moving-object index
+    /// is maintained on ingest regardless of engine, and the local box
+    /// probe beats a full store scan at every benchmarked scale
+    /// (`exp_eval`).
     pub fn nearest(&mut self, center: Point, k: usize, t: f64) -> Vec<(u32, f64)> {
         if k == 0 {
             return Vec::new();
         }
-        self.refresh_index(t);
         self.evaluations += 1;
+        self.index.prepare(t, &self.store);
         let max_side = 2.0 * (self.bounds.width() + self.bounds.height());
         let mut side = (self.bounds.width() / 16.0).max(1.0);
         let mut candidates = Vec::new();
@@ -212,12 +305,12 @@ impl<I: MovingIndex> CqServer<I> {
                 .filter_map(|n| self.store.predict(n, t).map(|p| (n, p.distance(&center))))
                 .filter(|(_, d)| *d <= side / 2.0)
                 .collect();
+            // Candidates are unique by the `MovingIndex` contract.
             hits.sort_by(|a, b| {
                 a.1.partial_cmp(&b.1)
                     .expect("finite distances")
                     .then(a.0.cmp(&b.0))
             });
-            hits.dedup_by_key(|(n, _)| *n);
             if hits.len() >= k {
                 hits.truncate(k);
                 return hits;
@@ -497,19 +590,85 @@ mod tests {
         ];
         let mut grid = CqServer::new(bounds, 50, 10);
         let mut tpr = CqServer::with_index(bounds, 50, TprTree::new(60.0));
-        grid.register_queries(queries);
+        let mut grid_legacy = CqServer::new(bounds, 50, 10).with_engine(EvalEngine::Legacy);
+        let mut tpr_legacy =
+            CqServer::with_index(bounds, 50, TprTree::new(60.0)).with_engine(EvalEngine::Legacy);
+        for s in [&mut grid, &mut grid_legacy] {
+            s.register_queries(queries);
+        }
         tpr.register_queries(queries);
+        tpr_legacy.register_queries(queries);
         // A deterministic swirl of updates.
         for i in 0..50u32 {
             let x = 50.0 + (i as f64 * 37.0) % 900.0;
             let y = 50.0 + (i as f64 * 91.0) % 900.0;
             let v = ((i % 7) as f64 - 3.0, (i % 5) as f64 - 2.0);
-            grid.ingest(i, 0.0, Point::new(x, y), v);
+            for s in [&mut grid, &mut grid_legacy] {
+                s.ingest(i, 0.0, Point::new(x, y), v);
+            }
             tpr.ingest(i, 0.0, Point::new(x, y), v);
+            tpr_legacy.ingest(i, 0.0, Point::new(x, y), v);
         }
         for t in [0.0, 10.0, 30.0, 75.0] {
-            assert_eq!(grid.evaluate(t), tpr.evaluate(t), "t = {t}");
+            let want = grid.evaluate(t);
+            assert_eq!(want, tpr.evaluate(t), "tpr inverted, t = {t}");
+            assert_eq!(want, grid_legacy.evaluate(t), "grid legacy, t = {t}");
+            assert_eq!(want, tpr_legacy.evaluate(t), "tpr legacy, t = {t}");
         }
+    }
+
+    #[test]
+    fn engines_agree_across_incremental_rounds() {
+        // Several consecutive rounds with interleaved updates exercise the
+        // incremental path (cell crossings, partial-cell retests, the
+        // skip fast path) against the legacy oracle.
+        let bounds = Rect::from_coords(0.0, 0.0, 1000.0, 1000.0);
+        let mut inv = CqServer::new(bounds, 60, 10);
+        let mut leg = CqServer::new(bounds, 60, 10).with_engine(EvalEngine::Legacy);
+        let queries = [
+            RangeQuery {
+                id: 7,
+                range: Rect::from_coords(0.0, 0.0, 300.0, 1000.0),
+            },
+            RangeQuery {
+                id: 8,
+                range: Rect::from_coords(250.0, 250.0, 750.0, 750.0),
+            },
+            RangeQuery {
+                id: 9,
+                range: Rect::from_coords(900.0, 0.0, 1000.0, 100.0),
+            },
+        ];
+        inv.register_queries(queries);
+        leg.register_queries(queries);
+        for i in 0..60u32 {
+            let p = Point::new((i as f64 * 83.0) % 1000.0, (i as f64 * 41.0) % 1000.0);
+            let v = ((i % 9) as f64 - 4.0, (i % 11) as f64 - 5.0);
+            inv.ingest(i, 0.0, p, v);
+            leg.ingest(i, 0.0, p, v);
+        }
+        for round in 1..20 {
+            let t = round as f64 * 3.0;
+            // A few nodes re-report between rounds.
+            for i in (round % 7..60).step_by(7) {
+                let i = i as u32;
+                let p = Point::new((i as f64 * 59.0 + t * 13.0) % 1000.0, (t * 29.0) % 1000.0);
+                inv.ingest(i, t, p, (1.0, -1.0));
+                leg.ingest(i, t, p, (1.0, -1.0));
+            }
+            assert_eq!(inv.evaluate(t), leg.evaluate(t), "round {round}");
+            let u_inv = inv.evaluate_uncertain(t, 50.0, |n, _| (n % 5) as f64 * 12.0);
+            let u_leg = leg.evaluate_uncertain(t, 50.0, |n, _| (n % 5) as f64 * 12.0);
+            assert_eq!(u_inv, u_leg, "uncertain round {round}");
+        }
+        // Swapping the workload invalidates and re-primes the query index.
+        let swapped = [RangeQuery {
+            id: 1,
+            range: Rect::from_coords(100.0, 600.0, 900.0, 1000.0),
+        }];
+        inv.replace_queries(swapped);
+        leg.replace_queries(swapped);
+        assert_eq!(inv.evaluate(60.0), leg.evaluate(60.0));
     }
 
     #[test]

@@ -76,7 +76,11 @@ impl GridIndex {
 
     /// Candidate nodes for a range query: every node indexed in a cell
     /// overlapping `range`. Callers must still filter by exact position
-    /// (cells are coarse).
+    /// (cells are coarse), but each node id is yielded **at most once**:
+    /// the `locations` map guarantees every node occupies exactly one
+    /// bucket ([`update`](Self::update) always removes from the old cell
+    /// before pushing to the new one), and the cell walk visits each cell
+    /// once.
     pub fn candidates(&self, range: &Rect) -> impl Iterator<Item = u32> + '_ {
         let c0 = ((range.min.x - self.bounds.min.x) / self.bounds.width() * self.side as f64)
             .floor()
@@ -189,6 +193,27 @@ mod tests {
                 assert!(hits.contains(&(i as u32)), "missing exact match {i}");
             }
         }
+    }
+
+    #[test]
+    fn candidates_never_duplicate_a_node() {
+        let mut g = index();
+        // Churn node 0 across many cells, including repeats of earlier
+        // cells, then check every query sees it once.
+        for step in 0..30 {
+            let x = (step * 37 % 100) as f64;
+            let y = (step * 53 % 100) as f64;
+            g.update(0, &Point::new(x, y));
+            g.update(1, &Point::new(y, x));
+        }
+        let hits: Vec<u32> = g
+            .candidates(&Rect::from_coords(0.0, 0.0, 100.0, 100.0))
+            .collect();
+        let mut sorted = hits.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), hits.len(), "duplicate candidate: {hits:?}");
+        assert_eq!(sorted, vec![0, 1]);
     }
 
     #[test]

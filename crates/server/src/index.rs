@@ -32,6 +32,12 @@ pub trait MovingIndex: Send {
 
     /// Appends candidate node ids for a range query at time `t`. May
     /// over-approximate; the engine filters by exact predicted position.
+    ///
+    /// **Uniqueness contract:** each node id is appended at most once per
+    /// call. Both shipped indexes hold exactly one entry per node (the
+    /// grid's `locations` map, the tree's per-node leaf), so the engine
+    /// sorts results without a dedup pass. New implementations must
+    /// preserve this.
     fn candidates_into(&self, range: &Rect, t: f64, out: &mut Vec<u32>);
 }
 
@@ -130,6 +136,49 @@ mod tests {
         // (PredictedGrid::prepare re-adds reported nodes from the store, so
         // removal is only meaningful for nodes absent from the store; this
         // just checks the call is safe on both implementations.)
+    }
+
+    /// The uniqueness contract on [`MovingIndex::candidates_into`]: even
+    /// after heavy churn (repeated updates moving nodes across cells),
+    /// every candidate list holds each node id at most once.
+    fn exercise_uniqueness<I: MovingIndex>(mut index: I) {
+        let mut store = NodeStore::new(20);
+        for round in 0..8 {
+            for n in 0..20u32 {
+                let x = ((n as f64 * 137.0 + round as f64 * 311.0) % 1000.0).abs();
+                let y = ((n as f64 * 59.0 + round as f64 * 173.0) % 1000.0).abs();
+                store.apply(n, round as f64, Point::new(x, y), (1.0, -1.0));
+                index.apply(n, round as f64, Point::new(x, y), (1.0, -1.0));
+            }
+        }
+        index.prepare(9.0, &store);
+        let mut out = Vec::new();
+        for rect in [
+            Rect::from_coords(0.0, 0.0, 1000.0, 1000.0),
+            Rect::from_coords(-50.0, -50.0, 500.0, 1200.0),
+            Rect::from_coords(250.0, 250.0, 750.0, 750.0),
+        ] {
+            out.clear();
+            index.candidates_into(&rect, 9.0, &mut out);
+            let mut sorted = out.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), out.len(), "duplicate candidate for {rect:?}");
+        }
+    }
+
+    #[test]
+    fn grid_candidates_are_unique_after_churn() {
+        exercise_uniqueness(PredictedGrid::new(
+            Rect::from_coords(0.0, 0.0, 1000.0, 1000.0),
+            16,
+            20,
+        ));
+    }
+
+    #[test]
+    fn tpr_candidates_are_unique_after_churn() {
+        exercise_uniqueness(TprTree::new(60.0));
     }
 
     #[test]

@@ -1,0 +1,468 @@
+//! The inverted, incremental evaluation engine behind
+//! [`CqServer`](crate::cq_engine::CqServer).
+//!
+//! The legacy engine loops *queries × candidates*: every round, each query
+//! re-derives its cell cover, re-predicts every candidate, and allocates a
+//! fresh result vector. This module inverts the loop. A [`QueryIndex`]
+//! maps grid cells to the queries covering them (computed once per query
+//! set), so one ascending pass over the node store distributes each
+//! predicted position to its covering queries — `O(nodes + matches)` per
+//! round instead of `O(queries × candidates)`. Between rounds the engine
+//! is *incremental*: a node whose predicted position stays in its previous
+//! cell, in a cell with no partially-covering queries, provably keeps all
+//! its memberships and is skipped outright.
+//!
+//! Invariants the engine maintains (see DESIGN.md §11):
+//!
+//! * `members[q]` is the sorted set of node ids whose predicted position
+//!   lies in query `q`'s half-open range — exactly the legacy engine's
+//!   `QueryResult::nodes`.
+//! * Full-cell membership (`QueryIndex::full`) is a function of the cell
+//!   alone; border cells are never classified full because out-of-bounds
+//!   predictions clamp into them.
+//! * `node_cell`/`partial_hits` always describe the state as of the last
+//!   completed round; any query-set change invalidates everything
+//!   ([`InvertedEval::invalidate`]).
+
+use lira_core::geometry::{Point, Rect};
+
+use crate::node_store::NodeStore;
+use crate::query::{QueryResult, RangeQuery, UncertainResult};
+
+/// Maps one coordinate to a grid cell index along one axis, clamped into
+/// `[0, side)`. This is the *single* cell-mapping function used for both
+/// point placement and query cover computation — using one monotone map
+/// for both is what makes the cover argument exact (no epsilon is needed:
+/// `lo <= x <= hi` implies `cell(lo) <= cell(x) <= cell(hi)`).
+#[inline]
+fn axis_cell(v: f64, lo: f64, extent: f64, side: usize) -> usize {
+    ((v - lo) / extent * side as f64)
+        .floor()
+        .clamp(0.0, (side - 1) as f64) as usize
+}
+
+/// A cell-to-queries index: for each cell of a uniform grid over the
+/// monitored space, the queries *fully covering* the cell (membership
+/// follows from the cell alone) and the queries *partially overlapping*
+/// it (membership needs an exact point-in-range test).
+///
+/// Both per-cell lists are stored CSR-style (one offsets array plus one
+/// flat id array) rather than as `Vec<Vec<u32>>`: the evaluation round
+/// reads a random cell per node, and keeping the whole index in a few
+/// hundred KB of contiguous memory is what keeps those lookups inside
+/// the cache instead of chasing a pointer per cell.
+#[derive(Debug, Clone)]
+pub(crate) struct QueryIndex {
+    min: Point,
+    width: f64,
+    height: f64,
+    side: usize,
+    /// CSR offsets into `full_ids`, `side² + 1` entries.
+    full_off: Vec<u32>,
+    /// Concatenated per-cell lists of query positions (indices into the
+    /// server's query vector) fully covering each cell, ascending.
+    full_ids: Vec<u32>,
+    /// CSR offsets into `partial_ids`, `side² + 1` entries.
+    partial_off: Vec<u32>,
+    /// Concatenated per-cell lists of query positions overlapping but not
+    /// covering each cell, ascending.
+    partial_ids: Vec<u32>,
+}
+
+impl QueryIndex {
+    /// A placeholder index for a server with no built state yet.
+    fn unbuilt() -> Self {
+        QueryIndex {
+            min: Point::new(0.0, 0.0),
+            width: 1.0,
+            height: 1.0,
+            side: 1,
+            full_off: vec![0; 2],
+            full_ids: Vec::new(),
+            partial_off: vec![0; 2],
+            partial_ids: Vec::new(),
+        }
+    }
+
+    /// Builds the index for `queries` over `bounds`. Each query's range is
+    /// grown by `expand` on every side (0 for exact evaluation; `Δ⊣` for
+    /// the uncertain path). When `classify_full` is false every covered
+    /// cell goes to the `partial` list (the uncertain path always needs
+    /// exact tests, since membership also depends on the node's own Δ).
+    fn build(bounds: &Rect, queries: &[RangeQuery], expand: f64, classify_full: bool) -> Self {
+        // ~4·sqrt(Q) cells per side: the incremental round's per-node cost
+        // is driven by the number of *partially* covering queries per cell
+        // (each needs an exact retest), which shrinks with cell size,
+        // while full covers per cell stay roughly constant — so a finer
+        // grid buys faster rounds for a build cost paid once per query
+        // set.
+        let side = ((4.0 * (queries.len() as f64).sqrt()).ceil() as usize).clamp(1, 256);
+        // Build into per-cell vectors (cold path), then flatten to CSR.
+        let mut full = vec![Vec::new(); side * side];
+        let mut partial = vec![Vec::new(); side * side];
+        let mut index = QueryIndex {
+            min: bounds.min,
+            width: bounds.width(),
+            height: bounds.height(),
+            side,
+            full_off: Vec::new(),
+            full_ids: Vec::new(),
+            partial_off: Vec::new(),
+            partial_ids: Vec::new(),
+        };
+        let cw = index.width / side as f64;
+        let ch = index.height / side as f64;
+        // Full-cover tests compare against the cell rect shrunk by a
+        // safety margin: the cell's floating-point corner can differ from
+        // the true `axis_cell` breakpoint by an ulp, and misclassifying a
+        // covered cell as partial merely costs an exact test (the reverse
+        // would be unsound).
+        let eps = 1e-9 * (index.width + index.height);
+        for (qi, q) in queries.iter().enumerate() {
+            let r = if expand > 0.0 {
+                q.range.expand(expand)
+            } else {
+                q.range
+            };
+            // Closed cell cover: `axis_cell` is monotone and clamped, so
+            // every point of the *closed* rect [r.min, r.max] — and hence
+            // every point of the half-open range, and every clamped
+            // out-of-bounds point the range can contain — lands in
+            // [cell(min), cell(max)] on each axis.
+            let c0 = axis_cell(r.min.x, index.min.x, index.width, side);
+            let c1 = axis_cell(r.max.x, index.min.x, index.width, side);
+            let r0 = axis_cell(r.min.y, index.min.y, index.height, side);
+            let r1 = axis_cell(r.max.y, index.min.y, index.height, side);
+            for row in r0..=r1 {
+                for col in c0..=c1 {
+                    let cell = row * side + col;
+                    // Border cells receive clamped out-of-bounds points,
+                    // so membership there can never follow from the cell.
+                    let border = row == 0 || row == side - 1 || col == 0 || col == side - 1;
+                    let covers = classify_full && !border && {
+                        let x0 = index.min.x + col as f64 * cw;
+                        let y0 = index.min.y + row as f64 * ch;
+                        q.range.min.x <= x0 - eps
+                            && q.range.max.x >= x0 + cw + eps
+                            && q.range.min.y <= y0 - eps
+                            && q.range.max.y >= y0 + ch + eps
+                    };
+                    if covers {
+                        full[cell].push(qi as u32);
+                    } else {
+                        partial[cell].push(qi as u32);
+                    }
+                }
+            }
+        }
+        (index.full_off, index.full_ids) = flatten(&full);
+        (index.partial_off, index.partial_ids) = flatten(&partial);
+        index
+    }
+
+    /// The cell a predicted position belongs to (clamped into the grid).
+    #[inline]
+    fn cell_of(&self, p: &Point) -> usize {
+        axis_cell(p.y, self.min.y, self.height, self.side) * self.side
+            + axis_cell(p.x, self.min.x, self.width, self.side)
+    }
+
+    /// The queries fully covering `cell`, ascending.
+    #[inline]
+    fn full(&self, cell: usize) -> &[u32] {
+        &self.full_ids[self.full_off[cell] as usize..self.full_off[cell + 1] as usize]
+    }
+
+    /// The queries partially overlapping `cell`, ascending.
+    #[inline]
+    fn partial(&self, cell: usize) -> &[u32] {
+        &self.partial_ids[self.partial_off[cell] as usize..self.partial_off[cell + 1] as usize]
+    }
+}
+
+/// Flattens per-cell lists into a CSR (offsets, ids) pair.
+fn flatten(lists: &[Vec<u32>]) -> (Vec<u32>, Vec<u32>) {
+    let mut offsets = Vec::with_capacity(lists.len() + 1);
+    let total: usize = lists.iter().map(Vec::len).sum();
+    let mut ids = Vec::with_capacity(total);
+    offsets.push(0);
+    for list in lists {
+        ids.extend_from_slice(list);
+        offsets.push(ids.len() as u32);
+    }
+    (offsets, ids)
+}
+
+/// Inserts `n` into the sorted member list of query position `q`.
+#[inline]
+fn insert_member(members: &mut [Vec<u32>], q: u32, n: u32) {
+    let list = &mut members[q as usize];
+    if let Err(pos) = list.binary_search(&n) {
+        list.insert(pos, n);
+    } else {
+        debug_assert!(false, "node {n} already a member of query slot {q}");
+    }
+}
+
+/// Removes `n` from the sorted member list of query position `q`.
+#[inline]
+fn remove_member(members: &mut [Vec<u32>], q: u32, n: u32) {
+    let list = &mut members[q as usize];
+    if let Ok(pos) = list.binary_search(&n) {
+        list.remove(pos);
+    } else {
+        debug_assert!(false, "node {n} was not a member of query slot {q}");
+    }
+}
+
+/// All state of the inverted engine: the query index, the per-query
+/// member sets maintained incrementally across rounds, and the scratch
+/// buffers reused by every entry point.
+#[derive(Debug, Clone)]
+pub(crate) struct InvertedEval {
+    bounds: Rect,
+    // Exact evaluation.
+    qindex: QueryIndex,
+    /// Whether `qindex` matches the server's current query set.
+    indexed: bool,
+    /// Whether `members`/`node_cell`/`partial_hits` describe a completed
+    /// round (false forces a full rebuild pass).
+    primed: bool,
+    /// Per query position: sorted member node ids.
+    members: Vec<Vec<u32>>,
+    /// Per node: the `qindex` cell its prediction occupied at the last
+    /// round (`usize::MAX` = never placed).
+    node_cell: Vec<usize>,
+    /// Per node: sorted positions of the *partial* queries it currently
+    /// satisfies (full-cover memberships are implied by the cell).
+    partial_hits: Vec<Vec<u32>>,
+    hits_scratch: Vec<u32>,
+    // Uncertain evaluation (not incremental: per-node Δ changes freely,
+    // but still a single inverted pass with reused buffers).
+    ucover: QueryIndex,
+    uindexed: bool,
+    umax_delta: f64,
+    must: Vec<Vec<u32>>,
+    maybe: Vec<Vec<u32>>,
+}
+
+impl InvertedEval {
+    /// Creates empty state for a server over `bounds`.
+    pub(crate) fn new(bounds: Rect, num_nodes: usize) -> Self {
+        InvertedEval {
+            bounds,
+            qindex: QueryIndex::unbuilt(),
+            indexed: false,
+            primed: false,
+            members: Vec::new(),
+            node_cell: vec![usize::MAX; num_nodes],
+            partial_hits: vec![Vec::new(); num_nodes],
+            hits_scratch: Vec::new(),
+            ucover: QueryIndex::unbuilt(),
+            uindexed: false,
+            umax_delta: f64::NAN,
+            must: Vec::new(),
+            maybe: Vec::new(),
+        }
+    }
+
+    /// Marks every derived structure stale. Called whenever the query set
+    /// changes; the next evaluation rebuilds the index and re-primes.
+    pub(crate) fn invalidate(&mut self) {
+        self.indexed = false;
+        self.primed = false;
+        self.uindexed = false;
+    }
+
+    /// One exact evaluation round at time `t`, writing sorted
+    /// [`QueryResult`]s into `out` (reusing its allocations).
+    pub(crate) fn evaluate_into(
+        &mut self,
+        queries: &[RangeQuery],
+        store: &NodeStore,
+        t: f64,
+        out: &mut Vec<QueryResult>,
+    ) {
+        if !self.indexed {
+            self.qindex = QueryIndex::build(&self.bounds, queries, 0.0, true);
+            self.members.resize_with(queries.len(), Vec::new);
+            self.members.truncate(queries.len());
+            self.primed = false;
+            self.indexed = true;
+        }
+        if self.primed {
+            self.incremental_round(queries, store, t);
+        } else {
+            self.rebuild_round(queries, store, t);
+            self.primed = true;
+        }
+        // Emit: one copy per member list, reusing `out`'s vectors.
+        out.resize_with(queries.len(), QueryResult::default);
+        out.truncate(queries.len());
+        for ((slot, q), members) in out.iter_mut().zip(queries).zip(&self.members) {
+            slot.query = q.id;
+            slot.nodes.clear();
+            slot.nodes.extend_from_slice(members);
+        }
+    }
+
+    /// Full build: one ascending pass over the store. Pushing in node-id
+    /// order keeps every member list sorted with no per-insert search.
+    fn rebuild_round(&mut self, queries: &[RangeQuery], store: &NodeStore, t: f64) {
+        for list in &mut self.members {
+            list.clear();
+        }
+        self.node_cell.resize(store.len(), usize::MAX);
+        self.partial_hits.resize_with(store.len(), Vec::new);
+        for list in &mut self.partial_hits {
+            list.clear();
+        }
+        self.node_cell.fill(usize::MAX);
+        for (n, model) in store.models().iter().enumerate() {
+            let Some(model) = model else { continue };
+            let p = model.predict(t);
+            let cell = self.qindex.cell_of(&p);
+            self.node_cell[n] = cell;
+            for &q in self.qindex.full(cell) {
+                self.members[q as usize].push(n as u32);
+            }
+            for &q in self.qindex.partial(cell) {
+                if queries[q as usize].range.contains(&p) {
+                    self.members[q as usize].push(n as u32);
+                    self.partial_hits[n].push(q);
+                }
+            }
+        }
+    }
+
+    /// Incremental round: only nodes whose cell changed, or whose cell has
+    /// partially-covering queries, touch any member list.
+    fn incremental_round(&mut self, queries: &[RangeQuery], store: &NodeStore, t: f64) {
+        let InvertedEval {
+            qindex,
+            members,
+            node_cell,
+            partial_hits,
+            hits_scratch,
+            ..
+        } = self;
+        for (n, model) in store.models().iter().enumerate() {
+            let Some(model) = model else { continue };
+            let p = model.predict(t);
+            let cell = qindex.cell_of(&p);
+            let old_cell = node_cell[n];
+            if cell == old_cell {
+                let partial = qindex.partial(cell);
+                if partial.is_empty() {
+                    // Full-cover membership depends on the cell alone:
+                    // nothing can have changed for this node.
+                    continue;
+                }
+                // Re-test the cell's partial queries and diff against the
+                // node's previous hits (both sorted ascending).
+                hits_scratch.clear();
+                for &q in partial {
+                    if queries[q as usize].range.contains(&p) {
+                        hits_scratch.push(q);
+                    }
+                }
+                let old_hits = &mut partial_hits[n];
+                if *hits_scratch == *old_hits {
+                    continue;
+                }
+                let (mut i, mut j) = (0, 0);
+                while i < old_hits.len() || j < hits_scratch.len() {
+                    match (old_hits.get(i), hits_scratch.get(j)) {
+                        (Some(&a), Some(&b)) if a == b => {
+                            i += 1;
+                            j += 1;
+                        }
+                        (Some(&a), b) if b.is_none() || a < *b.unwrap() => {
+                            remove_member(members, a, n as u32);
+                            i += 1;
+                        }
+                        (_, Some(&b)) => {
+                            insert_member(members, b, n as u32);
+                            j += 1;
+                        }
+                        _ => unreachable!(),
+                    }
+                }
+                old_hits.clear();
+                old_hits.extend_from_slice(hits_scratch);
+            } else {
+                if old_cell != usize::MAX {
+                    for &q in qindex.full(old_cell) {
+                        remove_member(members, q, n as u32);
+                    }
+                    for &q in &partial_hits[n] {
+                        remove_member(members, q, n as u32);
+                    }
+                }
+                partial_hits[n].clear();
+                for &q in qindex.full(cell) {
+                    insert_member(members, q, n as u32);
+                }
+                for &q in qindex.partial(cell) {
+                    if queries[q as usize].range.contains(&p) {
+                        insert_member(members, q, n as u32);
+                        partial_hits[n].push(q);
+                    }
+                }
+                node_cell[n] = cell;
+            }
+        }
+    }
+
+    /// One uncertain evaluation round: every query's expanded range is
+    /// covered by `ucover`, and each node is classified against the
+    /// covering queries only. `delta_of` is called at most once per node.
+    pub(crate) fn evaluate_uncertain_into(
+        &mut self,
+        queries: &[RangeQuery],
+        store: &NodeStore,
+        t: f64,
+        max_delta: f64,
+        mut delta_of: impl FnMut(u32, Point) -> f64,
+        out: &mut Vec<UncertainResult>,
+    ) {
+        if !self.uindexed || self.umax_delta.to_bits() != max_delta.to_bits() {
+            self.ucover = QueryIndex::build(&self.bounds, queries, max_delta, false);
+            self.umax_delta = max_delta;
+            self.uindexed = true;
+        }
+        self.must.resize_with(queries.len(), Vec::new);
+        self.must.truncate(queries.len());
+        self.maybe.resize_with(queries.len(), Vec::new);
+        self.maybe.truncate(queries.len());
+        for list in self.must.iter_mut().chain(self.maybe.iter_mut()) {
+            list.clear();
+        }
+        for (n, model) in store.models().iter().enumerate() {
+            let Some(model) = model else { continue };
+            let p = model.predict(t);
+            let cover = self.ucover.partial(self.ucover.cell_of(&p));
+            if cover.is_empty() {
+                continue;
+            }
+            let delta = delta_of(n as u32, p).clamp(0.0, max_delta);
+            for &q in cover {
+                let range = &queries[q as usize].range;
+                if range.contains(&p) && range.interior_depth(&p) >= delta {
+                    self.must[q as usize].push(n as u32);
+                } else if range.distance_to_point(&p) <= delta {
+                    self.maybe[q as usize].push(n as u32);
+                }
+            }
+        }
+        out.resize_with(queries.len(), UncertainResult::default);
+        out.truncate(queries.len());
+        for (i, slot) in out.iter_mut().enumerate() {
+            slot.query = queries[i].id;
+            slot.must.clear();
+            slot.must.extend_from_slice(&self.must[i]);
+            slot.maybe.clear();
+            slot.maybe.extend_from_slice(&self.maybe[i]);
+        }
+    }
+}

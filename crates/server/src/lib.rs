@@ -23,6 +23,7 @@ pub mod cq_engine;
 pub mod grid_index;
 pub mod history;
 pub mod index;
+mod inverted;
 pub mod mobile;
 pub mod node_store;
 pub mod query;
@@ -39,7 +40,7 @@ pub mod prelude {
         ChannelStats, DelayModel, Delivery, FaultProfile, FaultyChannel, LossModel, Outage,
         RetryPolicy,
     };
-    pub use crate::cq_engine::CqServer;
+    pub use crate::cq_engine::{CqServer, EvalEngine};
     pub use crate::grid_index::GridIndex;
     pub use crate::history::HistoryStore;
     pub use crate::index::{MovingIndex, PredictedGrid};

@@ -87,6 +87,14 @@ impl NodeStore {
         self.models[node as usize].map(|m| m.predict(t))
     }
 
+    /// All stored models, indexed by node id (`None` until a node's first
+    /// report). The inverted evaluation engine iterates this directly —
+    /// ascending node order is what keeps its member lists sorted for free.
+    #[inline]
+    pub fn models(&self) -> &[Option<StoredModel>] {
+        &self.models
+    }
+
     /// Number of nodes that have reported at least once.
     pub fn reported_count(&self) -> usize {
         self.models.iter().filter(|m| m.is_some()).count()

@@ -208,7 +208,10 @@ impl TprTree {
         out
     }
 
-    /// `query`, reusing an output buffer.
+    /// `query`, reusing an output buffer. Each node id is appended at most
+    /// once: [`update`](Self::update) removes any previous entry first, so
+    /// a node lives in exactly one leaf (the `MovingIndex` uniqueness
+    /// contract).
     pub fn query_into(&self, range: &Rect, t: f64, out: &mut Vec<u32>) {
         let mut stack = vec![self.root];
         while let Some(idx) = stack.pop() {

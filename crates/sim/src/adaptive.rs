@@ -15,7 +15,9 @@ use lira_mobility::motion::{DeadReckoner, MotionReport};
 use lira_server::channel::FaultyChannel;
 use lira_server::queue::UpdateQueue;
 
-use crate::metrics::{evaluation_errors, FaultReport, MetricsAccumulator, MetricsReport};
+use lira_server::cq_engine::EvalEngine;
+
+use crate::metrics::{FaultReport, MetricsAccumulator, MetricsReport};
 use crate::pipeline::SimSetup;
 use crate::scenario::Scenario;
 use crate::telemetry::AdaptiveTelemetry;
@@ -75,8 +77,21 @@ pub struct AdaptiveReport {
     pub telemetry: lira_core::telemetry::TelemetrySnapshot,
 }
 
-/// Runs the closed loop for `sc.duration_s` seconds.
+/// Runs the closed loop for `sc.duration_s` seconds with the default
+/// [`EvalEngine`].
 pub fn run_adaptive(sc: &Scenario, cfg: &AdaptiveConfig) -> AdaptiveReport {
+    run_adaptive_with_engine(sc, cfg, EvalEngine::default())
+}
+
+/// Runs the closed loop with an explicit evaluation engine for both the
+/// reference and the shedding server. Engines are result-equivalent, so
+/// the report is bit-identical either way (asserted by
+/// `tests/pipeline.rs`).
+pub fn run_adaptive_with_engine(
+    sc: &Scenario,
+    cfg: &AdaptiveConfig,
+    engine: EvalEngine,
+) -> AdaptiveReport {
     // The closed loop always uses the analytic f(Δ): the controller is
     // being tested against the model the paper derives, not a calibrated
     // refinement of it.
@@ -84,8 +99,8 @@ pub fn run_adaptive(sc: &Scenario, cfg: &AdaptiveConfig) -> AdaptiveReport {
     let bounds = setup.bounds;
     let queries = setup.queries.clone();
 
-    let mut reference = setup.new_server(sc);
-    let mut shed = setup.new_server(sc);
+    let mut reference = setup.new_server_with(sc, engine);
+    let mut shed = setup.new_server_with(sc, engine);
     let mut ref_reckoners = vec![DeadReckoner::new(); sc.num_cars];
     let mut shed_reckoners = vec![DeadReckoner::new(); sc.num_cars];
 
@@ -97,6 +112,9 @@ pub fn run_adaptive(sc: &Scenario, cfg: &AdaptiveConfig) -> AdaptiveReport {
     let mut queue: UpdateQueue<MotionReport> = UpdateQueue::new(cfg.queue_capacity);
     let mut plan = SheddingPlan::uniform(bounds, sc.delta_min);
     let mut accumulator = MetricsAccumulator::new(queries.len());
+    // Evaluation-round buffers, reused across rounds.
+    let mut ref_results = Vec::new();
+    let mut shed_results = Vec::new();
     // The uplink sits between the shedding reckoners and the input queue;
     // the reference server keeps its perfect feed (it defines the right
     // answer, so channel faults must not corrupt the yardstick). Seeded
@@ -184,15 +202,14 @@ pub fn run_adaptive(sc: &Scenario, cfg: &AdaptiveConfig) -> AdaptiveReport {
         }
 
         if tick % eval_every == 0 {
-            let ref_results = reference.evaluate(t);
-            let shed_results = shed.evaluate(t);
-            let errors = evaluation_errors(
+            reference.evaluate_into(t, &mut ref_results);
+            shed.evaluate_into(t, &mut shed_results);
+            accumulator.record_round(
                 &ref_results,
                 &shed_results,
                 |n| reference.predict(n, t),
                 |n| shed.predict(n, t),
             );
-            accumulator.record(&errors);
         }
     }
 

@@ -24,7 +24,9 @@ pub mod telemetry;
 
 /// Convenient re-exports of the most used types.
 pub mod prelude {
-    pub use crate::adaptive::{run_adaptive, AdaptiveConfig, AdaptiveReport, WindowStats};
+    pub use crate::adaptive::{
+        run_adaptive, run_adaptive_with_engine, AdaptiveConfig, AdaptiveReport, WindowStats,
+    };
     pub use crate::metrics::{
         evaluation_errors, FaultReport, MetricsAccumulator, MetricsReport, QueryErrors,
     };
@@ -35,4 +37,5 @@ pub mod prelude {
     pub use crate::scenario::Scenario;
     pub use crate::telemetry::{AdaptiveTelemetry, LaneTelemetry, PipelineTelemetry};
     pub use lira_core::telemetry::TelemetrySnapshot;
+    pub use lira_server::cq_engine::EvalEngine;
 }

@@ -97,6 +97,51 @@ impl MetricsAccumulator {
         self.rounds
     }
 
+    /// Records one evaluation round straight from the two result sets,
+    /// accumulating in place — no per-round `Vec<QueryErrors>` and no
+    /// per-query allocations, with arithmetic identical (same operations,
+    /// same order, bit-identical sums) to
+    /// [`evaluation_errors`] followed by [`record`](Self::record). This is
+    /// the steady-state entry point for simulation lanes.
+    pub fn record_round(
+        &mut self,
+        reference: &[QueryResult],
+        shed: &[QueryResult],
+        mut ref_pos: impl FnMut(u32) -> Option<Point>,
+        mut shed_pos: impl FnMut(u32) -> Option<Point>,
+    ) {
+        assert_eq!(
+            reference.len(),
+            shed.len(),
+            "result sets must cover the same queries"
+        );
+        assert_eq!(reference.len(), self.containment_sums.len());
+        for (i, (r, s)) in reference.iter().zip(shed).enumerate() {
+            debug_assert_eq!(r.query, s.query);
+            let missing = r.missing_from(s);
+            let extra = s.missing_from(r);
+            let denom = r.nodes.len().max(1) as f64;
+            let containment = (missing + extra) as f64 / denom;
+
+            let mut pos_sum = 0.0;
+            let mut pos_count = 0usize;
+            for &node in &s.nodes {
+                if let (Some(p), Some(p_star)) = (shed_pos(node), ref_pos(node)) {
+                    pos_sum += p.distance(&p_star);
+                    pos_count += 1;
+                }
+            }
+            let position = if pos_count > 0 {
+                pos_sum / pos_count as f64
+            } else {
+                0.0
+            };
+            self.containment_sums[i] += containment;
+            self.position_sums[i] += position;
+        }
+        self.rounds += 1;
+    }
+
     /// Records one evaluation round's per-query errors.
     pub fn record(&mut self, errors: &[QueryErrors]) {
         assert_eq!(errors.len(), self.containment_sums.len());
@@ -316,6 +361,35 @@ mod tests {
         assert!((r.stddev_containment - 0.1).abs() < 1e-12);
         assert!((r.cov_containment - 0.25).abs() < 1e-12);
         assert_eq!(acc.rounds(), 2);
+    }
+
+    #[test]
+    fn record_round_is_bit_identical_to_errors_plus_record() {
+        let reference = vec![
+            result(0, vec![1, 2, 3, 4]),
+            result(1, vec![]),
+            result(2, vec![7, 9]),
+        ];
+        let shed = vec![
+            result(0, vec![2, 3, 9]),
+            result(1, vec![5]),
+            result(2, vec![7, 9]),
+        ];
+        let ref_pos = |n: u32| (n != 5).then(|| Point::new(n as f64 * 10.0, 3.0));
+        let shed_pos = |n: u32| Some(Point::new(n as f64 * 10.0 + 1.5, 2.0));
+        let mut via_errors = MetricsAccumulator::new(3);
+        for _ in 0..3 {
+            via_errors.record(&evaluation_errors(&reference, &shed, ref_pos, shed_pos));
+        }
+        let mut via_round = MetricsAccumulator::new(3);
+        for _ in 0..3 {
+            via_round.record_round(&reference, &shed, ref_pos, shed_pos);
+        }
+        assert_eq!(via_errors.rounds(), via_round.rounds());
+        // Bit-identical, not just approximately equal.
+        assert_eq!(via_errors.report(), via_round.report());
+        assert_eq!(via_errors.containment_sums, via_round.containment_sums);
+        assert_eq!(via_errors.position_sums, via_round.position_sums);
     }
 
     #[test]

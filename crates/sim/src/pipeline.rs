@@ -40,13 +40,13 @@ use lira_mobility::motion::DeadReckoner;
 use lira_mobility::simulator::{TrafficConfig, TrafficSimulator};
 use lira_mobility::traffic::TrafficDemand;
 use lira_server::channel::FaultyChannel;
-use lira_server::cq_engine::CqServer;
+use lira_server::cq_engine::{CqServer, EvalEngine};
 use lira_server::query::{QueryResult, RangeQuery};
 use lira_workload::{generate_queries, WorkloadConfig};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
-use crate::metrics::{evaluation_errors, FaultReport, MetricsAccumulator};
+use crate::metrics::{FaultReport, MetricsAccumulator};
 use crate::runner::{Policy, PolicyOutcome, RunReport};
 use crate::scenario::Scenario;
 use crate::telemetry::{LaneTelemetry, PipelineTelemetry};
@@ -155,9 +155,15 @@ impl SimSetup {
         TrafficTrace::record(&mut self.sim, total_ticks, sc.dt)
     }
 
-    /// A CQ server over this setup's space with the workload registered.
+    /// A CQ server over this setup's space with the workload registered,
+    /// using the default [`EvalEngine`].
     pub fn new_server(&self, sc: &Scenario) -> CqServer {
-        let mut s = CqServer::new(self.bounds, sc.num_cars, 64);
+        self.new_server_with(sc, EvalEngine::default())
+    }
+
+    /// A CQ server with the workload registered and an explicit engine.
+    pub fn new_server_with(&self, sc: &Scenario, engine: EvalEngine) -> CqServer {
+        let mut s = CqServer::new(self.bounds, sc.num_cars, 64).with_engine(engine);
         s.register_queries(self.queries.iter().copied());
         s
     }
@@ -262,7 +268,17 @@ impl ReferenceTimeline {
     /// Replays the reference server (threshold `Δ⊢` everywhere) over the
     /// trace, evaluating every `sc.eval_period_s`.
     pub fn compute(trace: &TrafficTrace, setup: &SimSetup, sc: &Scenario) -> Self {
-        let mut server = setup.new_server(sc);
+        Self::compute_with(trace, setup, sc, EvalEngine::default())
+    }
+
+    /// [`compute`](Self::compute) with an explicit evaluation engine.
+    pub fn compute_with(
+        trace: &TrafficTrace,
+        setup: &SimSetup,
+        sc: &Scenario,
+        engine: EvalEngine,
+    ) -> Self {
+        let mut server = setup.new_server_with(sc, engine);
         let mut reckoners = vec![DeadReckoner::new(); trace.num_cars()];
         let eval_every = (sc.eval_period_s / sc.dt).round().max(1.0) as usize;
         let mut reference_updates = 0u64;
@@ -325,6 +341,9 @@ struct PolicyLane {
     updates_processed: u64,
     adapt_micros: Vec<u64>,
     accumulator: MetricsAccumulator,
+    /// The lane's evaluation-round result buffer, reused across rounds
+    /// (the inverted engine writes into it without allocating).
+    shed_results: Vec<QueryResult>,
     tel: LaneTelemetry,
     /// Updates admitted per plan region in the current plan epoch. Kept
     /// as plain vectors — maintained identically whether telemetry is
@@ -342,11 +361,18 @@ impl PolicyLane {
     /// channel RNG extends the same rule at offset 2000, keeping fault
     /// draws out of the admission stream (a faulty run perturbs traffic,
     /// never the drop decisions of an identically-seeded perfect run).
-    fn new(policy: Policy, index: usize, setup: &SimSetup, sc: &Scenario, telemetry: bool) -> Self {
+    fn new(
+        policy: Policy,
+        index: usize,
+        setup: &SimSetup,
+        sc: &Scenario,
+        telemetry: bool,
+        engine: EvalEngine,
+    ) -> Self {
         PolicyLane {
             policy,
             shedding: policy.build(sc, &setup.config, &setup.model),
-            server: setup.new_server(sc),
+            server: setup.new_server_with(sc, engine),
             reckoners: vec![DeadReckoner::new(); sc.num_cars],
             grid: StatsGrid::new(sc.alpha, setup.bounds).expect("valid grid"),
             plan: SheddingPlan::uniform(setup.bounds, sc.delta_min),
@@ -358,6 +384,7 @@ impl PolicyLane {
             updates_processed: 0,
             adapt_micros: Vec::new(),
             accumulator: MetricsAccumulator::new(setup.queries.len()),
+            shed_results: Vec::new(),
             tel: LaneTelemetry::new(telemetry),
             region_admitted: Vec::new(),
             region_shed: Vec::new(),
@@ -493,14 +520,14 @@ impl PolicyLane {
                 .is_some_and(|f| f.tick == tick)
             {
                 let frame = &reference.frames[next_frame];
-                let shed_results = self.server.evaluate(t);
-                let errors = evaluation_errors(
+                self.server.evaluate_into(t, &mut self.shed_results);
+                let server = &self.server;
+                self.accumulator.record_round(
                     &frame.results,
-                    &shed_results,
+                    &self.shed_results,
                     |n| frame.predictions[n as usize],
-                    |n| self.server.predict(n, t),
+                    |n| server.predict(n, t),
                 );
-                self.accumulator.record(&errors);
                 next_frame += 1;
             }
         }
@@ -538,6 +565,7 @@ impl PolicyLane {
 pub struct SimPipeline {
     parallelism: Parallelism,
     telemetry: bool,
+    engine: EvalEngine,
 }
 
 impl Default for SimPipeline {
@@ -545,6 +573,7 @@ impl Default for SimPipeline {
         SimPipeline {
             parallelism: Parallelism::default(),
             telemetry: true,
+            engine: EvalEngine::default(),
         }
     }
 }
@@ -571,6 +600,16 @@ impl SimPipeline {
         self
     }
 
+    /// Selects the CQ evaluation engine used by the reference server and
+    /// every policy lane. Both engines yield bit-identical reports
+    /// (asserted by `tests/pipeline.rs`); [`EvalEngine::Legacy`] exists as
+    /// the oracle and fallback.
+    #[must_use]
+    pub fn with_engine(mut self, engine: EvalEngine) -> Self {
+        self.engine = engine;
+        self
+    }
+
     /// Runs the scenario for the given policies and reports the comparison.
     pub fn run(&self, sc: &Scenario, policies: &[Policy]) -> RunReport {
         let ptel = PipelineTelemetry::new(self.telemetry);
@@ -581,13 +620,13 @@ impl SimPipeline {
         let trace = setup.record_trace(sc);
         ptel.on_trace(stage.elapsed().as_micros() as u64);
         let stage = Instant::now();
-        let reference = ReferenceTimeline::compute(&trace, &setup, sc);
+        let reference = ReferenceTimeline::compute_with(&trace, &setup, sc, self.engine);
         ptel.on_reference(stage.elapsed().as_micros() as u64);
 
         let lanes: Vec<PolicyLane> = policies
             .iter()
             .enumerate()
-            .map(|(i, &policy)| PolicyLane::new(policy, i, &setup, sc, self.telemetry))
+            .map(|(i, &policy)| PolicyLane::new(policy, i, &setup, sc, self.telemetry, self.engine))
             .collect();
 
         let stage = Instant::now();

@@ -217,6 +217,98 @@ fn parallel_lanes_are_bit_identical_to_sequential() {
 }
 
 #[test]
+fn inverted_engine_run_report_is_bit_identical_to_legacy() {
+    // The acceptance bar for the inverted engine: for a fixed-seed
+    // scenario, the whole multi-policy report must match the legacy
+    // per-query engine bit for bit — policy outcomes, update counts,
+    // fault accounting, plan sizes. Only wall-clock fields
+    // (`adapt_micros`, telemetry snapshots) are exempt.
+    let mut sc = Scenario::small(31);
+    sc.duration_s = 90.0;
+    let inverted = SimPipeline::new()
+        .with_engine(EvalEngine::Inverted)
+        .run(&sc, &Policy::ALL);
+    let legacy = SimPipeline::new()
+        .with_engine(EvalEngine::Legacy)
+        .run(&sc, &Policy::ALL);
+
+    assert_eq!(inverted.reference_updates, legacy.reference_updates);
+    assert_eq!(inverted.num_queries, legacy.num_queries);
+    assert_eq!(inverted.num_cars, legacy.num_cars);
+    assert_eq!(inverted.outcomes.len(), legacy.outcomes.len());
+    for (i, l) in inverted.outcomes.iter().zip(&legacy.outcomes) {
+        assert_eq!(i.policy, l.policy);
+        assert_eq!(i.updates_sent, l.updates_sent, "{:?} sent", i.policy);
+        assert_eq!(
+            i.updates_processed, l.updates_processed,
+            "{:?} processed",
+            i.policy
+        );
+        assert_eq!(i.plan_regions, l.plan_regions, "{:?} regions", i.policy);
+        assert_eq!(i.faults, l.faults, "{:?} faults", i.policy);
+        for (label, a, b) in [
+            (
+                "E^C_rr",
+                i.metrics.mean_containment,
+                l.metrics.mean_containment,
+            ),
+            ("E^P_rr", i.metrics.mean_position, l.metrics.mean_position),
+            (
+                "D^C_ev",
+                i.metrics.stddev_containment,
+                l.metrics.stddev_containment,
+            ),
+            (
+                "C^C_ov",
+                i.metrics.cov_containment,
+                l.metrics.cov_containment,
+            ),
+            (
+                "processed fraction",
+                i.processed_fraction,
+                l.processed_fraction,
+            ),
+        ] {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "{:?} {label}: inverted {a} vs legacy {b}",
+                i.policy
+            );
+        }
+    }
+}
+
+#[test]
+fn adaptive_report_is_bit_identical_across_engines() {
+    // Same bar for the closed loop: THROTLOOP's whole trajectory (window
+    // stats, final throttle, drop fraction) and the accuracy metrics must
+    // not move when the engine changes.
+    let mut sc = Scenario::small(37);
+    sc.num_cars = 200;
+    sc.duration_s = 120.0;
+    let cfg = AdaptiveConfig {
+        service_rate: 60.0,
+        queue_capacity: 300,
+        control_period_s: 20.0,
+    };
+    let inverted = run_adaptive_with_engine(&sc, &cfg, EvalEngine::Inverted);
+    let legacy = run_adaptive_with_engine(&sc, &cfg, EvalEngine::Legacy);
+
+    assert_eq!(inverted.windows, legacy.windows);
+    assert_eq!(
+        inverted.final_throttle.to_bits(),
+        legacy.final_throttle.to_bits()
+    );
+    assert_eq!(
+        inverted.drop_fraction.to_bits(),
+        legacy.drop_fraction.to_bits()
+    );
+    assert_eq!(inverted.metrics, legacy.metrics);
+    assert_eq!(inverted.faults, legacy.faults);
+}
+
+#[test]
 fn table3_region_counts_grow_with_radius() {
     // Table 3's shape: stations with larger coverage know more regions.
     let bounds = Rect::from_coords(0.0, 0.0, 14_142.0, 14_142.0);

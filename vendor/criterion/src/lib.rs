@@ -18,14 +18,14 @@ const WARMUP_TARGET: Duration = Duration::from_millis(150);
 /// Top-level benchmark driver.
 #[derive(Debug, Default)]
 pub struct Criterion {
-    _private: (),
+    results: Vec<(String, f64)>,
 }
 
 impl Criterion {
     /// Starts a named group of related benchmarks.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
         BenchmarkGroup {
-            _criterion: self,
+            criterion: self,
             name: name.into(),
         }
     }
@@ -35,14 +35,28 @@ impl Criterion {
     where
         F: FnMut(&mut Bencher),
     {
-        run_benchmark(&id.into().label, f);
+        let label = id.into().label;
+        let mean_ns = run_benchmark(&label, f);
+        self.results.push((label, mean_ns));
         self
+    }
+
+    /// `(label, mean ns/iter)` for every benchmark run so far, in run
+    /// order. Lets harness binaries post-process timings (ratios, JSON
+    /// reports) instead of scraping their own stdout.
+    pub fn results(&self) -> &[(String, f64)] {
+        &self.results
+    }
+
+    /// Drains and returns the collected results.
+    pub fn take_results(&mut self) -> Vec<(String, f64)> {
+        std::mem::take(&mut self.results)
     }
 }
 
 /// A named group of benchmarks.
 pub struct BenchmarkGroup<'a> {
-    _criterion: &'a mut Criterion,
+    criterion: &'a mut Criterion,
     name: String,
 }
 
@@ -58,7 +72,9 @@ impl BenchmarkGroup<'_> {
         F: FnMut(&mut Bencher),
     {
         let id = id.into();
-        run_benchmark(&format!("{}/{}", self.name, id.label), f);
+        let label = format!("{}/{}", self.name, id.label);
+        let mean_ns = run_benchmark(&label, f);
+        self.criterion.results.push((label, mean_ns));
         self
     }
 
@@ -137,7 +153,7 @@ impl Bencher {
     }
 }
 
-fn run_benchmark<F: FnMut(&mut Bencher)>(label: &str, mut f: F) {
+fn run_benchmark<F: FnMut(&mut Bencher)>(label: &str, mut f: F) -> f64 {
     let mut bencher = Bencher {
         mean_ns: f64::NAN,
         iterations: 0,
@@ -155,6 +171,7 @@ fn run_benchmark<F: FnMut(&mut Bencher)>(label: &str, mut f: F) {
         "{label:<40} {human:>12}/iter  ({} iterations)",
         bencher.iterations
     );
+    mean
 }
 
 /// Re-export for code written against criterion's `black_box`.
