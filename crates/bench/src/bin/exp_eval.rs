@@ -27,13 +27,12 @@
 //! point of the repo's perf trajectory (see EXPERIMENTS.md).
 
 use criterion::{black_box, Criterion};
+use lira_bench::ChurnWorkload;
 use lira_core::geometry::{Point, Rect};
 use lira_core::plan::{PlanRegion, SheddingPlan};
 use lira_core::telemetry::json::Json;
 use lira_server::prelude::*;
 use lira_workload::prelude::*;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 
 /// Monitored space: the paper's 10 km × 10 km region.
 const SPACE_M: f64 = 10_000.0;
@@ -47,65 +46,6 @@ const NEAREST_K: usize = 10;
 
 fn bounds() -> Rect {
     Rect::from_coords(0.0, 0.0, SPACE_M, SPACE_M)
-}
-
-/// One churning benchmark workload: a node population plus the walk that
-/// re-reports `CHURN_FRAC` of it per round, identically for both engines.
-struct Workload {
-    positions: Vec<Point>,
-    velocities: Vec<(f64, f64)>,
-    churn: usize,
-    round: usize,
-}
-
-impl Workload {
-    fn new(num_nodes: usize, seed: u64, churn_frac: f64) -> Self {
-        let mut rng = SmallRng::seed_from_u64(seed);
-        let positions = (0..num_nodes)
-            .map(|_| Point::new(rng.gen_range(0.0..SPACE_M), rng.gen_range(0.0..SPACE_M)))
-            .collect();
-        let velocities = (0..num_nodes)
-            .map(|_| (rng.gen_range(-15.0..15.0), rng.gen_range(-15.0..15.0)))
-            .collect();
-        Workload {
-            positions,
-            velocities,
-            churn: ((num_nodes as f64 * churn_frac) as usize).max(1),
-            round: 0,
-        }
-    }
-
-    fn prime(&self, server: &mut CqServer) {
-        for (i, (&p, &v)) in self.positions.iter().zip(&self.velocities).enumerate() {
-            server.ingest(i as u32, 0.0, p, v);
-        }
-    }
-
-    /// Advances one round: `churn` nodes walk one step (reflecting off the
-    /// bounds) and re-report. Reports stay at t = 0 — the store accepts
-    /// same-time updates, so occupancy is stationary no matter how many
-    /// rounds the timing loop runs.
-    fn step(&mut self, server: &mut CqServer) {
-        let n = self.positions.len();
-        let start = (self.round * self.churn) % n;
-        for k in 0..self.churn {
-            let i = (start + k) % n;
-            let (vx, vy) = &mut self.velocities[i];
-            let p = &mut self.positions[i];
-            p.x += *vx;
-            p.y += *vy;
-            if p.x < 0.0 || p.x >= SPACE_M {
-                *vx = -*vx;
-                p.x = p.x.clamp(0.0, SPACE_M - 1e-6);
-            }
-            if p.y < 0.0 || p.y >= SPACE_M {
-                *vy = -*vy;
-                p.y = p.y.clamp(0.0, SPACE_M - 1e-6);
-            }
-            server.ingest(i as u32, 0.0, *p, (*vx, *vy));
-        }
-        self.round += 1;
-    }
 }
 
 fn make_server(num_nodes: usize, queries: &[RangeQuery], engine: EvalEngine) -> CqServer {
@@ -140,8 +80,8 @@ fn bench_plan() -> SheddingPlan {
 fn verify_engines_agree(num_nodes: usize, queries: &[RangeQuery], plan: &SheddingPlan) {
     let mut inv = make_server(num_nodes, queries, EvalEngine::Inverted);
     let mut leg = make_server(num_nodes, queries, EvalEngine::Legacy);
-    let mut w_inv = Workload::new(num_nodes, 7, CHURN_FRAC);
-    let mut w_leg = Workload::new(num_nodes, 7, CHURN_FRAC);
+    let mut w_inv = ChurnWorkload::new(num_nodes, 7, CHURN_FRAC, SPACE_M);
+    let mut w_leg = ChurnWorkload::new(num_nodes, 7, CHURN_FRAC, SPACE_M);
     w_inv.prime(&mut inv);
     w_leg.prime(&mut leg);
     for round in 0..5 {
@@ -188,7 +128,8 @@ fn bench_scale(
     plan: &SheddingPlan,
     churn_frac: f64,
 ) -> ScaleResult {
-    let node_positions: Vec<Point> = Workload::new(num_nodes, 7, churn_frac).positions;
+    let node_positions: Vec<Point> =
+        ChurnWorkload::new(num_nodes, 7, churn_frac, SPACE_M).positions;
     let cfg = WorkloadConfig {
         distribution: QueryDistribution::Random,
         count: num_queries,
@@ -212,7 +153,7 @@ fn bench_scale(
                 "legacy"
             };
             let mut server = make_server(num_nodes, &queries, engine);
-            let mut workload = Workload::new(num_nodes, 7, churn_frac);
+            let mut workload = ChurnWorkload::new(num_nodes, 7, churn_frac, SPACE_M);
             workload.prime(&mut server);
             let mut results = Vec::new();
             let mut uresults = Vec::new();

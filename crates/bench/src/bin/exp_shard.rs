@@ -1,0 +1,309 @@
+//! `exp_shard` — scaling of the spatially-sharded evaluation engine.
+//!
+//! Benchmarks `EvalEngine::Sharded` at shard counts 1/2/4/8 against the
+//! inverted engine (the single-index incumbent) on the shared churning
+//! workload, across a node ladder. Before timing, each scale
+//! cross-checks every shard count against the inverted engine for equal
+//! results — a benchmark of a wrong engine is worthless.
+//!
+//! ```text
+//! exp_shard [--quick] [--assert] [--min-speedup X] [--churn F] [--out PATH]
+//! ```
+//!
+//! * default: the full ladder up to 50 000 nodes × 1 000 queries;
+//! * `--quick` — two small scales, for the CI perf-smoke step;
+//! * `--churn F` — fraction of nodes re-reporting between evaluation
+//!   rounds (default 0.05);
+//! * `--out PATH` — where to write the JSON report (default
+//!   `BENCH_shard.json` in the current directory);
+//! * `--assert` — exit nonzero unless, at the largest scale, sharded
+//!   `evaluate` at 4 shards is at least `--min-speedup`× (default 1.0×)
+//!   faster than inverted.
+//!
+//! What the numbers mean: a benchmark round is churn-ingest + evaluate
+//! at an unchanged evaluation time, the steady-state round of a CQ
+//! server between timestamp advances. The inverted engine's incremental
+//! round still walks every stored node; the sharded engine's dirty round
+//! touches only the re-reported ones (plus the emit copy), which is
+//! where the single-core speedup comes from — worker threads add
+//! parallelism on multi-core hosts but are *not* required for the win,
+//! and `shards = 1` measures the pure dirty-tracking gain. Results are
+//! bit-identical across engines and shard counts (`shard_equiv.rs`).
+
+use criterion::{black_box, Criterion};
+use lira_bench::ChurnWorkload;
+use lira_core::geometry::{Point, Rect};
+use lira_core::telemetry::json::Json;
+use lira_server::prelude::*;
+use lira_workload::prelude::*;
+
+/// Monitored space: the paper's 10 km × 10 km region.
+const SPACE_M: f64 = 10_000.0;
+/// Default churn fraction per round (see `--churn`).
+const CHURN_FRAC: f64 = 0.05;
+/// Shard counts under test.
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+/// Query side length (m): 0.25 % space coverage per query keeps the
+/// emit copy from drowning the round-structure signal at 50 k nodes.
+const QUERY_SIDE: f64 = 500.0;
+
+fn bounds() -> Rect {
+    Rect::from_coords(0.0, 0.0, SPACE_M, SPACE_M)
+}
+
+fn make_server(num_nodes: usize, queries: &[RangeQuery], engine: EvalEngine) -> CqServer {
+    let mut server = CqServer::new(bounds(), num_nodes, 64).with_engine(engine);
+    server.register_queries(queries.iter().copied());
+    server
+}
+
+/// Cross-checks every shard count against the inverted engine before
+/// timing, on the exact workload pattern the timing loop replays.
+fn verify_engines_agree(num_nodes: usize, queries: &[RangeQuery], churn_frac: f64) {
+    let mut inv = make_server(num_nodes, queries, EvalEngine::Inverted);
+    let mut w_inv = ChurnWorkload::new(num_nodes, 7, churn_frac, SPACE_M);
+    w_inv.prime(&mut inv);
+    let mut sharded: Vec<(usize, CqServer, ChurnWorkload)> = SHARD_COUNTS
+        .iter()
+        .map(|&s| {
+            let mut server = make_server(num_nodes, queries, EvalEngine::Sharded { shards: s });
+            let w = ChurnWorkload::new(num_nodes, 7, churn_frac, SPACE_M);
+            w.prime(&mut server);
+            (s, server, w)
+        })
+        .collect();
+    for round in 0..5 {
+        w_inv.step(&mut inv);
+        let want = inv.evaluate(0.5);
+        for (s, server, w) in &mut sharded {
+            w.step(server);
+            assert_eq!(
+                server.evaluate(0.5),
+                want,
+                "sharded({s}) disagrees with inverted ({num_nodes} nodes, round {round})"
+            );
+        }
+    }
+}
+
+/// Runs one benchmark and returns its mean ns/iter from the shim.
+fn bench_one(c: &mut Criterion, label: String, mut f: impl FnMut(&mut criterion::Bencher)) -> f64 {
+    c.bench_function(label, &mut f);
+    c.results().last().expect("benchmark just ran").1
+}
+
+/// Times the steady-state round (churn + evaluate) for one engine.
+fn bench_engine(
+    c: &mut Criterion,
+    label: String,
+    num_nodes: usize,
+    queries: &[RangeQuery],
+    engine: EvalEngine,
+    churn_frac: f64,
+) -> (f64, Option<Vec<ShardStats>>) {
+    let mut server = make_server(num_nodes, queries, engine);
+    let mut workload = ChurnWorkload::new(num_nodes, 7, churn_frac, SPACE_M);
+    workload.prime(&mut server);
+    let mut results = Vec::new();
+    let ns = bench_one(c, label, |b: &mut criterion::Bencher| {
+        b.iter(|| {
+            workload.step(&mut server);
+            server.evaluate_into(0.5, &mut results);
+            black_box(results.len())
+        });
+    });
+    (ns, server.shard_stats())
+}
+
+struct ScaleResult {
+    nodes: usize,
+    queries: usize,
+    inverted_ns: f64,
+    /// `(shards, mean ns/iter, total handoffs over the timed run)`.
+    sharded: Vec<(usize, f64, u64)>,
+}
+
+fn bench_scale(
+    c: &mut Criterion,
+    num_nodes: usize,
+    num_queries: usize,
+    churn_frac: f64,
+) -> ScaleResult {
+    let node_positions: Vec<Point> =
+        ChurnWorkload::new(num_nodes, 7, churn_frac, SPACE_M).positions;
+    let cfg = WorkloadConfig {
+        distribution: QueryDistribution::Random,
+        count: num_queries,
+        side_length: QUERY_SIDE,
+        seed: 11,
+    };
+    let queries = generate_queries(&bounds(), &node_positions, &cfg);
+    verify_engines_agree(num_nodes, &queries, churn_frac);
+
+    let tag = format!("{num_nodes}x{num_queries}");
+    let (inverted_ns, _) = bench_engine(
+        c,
+        format!("evaluate/inverted/{tag}"),
+        num_nodes,
+        &queries,
+        EvalEngine::Inverted,
+        churn_frac,
+    );
+    let sharded: Vec<(usize, f64, u64)> = SHARD_COUNTS
+        .iter()
+        .map(|&s| {
+            let (ns, stats) = bench_engine(
+                c,
+                format!("evaluate/sharded{s}/{tag}"),
+                num_nodes,
+                &queries,
+                EvalEngine::Sharded { shards: s },
+                churn_frac,
+            );
+            let handoffs = stats
+                .expect("sharded engine reports stats")
+                .iter()
+                .map(|st| st.handoffs)
+                .sum();
+            println!(
+                "evaluate_speedup_{tag}_shards{s}={:.2}",
+                inverted_ns / ns.max(1e-9)
+            );
+            (s, ns, handoffs)
+        })
+        .collect();
+    ScaleResult {
+        nodes: num_nodes,
+        queries: queries.len(),
+        inverted_ns,
+        sharded,
+    }
+}
+
+fn report_json(mode: &str, churn_frac: f64, scales: &[ScaleResult]) -> Json {
+    Json::Obj(vec![
+        ("experiment".into(), Json::Str("exp_shard".into())),
+        ("mode".into(), Json::Str(mode.into())),
+        ("space_m".into(), Json::Float(SPACE_M)),
+        ("churn_frac".into(), Json::Float(churn_frac)),
+        ("query_side_m".into(), Json::Float(QUERY_SIDE)),
+        (
+            "scales".into(),
+            Json::Arr(
+                scales
+                    .iter()
+                    .map(|s| {
+                        Json::Obj(vec![
+                            ("nodes".into(), Json::UInt(s.nodes as u64)),
+                            ("queries".into(), Json::UInt(s.queries as u64)),
+                            ("inverted_ns".into(), Json::Float(s.inverted_ns)),
+                            (
+                                "sharded".into(),
+                                Json::Arr(
+                                    s.sharded
+                                        .iter()
+                                        .map(|&(shards, ns, handoffs)| {
+                                            Json::Obj(vec![
+                                                ("shards".into(), Json::UInt(shards as u64)),
+                                                ("evaluate_ns".into(), Json::Float(ns)),
+                                                (
+                                                    "speedup_vs_inverted".into(),
+                                                    Json::Float(s.inverted_ns / ns.max(1e-9)),
+                                                ),
+                                                ("handoffs".into(), Json::UInt(handoffs)),
+                                            ])
+                                        })
+                                        .collect(),
+                                ),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn main() {
+    let mut quick = false;
+    let mut do_assert = false;
+    let mut min_speedup = 1.0f64;
+    let mut churn_frac = CHURN_FRAC;
+    let mut out_path = String::from("BENCH_shard.json");
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--assert" => do_assert = true,
+            "--min-speedup" => {
+                min_speedup = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--min-speedup needs a factor"));
+            }
+            "--churn" => {
+                churn_frac = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--churn needs a fraction"));
+            }
+            "--out" => {
+                out_path = it.next().unwrap_or_else(|| usage("--out needs a path"));
+            }
+            "--help" | "-h" => {
+                usage("exp_shard [--quick] [--assert] [--min-speedup X] [--churn F] [--out PATH]")
+            }
+            other => usage(&format!("unknown flag {other}")),
+        }
+    }
+
+    let (mode, ladder): (&str, &[(usize, usize)]) = if quick {
+        ("quick", &[(2_000, 100), (5_000, 200)])
+    } else {
+        ("full", &[(10_000, 400), (20_000, 700), (50_000, 1_000)])
+    };
+    println!(
+        "== exp_shard: sharded vs inverted engine, {mode} ladder ({} scales, shards {:?}, \
+         {:.0}% churn/round)",
+        ladder.len(),
+        SHARD_COUNTS,
+        churn_frac * 100.0
+    );
+
+    let mut criterion = Criterion::default();
+    let scales: Vec<ScaleResult> = ladder
+        .iter()
+        .map(|&(n, q)| bench_scale(&mut criterion, n, q, churn_frac))
+        .collect();
+
+    let json = report_json(mode, churn_frac, &scales);
+    std::fs::write(&out_path, format!("{json}\n")).expect("write BENCH_shard.json");
+    println!("report={out_path}");
+
+    if do_assert {
+        let largest = scales.last().expect("at least one scale");
+        let &(shards, ns, _) = largest
+            .sharded
+            .iter()
+            .find(|(s, _, _)| *s == 4)
+            .expect("4-shard cell benched");
+        let speedup = largest.inverted_ns / ns.max(1e-9);
+        if speedup < min_speedup {
+            eprintln!(
+                "FAIL: sharded({shards}) evaluate speedup {speedup:.2}x below required \
+                 {min_speedup:.2}x at {}x{}",
+                largest.nodes, largest.queries
+            );
+            std::process::exit(1);
+        }
+        println!(
+            "PASS: sharded({shards}) evaluate {speedup:.2}x faster than inverted at {}x{}",
+            largest.nodes, largest.queries
+        );
+    }
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!("{msg}");
+    std::process::exit(2);
+}

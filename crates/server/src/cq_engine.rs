@@ -9,6 +9,7 @@ use crate::index::{MovingIndex, PredictedGrid};
 use crate::inverted::InvertedEval;
 use crate::node_store::NodeStore;
 use crate::query::{QueryResult, RangeQuery, UncertainResult};
+use crate::sharded::{ShardStats, ShardedEval};
 
 /// Safety padding added to the *candidate-gathering* rectangle of the
 /// legacy uncertain path: when a query's expanded edge lands exactly on a
@@ -20,8 +21,9 @@ const CANDIDATE_PAD: f64 = 1e-6;
 
 /// Which evaluation strategy [`CqServer`] uses.
 ///
-/// Both engines produce identical results (`tests/eval_equiv.rs` proves
-/// the equivalence property-style); they differ only in cost.
+/// All engines produce identical results (`tests/eval_equiv.rs` and
+/// `tests/shard_equiv.rs` prove the equivalence property-style); they
+/// differ only in cost.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum EvalEngine {
     /// The inverted, incremental engine: a cell→queries index plus
@@ -33,6 +35,32 @@ pub enum EvalEngine {
     /// the [`MovingIndex`] and filters them. Kept as the
     /// [`MovingIndex`]-generic fallback and as the equivalence oracle.
     Legacy,
+    /// The spatially-sharded engine: the inverted engine's grid cut into
+    /// `shards` contiguous column stripes evaluated on a persistent
+    /// worker pool, with re-reported-node tracking that lets rounds at
+    /// an unchanged evaluation time skip untouched nodes entirely
+    /// (`crate::sharded`; DESIGN.md §12). Bit-identical to
+    /// [`EvalEngine::Inverted`]. `shards` is clamped to
+    /// `1..=`[`MAX_SHARDS`](crate::sharded::MAX_SHARDS).
+    Sharded {
+        /// Number of spatial stripes (and of round worker threads).
+        shards: usize,
+    },
+}
+
+impl EvalEngine {
+    /// The sharded engine with the shard count taken from the
+    /// `LIRA_TEST_SHARDS` environment variable (the CI matrix hook used
+    /// by the cross-engine test battery), falling back to
+    /// `default_shards` when unset or unparsable.
+    pub fn sharded_from_env(default_shards: usize) -> EvalEngine {
+        let shards = std::env::var("LIRA_TEST_SHARDS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .filter(|&s| s >= 1)
+            .unwrap_or(default_shards);
+        EvalEngine::Sharded { shards }
+    }
 }
 
 /// A mobile CQ server instance, generic over the moving-object index (the
@@ -48,6 +76,13 @@ pub struct CqServer<I: MovingIndex = PredictedGrid> {
     evaluations: u64,
     engine: EvalEngine,
     inverted: InvertedEval,
+    /// Sharded-engine state, present only while `engine` is
+    /// [`EvalEngine::Sharded`] (boxed: it carries per-shard state and a
+    /// worker pool).
+    sharded: Option<Box<ShardedEval>>,
+    /// Force sharded rounds onto the calling thread (no worker pool);
+    /// see [`CqServer::with_sequential_eval`].
+    sequential_eval: bool,
     /// Legacy-path candidate scratch, reused across queries and rounds.
     scratch: Vec<u32>,
 }
@@ -84,6 +119,8 @@ impl<I: MovingIndex> CqServer<I> {
             evaluations: 0,
             engine: EvalEngine::default(),
             inverted: InvertedEval::new(bounds, num_nodes),
+            sharded: None,
+            sequential_eval: false,
             scratch: Vec::new(),
         }
     }
@@ -92,6 +129,26 @@ impl<I: MovingIndex> CqServer<I> {
     /// [`EvalEngine::Inverted`]).
     pub fn with_engine(mut self, engine: EvalEngine) -> Self {
         self.engine = engine;
+        self.sharded = match engine {
+            EvalEngine::Sharded { shards } => Some(Box::new(ShardedEval::new(
+                self.bounds,
+                self.store.len(),
+                shards,
+            ))),
+            _ => None,
+        };
+        self
+    }
+
+    /// Forces sharded evaluation rounds to run every shard on the
+    /// calling thread, in shard order, with no worker pool
+    /// (builder-style). The state transitions are identical, so results
+    /// stay bit-identical — this is what lets
+    /// `Parallelism::Sequential` in the simulation pipeline mean
+    /// *no threads at all*, including intra-lane ones. No effect on the
+    /// other engines (they are single-threaded already).
+    pub fn with_sequential_eval(mut self, sequential: bool) -> Self {
+        self.sequential_eval = sequential;
         self
     }
 
@@ -110,13 +167,21 @@ impl<I: MovingIndex> CqServer<I> {
     /// Registers one continual range query.
     pub fn register_query(&mut self, query: RangeQuery) {
         self.queries.push(query);
-        self.inverted.invalidate();
+        self.invalidate_engines();
     }
 
     /// Registers many continual range queries.
     pub fn register_queries<Q: IntoIterator<Item = RangeQuery>>(&mut self, queries: Q) {
         self.queries.extend(queries);
+        self.invalidate_engines();
+    }
+
+    /// Marks every engine's derived query structures stale.
+    fn invalidate_engines(&mut self) {
         self.inverted.invalidate();
+        if let Some(sharded) = &mut self.sharded {
+            sharded.invalidate();
+        }
     }
 
     /// The registered queries.
@@ -130,15 +195,19 @@ impl<I: MovingIndex> CqServer<I> {
     pub fn replace_queries<Q: IntoIterator<Item = RangeQuery>>(&mut self, queries: Q) {
         self.queries.clear();
         self.queries.extend(queries);
-        self.inverted.invalidate();
+        self.invalidate_engines();
     }
 
     /// Ingests one position update (a new motion model for `node`). Stale
     /// (reordered) updates are rejected by the store and never reach the
     /// index. Returns whether the update was applied.
     pub fn ingest(&mut self, node: u32, t: f64, position: Point, velocity: (f64, f64)) -> bool {
+        let first_report = self.sharded.is_some() && self.store.model(node).is_none();
         if self.store.apply(node, t, position, velocity) {
             self.index.apply(node, t, position, velocity);
+            if let Some(sharded) = &mut self.sharded {
+                sharded.on_ingest(node, first_report);
+            }
             true
         } else {
             false
@@ -170,6 +239,12 @@ impl<I: MovingIndex> CqServer<I> {
                 // moving-object index needs no per-round refresh.
                 self.inverted
                     .evaluate_into(&self.queries, &self.store, t, out);
+            }
+            EvalEngine::Sharded { .. } => {
+                self.sharded
+                    .as_mut()
+                    .expect("sharded engine state exists while selected")
+                    .evaluate_into(&self.queries, &self.store, t, out, self.sequential_eval);
             }
             EvalEngine::Legacy => {
                 self.index.prepare(t, &self.store);
@@ -204,14 +279,16 @@ impl<I: MovingIndex> CqServer<I> {
     /// which the server only knows to within Δ — use
     /// [`SheddingPlan::max_throttler_within`](lira_core::plan::SheddingPlan::max_throttler_within)
     /// with radius `Δ⊣` for a sound bound near region borders.
-    /// `delta_of` must be a pure function of `(node, position)`: the two
+    /// `delta_of` must be a pure function of `(node, position)`: the
     /// engines call it in different orders (legacy per query × candidate,
-    /// inverted once per node), so a stateful closure would diverge.
+    /// inverted once per node, sharded once per node from whichever
+    /// worker owns the node's stripe — hence the `Sync` bound), so a
+    /// stateful closure would diverge.
     pub fn evaluate_uncertain(
         &mut self,
         t: f64,
         max_delta: f64,
-        delta_of: impl FnMut(u32, Point) -> f64,
+        delta_of: impl Fn(u32, Point) -> f64 + Sync,
     ) -> Vec<UncertainResult> {
         let mut results = Vec::with_capacity(self.queries.len());
         self.evaluate_uncertain_into(t, max_delta, delta_of, &mut results);
@@ -224,7 +301,7 @@ impl<I: MovingIndex> CqServer<I> {
         &mut self,
         t: f64,
         max_delta: f64,
-        mut delta_of: impl FnMut(u32, Point) -> f64,
+        delta_of: impl Fn(u32, Point) -> f64 + Sync,
         out: &mut Vec<UncertainResult>,
     ) {
         assert!(max_delta >= 0.0);
@@ -239,6 +316,20 @@ impl<I: MovingIndex> CqServer<I> {
                     delta_of,
                     out,
                 );
+            }
+            EvalEngine::Sharded { .. } => {
+                self.sharded
+                    .as_mut()
+                    .expect("sharded engine state exists while selected")
+                    .evaluate_uncertain_into(
+                        &self.queries,
+                        &self.store,
+                        t,
+                        max_delta,
+                        &delta_of,
+                        out,
+                        self.sequential_eval,
+                    );
             }
             EvalEngine::Legacy => {
                 self.index.prepare(t, &self.store);
@@ -279,8 +370,9 @@ impl<I: MovingIndex> CqServer<I> {
     /// `center`: a box of side `s` guarantees every unseen node is farther
     /// than `s/2`, so the search stops as soon as the k-th hit is within
     /// that bound. Returns fewer than `k` entries when fewer nodes have
-    /// reported. Both engines share this path — the moving-object index
-    /// is maintained on ingest regardless of engine, and the local box
+    /// reported. All engines share this path (which makes sharded ≡
+    /// inverted ≡ legacy trivial here) — the moving-object index is
+    /// maintained on ingest regardless of engine, and the local box
     /// probe beats a full store scan at every benchmarked scale
     /// (`exp_eval`).
     pub fn nearest(&mut self, center: Point, k: usize, t: f64) -> Vec<(u32, f64)> {
@@ -340,6 +432,14 @@ impl<I: MovingIndex> CqServer<I> {
     #[inline]
     pub fn evaluations(&self) -> u64 {
         self.evaluations
+    }
+
+    /// Per-shard telemetry of the sharded engine — node count, columns,
+    /// cumulative round wall time and handoff count per stripe. `None`
+    /// unless the engine is [`EvalEngine::Sharded`]; empty until the
+    /// first evaluation builds the stripes.
+    pub fn shard_stats(&self) -> Option<Vec<ShardStats>> {
+        self.sharded.as_ref().map(|sharded| sharded.stats())
     }
 }
 

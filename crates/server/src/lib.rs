@@ -28,6 +28,7 @@ pub mod mobile;
 pub mod node_store;
 pub mod query;
 pub mod queue;
+pub mod sharded;
 pub mod tpr_tree;
 
 /// Convenient re-exports of the most used types.
@@ -48,5 +49,6 @@ pub mod prelude {
     pub use crate::node_store::{NodeStore, StoredModel};
     pub use crate::query::{sorted_difference_count, QueryResult, RangeQuery, UncertainResult};
     pub use crate::queue::UpdateQueue;
+    pub use crate::sharded::{ShardStats, MAX_SHARDS};
     pub use crate::tpr_tree::{MovingPoint, TprTree};
 }

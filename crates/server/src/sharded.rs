@@ -1,0 +1,1007 @@
+//! The spatially-sharded evaluation engine: the inverted engine's cell
+//! grid cut into `S` contiguous column stripes, each owned by one shard
+//! that runs the same incremental membership maintenance over its own
+//! slice of the node population (see DESIGN.md §12).
+//!
+//! Work is distributed over a persistent hand-rolled `WorkerPool`
+//! (`S − 1` threads plus the calling thread, reused across rounds) in
+//! three phases per round, with the pool join acting as the inter-phase
+//! barrier:
+//!
+//! 1. **Step** — each shard re-places its owned nodes; a node whose
+//!    predicted position left the stripe is torn down locally and routed
+//!    to its new owner through a per-`(src, dst)` outbox.
+//! 2. **Integrate** — each shard drains the outboxes addressed to it and
+//!    claims newly-reported nodes that landed in its stripe.
+//! 3. **Emit** — query slots are split into `S` contiguous chunks; each
+//!    worker merges the per-shard member lists of its chunk with a
+//!    sorted, deduplicating k-way merge.
+//!
+//! Two properties make the result *bit-identical* to
+//! [`EvalEngine::Inverted`](crate::cq_engine::EvalEngine):
+//!
+//! * **Boundary replication**: a query overlapping several stripes is
+//!   registered on every overlapping shard, and a stripe index's
+//!   per-cell lists are identical to the full-width index's lists for
+//!   every in-stripe cell (`QueryIndex::build_cols`). A node is
+//!   therefore classified against exactly the queries the inverted
+//!   engine would test it against, by exactly one shard.
+//! * **Deterministic merge**: each shard's member lists are sorted node
+//!   sets, shards own disjoint node sets, and the k-way merge emits the
+//!   ascending union — the same sorted list the inverted engine emits,
+//!   independent of thread scheduling.
+//!
+//! On top of thread parallelism the engine skips work *within* a round:
+//! re-reported nodes are tracked at ingest, so a round whose evaluation
+//! time equals the previous round's re-places only dirty, pending and
+//! handed-off nodes instead of sweeping the whole store.
+
+use std::fmt;
+use std::ops::Range;
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use lira_core::geometry::{Point, Rect};
+
+use crate::inverted::{insert_member, remove_member, side_for, QueryIndex};
+use crate::node_store::NodeStore;
+use crate::query::{QueryResult, RangeQuery, UncertainResult};
+
+/// Hard cap on the shard count: the emit merge keeps one cursor per
+/// shard on the stack, and stripe parallelism past this point is far
+/// beyond any sensible core count for one lane.
+pub const MAX_SHARDS: usize = 32;
+
+/// A snapshot of one shard's telemetry, exposed through
+/// [`CqServer::shard_stats`](crate::cq_engine::CqServer::shard_stats).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Shard position (0-based).
+    pub shard: usize,
+    /// Grid columns `[start, end)` of the stripe this shard owns.
+    pub columns: (usize, usize),
+    /// Nodes currently owned by the shard (as of the last exact round).
+    pub nodes: usize,
+    /// Cumulative wall time the shard spent in step/integrate phases,
+    /// nanoseconds.
+    pub round_ns: u64,
+    /// Cumulative nodes handed off *out of* this shard on stripe
+    /// crossings.
+    pub handoffs: u64,
+}
+
+/// One dispatched unit: run `f(idx)`. The erased borrow is kept alive by
+/// [`WorkerPool::broadcast`], which blocks until the worker signals
+/// completion.
+struct Job {
+    f: &'static (dyn Fn(usize) + Sync),
+    idx: usize,
+}
+
+/// A persistent pool of worker threads, created once per engine and
+/// reused by every round (the vendored-deps-only stand-in for a rayon
+/// scope). Workers block on a channel between rounds, so an idle pool
+/// costs nothing but memory.
+struct WorkerPool {
+    senders: Vec<Sender<Job>>,
+    done: Receiver<()>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Spawns `workers` threads, each waiting for jobs.
+    fn new(workers: usize) -> Self {
+        let (done_tx, done) = channel();
+        let mut senders = Vec::with_capacity(workers);
+        let mut handles = Vec::with_capacity(workers);
+        for w in 0..workers {
+            let (tx, rx) = channel::<Job>();
+            let done_tx = done_tx.clone();
+            let handle = std::thread::Builder::new()
+                .name(format!("lira-shard-{}", w + 1))
+                .spawn(move || {
+                    while let Ok(job) = rx.recv() {
+                        (job.f)(job.idx);
+                        if done_tx.send(()).is_err() {
+                            break;
+                        }
+                    }
+                })
+                .expect("spawn shard worker thread");
+            senders.push(tx);
+            handles.push(handle);
+        }
+        WorkerPool {
+            senders,
+            done,
+            handles,
+        }
+    }
+
+    /// Runs `f(0), …, f(n-1)` concurrently — indices `1..n` on pool
+    /// workers, index 0 on the calling thread — and blocks until all of
+    /// them finish. The join doubles as the inter-phase barrier: a
+    /// broadcast never overlaps the previous one.
+    fn broadcast(&self, n: usize, f: &(dyn Fn(usize) + Sync)) {
+        assert!(n <= self.senders.len() + 1, "pool too small for {n} shards");
+        // SAFETY: erasing the borrow's lifetime is sound because this
+        // function does not return until every dispatched job has
+        // signalled completion on the done channel, so no worker can
+        // still hold `f` after the borrow ends.
+        let f_erased: &'static (dyn Fn(usize) + Sync) = unsafe { std::mem::transmute(f) };
+        let jobs = n.saturating_sub(1);
+        for w in 0..jobs {
+            self.senders[w]
+                .send(Job {
+                    f: f_erased,
+                    idx: w + 1,
+                })
+                .expect("shard worker alive");
+        }
+        if n > 0 {
+            f(0);
+        }
+        for _ in 0..jobs {
+            self.done.recv().expect("shard worker finished");
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        // Closing the job channels wakes every worker out of `recv`.
+        self.senders.clear();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("workers", &self.handles.len())
+            .finish()
+    }
+}
+
+/// A raw pointer the phase closures can share across worker threads.
+/// Every use site upholds the phase protocol: during a phase each shard
+/// index is accessed mutably by exactly one worker, or the pointee is
+/// read-only for the whole phase; the broadcast join orders phases.
+struct SendMutPtr<T>(*mut T);
+
+impl<T> SendMutPtr<T> {
+    /// The wrapped pointer. A method rather than field access so that
+    /// closures capture the whole `Sync` wrapper (edition-2021 precise
+    /// capture would otherwise grab the bare `*mut`, which is `!Sync`).
+    fn ptr(&self) -> *mut T {
+        self.0
+    }
+}
+
+impl<T> Clone for SendMutPtr<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for SendMutPtr<T> {}
+// SAFETY: see the struct documentation — disjoint or read-only access
+// per phase, phases ordered by the broadcast join.
+unsafe impl<T> Send for SendMutPtr<T> {}
+unsafe impl<T> Sync for SendMutPtr<T> {}
+
+/// One stripe's complete evaluation state: the same structures the
+/// inverted engine keeps globally, restricted to the nodes whose
+/// predicted position falls in this shard's columns.
+#[derive(Debug, Clone)]
+struct Shard {
+    /// Grid columns `[start, end)` owned by this shard.
+    cols: Range<usize>,
+    /// Stripe-restricted cell→queries index for exact evaluation.
+    qindex: QueryIndex,
+    /// Per *global* query slot: sorted ids of owned member nodes.
+    members: Vec<Vec<u32>>,
+    /// Per node: the global cell its prediction occupied at the last
+    /// round, or `usize::MAX` when this shard does not own the node.
+    node_cell: Vec<usize>,
+    /// Per node: sorted positions of the partial queries it satisfies.
+    partial_hits: Vec<Vec<u32>>,
+    /// Owned node ids (unordered; `owned_pos` maps node → position).
+    owned: Vec<u32>,
+    /// Per node: index into `owned`, or `u32::MAX` when not owned.
+    owned_pos: Vec<u32>,
+    hits_scratch: Vec<u32>,
+    /// Stripe-restricted Δ⊣-expanded cover for the uncertain path.
+    ucover: QueryIndex,
+    /// Per query slot: must/maybe members of the last uncertain round.
+    must: Vec<Vec<u32>>,
+    maybe: Vec<Vec<u32>>,
+    /// Cumulative step+integrate wall time, nanoseconds.
+    round_ns: u64,
+    /// Cumulative nodes handed off out of this shard.
+    handoffs: u64,
+}
+
+impl Shard {
+    fn new() -> Self {
+        Shard {
+            cols: 0..0,
+            qindex: QueryIndex::unbuilt(),
+            members: Vec::new(),
+            node_cell: Vec::new(),
+            partial_hits: Vec::new(),
+            owned: Vec::new(),
+            owned_pos: Vec::new(),
+            hits_scratch: Vec::new(),
+            ucover: QueryIndex::unbuilt(),
+            must: Vec::new(),
+            maybe: Vec::new(),
+            round_ns: 0,
+            handoffs: 0,
+        }
+    }
+
+    /// Full build: claim every reported node in the stripe with one
+    /// ascending store pass (pushing in node-id order keeps the member
+    /// lists sorted with no per-insert search).
+    fn rebuild(&mut self, queries: &[RangeQuery], store: &NodeStore, t: f64) {
+        for list in &mut self.members {
+            list.clear();
+        }
+        self.node_cell.fill(usize::MAX);
+        for list in &mut self.partial_hits {
+            list.clear();
+        }
+        self.owned.clear();
+        self.owned_pos.fill(u32::MAX);
+        let Shard {
+            cols,
+            qindex,
+            members,
+            node_cell,
+            partial_hits,
+            owned,
+            owned_pos,
+            ..
+        } = self;
+        for (n, model) in store.models().iter().enumerate() {
+            let Some(model) = model else { continue };
+            let p = model.predict(t);
+            let (row, col) = qindex.rc_of(&p);
+            if !cols.contains(&col) {
+                continue;
+            }
+            let slot = qindex.slot(row, col);
+            for &q in qindex.full_at(slot) {
+                members[q as usize].push(n as u32);
+            }
+            for &q in qindex.partial_at(slot) {
+                if queries[q as usize].range.contains(&p) {
+                    members[q as usize].push(n as u32);
+                    partial_hits[n].push(q);
+                }
+            }
+            node_cell[n] = row * qindex.side() + col;
+            owned_pos[n] = owned.len() as u32;
+            owned.push(n as u32);
+        }
+    }
+
+    /// Incremental sweep over every owned node (evaluation time moved, so
+    /// every prediction must be refreshed).
+    fn sweep_round(
+        &mut self,
+        queries: &[RangeQuery],
+        store: &NodeStore,
+        t: f64,
+        routes_row: &mut [Vec<u32>],
+        col_owner: &[u32],
+    ) {
+        let mut k = 0;
+        while k < self.owned.len() {
+            let n = self.owned[k] as usize;
+            if self.step_node(n, queries, store, t, routes_row, col_owner) {
+                k += 1;
+            } else {
+                self.unown_at(k);
+            }
+        }
+    }
+
+    /// Work-skipping round at an unchanged evaluation time: only nodes
+    /// that re-reported since the last round can change membership (same
+    /// model + same `t` ⇒ same prediction ⇒ same memberships), so only
+    /// they are re-placed.
+    fn dirty_round(
+        &mut self,
+        dirty: &[u32],
+        queries: &[RangeQuery],
+        store: &NodeStore,
+        t: f64,
+        routes_row: &mut [Vec<u32>],
+        col_owner: &[u32],
+    ) {
+        for &n in dirty {
+            let n = n as usize;
+            if self.node_cell[n] == usize::MAX {
+                continue; // owned by another shard (or still pending)
+            }
+            if !self.step_node(n, queries, store, t, routes_row, col_owner) {
+                self.unown_at(self.owned_pos[n] as usize);
+            }
+        }
+    }
+
+    /// Drops the owned entry at position `k`, keeping `owned_pos` exact.
+    fn unown_at(&mut self, k: usize) {
+        let n = self.owned.swap_remove(k) as usize;
+        self.owned_pos[n] = u32::MAX;
+        if let Some(&moved) = self.owned.get(k) {
+            self.owned_pos[moved as usize] = k as u32;
+        }
+    }
+
+    /// Re-places one owned node at time `t`, mirroring the inverted
+    /// engine's incremental logic. Returns false when the node left this
+    /// stripe: its memberships here are torn down and it is routed to
+    /// its new owner's inbox.
+    fn step_node(
+        &mut self,
+        n: usize,
+        queries: &[RangeQuery],
+        store: &NodeStore,
+        t: f64,
+        routes_row: &mut [Vec<u32>],
+        col_owner: &[u32],
+    ) -> bool {
+        let model = store.models()[n].as_ref().expect("owned node has a model");
+        let p = model.predict(t);
+        let (row, col) = self.qindex.rc_of(&p);
+        let old_cell = self.node_cell[n];
+        debug_assert_ne!(
+            old_cell,
+            usize::MAX,
+            "stepping a node this shard does not own"
+        );
+        if !self.cols.contains(&col) {
+            // Stripe crossing: remove every membership held here and hand
+            // the node to the stripe that owns its new column.
+            let Shard {
+                qindex,
+                members,
+                node_cell,
+                partial_hits,
+                ..
+            } = self;
+            let old_slot = qindex.slot_of_cell(old_cell);
+            for &q in qindex.full_at(old_slot) {
+                remove_member(members, q, n as u32);
+            }
+            for &q in &partial_hits[n] {
+                remove_member(members, q, n as u32);
+            }
+            partial_hits[n].clear();
+            node_cell[n] = usize::MAX;
+            self.handoffs += 1;
+            routes_row[col_owner[col] as usize].push(n as u32);
+            return false;
+        }
+        let cell = row * self.qindex.side() + col;
+        let slot = self.qindex.slot(row, col);
+        let Shard {
+            qindex,
+            members,
+            node_cell,
+            partial_hits,
+            hits_scratch,
+            ..
+        } = self;
+        if cell == old_cell {
+            let partial = qindex.partial_at(slot);
+            if partial.is_empty() {
+                // Full-cover membership depends on the cell alone:
+                // nothing can have changed for this node.
+                return true;
+            }
+            hits_scratch.clear();
+            for &q in partial {
+                if queries[q as usize].range.contains(&p) {
+                    hits_scratch.push(q);
+                }
+            }
+            let old_hits = &mut partial_hits[n];
+            if *hits_scratch == *old_hits {
+                return true;
+            }
+            let (mut i, mut j) = (0, 0);
+            while i < old_hits.len() || j < hits_scratch.len() {
+                match (old_hits.get(i), hits_scratch.get(j)) {
+                    (Some(&a), Some(&b)) if a == b => {
+                        i += 1;
+                        j += 1;
+                    }
+                    (Some(&a), b) if b.is_none() || a < *b.unwrap() => {
+                        remove_member(members, a, n as u32);
+                        i += 1;
+                    }
+                    (_, Some(&b)) => {
+                        insert_member(members, b, n as u32);
+                        j += 1;
+                    }
+                    _ => unreachable!(),
+                }
+            }
+            old_hits.clear();
+            old_hits.extend_from_slice(hits_scratch);
+        } else {
+            let old_slot = qindex.slot_of_cell(old_cell);
+            for &q in qindex.full_at(old_slot) {
+                remove_member(members, q, n as u32);
+            }
+            for &q in &partial_hits[n] {
+                remove_member(members, q, n as u32);
+            }
+            partial_hits[n].clear();
+            for &q in qindex.full_at(slot) {
+                insert_member(members, q, n as u32);
+            }
+            for &q in qindex.partial_at(slot) {
+                if queries[q as usize].range.contains(&p) {
+                    insert_member(members, q, n as u32);
+                    partial_hits[n].push(q);
+                }
+            }
+            node_cell[n] = cell;
+        }
+        true
+    }
+
+    /// Claims a node routed here by another shard (its new position is
+    /// guaranteed to lie in this stripe).
+    fn claim(&mut self, n: usize, queries: &[RangeQuery], store: &NodeStore, t: f64) {
+        let model = store.models()[n].as_ref().expect("routed node has a model");
+        let p = model.predict(t);
+        let (row, col) = self.qindex.rc_of(&p);
+        debug_assert!(self.cols.contains(&col), "node routed to the wrong stripe");
+        self.insert_node(n, row, col, &p, queries);
+    }
+
+    /// Claims a newly-reported node if its prediction lands in this
+    /// stripe (every shard tests every pending node; exactly one claims
+    /// it).
+    fn try_claim(&mut self, n: usize, queries: &[RangeQuery], store: &NodeStore, t: f64) {
+        let Some(model) = store.models()[n].as_ref() else {
+            return;
+        };
+        let p = model.predict(t);
+        let (row, col) = self.qindex.rc_of(&p);
+        if !self.cols.contains(&col) {
+            return;
+        }
+        debug_assert_eq!(self.node_cell[n], usize::MAX, "pending node already owned");
+        self.insert_node(n, row, col, &p, queries);
+    }
+
+    fn insert_node(&mut self, n: usize, row: usize, col: usize, p: &Point, queries: &[RangeQuery]) {
+        let slot = self.qindex.slot(row, col);
+        let Shard {
+            qindex,
+            members,
+            node_cell,
+            partial_hits,
+            ..
+        } = self;
+        for &q in qindex.full_at(slot) {
+            insert_member(members, q, n as u32);
+        }
+        for &q in qindex.partial_at(slot) {
+            if queries[q as usize].range.contains(p) {
+                insert_member(members, q, n as u32);
+                partial_hits[n].push(q);
+            }
+        }
+        node_cell[n] = row * qindex.side() + col;
+        self.owned_pos[n] = self.owned.len() as u32;
+        self.owned.push(n as u32);
+    }
+
+    /// One uncertain classification pass over the stripe. Not
+    /// incremental (per-node Δ changes freely between calls), but each
+    /// node is classified by exactly one shard against exactly the
+    /// queries the inverted engine's full-width cover would list, with
+    /// `delta_of` called at most once per node.
+    fn uncertain_round(
+        &mut self,
+        queries: &[RangeQuery],
+        store: &NodeStore,
+        t: f64,
+        max_delta: f64,
+        delta_of: &(dyn Fn(u32, Point) -> f64 + Sync),
+    ) {
+        self.must.resize_with(queries.len(), Vec::new);
+        self.must.truncate(queries.len());
+        self.maybe.resize_with(queries.len(), Vec::new);
+        self.maybe.truncate(queries.len());
+        for list in self.must.iter_mut().chain(self.maybe.iter_mut()) {
+            list.clear();
+        }
+        for (n, model) in store.models().iter().enumerate() {
+            let Some(model) = model else { continue };
+            let p = model.predict(t);
+            let (row, col) = self.ucover.rc_of(&p);
+            if !self.cols.contains(&col) {
+                continue;
+            }
+            let cover = self.ucover.partial_at(self.ucover.slot(row, col));
+            if cover.is_empty() {
+                continue;
+            }
+            let delta = delta_of(n as u32, p).clamp(0.0, max_delta);
+            for &q in cover {
+                let range = &queries[q as usize].range;
+                if range.contains(&p) && range.interior_depth(&p) >= delta {
+                    self.must[q as usize].push(n as u32);
+                } else if range.distance_to_point(&p) <= delta {
+                    self.maybe[q as usize].push(n as u32);
+                }
+            }
+        }
+    }
+}
+
+/// Merges the sorted, pairwise-disjoint per-shard lists into `out`
+/// ascending. The dedup guard keeps the merge deterministic (and loudly
+/// wrong in debug builds) even if the disjointness invariant were ever
+/// violated.
+fn merge_into(srcs: &[&[u32]], out: &mut Vec<u32>) {
+    debug_assert!(srcs.len() <= MAX_SHARDS);
+    let mut nonempty = 0usize;
+    let mut only = 0usize;
+    let mut total = 0usize;
+    for (i, list) in srcs.iter().enumerate() {
+        if !list.is_empty() {
+            nonempty += 1;
+            only = i;
+            total += list.len();
+        }
+    }
+    if nonempty == 0 {
+        return;
+    }
+    if nonempty == 1 {
+        out.extend_from_slice(srcs[only]);
+        return;
+    }
+    out.reserve(total);
+    let mut pos = [0usize; MAX_SHARDS];
+    loop {
+        let mut best: Option<u32> = None;
+        for (i, list) in srcs.iter().enumerate() {
+            if let Some(&v) = list.get(pos[i]) {
+                if best.is_none_or(|b| v < b) {
+                    best = Some(v);
+                }
+            }
+        }
+        let Some(b) = best else { break };
+        let mut sources = 0;
+        for (i, list) in srcs.iter().enumerate() {
+            if list.get(pos[i]) == Some(&b) {
+                pos[i] += 1;
+                sources += 1;
+            }
+        }
+        debug_assert_eq!(sources, 1, "node {b} owned by {sources} shards");
+        out.push(b);
+    }
+}
+
+/// All state of the sharded engine. See the module docs for the round
+/// protocol and the bit-identity argument.
+#[derive(Debug)]
+pub(crate) struct ShardedEval {
+    bounds: Rect,
+    num_shards: usize,
+    shards: Vec<Shard>,
+    /// Per grid column: the shard owning it.
+    col_owner: Vec<u32>,
+    /// Whether the stripe indexes match the current query set.
+    indexed: bool,
+    /// Whether shard state describes a completed exact round.
+    primed: bool,
+    /// Bit pattern of the last exact round's evaluation time.
+    last_t: u64,
+    /// Nodes that re-reported since the last exact round (deduplicated
+    /// via `dirty_flag`).
+    dirty: Vec<u32>,
+    dirty_flag: Vec<bool>,
+    /// Nodes whose *first* report arrived since the last exact round —
+    /// not yet owned by any shard.
+    pending: Vec<u32>,
+    /// Per `(src, dst)` handoff outboxes, reused across rounds.
+    routes: Vec<Vec<Vec<u32>>>,
+    /// Whether the stripe Δ⊣-covers match the current query set and Δ⊣.
+    uindexed: bool,
+    umax_delta: f64,
+    /// Lazily-created worker pool (`num_shards − 1` threads). Not
+    /// cloned: a cloned engine rebuilds its own pool on first use.
+    pool: Option<WorkerPool>,
+}
+
+impl Clone for ShardedEval {
+    fn clone(&self) -> Self {
+        ShardedEval {
+            bounds: self.bounds,
+            num_shards: self.num_shards,
+            shards: self.shards.clone(),
+            col_owner: self.col_owner.clone(),
+            indexed: self.indexed,
+            primed: self.primed,
+            last_t: self.last_t,
+            dirty: self.dirty.clone(),
+            dirty_flag: self.dirty_flag.clone(),
+            pending: self.pending.clone(),
+            routes: self.routes.clone(),
+            uindexed: self.uindexed,
+            umax_delta: self.umax_delta,
+            pool: None,
+        }
+    }
+}
+
+impl ShardedEval {
+    /// Creates empty state for a server over `bounds` with `shards`
+    /// stripes (clamped to `1..=MAX_SHARDS`).
+    pub(crate) fn new(bounds: Rect, num_nodes: usize, shards: usize) -> Self {
+        ShardedEval {
+            bounds,
+            num_shards: shards.clamp(1, MAX_SHARDS),
+            shards: Vec::new(),
+            col_owner: Vec::new(),
+            indexed: false,
+            primed: false,
+            last_t: 0,
+            dirty: Vec::new(),
+            dirty_flag: vec![false; num_nodes],
+            pending: Vec::new(),
+            routes: Vec::new(),
+            uindexed: false,
+            umax_delta: f64::NAN,
+            pool: None,
+        }
+    }
+
+    /// Marks every derived structure stale (query-set change).
+    pub(crate) fn invalidate(&mut self) {
+        self.indexed = false;
+        self.primed = false;
+        self.uindexed = false;
+    }
+
+    /// Ingest hook: tracks which nodes can change membership at an
+    /// unchanged evaluation time. `first_report` nodes are not owned by
+    /// any shard yet and are claimed at the next round's integrate
+    /// phase.
+    pub(crate) fn on_ingest(&mut self, node: u32, first_report: bool) {
+        let n = node as usize;
+        if n >= self.dirty_flag.len() {
+            self.dirty_flag.resize(n + 1, false);
+        }
+        if first_report {
+            self.pending.push(node);
+        } else if !self.dirty_flag[n] {
+            self.dirty_flag[n] = true;
+            self.dirty.push(node);
+        }
+    }
+
+    /// Per-shard telemetry snapshot.
+    pub(crate) fn stats(&self) -> Vec<ShardStats> {
+        self.shards
+            .iter()
+            .enumerate()
+            .map(|(i, shard)| ShardStats {
+                shard: i,
+                columns: (shard.cols.start, shard.cols.end),
+                nodes: shard.owned.len(),
+                round_ns: shard.round_ns,
+                handoffs: shard.handoffs,
+            })
+            .collect()
+    }
+
+    /// (Re)builds the stripe layout and per-shard exact indexes for the
+    /// current query set.
+    fn build_indexes(&mut self, queries: &[RangeQuery], num_nodes: usize) {
+        let side = side_for(queries.len());
+        let s = self.num_shards;
+        self.shards.resize_with(s, Shard::new);
+        self.col_owner.clear();
+        self.col_owner.resize(side, 0);
+        for (i, shard) in self.shards.iter_mut().enumerate() {
+            // Contiguous, near-even stripes over the cell columns (the
+            // same split for any query set of the same size, so a given
+            // node deterministically maps to a shard).
+            let lo = side * i / s;
+            let hi = side * (i + 1) / s;
+            for owner in &mut self.col_owner[lo..hi] {
+                *owner = i as u32;
+            }
+            shard.cols = lo..hi;
+            shard.qindex = QueryIndex::build_cols(&self.bounds, queries, 0.0, true, lo..hi);
+            shard.members.resize_with(queries.len(), Vec::new);
+            shard.members.truncate(queries.len());
+            shard.node_cell.resize(num_nodes, usize::MAX);
+            shard.partial_hits.resize_with(num_nodes, Vec::new);
+            shard.owned_pos.resize(num_nodes, u32::MAX);
+        }
+        if self.dirty_flag.len() < num_nodes {
+            self.dirty_flag.resize(num_nodes, false);
+        }
+        self.routes.resize_with(s, Vec::new);
+        for row in &mut self.routes {
+            row.resize_with(s, Vec::new);
+        }
+        self.indexed = true;
+        self.primed = false;
+        self.uindexed = false;
+    }
+
+    /// Clears the per-round change feeds after an exact round consumed
+    /// them.
+    fn clear_round_inputs(&mut self) {
+        for &n in &self.dirty {
+            self.dirty_flag[n as usize] = false;
+        }
+        self.dirty.clear();
+        self.pending.clear();
+    }
+
+    /// One exact evaluation round at time `t`, writing sorted
+    /// [`QueryResult`]s into `out`. With `sequential`, every phase of
+    /// every shard runs on the calling thread in shard order — same
+    /// state transitions, no pool.
+    pub(crate) fn evaluate_into(
+        &mut self,
+        queries: &[RangeQuery],
+        store: &NodeStore,
+        t: f64,
+        out: &mut Vec<QueryResult>,
+        sequential: bool,
+    ) {
+        if !self.indexed {
+            self.build_indexes(queries, store.len());
+        }
+        let s = self.num_shards;
+        let rebuild = !self.primed;
+        let same_t = self.primed && self.last_t == t.to_bits();
+        let nq = queries.len();
+        out.resize_with(nq, QueryResult::default);
+        out.truncate(nq);
+
+        let pool: Option<&WorkerPool> = if sequential || s == 1 {
+            None
+        } else {
+            Some(self.pool.get_or_insert_with(|| WorkerPool::new(s - 1)))
+        };
+        let run = |f: &(dyn Fn(usize) + Sync)| match pool {
+            Some(p) => p.broadcast(s, f),
+            None => {
+                for i in 0..s {
+                    f(i);
+                }
+            }
+        };
+
+        let shards = SendMutPtr(self.shards.as_mut_ptr());
+        let routes = SendMutPtr(self.routes.as_mut_ptr());
+        let out_ptr = SendMutPtr(out.as_mut_ptr());
+        let col_owner = &self.col_owner;
+        let dirty = &self.dirty;
+        let pending = &self.pending;
+
+        // Phase 1 — step: each worker exclusively owns shard i and
+        // outbox row i.
+        run(&|i: usize| {
+            // SAFETY: exclusive per-index access, see SendMutPtr.
+            let shard = unsafe { &mut *shards.ptr().add(i) };
+            let routes_row = unsafe { &mut *routes.ptr().add(i) };
+            let start = Instant::now();
+            for outbox in routes_row.iter_mut() {
+                outbox.clear();
+            }
+            if rebuild {
+                shard.rebuild(queries, store, t);
+            } else if same_t {
+                shard.dirty_round(dirty, queries, store, t, routes_row, col_owner);
+            } else {
+                shard.sweep_round(queries, store, t, routes_row, col_owner);
+            }
+            shard.round_ns += start.elapsed().as_nanos() as u64;
+        });
+
+        // Phase 2 — integrate: outboxes are read-only now; each worker
+        // drains the column addressed to its shard and claims pending
+        // first reports that landed in its stripe.
+        run(&|i: usize| {
+            // SAFETY: shard i mutable by this worker only; routes shared
+            // read-only across workers for the whole phase.
+            let shard = unsafe { &mut *shards.ptr().add(i) };
+            let start = Instant::now();
+            if !rebuild {
+                for src in 0..s {
+                    let row: &Vec<Vec<u32>> = unsafe { &*routes.ptr().add(src) };
+                    for &n in &row[i] {
+                        shard.claim(n as usize, queries, store, t);
+                    }
+                }
+                for &n in pending {
+                    shard.try_claim(n as usize, queries, store, t);
+                }
+            }
+            shard.round_ns += start.elapsed().as_nanos() as u64;
+        });
+
+        // Phase 3 — emit: shards are read-only; each worker merges the
+        // member lists of its contiguous query chunk.
+        run(&|i: usize| {
+            // SAFETY: shards read-only for the whole phase; out slots
+            // are written by exactly one worker (disjoint chunks).
+            let shards_ro: &[Shard] = unsafe { std::slice::from_raw_parts(shards.ptr(), s) };
+            let mut srcs: Vec<&[u32]> = vec![&[]; s];
+            let chunk = nq * i / s..nq * (i + 1) / s;
+            for (q, query) in queries.iter().enumerate().take(chunk.end).skip(chunk.start) {
+                let slot = unsafe { &mut *out_ptr.ptr().add(q) };
+                slot.query = query.id;
+                slot.nodes.clear();
+                for (si, shard) in shards_ro.iter().enumerate() {
+                    srcs[si] = &shard.members[q];
+                }
+                merge_into(&srcs, &mut slot.nodes);
+            }
+        });
+
+        self.primed = true;
+        self.last_t = t.to_bits();
+        self.clear_round_inputs();
+    }
+
+    /// One uncertain evaluation round: every shard classifies its
+    /// stripe's nodes against the Δ⊣-expanded covers, then the per-shard
+    /// must/maybe lists are merged per query. Stateless between rounds
+    /// (like the inverted engine's uncertain path).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn evaluate_uncertain_into(
+        &mut self,
+        queries: &[RangeQuery],
+        store: &NodeStore,
+        t: f64,
+        max_delta: f64,
+        delta_of: &(dyn Fn(u32, Point) -> f64 + Sync),
+        out: &mut Vec<UncertainResult>,
+        sequential: bool,
+    ) {
+        if !self.indexed {
+            self.build_indexes(queries, store.len());
+        }
+        if !self.uindexed || self.umax_delta.to_bits() != max_delta.to_bits() {
+            for shard in &mut self.shards {
+                shard.ucover = QueryIndex::build_cols(
+                    &self.bounds,
+                    queries,
+                    max_delta,
+                    false,
+                    shard.cols.clone(),
+                );
+            }
+            self.umax_delta = max_delta;
+            self.uindexed = true;
+        }
+        let s = self.num_shards;
+        let nq = queries.len();
+        out.resize_with(nq, UncertainResult::default);
+        out.truncate(nq);
+
+        let pool: Option<&WorkerPool> = if sequential || s == 1 {
+            None
+        } else {
+            Some(self.pool.get_or_insert_with(|| WorkerPool::new(s - 1)))
+        };
+        let run = |f: &(dyn Fn(usize) + Sync)| match pool {
+            Some(p) => p.broadcast(s, f),
+            None => {
+                for i in 0..s {
+                    f(i);
+                }
+            }
+        };
+
+        let shards = SendMutPtr(self.shards.as_mut_ptr());
+        let out_ptr = SendMutPtr(out.as_mut_ptr());
+
+        // Classify: each worker exclusively owns shard i.
+        run(&|i: usize| {
+            // SAFETY: exclusive per-index access, see SendMutPtr.
+            let shard = unsafe { &mut *shards.ptr().add(i) };
+            let start = Instant::now();
+            shard.uncertain_round(queries, store, t, max_delta, delta_of);
+            shard.round_ns += start.elapsed().as_nanos() as u64;
+        });
+
+        // Emit: shards read-only, disjoint query chunks per worker.
+        run(&|i: usize| {
+            // SAFETY: see the exact emit phase.
+            let shards_ro: &[Shard] = unsafe { std::slice::from_raw_parts(shards.ptr(), s) };
+            let mut srcs: Vec<&[u32]> = vec![&[]; s];
+            let chunk = nq * i / s..nq * (i + 1) / s;
+            for (q, query) in queries.iter().enumerate().take(chunk.end).skip(chunk.start) {
+                let slot = unsafe { &mut *out_ptr.ptr().add(q) };
+                slot.query = query.id;
+                slot.must.clear();
+                for (si, shard) in shards_ro.iter().enumerate() {
+                    srcs[si] = &shard.must[q];
+                }
+                merge_into(&srcs, &mut slot.must);
+                slot.maybe.clear();
+                for (si, shard) in shards_ro.iter().enumerate() {
+                    srcs[si] = &shard.maybe[q];
+                }
+                merge_into(&srcs, &mut slot.maybe);
+            }
+        });
+    }
+}
+
+// The simulation pipeline moves whole servers (and therefore engines)
+// into per-policy lane threads.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<ShardedEval>();
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_handles_empty_single_and_many() {
+        let mut out = Vec::new();
+        merge_into(&[&[], &[]], &mut out);
+        assert!(out.is_empty());
+        merge_into(&[&[1, 5, 9], &[]], &mut out);
+        assert_eq!(out, vec![1, 5, 9]);
+        out.clear();
+        merge_into(&[&[2, 8], &[1, 5, 9], &[0, 10]], &mut out);
+        assert_eq!(out, vec![0, 1, 2, 5, 8, 9, 10]);
+    }
+
+    #[test]
+    fn pool_broadcast_runs_every_index_and_reuses_workers() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let pool = WorkerPool::new(3);
+        let sum = AtomicU64::new(0);
+        pool.broadcast(4, &|i| {
+            sum.fetch_add(1 << (8 * i), Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 0x01010101);
+        // Reuse across rounds: same workers, fresh closure.
+        for _ in 0..100 {
+            pool.broadcast(4, &|i| {
+                sum.fetch_add(i as u64, Ordering::Relaxed);
+            });
+        }
+        assert_eq!(sum.load(Ordering::Relaxed), 0x01010101 + 600);
+    }
+
+    #[test]
+    fn pool_smaller_broadcasts_are_fine() {
+        let pool = WorkerPool::new(7);
+        let hits = std::sync::Mutex::new(Vec::new());
+        pool.broadcast(2, &|i| hits.lock().unwrap().push(i));
+        let mut got = hits.into_inner().unwrap();
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 1]);
+    }
+}

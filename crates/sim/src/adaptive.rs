@@ -220,6 +220,11 @@ pub fn run_adaptive_with_engine(
         }
         None => FaultReport::default(),
     };
+    // Per-shard accounting for the capacity-limited server (the reference
+    // is infinitely provisioned, so only the shed side is interesting).
+    if let Some(stats) = shed.shard_stats() {
+        tel.on_shards(&stats);
+    }
     AdaptiveReport {
         windows,
         final_throttle: shedder.throttle(),

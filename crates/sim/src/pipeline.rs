@@ -163,7 +163,23 @@ impl SimSetup {
 
     /// A CQ server with the workload registered and an explicit engine.
     pub fn new_server_with(&self, sc: &Scenario, engine: EvalEngine) -> CqServer {
-        let mut s = CqServer::new(self.bounds, sc.num_cars, 64).with_engine(engine);
+        self.new_server_opts(sc, engine, false)
+    }
+
+    /// [`new_server_with`](Self::new_server_with), optionally forcing
+    /// every evaluation phase onto the calling thread.
+    /// [`Parallelism::Sequential`] passes `sequential_eval = true` so a
+    /// "sequential" pipeline run spawns no threads anywhere — not even
+    /// inside a sharded engine (which is bit-identical either way).
+    pub fn new_server_opts(
+        &self,
+        sc: &Scenario,
+        engine: EvalEngine,
+        sequential_eval: bool,
+    ) -> CqServer {
+        let mut s = CqServer::new(self.bounds, sc.num_cars, 64)
+            .with_engine(engine)
+            .with_sequential_eval(sequential_eval);
         s.register_queries(self.queries.iter().copied());
         s
     }
@@ -278,7 +294,20 @@ impl ReferenceTimeline {
         sc: &Scenario,
         engine: EvalEngine,
     ) -> Self {
-        let mut server = setup.new_server_with(sc, engine);
+        Self::compute_opts(trace, setup, sc, engine, false)
+    }
+
+    /// [`compute_with`](Self::compute_with), optionally forcing the
+    /// reference server's evaluation onto the calling thread (see
+    /// [`SimSetup::new_server_opts`]).
+    pub fn compute_opts(
+        trace: &TrafficTrace,
+        setup: &SimSetup,
+        sc: &Scenario,
+        engine: EvalEngine,
+        sequential_eval: bool,
+    ) -> Self {
+        let mut server = setup.new_server_opts(sc, engine, sequential_eval);
         let mut reckoners = vec![DeadReckoner::new(); trace.num_cars()];
         let eval_every = (sc.eval_period_s / sc.dt).round().max(1.0) as usize;
         let mut reference_updates = 0u64;
@@ -368,11 +397,12 @@ impl PolicyLane {
         sc: &Scenario,
         telemetry: bool,
         engine: EvalEngine,
+        sequential_eval: bool,
     ) -> Self {
         PolicyLane {
             policy,
             shedding: policy.build(sc, &setup.config, &setup.model),
-            server: setup.new_server_with(sc, engine),
+            server: setup.new_server_opts(sc, engine, sequential_eval),
             reckoners: vec![DeadReckoner::new(); sc.num_cars],
             grid: StatsGrid::new(sc.alpha, setup.bounds).expect("valid grid"),
             plan: SheddingPlan::uniform(setup.bounds, sc.delta_min),
@@ -541,6 +571,11 @@ impl PolicyLane {
         if let Some(ch) = &self.channel {
             self.tel.on_channel(&ch.stats());
         }
+        // End-of-run per-shard accounting (sharded engine only): final
+        // node ownership, cumulative round wall time, total handoffs.
+        if let Some(stats) = self.server.shard_stats() {
+            self.tel.on_shards(&stats);
+        }
         let telemetry = self.tel.snapshot(&format!("lane:{}", self.policy.name()));
         PolicyOutcome {
             policy: self.policy,
@@ -619,14 +654,28 @@ impl SimPipeline {
         let stage = Instant::now();
         let trace = setup.record_trace(sc);
         ptel.on_trace(stage.elapsed().as_micros() as u64);
+        // Sequential mode means *no* spawned threads at all: lanes on the
+        // calling thread, and sharded evaluation phases inlined too.
+        let sequential_eval = self.parallelism == Parallelism::Sequential;
         let stage = Instant::now();
-        let reference = ReferenceTimeline::compute_with(&trace, &setup, sc, self.engine);
+        let reference =
+            ReferenceTimeline::compute_opts(&trace, &setup, sc, self.engine, sequential_eval);
         ptel.on_reference(stage.elapsed().as_micros() as u64);
 
         let lanes: Vec<PolicyLane> = policies
             .iter()
             .enumerate()
-            .map(|(i, &policy)| PolicyLane::new(policy, i, &setup, sc, self.telemetry, self.engine))
+            .map(|(i, &policy)| {
+                PolicyLane::new(
+                    policy,
+                    i,
+                    &setup,
+                    sc,
+                    self.telemetry,
+                    self.engine,
+                    sequential_eval,
+                )
+            })
             .collect();
 
         let stage = Instant::now();

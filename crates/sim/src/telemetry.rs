@@ -24,6 +24,7 @@ use lira_core::telemetry::{
 };
 use lira_core::throt_loop::ThrotLoop;
 use lira_server::channel::ChannelStats;
+use lira_server::sharded::ShardStats;
 
 // Lane metrics (component "sim.lane").
 const LANE_UPDATES_SENT: MetricSpec = MetricSpec::new("lane.updates_sent", "sim.lane", "updates");
@@ -53,6 +54,15 @@ const CHANNEL_LOST: MetricSpec = MetricSpec::new("channel.lost", "server.channel
 const CHANNEL_DUPLICATES: MetricSpec =
     MetricSpec::new("channel.duplicates", "server.channel", "updates");
 
+// Sharded-engine metrics (component "server.sharded"): end-of-run
+// per-shard accounting, recorded once per run when the lane's engine is
+// [`EvalEngine::Sharded`](lira_server::cq_engine::EvalEngine). One
+// histogram sample per shard; `shard.round_ns` is wall clock, hence
+// excluded from the determinism contract like the pipeline stage timers.
+const SHARD_NODES: MetricSpec = MetricSpec::new("shard.nodes", "server.sharded", "nodes");
+const SHARD_ROUND_NS: MetricSpec = MetricSpec::new("shard.round_ns", "server.sharded", "ns");
+const SHARD_HANDOFFS: MetricSpec = MetricSpec::new("shard.handoffs", "server.sharded", "nodes");
+
 // Adaptive-runner metrics (component "sim.adaptive").
 const QUEUE_DEPTH: MetricSpec = MetricSpec::new("queue.depth", "server.queue", "updates");
 const QUEUE_OVERFLOW: MetricSpec =
@@ -77,6 +87,19 @@ const STAGE_TRACE_US: MetricSpec = MetricSpec::new("pipeline.trace_us", "sim.pip
 const STAGE_REFERENCE_US: MetricSpec =
     MetricSpec::new("pipeline.reference_us", "sim.pipeline", "us");
 const STAGE_LANES_US: MetricSpec = MetricSpec::new("pipeline.lanes_us", "sim.pipeline", "us");
+
+/// Shared recorder for [`ShardStats`] slices (lane and adaptive
+/// registries expose the same three keys).
+fn record_shards(registry: &Telemetry, stats: &[ShardStats]) {
+    let nodes = registry.histogram(SHARD_NODES);
+    let round_ns = registry.histogram(SHARD_ROUND_NS);
+    let handoffs = registry.counter(SHARD_HANDOFFS);
+    for s in stats {
+        nodes.record(s.nodes as u64);
+        round_ns.record(s.round_ns);
+        handoffs.add(s.handoffs);
+    }
+}
 
 /// Journal target for lane-level events.
 pub const TARGET_LANE: &str = "sim.lane";
@@ -191,6 +214,17 @@ impl LaneTelemetry {
         self.registry
             .counter(CHANNEL_DUPLICATES)
             .add(stats.duplicates);
+    }
+
+    /// Copies the sharded engine's end-of-run per-shard accounting: one
+    /// `shard.nodes` / `shard.round_ns` sample per shard (final
+    /// ownership, cumulative round wall time) and the total cross-stripe
+    /// handoff count.
+    pub fn on_shards(&self, stats: &[ShardStats]) {
+        if !self.registry.is_enabled() {
+            return;
+        }
+        record_shards(&self.registry, stats);
     }
 
     /// Records a journal event stamped with sim time.
@@ -387,6 +421,15 @@ impl AdaptiveTelemetry {
         self.registry
             .counter(CHANNEL_DUPLICATES)
             .add(stats.duplicates);
+    }
+
+    /// Copies the shedding server's end-of-run per-shard accounting
+    /// (sharded engine only; see [`LaneTelemetry::on_shards`]).
+    pub fn on_shards(&self, stats: &[ShardStats]) {
+        if !self.registry.is_enabled() {
+            return;
+        }
+        record_shards(&self.registry, stats);
     }
 
     /// Exports the runner's snapshot.

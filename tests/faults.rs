@@ -120,6 +120,41 @@ fn parallel_lanes_match_sequential_under_faults() {
 }
 
 #[test]
+fn sharded_engine_matches_inverted_under_faults() {
+    // The sharded engine must not perturb a fault-injected run either:
+    // delayed, duplicated, and lost updates exercise the dirty-round and
+    // handoff paths with stale ingests, and the report must still match
+    // the inverted engine bit for bit — in pooled and inline modes.
+    let sc = base_scenario(101).with_faults(stormy_profile());
+    let inverted = SimPipeline::new()
+        .with_engine(EvalEngine::Inverted)
+        .run(&sc, &Policy::ALL);
+    let sharded = SimPipeline::new()
+        .with_engine(EvalEngine::Sharded { shards: 4 })
+        .run(&sc, &Policy::ALL);
+    let inline = SimPipeline::new()
+        .with_engine(EvalEngine::Sharded { shards: 4 })
+        .with_parallelism(Parallelism::Sequential)
+        .run(&sc, &Policy::ALL);
+    assert_eq!(inverted.reference_updates, sharded.reference_updates);
+    assert_eq!(inverted.reference_updates, inline.reference_updates);
+    for ((oi, os), ol) in inverted
+        .outcomes
+        .iter()
+        .zip(&sharded.outcomes)
+        .zip(&inline.outcomes)
+    {
+        assert_outcomes_identical(oi, os, oi.policy.name());
+        assert_outcomes_identical(oi, ol, oi.policy.name());
+        assert_eq!(oi.faults, os.faults, "{}: fault books", oi.policy.name());
+        assert_eq!(oi.faults, ol.faults, "{}: fault books", oi.policy.name());
+    }
+    // The profile actually bit.
+    let f = &sharded.outcomes[0].faults;
+    assert!(f.lost + f.retries + f.duplicates > 0, "{f:?}");
+}
+
+#[test]
 fn fault_accounting_is_conserved_across_policies() {
     let sc = base_scenario(31).with_faults(stormy_profile());
     let report = run_scenario(&sc, &Policy::ALL);

@@ -280,6 +280,70 @@ fn inverted_engine_run_report_is_bit_identical_to_legacy() {
 }
 
 #[test]
+fn sharded_engine_run_report_is_bit_identical_to_inverted() {
+    // The acceptance bar for the sharded engine mirrors the inverted
+    // one: the whole multi-policy report must match bit for bit, at a
+    // shard count that leaves stripes of unequal width.
+    let mut sc = Scenario::small(41);
+    sc.duration_s = 90.0;
+    let sharded = SimPipeline::new()
+        .with_engine(EvalEngine::Sharded { shards: 3 })
+        .run(&sc, &Policy::ALL);
+    let inverted = SimPipeline::new()
+        .with_engine(EvalEngine::Inverted)
+        .run(&sc, &Policy::ALL);
+
+    assert_eq!(sharded.reference_updates, inverted.reference_updates);
+    assert_eq!(sharded.num_queries, inverted.num_queries);
+    assert_eq!(sharded.outcomes.len(), inverted.outcomes.len());
+    for (s, i) in sharded.outcomes.iter().zip(&inverted.outcomes) {
+        assert_eq!(s.policy, i.policy);
+        assert_eq!(s.updates_sent, i.updates_sent, "{:?} sent", s.policy);
+        assert_eq!(
+            s.updates_processed, i.updates_processed,
+            "{:?} processed",
+            s.policy
+        );
+        assert_eq!(s.plan_regions, i.plan_regions, "{:?} regions", s.policy);
+        assert_eq!(s.faults, i.faults, "{:?} faults", s.policy);
+        assert_eq!(s.metrics, i.metrics, "{:?} metrics", s.policy);
+        assert_eq!(
+            s.processed_fraction.to_bits(),
+            i.processed_fraction.to_bits(),
+            "{:?} processed fraction",
+            s.policy
+        );
+    }
+}
+
+#[test]
+fn sequential_parallelism_inlines_sharded_evaluation() {
+    // `Parallelism::Sequential` must mean *no* spawned threads anywhere:
+    // the sharded engine's phases run on the calling thread, and the
+    // report still matches the pooled run bit for bit.
+    let mut sc = Scenario::small(43);
+    sc.duration_s = 60.0;
+    let pooled = SimPipeline::new()
+        .with_engine(EvalEngine::Sharded { shards: 4 })
+        .run(&sc, &Policy::ALL);
+    let inline = SimPipeline::new()
+        .with_engine(EvalEngine::Sharded { shards: 4 })
+        .with_parallelism(Parallelism::Sequential)
+        .run(&sc, &Policy::ALL);
+    assert_eq!(pooled.reference_updates, inline.reference_updates);
+    for (p, s) in pooled.outcomes.iter().zip(&inline.outcomes) {
+        assert_eq!(p.policy, s.policy);
+        assert_eq!(p.metrics, s.metrics, "{:?} metrics", p.policy);
+        assert_eq!(p.updates_sent, s.updates_sent, "{:?} sent", p.policy);
+        assert_eq!(
+            p.updates_processed, s.updates_processed,
+            "{:?} processed",
+            p.policy
+        );
+    }
+}
+
+#[test]
 fn adaptive_report_is_bit_identical_across_engines() {
     // Same bar for the closed loop: THROTLOOP's whole trajectory (window
     // stats, final throttle, drop fraction) and the accuracy metrics must
@@ -294,6 +358,7 @@ fn adaptive_report_is_bit_identical_across_engines() {
     };
     let inverted = run_adaptive_with_engine(&sc, &cfg, EvalEngine::Inverted);
     let legacy = run_adaptive_with_engine(&sc, &cfg, EvalEngine::Legacy);
+    let sharded = run_adaptive_with_engine(&sc, &cfg, EvalEngine::Sharded { shards: 4 });
 
     assert_eq!(inverted.windows, legacy.windows);
     assert_eq!(
@@ -306,6 +371,17 @@ fn adaptive_report_is_bit_identical_across_engines() {
     );
     assert_eq!(inverted.metrics, legacy.metrics);
     assert_eq!(inverted.faults, legacy.faults);
+    assert_eq!(sharded.windows, inverted.windows);
+    assert_eq!(
+        sharded.final_throttle.to_bits(),
+        inverted.final_throttle.to_bits()
+    );
+    assert_eq!(
+        sharded.drop_fraction.to_bits(),
+        inverted.drop_fraction.to_bits()
+    );
+    assert_eq!(sharded.metrics, inverted.metrics);
+    assert_eq!(sharded.faults, inverted.faults);
 }
 
 #[test]
