@@ -1,41 +1,51 @@
-//! `exp_eval` — perf trajectory of the CQ evaluation engines.
+//! `exp_eval` — perf trajectory of the unified CQ evaluation engine.
 //!
-//! Benchmarks the inverted-incremental engine against the legacy
-//! per-query engine on the same churning node population, across
-//! node × query scales, for all three server operations:
-//! `evaluate`, `evaluate_uncertain` and `nearest`. Before timing, each
-//! scale cross-checks the two engines for equal results — a benchmark of
-//! a wrong engine is worthless.
+//! Benchmarks the unified engine (dirty-round tracking on, the default)
+//! against its own sweep-round baseline (`with_dirty_tracking(false)` —
+//! the round structure of the retired inverted engine, which walked
+//! every stored node each round) on the same churning node population,
+//! across node × query scales, for all three server operations:
+//! `evaluate`, `evaluate_uncertain` and `nearest`. At small scales the
+//! legacy per-query oracle is timed too. Before timing, each scale
+//! cross-checks the engines for equal results — a benchmark of a wrong
+//! engine is worthless.
 //!
 //! ```text
 //! exp_eval [--quick] [--assert] [--min-speedup X] [--churn F] [--out PATH]
 //! ```
 //!
-//! * default: the full scale ladder up to 10 000 nodes × 1 000 queries;
+//! * default: the full scale ladder up to 1 000 000 nodes × 10 000
+//!   queries (the monitored space grows with √nodes so density stays at
+//!   the paper's 100 nodes/km²);
 //! * `--quick` — two small scales, for the CI perf-smoke step;
 //! * `--churn F` — fraction of nodes re-reporting between evaluation
 //!   rounds (default 0.10);
 //! * `--out PATH` — where to write the JSON report (default
 //!   `BENCH_eval.json` in the current directory);
-//! * `--assert` — exit nonzero unless, at the largest scale, inverted
+//! * `--assert` — exit nonzero unless, at *every* scale, unified
 //!   `evaluate` is at least `--min-speedup`× (default 1.0×) faster than
-//!   legacy.
+//!   the sweep baseline.
 //!
 //! Output: the shim's one-line-per-benchmark timings, machine-readable
 //! `key=value` lines per scale, and a `BENCH_eval.json` report with the
-//! mean ns/iter of every (operation, engine, scale) cell — the first
-//! point of the repo's perf trajectory (see EXPERIMENTS.md).
+//! mean ns/iter of every (operation, engine, scale) cell plus the peak
+//! RSS after each scale — the perf trajectory of the repo's evaluation
+//! core (see EXPERIMENTS.md). Peak RSS is the process high-water mark,
+//! so per-scale readings are cumulative up to that rung of the ladder.
 
 use criterion::{black_box, Criterion};
-use lira_bench::ChurnWorkload;
+use lira_bench::{peak_rss_bytes, ChurnWorkload};
 use lira_core::geometry::{Point, Rect};
 use lira_core::plan::{PlanRegion, SheddingPlan};
 use lira_core::telemetry::json::Json;
 use lira_server::prelude::*;
 use lira_workload::prelude::*;
 
-/// Monitored space: the paper's 10 km × 10 km region.
+/// Monitored space at the reference scale (10 000 nodes): the paper's
+/// 10 km × 10 km region. Larger scales grow the side with √nodes.
 const SPACE_M: f64 = 10_000.0;
+/// Reference node count for the space scaling.
+const REF_NODES: f64 = 10_000.0;
 /// Fraction of nodes re-reporting between evaluation rounds (default;
 /// see `--churn`).
 const CHURN_FRAC: f64 = 0.10;
@@ -43,13 +53,25 @@ const CHURN_FRAC: f64 = 0.10;
 const MAX_DELTA: f64 = 320.0;
 /// k for the nearest-neighbor benchmark (Ride Finder's "10 nearby taxis").
 const NEAREST_K: usize = 10;
+/// The legacy per-query oracle is only timed up to this many nodes —
+/// beyond it a single legacy round takes longer than the whole scale's
+/// budget, and the equivalence battery already covers correctness.
+const LEGACY_MAX_NODES: usize = 10_000;
 
-fn bounds() -> Rect {
-    Rect::from_coords(0.0, 0.0, SPACE_M, SPACE_M)
+/// Space side for a node count: constant density from the reference
+/// scale up (√nodes growth), never below the paper's 10 km.
+fn space_for(num_nodes: usize) -> f64 {
+    SPACE_M * (num_nodes as f64 / REF_NODES).max(1.0).sqrt()
 }
 
-fn make_server(num_nodes: usize, queries: &[RangeQuery], engine: EvalEngine) -> CqServer {
-    let mut server = CqServer::new(bounds(), num_nodes, 64).with_engine(engine);
+fn make_server(
+    num_nodes: usize,
+    space_m: f64,
+    queries: &[RangeQuery],
+    engine: EvalEngine,
+) -> CqServer {
+    let bounds = Rect::from_coords(0.0, 0.0, space_m, space_m);
+    let mut server = CqServer::new(bounds, num_nodes, 64).with_engine(engine);
     server.register_queries(queries.iter().copied());
     server
 }
@@ -57,8 +79,9 @@ fn make_server(num_nodes: usize, queries: &[RangeQuery], engine: EvalEngine) -> 
 /// A 4×4 tiling of plan regions with varied throttlers, so the
 /// uncertainty benchmark exercises `max_throttler_within` across real
 /// region borders rather than a uniform plan's trivial lookup.
-fn bench_plan() -> SheddingPlan {
-    let cell = SPACE_M / 4.0;
+fn bench_plan(space_m: f64) -> SheddingPlan {
+    let bounds = Rect::from_coords(0.0, 0.0, space_m, space_m);
+    let cell = space_m / 4.0;
     let regions = (0..16)
         .map(|i| {
             let (row, col) = (i / 4, i % 4);
@@ -73,37 +96,69 @@ fn bench_plan() -> SheddingPlan {
             }
         })
         .collect();
-    SheddingPlan::new(bounds(), regions, 20.0)
+    SheddingPlan::new(bounds, regions, 20.0)
 }
 
-/// Cross-checks the engines before timing them.
-fn verify_engines_agree(num_nodes: usize, queries: &[RangeQuery], plan: &SheddingPlan) {
-    let mut inv = make_server(num_nodes, queries, EvalEngine::Inverted);
-    let mut leg = make_server(num_nodes, queries, EvalEngine::Legacy);
-    let mut w_inv = ChurnWorkload::new(num_nodes, 7, CHURN_FRAC, SPACE_M);
-    let mut w_leg = ChurnWorkload::new(num_nodes, 7, CHURN_FRAC, SPACE_M);
-    w_inv.prime(&mut inv);
-    w_leg.prime(&mut leg);
+/// Cross-checks the engines before timing them: unified vs the sweep
+/// baseline at every scale, plus the legacy oracle where it is timed.
+fn verify_engines_agree(
+    num_nodes: usize,
+    space_m: f64,
+    queries: &[RangeQuery],
+    plan: &SheddingPlan,
+    churn_frac: f64,
+) {
+    let mut servers: Vec<(&str, CqServer)> = vec![
+        (
+            "unified",
+            make_server(num_nodes, space_m, queries, EvalEngine::default()),
+        ),
+        (
+            "baseline",
+            make_server(num_nodes, space_m, queries, EvalEngine::default())
+                .with_dirty_tracking(false),
+        ),
+    ];
+    if num_nodes <= LEGACY_MAX_NODES {
+        servers.push((
+            "legacy",
+            make_server(num_nodes, space_m, queries, EvalEngine::Legacy),
+        ));
+    }
+    let mut workloads: Vec<ChurnWorkload> = servers
+        .iter()
+        .map(|_| ChurnWorkload::new(num_nodes, 7, churn_frac, space_m))
+        .collect();
+    for (w, (_, s)) in workloads.iter_mut().zip(&mut servers) {
+        w.prime(s);
+    }
     for round in 0..5 {
-        w_inv.step(&mut inv);
-        w_leg.step(&mut leg);
-        assert_eq!(
-            inv.evaluate(0.5),
-            leg.evaluate(0.5),
-            "engines disagree on evaluate ({num_nodes} nodes, round {round})"
-        );
+        for (w, (_, s)) in workloads.iter_mut().zip(&mut servers) {
+            w.step(s);
+        }
+        let (_, reference) = &mut servers[0];
+        let want = reference.evaluate(0.5);
         let delta_of = |_: u32, p: Point| plan.max_throttler_within(&p, MAX_DELTA);
-        assert_eq!(
-            inv.evaluate_uncertain(0.5, MAX_DELTA, delta_of),
-            leg.evaluate_uncertain(0.5, MAX_DELTA, delta_of),
-            "engines disagree on evaluate_uncertain ({num_nodes} nodes)"
-        );
-        let center = Point::new(5_000.0, 5_000.0);
-        assert_eq!(
-            inv.nearest(center, NEAREST_K, 0.5),
-            leg.nearest(center, NEAREST_K, 0.5),
-            "engines disagree on nearest ({num_nodes} nodes)"
-        );
+        let uwant = reference.evaluate_uncertain(0.5, MAX_DELTA, delta_of);
+        let center = Point::new(space_m / 2.0, space_m / 2.0);
+        let nwant = reference.nearest(center, NEAREST_K, 0.5);
+        for (name, s) in servers.iter_mut().skip(1) {
+            assert_eq!(
+                s.evaluate(0.5),
+                want,
+                "unified vs {name} disagree on evaluate ({num_nodes} nodes, round {round})"
+            );
+            assert_eq!(
+                s.evaluate_uncertain(0.5, MAX_DELTA, delta_of),
+                uwant,
+                "unified vs {name} disagree on evaluate_uncertain ({num_nodes} nodes)"
+            );
+            assert_eq!(
+                s.nearest(center, NEAREST_K, 0.5),
+                nwant,
+                "unified vs {name} disagree on nearest ({num_nodes} nodes)"
+            );
+        }
     }
 }
 
@@ -113,47 +168,61 @@ fn bench_one(c: &mut Criterion, label: String, mut f: impl FnMut(&mut criterion:
     c.results().last().expect("benchmark just ran").1
 }
 
-/// Mean ns/iter for each operation, per engine.
+/// Mean ns/iter for one operation across the timed engines.
+struct OpResult {
+    op: &'static str,
+    unified_ns: f64,
+    baseline_ns: f64,
+    /// `None` above [`LEGACY_MAX_NODES`].
+    legacy_ns: Option<f64>,
+}
+
+/// One rung of the ladder.
 struct ScaleResult {
     nodes: usize,
     queries: usize,
-    /// `[(operation, inverted_ns, legacy_ns)]`.
-    ops: Vec<(&'static str, f64, f64)>,
+    space_m: f64,
+    peak_rss_bytes: u64,
+    ops: Vec<OpResult>,
 }
 
 fn bench_scale(
     c: &mut Criterion,
     num_nodes: usize,
     num_queries: usize,
-    plan: &SheddingPlan,
     churn_frac: f64,
 ) -> ScaleResult {
+    let space_m = space_for(num_nodes);
+    let bounds = Rect::from_coords(0.0, 0.0, space_m, space_m);
     let node_positions: Vec<Point> =
-        ChurnWorkload::new(num_nodes, 7, churn_frac, SPACE_M).positions;
+        ChurnWorkload::new(num_nodes, 7, churn_frac, space_m).positions;
     let cfg = WorkloadConfig {
         distribution: QueryDistribution::Random,
         count: num_queries,
         side_length: 1_000.0,
         seed: 11,
     };
-    let queries = generate_queries(&bounds(), &node_positions, &cfg);
-    verify_engines_agree(num_nodes, &queries, plan);
+    let queries = generate_queries(&bounds, &node_positions, &cfg);
+    let plan = bench_plan(space_m);
+    verify_engines_agree(num_nodes, space_m, &queries, &plan, churn_frac);
 
+    let engines: &[&str] = if num_nodes <= LEGACY_MAX_NODES {
+        &["unified", "baseline", "legacy"]
+    } else {
+        &["unified", "baseline"]
+    };
     let tag = format!("{num_nodes}x{num_queries}");
     let mut ops = Vec::new();
     for op in ["evaluate", "evaluate_uncertain", "nearest"] {
-        let mut per_engine = [0.0f64; 2];
-        for (slot, engine) in [EvalEngine::Inverted, EvalEngine::Legacy]
-            .into_iter()
-            .enumerate()
-        {
-            let name = if engine == EvalEngine::Inverted {
-                "inverted"
-            } else {
-                "legacy"
+        let mut per_engine = vec![0.0f64; engines.len()];
+        for (slot, &name) in engines.iter().enumerate() {
+            let mut server = match name {
+                "unified" => make_server(num_nodes, space_m, &queries, EvalEngine::default()),
+                "baseline" => make_server(num_nodes, space_m, &queries, EvalEngine::default())
+                    .with_dirty_tracking(false),
+                _ => make_server(num_nodes, space_m, &queries, EvalEngine::Legacy),
             };
-            let mut server = make_server(num_nodes, &queries, engine);
-            let mut workload = ChurnWorkload::new(num_nodes, 7, churn_frac, SPACE_M);
+            let mut workload = ChurnWorkload::new(num_nodes, 7, churn_frac, space_m);
             workload.prime(&mut server);
             let mut results = Vec::new();
             let mut uresults = Vec::new();
@@ -186,15 +255,24 @@ fn bench_scale(
                 },
             );
         }
-        ops.push((op, per_engine[0], per_engine[1]));
         println!(
             "{op}_speedup_{tag}={:.2}",
             per_engine[1] / per_engine[0].max(1e-9)
         );
+        ops.push(OpResult {
+            op,
+            unified_ns: per_engine[0],
+            baseline_ns: per_engine[1],
+            legacy_ns: per_engine.get(2).copied(),
+        });
     }
+    let peak_rss = peak_rss_bytes();
+    println!("peak_rss_bytes_{tag}={peak_rss}");
     ScaleResult {
         nodes: num_nodes,
-        queries: num_queries,
+        queries: queries.len(),
+        space_m,
+        peak_rss_bytes: peak_rss,
         ops,
     }
 }
@@ -203,7 +281,6 @@ fn report_json(mode: &str, churn_frac: f64, scales: &[ScaleResult]) -> Json {
     Json::Obj(vec![
         ("experiment".into(), Json::Str("exp_eval".into())),
         ("mode".into(), Json::Str(mode.into())),
-        ("space_m".into(), Json::Float(SPACE_M)),
         ("churn_frac".into(), Json::Float(churn_frac)),
         ("max_delta".into(), Json::Float(MAX_DELTA)),
         ("nearest_k".into(), Json::UInt(NEAREST_K as u64)),
@@ -216,16 +293,26 @@ fn report_json(mode: &str, churn_frac: f64, scales: &[ScaleResult]) -> Json {
                         let mut members = vec![
                             ("nodes".into(), Json::UInt(s.nodes as u64)),
                             ("queries".into(), Json::UInt(s.queries as u64)),
+                            ("space_m".into(), Json::Float(s.space_m)),
+                            ("peak_rss_bytes".into(), Json::UInt(s.peak_rss_bytes)),
                         ];
-                        for &(op, inv, leg) in &s.ops {
-                            members.push((
-                                op.into(),
-                                Json::Obj(vec![
-                                    ("inverted_ns".into(), Json::Float(inv)),
-                                    ("legacy_ns".into(), Json::Float(leg)),
-                                    ("speedup".into(), Json::Float(leg / inv.max(1e-9))),
-                                ]),
-                            ));
+                        for r in &s.ops {
+                            let mut cell = vec![
+                                ("unified_ns".into(), Json::Float(r.unified_ns)),
+                                ("baseline_ns".into(), Json::Float(r.baseline_ns)),
+                                (
+                                    "speedup_vs_baseline".into(),
+                                    Json::Float(r.baseline_ns / r.unified_ns.max(1e-9)),
+                                ),
+                            ];
+                            if let Some(leg) = r.legacy_ns {
+                                cell.push(("legacy_ns".into(), Json::Float(leg)));
+                                cell.push((
+                                    "speedup_vs_legacy".into(),
+                                    Json::Float(leg / r.unified_ns.max(1e-9)),
+                                ));
+                            }
+                            members.push((r.op.into(), Json::Obj(cell)));
                         }
                         Json::Obj(members)
                     })
@@ -271,19 +358,22 @@ fn main() {
     let (mode, ladder): (&str, &[(usize, usize)]) = if quick {
         ("quick", &[(500, 50), (2_000, 200)])
     } else {
-        ("full", &[(1_000, 100), (4_000, 400), (10_000, 1_000)])
+        (
+            "full",
+            &[(10_000, 1_000), (100_000, 3_000), (1_000_000, 10_000)],
+        )
     };
     println!(
-        "== exp_eval: inverted vs legacy engine, {mode} ladder ({} scales, {:.0}% churn/round)",
+        "== exp_eval: unified engine vs sweep baseline (and legacy oracle ≤ {LEGACY_MAX_NODES} \
+         nodes), {mode} ladder ({} scales, {:.0}% churn/round)",
         ladder.len(),
         churn_frac * 100.0
     );
 
-    let plan = bench_plan();
     let mut criterion = Criterion::default();
     let scales: Vec<ScaleResult> = ladder
         .iter()
-        .map(|&(n, q)| bench_scale(&mut criterion, n, q, &plan, churn_frac))
+        .map(|&(n, q)| bench_scale(&mut criterion, n, q, churn_frac))
         .collect();
 
     let json = report_json(mode, churn_frac, &scales);
@@ -291,25 +381,31 @@ fn main() {
     println!("report={out_path}");
 
     if do_assert {
-        let largest = scales.last().expect("at least one scale");
-        let (_, inv, leg) = largest
-            .ops
-            .iter()
-            .find(|(op, _, _)| *op == "evaluate")
-            .expect("evaluate benched");
-        let speedup = leg / inv.max(1e-9);
-        if speedup < min_speedup {
-            eprintln!(
-                "FAIL: inverted evaluate speedup {speedup:.2}x below required {min_speedup:.2}x \
-                 at {}x{}",
-                largest.nodes, largest.queries
-            );
+        let mut failed = false;
+        for s in &scales {
+            let r = s
+                .ops
+                .iter()
+                .find(|r| r.op == "evaluate")
+                .expect("evaluate benched");
+            let speedup = r.baseline_ns / r.unified_ns.max(1e-9);
+            if speedup < min_speedup {
+                eprintln!(
+                    "FAIL: unified evaluate speedup {speedup:.2}x below required \
+                     {min_speedup:.2}x at {}x{}",
+                    s.nodes, s.queries
+                );
+                failed = true;
+            } else {
+                println!(
+                    "PASS: unified evaluate {speedup:.2}x faster than the sweep baseline at {}x{}",
+                    s.nodes, s.queries
+                );
+            }
+        }
+        if failed {
             std::process::exit(1);
         }
-        println!(
-            "PASS: inverted evaluate {speedup:.2}x faster than legacy at {}x{}",
-            largest.nodes, largest.queries
-        );
     }
 }
 

@@ -1,86 +1,109 @@
-//! `exp_shard` — scaling of the spatially-sharded evaluation engine.
+//! `exp_shard` — scaling of the unified engine's column stripes.
 //!
-//! Benchmarks `EvalEngine::Sharded` at shard counts 1/2/4/8 against the
-//! inverted engine (the single-index incumbent) on the shared churning
-//! workload, across a node ladder. Before timing, each scale
-//! cross-checks every shard count against the inverted engine for equal
-//! results — a benchmark of a wrong engine is worthless.
+//! Benchmarks `EvalEngine::Unified` at shard counts 1/2/4/8 against the
+//! sweep baseline (`with_dirty_tracking(false)` — the round structure of
+//! the retired inverted engine, which walked every stored node each
+//! round; the JSON keeps its `inverted` keys for schema stability) on
+//! the shared churning workload, across a node ladder up to 1 000 000
+//! nodes × 10 000 queries. Before timing, each scale cross-checks every
+//! shard count against the baseline for equal results — a benchmark of a
+//! wrong engine is worthless.
 //!
 //! ```text
 //! exp_shard [--quick] [--assert] [--min-speedup X] [--churn F] [--out PATH]
 //! ```
 //!
-//! * default: the full ladder up to 50 000 nodes × 1 000 queries;
+//! * default: the full ladder up to 1 000 000 nodes × 10 000 queries
+//!   (the monitored space grows with √nodes so density stays constant);
 //! * `--quick` — two small scales, for the CI perf-smoke step;
 //! * `--churn F` — fraction of nodes re-reporting between evaluation
 //!   rounds (default 0.05);
 //! * `--out PATH` — where to write the JSON report (default
 //!   `BENCH_shard.json` in the current directory);
-//! * `--assert` — exit nonzero unless, at the largest scale, sharded
+//! * `--assert` — exit nonzero unless, at the largest scale, unified
 //!   `evaluate` at 4 shards is at least `--min-speedup`× (default 1.0×)
-//!   faster than inverted.
+//!   faster than the sweep baseline.
 //!
 //! What the numbers mean: a benchmark round is churn-ingest + evaluate
 //! at an unchanged evaluation time, the steady-state round of a CQ
-//! server between timestamp advances. The inverted engine's incremental
-//! round still walks every stored node; the sharded engine's dirty round
-//! touches only the re-reported ones (plus the emit copy), which is
-//! where the single-core speedup comes from — worker threads add
-//! parallelism on multi-core hosts but are *not* required for the win,
-//! and `shards = 1` measures the pure dirty-tracking gain. Results are
-//! bit-identical across engines and shard counts (`shard_equiv.rs`).
+//! server between timestamp advances. The baseline's sweep round walks
+//! every stored node; the unified engine's dirty round touches only the
+//! re-reported ones (plus the emit copy), which is where the single-core
+//! speedup comes from — worker threads add parallelism on multi-core
+//! hosts but are *not* required for the win, and `shards = 1` measures
+//! the pure dirty-tracking gain (`speedup_vs_shard1` isolates the
+//! striping gain on top of it). Results are bit-identical across shard
+//! counts (`shard_equiv.rs`). Peak RSS per scale is the process
+//! high-water mark, cumulative up to that rung of the ladder.
 
 use criterion::{black_box, Criterion};
-use lira_bench::ChurnWorkload;
+use lira_bench::{peak_rss_bytes, ChurnWorkload};
 use lira_core::geometry::{Point, Rect};
 use lira_core::telemetry::json::Json;
 use lira_server::prelude::*;
 use lira_workload::prelude::*;
 
-/// Monitored space: the paper's 10 km × 10 km region.
+/// Monitored space at the reference scale (10 000 nodes): the paper's
+/// 10 km × 10 km region. Larger scales grow the side with √nodes.
 const SPACE_M: f64 = 10_000.0;
+/// Reference node count for the space scaling.
+const REF_NODES: f64 = 10_000.0;
 /// Default churn fraction per round (see `--churn`).
 const CHURN_FRAC: f64 = 0.05;
 /// Shard counts under test.
 const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
-/// Query side length (m): 0.25 % space coverage per query keeps the
-/// emit copy from drowning the round-structure signal at 50 k nodes.
+/// Query side length (m): small enough coverage per query that the emit
+/// copy does not drown the round-structure signal at the top scales.
 const QUERY_SIDE: f64 = 500.0;
 
-fn bounds() -> Rect {
-    Rect::from_coords(0.0, 0.0, SPACE_M, SPACE_M)
+/// Space side for a node count: constant density from the reference
+/// scale up, never below the paper's 10 km.
+fn space_for(num_nodes: usize) -> f64 {
+    SPACE_M * (num_nodes as f64 / REF_NODES).max(1.0).sqrt()
 }
 
-fn make_server(num_nodes: usize, queries: &[RangeQuery], engine: EvalEngine) -> CqServer {
-    let mut server = CqServer::new(bounds(), num_nodes, 64).with_engine(engine);
+fn make_server(
+    num_nodes: usize,
+    space_m: f64,
+    queries: &[RangeQuery],
+    engine: EvalEngine,
+) -> CqServer {
+    let bounds = Rect::from_coords(0.0, 0.0, space_m, space_m);
+    let mut server = CqServer::new(bounds, num_nodes, 64).with_engine(engine);
     server.register_queries(queries.iter().copied());
     server
 }
 
-/// Cross-checks every shard count against the inverted engine before
+/// Cross-checks every shard count against the sweep baseline before
 /// timing, on the exact workload pattern the timing loop replays.
-fn verify_engines_agree(num_nodes: usize, queries: &[RangeQuery], churn_frac: f64) {
-    let mut inv = make_server(num_nodes, queries, EvalEngine::Inverted);
-    let mut w_inv = ChurnWorkload::new(num_nodes, 7, churn_frac, SPACE_M);
-    w_inv.prime(&mut inv);
-    let mut sharded: Vec<(usize, CqServer, ChurnWorkload)> = SHARD_COUNTS
+fn verify_engines_agree(num_nodes: usize, space_m: f64, queries: &[RangeQuery], churn_frac: f64) {
+    let mut base =
+        make_server(num_nodes, space_m, queries, EvalEngine::default()).with_dirty_tracking(false);
+    let mut w_base = ChurnWorkload::new(num_nodes, 7, churn_frac, space_m);
+    w_base.prime(&mut base);
+    let mut striped: Vec<(usize, CqServer, ChurnWorkload)> = SHARD_COUNTS
         .iter()
         .map(|&s| {
-            let mut server = make_server(num_nodes, queries, EvalEngine::Sharded { shards: s });
-            let w = ChurnWorkload::new(num_nodes, 7, churn_frac, SPACE_M);
+            let mut server = make_server(
+                num_nodes,
+                space_m,
+                queries,
+                EvalEngine::Unified { shards: s },
+            );
+            let w = ChurnWorkload::new(num_nodes, 7, churn_frac, space_m);
             w.prime(&mut server);
             (s, server, w)
         })
         .collect();
     for round in 0..5 {
-        w_inv.step(&mut inv);
-        let want = inv.evaluate(0.5);
-        for (s, server, w) in &mut sharded {
+        w_base.step(&mut base);
+        let want = base.evaluate(0.5);
+        for (s, server, w) in &mut striped {
             w.step(server);
             assert_eq!(
                 server.evaluate(0.5),
                 want,
-                "sharded({s}) disagrees with inverted ({num_nodes} nodes, round {round})"
+                "unified({s}) disagrees with the sweep baseline ({num_nodes} nodes, round {round})"
             );
         }
     }
@@ -92,17 +115,17 @@ fn bench_one(c: &mut Criterion, label: String, mut f: impl FnMut(&mut criterion:
     c.results().last().expect("benchmark just ran").1
 }
 
-/// Times the steady-state round (churn + evaluate) for one engine.
+/// Times the steady-state round (churn + evaluate) for one server.
 fn bench_engine(
     c: &mut Criterion,
     label: String,
     num_nodes: usize,
-    queries: &[RangeQuery],
-    engine: EvalEngine,
+    space_m: f64,
+    server: CqServer,
     churn_frac: f64,
 ) -> (f64, Option<Vec<ShardStats>>) {
-    let mut server = make_server(num_nodes, queries, engine);
-    let mut workload = ChurnWorkload::new(num_nodes, 7, churn_frac, SPACE_M);
+    let mut server = server;
+    let mut workload = ChurnWorkload::new(num_nodes, 7, churn_frac, space_m);
     workload.prime(&mut server);
     let mut results = Vec::new();
     let ns = bench_one(c, label, |b: &mut criterion::Bencher| {
@@ -118,9 +141,13 @@ fn bench_engine(
 struct ScaleResult {
     nodes: usize,
     queries: usize,
-    inverted_ns: f64,
+    space_m: f64,
+    peak_rss_bytes: u64,
+    /// Sweep-baseline round time (kept under its historical JSON name
+    /// `inverted_ns`).
+    baseline_ns: f64,
     /// `(shards, mean ns/iter, total handoffs over the timed run)`.
-    sharded: Vec<(usize, f64, u64)>,
+    striped: Vec<(usize, f64, u64)>,
 }
 
 fn bench_scale(
@@ -129,54 +156,65 @@ fn bench_scale(
     num_queries: usize,
     churn_frac: f64,
 ) -> ScaleResult {
+    let space_m = space_for(num_nodes);
+    let bounds = Rect::from_coords(0.0, 0.0, space_m, space_m);
     let node_positions: Vec<Point> =
-        ChurnWorkload::new(num_nodes, 7, churn_frac, SPACE_M).positions;
+        ChurnWorkload::new(num_nodes, 7, churn_frac, space_m).positions;
     let cfg = WorkloadConfig {
         distribution: QueryDistribution::Random,
         count: num_queries,
         side_length: QUERY_SIDE,
         seed: 11,
     };
-    let queries = generate_queries(&bounds(), &node_positions, &cfg);
-    verify_engines_agree(num_nodes, &queries, churn_frac);
+    let queries = generate_queries(&bounds, &node_positions, &cfg);
+    verify_engines_agree(num_nodes, space_m, &queries, churn_frac);
 
     let tag = format!("{num_nodes}x{num_queries}");
-    let (inverted_ns, _) = bench_engine(
+    let (baseline_ns, _) = bench_engine(
         c,
-        format!("evaluate/inverted/{tag}"),
+        format!("evaluate/baseline/{tag}"),
         num_nodes,
-        &queries,
-        EvalEngine::Inverted,
+        space_m,
+        make_server(num_nodes, space_m, &queries, EvalEngine::default()).with_dirty_tracking(false),
         churn_frac,
     );
-    let sharded: Vec<(usize, f64, u64)> = SHARD_COUNTS
+    let striped: Vec<(usize, f64, u64)> = SHARD_COUNTS
         .iter()
         .map(|&s| {
             let (ns, stats) = bench_engine(
                 c,
-                format!("evaluate/sharded{s}/{tag}"),
+                format!("evaluate/unified{s}/{tag}"),
                 num_nodes,
-                &queries,
-                EvalEngine::Sharded { shards: s },
+                space_m,
+                make_server(
+                    num_nodes,
+                    space_m,
+                    &queries,
+                    EvalEngine::Unified { shards: s },
+                ),
                 churn_frac,
             );
             let handoffs = stats
-                .expect("sharded engine reports stats")
+                .expect("unified engine reports stats")
                 .iter()
                 .map(|st| st.handoffs)
                 .sum();
             println!(
                 "evaluate_speedup_{tag}_shards{s}={:.2}",
-                inverted_ns / ns.max(1e-9)
+                baseline_ns / ns.max(1e-9)
             );
             (s, ns, handoffs)
         })
         .collect();
+    let peak_rss = peak_rss_bytes();
+    println!("peak_rss_bytes_{tag}={peak_rss}");
     ScaleResult {
         nodes: num_nodes,
         queries: queries.len(),
-        inverted_ns,
-        sharded,
+        space_m,
+        peak_rss_bytes: peak_rss,
+        baseline_ns,
+        striped,
     }
 }
 
@@ -184,7 +222,6 @@ fn report_json(mode: &str, churn_frac: f64, scales: &[ScaleResult]) -> Json {
     Json::Obj(vec![
         ("experiment".into(), Json::Str("exp_shard".into())),
         ("mode".into(), Json::Str(mode.into())),
-        ("space_m".into(), Json::Float(SPACE_M)),
         ("churn_frac".into(), Json::Float(churn_frac)),
         ("query_side_m".into(), Json::Float(QUERY_SIDE)),
         (
@@ -193,14 +230,22 @@ fn report_json(mode: &str, churn_frac: f64, scales: &[ScaleResult]) -> Json {
                 scales
                     .iter()
                     .map(|s| {
+                        let shard1_ns = s
+                            .striped
+                            .iter()
+                            .find(|&&(n, _, _)| n == 1)
+                            .map(|&(_, ns, _)| ns)
+                            .unwrap_or(f64::NAN);
                         Json::Obj(vec![
                             ("nodes".into(), Json::UInt(s.nodes as u64)),
                             ("queries".into(), Json::UInt(s.queries as u64)),
-                            ("inverted_ns".into(), Json::Float(s.inverted_ns)),
+                            ("space_m".into(), Json::Float(s.space_m)),
+                            ("peak_rss_bytes".into(), Json::UInt(s.peak_rss_bytes)),
+                            ("inverted_ns".into(), Json::Float(s.baseline_ns)),
                             (
                                 "sharded".into(),
                                 Json::Arr(
-                                    s.sharded
+                                    s.striped
                                         .iter()
                                         .map(|&(shards, ns, handoffs)| {
                                             Json::Obj(vec![
@@ -208,7 +253,11 @@ fn report_json(mode: &str, churn_frac: f64, scales: &[ScaleResult]) -> Json {
                                                 ("evaluate_ns".into(), Json::Float(ns)),
                                                 (
                                                     "speedup_vs_inverted".into(),
-                                                    Json::Float(s.inverted_ns / ns.max(1e-9)),
+                                                    Json::Float(s.baseline_ns / ns.max(1e-9)),
+                                                ),
+                                                (
+                                                    "speedup_vs_shard1".into(),
+                                                    Json::Float(shard1_ns / ns.max(1e-9)),
                                                 ),
                                                 ("handoffs".into(), Json::UInt(handoffs)),
                                             ])
@@ -260,11 +309,14 @@ fn main() {
     let (mode, ladder): (&str, &[(usize, usize)]) = if quick {
         ("quick", &[(2_000, 100), (5_000, 200)])
     } else {
-        ("full", &[(10_000, 400), (20_000, 700), (50_000, 1_000)])
+        (
+            "full",
+            &[(10_000, 400), (100_000, 2_000), (1_000_000, 10_000)],
+        )
     };
     println!(
-        "== exp_shard: sharded vs inverted engine, {mode} ladder ({} scales, shards {:?}, \
-         {:.0}% churn/round)",
+        "== exp_shard: unified stripes vs sweep baseline, {mode} ladder ({} scales, shards \
+         {:?}, {:.0}% churn/round)",
         ladder.len(),
         SHARD_COUNTS,
         churn_frac * 100.0
@@ -283,21 +335,22 @@ fn main() {
     if do_assert {
         let largest = scales.last().expect("at least one scale");
         let &(shards, ns, _) = largest
-            .sharded
+            .striped
             .iter()
             .find(|(s, _, _)| *s == 4)
             .expect("4-shard cell benched");
-        let speedup = largest.inverted_ns / ns.max(1e-9);
+        let speedup = largest.baseline_ns / ns.max(1e-9);
         if speedup < min_speedup {
             eprintln!(
-                "FAIL: sharded({shards}) evaluate speedup {speedup:.2}x below required \
+                "FAIL: unified({shards}) evaluate speedup {speedup:.2}x below required \
                  {min_speedup:.2}x at {}x{}",
                 largest.nodes, largest.queries
             );
             std::process::exit(1);
         }
         println!(
-            "PASS: sharded({shards}) evaluate {speedup:.2}x faster than inverted at {}x{}",
+            "PASS: unified({shards}) evaluate {speedup:.2}x faster than the sweep baseline at \
+             {}x{}",
             largest.nodes, largest.queries
         );
     }

@@ -123,6 +123,31 @@ fn usage(msg: &str) -> ! {
     std::process::exit(2);
 }
 
+/// Peak resident set size of this process in bytes (`VmHWM` from
+/// `/proc/self/status`), or 0 where that interface does not exist.
+/// The kernel reports a process-lifetime high-water mark, so within one
+/// run the value is monotone: a ladder's per-scale readings record the
+/// peak *up to and including* that scale.
+pub fn peak_rss_bytes() -> u64 {
+    #[cfg(target_os = "linux")]
+    {
+        if let Ok(status) = std::fs::read_to_string("/proc/self/status") {
+            for line in status.lines() {
+                if let Some(rest) = line.strip_prefix("VmHWM:") {
+                    let kb: u64 = rest
+                        .trim()
+                        .trim_end_matches("kB")
+                        .trim()
+                        .parse()
+                        .unwrap_or(0);
+                    return kb * 1024;
+                }
+            }
+        }
+    }
+    0
+}
+
 /// Writes labelled telemetry snapshots to `results/telemetry/<id>.json`
 /// (created if missing) and returns the path. The file is a JSON array of
 /// `{"label": ..., "snapshot": ...}` objects, each snapshot in the schema

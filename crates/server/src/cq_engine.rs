@@ -6,10 +6,9 @@
 use lira_core::geometry::{Point, Rect};
 
 use crate::index::{MovingIndex, PredictedGrid};
-use crate::inverted::InvertedEval;
 use crate::node_store::NodeStore;
 use crate::query::{QueryResult, RangeQuery, UncertainResult};
-use crate::sharded::{ShardStats, ShardedEval};
+use crate::unified::{ShardStats, UnifiedEval};
 
 /// Safety padding added to the *candidate-gathering* rectangle of the
 /// legacy uncertain path: when a query's expanded edge lands exactly on a
@@ -17,49 +16,64 @@ use crate::sharded::{ShardStats, ShardedEval};
 /// outside the half-open candidate rect. Classification afterwards uses
 /// the real range and real `Δ`, so over-approximating candidates never
 /// changes results.
+#[cfg(feature = "legacy-oracle")]
 const CANDIDATE_PAD: f64 = 1e-6;
 
 /// Which evaluation strategy [`CqServer`] uses.
 ///
-/// All engines produce identical results (`tests/eval_equiv.rs` and
+/// Every engine produces identical results (`tests/eval_equiv.rs` and
 /// `tests/shard_equiv.rs` prove the equivalence property-style); they
 /// differ only in cost.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum EvalEngine {
-    /// The inverted, incremental engine: a cell→queries index plus
-    /// per-query member sets maintained across rounds — `O(nodes +
-    /// matches)` per round, no per-round allocations in steady state.
-    #[default]
-    Inverted,
-    /// The original per-query engine: each query gathers candidates from
-    /// the [`MovingIndex`] and filters them. Kept as the
-    /// [`MovingIndex`]-generic fallback and as the equivalence oracle.
-    Legacy,
-    /// The spatially-sharded engine: the inverted engine's grid cut into
-    /// `shards` contiguous column stripes evaluated on a persistent
-    /// worker pool, with re-reported-node tracking that lets rounds at
-    /// an unchanged evaluation time skip untouched nodes entirely
-    /// (`crate::sharded`; DESIGN.md §12). Bit-identical to
-    /// [`EvalEngine::Inverted`]. `shards` is clamped to
-    /// `1..=`[`MAX_SHARDS`](crate::sharded::MAX_SHARDS).
-    Sharded {
-        /// Number of spatial stripes (and of round worker threads).
+    /// The production engine (`crate::unified`; DESIGN.md §13): a
+    /// cell→queries index with per-query member sets maintained
+    /// incrementally across rounds, O(churn) rounds at an unchanged
+    /// evaluation time via dirty tracking, cut into `shards` contiguous
+    /// column stripes evaluated on a persistent worker pool. `shards =
+    /// 1` is the degenerate single-stripe case and runs entirely on the
+    /// calling thread with no pool. Results are bit-identical at every
+    /// shard count. `shards` is clamped to
+    /// `1..=`[`MAX_SHARDS`](crate::unified::MAX_SHARDS).
+    Unified {
+        /// Number of spatial stripes; stripes are evaluated on
+        /// `shards − 1` worker threads plus the calling thread.
         shards: usize,
     },
+    /// The original per-query engine: each query gathers candidates from
+    /// the [`MovingIndex`] and filters them. Kept only as the
+    /// [`MovingIndex`]-generic equivalence oracle for the test batteries,
+    /// behind the default-on `legacy-oracle` feature — production builds
+    /// can compile it out with `--no-default-features`.
+    #[cfg(feature = "legacy-oracle")]
+    Legacy,
+}
+
+impl Default for EvalEngine {
+    /// The unified engine in its degenerate single-stripe form.
+    fn default() -> Self {
+        EvalEngine::Unified { shards: 1 }
+    }
 }
 
 impl EvalEngine {
-    /// The sharded engine with the shard count taken from the
+    /// The unified engine with the shard count taken from the
     /// `LIRA_TEST_SHARDS` environment variable (the CI matrix hook used
     /// by the cross-engine test battery), falling back to
     /// `default_shards` when unset or unparsable.
-    pub fn sharded_from_env(default_shards: usize) -> EvalEngine {
+    pub fn unified_from_env(default_shards: usize) -> EvalEngine {
         let shards = std::env::var("LIRA_TEST_SHARDS")
             .ok()
             .and_then(|v| v.parse().ok())
             .filter(|&s| s >= 1)
             .unwrap_or(default_shards);
-        EvalEngine::Sharded { shards }
+        EvalEngine::Unified { shards }
+    }
+
+    /// Whether this engine is the unified one (at any shard count).
+    #[inline]
+    fn is_unified(self) -> bool {
+        matches!(self, EvalEngine::Unified { .. })
     }
 }
 
@@ -75,15 +89,18 @@ pub struct CqServer<I: MovingIndex = PredictedGrid> {
     queries: Vec<RangeQuery>,
     evaluations: u64,
     engine: EvalEngine,
-    inverted: InvertedEval,
-    /// Sharded-engine state, present only while `engine` is
-    /// [`EvalEngine::Sharded`] (boxed: it carries per-shard state and a
-    /// worker pool).
-    sharded: Option<Box<ShardedEval>>,
-    /// Force sharded rounds onto the calling thread (no worker pool);
+    /// Unified-engine state (boxed: it carries per-shard state, global
+    /// per-node arrays and a lazily-created worker pool). Always present
+    /// — unused (and empty) while the legacy oracle is selected.
+    unified: Box<UnifiedEval>,
+    /// Force evaluation rounds onto the calling thread (no worker pool);
     /// see [`CqServer::with_sequential_eval`].
     sequential_eval: bool,
+    /// Whether unified rounds at an unchanged evaluation time may skip
+    /// clean nodes; see [`CqServer::with_dirty_tracking`].
+    dirty_tracking: bool,
     /// Legacy-path candidate scratch, reused across queries and rounds.
+    #[cfg(feature = "legacy-oracle")]
     scratch: Vec<u32>,
 }
 
@@ -118,37 +135,47 @@ impl<I: MovingIndex> CqServer<I> {
             queries: Vec::new(),
             evaluations: 0,
             engine: EvalEngine::default(),
-            inverted: InvertedEval::new(bounds, num_nodes),
-            sharded: None,
+            unified: Box::new(UnifiedEval::new(bounds, num_nodes, 1)),
             sequential_eval: false,
+            dirty_tracking: true,
+            #[cfg(feature = "legacy-oracle")]
             scratch: Vec::new(),
         }
     }
 
     /// Selects the evaluation engine (builder-style; the default is
-    /// [`EvalEngine::Inverted`]).
+    /// [`EvalEngine::Unified`] with one shard).
     pub fn with_engine(mut self, engine: EvalEngine) -> Self {
         self.engine = engine;
-        self.sharded = match engine {
-            EvalEngine::Sharded { shards } => Some(Box::new(ShardedEval::new(
-                self.bounds,
-                self.store.len(),
-                shards,
-            ))),
-            _ => None,
-        };
+        // Irrefutable when the legacy oracle is compiled out.
+        #[allow(irrefutable_let_patterns)]
+        if let EvalEngine::Unified { shards } = engine {
+            self.unified = Box::new(UnifiedEval::new(self.bounds, self.store.len(), shards));
+            self.unified.set_dirty_tracking(self.dirty_tracking);
+        }
         self
     }
 
-    /// Forces sharded evaluation rounds to run every shard on the
+    /// Forces unified evaluation rounds to run every shard on the
     /// calling thread, in shard order, with no worker pool
     /// (builder-style). The state transitions are identical, so results
     /// stay bit-identical — this is what lets
     /// `Parallelism::Sequential` in the simulation pipeline mean
-    /// *no threads at all*, including intra-lane ones. No effect on the
-    /// other engines (they are single-threaded already).
+    /// *no threads at all*, including intra-lane ones. (At `shards = 1`
+    /// rounds are pool-free already.)
     pub fn with_sequential_eval(mut self, sequential: bool) -> Self {
         self.sequential_eval = sequential;
+        self
+    }
+
+    /// Enables or disables the unified engine's unchanged-time dirty
+    /// shortcut (builder-style; on by default). With it off, every round
+    /// re-places every owned node — the retired inverted engine's
+    /// incremental round, kept reachable as the benchmark baseline
+    /// (`exp_eval`/`exp_shard`). Results are bit-identical either way.
+    pub fn with_dirty_tracking(mut self, enabled: bool) -> Self {
+        self.dirty_tracking = enabled;
+        self.unified.set_dirty_tracking(enabled);
         self
     }
 
@@ -176,12 +203,9 @@ impl<I: MovingIndex> CqServer<I> {
         self.invalidate_engines();
     }
 
-    /// Marks every engine's derived query structures stale.
+    /// Marks the engine's derived query structures stale.
     fn invalidate_engines(&mut self) {
-        self.inverted.invalidate();
-        if let Some(sharded) = &mut self.sharded {
-            sharded.invalidate();
-        }
+        self.unified.invalidate();
     }
 
     /// The registered queries.
@@ -202,11 +226,28 @@ impl<I: MovingIndex> CqServer<I> {
     /// (reordered) updates are rejected by the store and never reach the
     /// index. Returns whether the update was applied.
     pub fn ingest(&mut self, node: u32, t: f64, position: Point, velocity: (f64, f64)) -> bool {
-        let first_report = self.sharded.is_some() && self.store.model(node).is_none();
+        let first_report = !self.store.has(node);
         if self.store.apply(node, t, position, velocity) {
             self.index.apply(node, t, position, velocity);
-            if let Some(sharded) = &mut self.sharded {
-                sharded.on_ingest(node, first_report);
+            if self.engine.is_unified() {
+                self.unified.on_ingest(node, first_report);
+            }
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Removes `node` from the server (the node deregistered or timed
+    /// out): its model is forgotten and it disappears from every query
+    /// result at the next round. Returns whether the node had a model.
+    /// A later report re-registers the node from scratch (even one
+    /// time-stamped before the removed model — removal forgets history).
+    pub fn remove_node(&mut self, node: u32) -> bool {
+        if self.store.remove(node) {
+            self.index.remove(node);
+            if self.engine.is_unified() {
+                self.unified.on_remove(node);
             }
             true
         } else {
@@ -234,18 +275,18 @@ impl<I: MovingIndex> CqServer<I> {
     pub fn evaluate_into(&mut self, t: f64, out: &mut Vec<QueryResult>) {
         self.evaluations += 1;
         match self.engine {
-            EvalEngine::Inverted => {
-                // The inverted engine reads the node store directly; the
+            EvalEngine::Unified { .. } => {
+                // The unified engine reads the node store directly; the
                 // moving-object index needs no per-round refresh.
-                self.inverted
-                    .evaluate_into(&self.queries, &self.store, t, out);
+                self.unified.evaluate_into(
+                    &self.queries,
+                    &self.store,
+                    t,
+                    out,
+                    self.sequential_eval,
+                );
             }
-            EvalEngine::Sharded { .. } => {
-                self.sharded
-                    .as_mut()
-                    .expect("sharded engine state exists while selected")
-                    .evaluate_into(&self.queries, &self.store, t, out, self.sequential_eval);
-            }
+            #[cfg(feature = "legacy-oracle")]
             EvalEngine::Legacy => {
                 self.index.prepare(t, &self.store);
                 out.resize_with(self.queries.len(), QueryResult::default);
@@ -281,9 +322,9 @@ impl<I: MovingIndex> CqServer<I> {
     /// with radius `Δ⊣` for a sound bound near region borders.
     /// `delta_of` must be a pure function of `(node, position)`: the
     /// engines call it in different orders (legacy per query × candidate,
-    /// inverted once per node, sharded once per node from whichever
-    /// worker owns the node's stripe — hence the `Sync` bound), so a
-    /// stateful closure would diverge.
+    /// unified once per node from whichever worker owns the node's
+    /// stripe — hence the `Sync` bound), so a stateful closure would
+    /// diverge.
     pub fn evaluate_uncertain(
         &mut self,
         t: f64,
@@ -307,30 +348,18 @@ impl<I: MovingIndex> CqServer<I> {
         assert!(max_delta >= 0.0);
         self.evaluations += 1;
         match self.engine {
-            EvalEngine::Inverted => {
-                self.inverted.evaluate_uncertain_into(
+            EvalEngine::Unified { .. } => {
+                self.unified.evaluate_uncertain_into(
                     &self.queries,
                     &self.store,
                     t,
                     max_delta,
-                    delta_of,
+                    &delta_of,
                     out,
+                    self.sequential_eval,
                 );
             }
-            EvalEngine::Sharded { .. } => {
-                self.sharded
-                    .as_mut()
-                    .expect("sharded engine state exists while selected")
-                    .evaluate_uncertain_into(
-                        &self.queries,
-                        &self.store,
-                        t,
-                        max_delta,
-                        &delta_of,
-                        out,
-                        self.sequential_eval,
-                    );
-            }
+            #[cfg(feature = "legacy-oracle")]
             EvalEngine::Legacy => {
                 self.index.prepare(t, &self.store);
                 out.resize_with(self.queries.len(), UncertainResult::default);
@@ -370,11 +399,10 @@ impl<I: MovingIndex> CqServer<I> {
     /// `center`: a box of side `s` guarantees every unseen node is farther
     /// than `s/2`, so the search stops as soon as the k-th hit is within
     /// that bound. Returns fewer than `k` entries when fewer nodes have
-    /// reported. All engines share this path (which makes sharded ≡
-    /// inverted ≡ legacy trivial here) — the moving-object index is
-    /// maintained on ingest regardless of engine, and the local box
-    /// probe beats a full store scan at every benchmarked scale
-    /// (`exp_eval`).
+    /// reported. All engines share this path (which makes unified ≡
+    /// legacy trivial here) — the moving-object index is maintained on
+    /// ingest regardless of engine, and the local box probe beats a full
+    /// store scan at every benchmarked scale (`exp_eval`).
     pub fn nearest(&mut self, center: Point, k: usize, t: f64) -> Vec<(u32, f64)> {
         if k == 0 {
             return Vec::new();
@@ -434,12 +462,16 @@ impl<I: MovingIndex> CqServer<I> {
         self.evaluations
     }
 
-    /// Per-shard telemetry of the sharded engine — node count, columns,
-    /// cumulative round wall time and handoff count per stripe. `None`
-    /// unless the engine is [`EvalEngine::Sharded`]; empty until the
-    /// first evaluation builds the stripes.
+    /// Per-shard telemetry of the unified engine — node count, columns,
+    /// cumulative round wall time and handoff count per stripe (one
+    /// entry at `shards = 1`). `None` while the legacy oracle is
+    /// selected; empty until the first evaluation builds the stripes.
     pub fn shard_stats(&self) -> Option<Vec<ShardStats>> {
-        self.sharded.as_ref().map(|sharded| sharded.stats())
+        if self.engine.is_unified() {
+            Some(self.unified.stats())
+        } else {
+            None
+        }
     }
 }
 
@@ -675,6 +707,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg(feature = "legacy-oracle")]
     fn tpr_backed_server_matches_grid_backed() {
         use crate::tpr_tree::TprTree;
         let bounds = Rect::from_coords(0.0, 0.0, 1000.0, 1000.0);
@@ -711,13 +744,14 @@ mod tests {
         }
         for t in [0.0, 10.0, 30.0, 75.0] {
             let want = grid.evaluate(t);
-            assert_eq!(want, tpr.evaluate(t), "tpr inverted, t = {t}");
+            assert_eq!(want, tpr.evaluate(t), "tpr unified, t = {t}");
             assert_eq!(want, grid_legacy.evaluate(t), "grid legacy, t = {t}");
             assert_eq!(want, tpr_legacy.evaluate(t), "tpr legacy, t = {t}");
         }
     }
 
     #[test]
+    #[cfg(feature = "legacy-oracle")]
     fn engines_agree_across_incremental_rounds() {
         // Several consecutive rounds with interleaved updates exercise the
         // incremental path (cell crossings, partial-cell retests, the

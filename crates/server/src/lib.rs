@@ -23,13 +23,13 @@ pub mod cq_engine;
 pub mod grid_index;
 pub mod history;
 pub mod index;
-mod inverted;
 pub mod mobile;
 pub mod node_store;
+mod qindex;
 pub mod query;
 pub mod queue;
-pub mod sharded;
 pub mod tpr_tree;
+pub mod unified;
 
 /// Convenient re-exports of the most used types.
 pub mod prelude {
@@ -49,6 +49,6 @@ pub mod prelude {
     pub use crate::node_store::{NodeStore, StoredModel};
     pub use crate::query::{sorted_difference_count, QueryResult, RangeQuery, UncertainResult};
     pub use crate::queue::UpdateQueue;
-    pub use crate::sharded::{ShardStats, MAX_SHARDS};
     pub use crate::tpr_tree::{MovingPoint, TprTree};
+    pub use crate::unified::{ShardStats, MAX_SHARDS};
 }

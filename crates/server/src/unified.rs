@@ -1,40 +1,53 @@
-//! The spatially-sharded evaluation engine: the inverted engine's cell
-//! grid cut into `S` contiguous column stripes, each owned by one shard
-//! that runs the same incremental membership maintenance over its own
-//! slice of the node population (see DESIGN.md §12).
+//! The unified evaluation engine: one SoA-backed, dirty-tracking core
+//! for every shard count, with `shards = 1` as the degenerate
+//! (single-stripe, no-pool) case (DESIGN.md §13).
 //!
-//! Work is distributed over a persistent hand-rolled `WorkerPool`
-//! (`S − 1` threads plus the calling thread, reused across rounds) in
-//! three phases per round, with the pool join acting as the inter-phase
-//! barrier:
+//! The engine partitions the cell grid of `QueryIndex` into `S`
+//! contiguous column stripes, each owned by one shard that runs the same
+//! incremental membership maintenance over its own slice of the node
+//! population. Per-query member lists are per-shard; per-*node* state
+//! (current cell, partial hits, owned-list position) is global — each
+//! node is owned by exactly one shard, so the arrays are written
+//! disjointly and cost `O(nodes)` once instead of `O(nodes × shards)`.
 //!
-//! 1. **Step** — each shard re-places its owned nodes; a node whose
-//!    predicted position left the stripe is torn down locally and routed
-//!    to its new owner through a per-`(src, dst)` outbox.
-//! 2. **Integrate** — each shard drains the outboxes addressed to it and
-//!    claims newly-reported nodes that landed in its stripe.
-//! 3. **Emit** — query slots are split into `S` contiguous chunks; each
-//!    worker merges the per-shard member lists of its chunk with a
-//!    sorted, deduplicating k-way merge.
+//! A round is at most three phases over a persistent hand-rolled
+//! `WorkerPool` (`S − 1` threads plus the calling thread, reused
+//! across rounds), with the pool join acting as the inter-phase barrier
+//! — and each phase is dispatched *only to the shards with work*:
 //!
-//! Two properties make the result *bit-identical* to
-//! [`EvalEngine::Inverted`](crate::cq_engine::EvalEngine):
+//! 1. **Step** — re-reported (dirty) nodes are bucketed by owning shard
+//!    on the coordinating thread; each active shard re-places its
+//!    bucket (or sweeps all owned nodes when the evaluation time
+//!    advanced), routing stripe-leavers to per-`(src, dst)` outboxes.
+//!    Shards with nothing dirty and nothing owned are never woken.
+//! 2. **Integrate** — pending first reports are pre-routed to their
+//!    destination stripe by the coordinator; each *receiving* shard
+//!    drains its inbound outboxes and claims its pending arrivals. The
+//!    phase is skipped outright when nothing crossed a stripe and
+//!    nothing is pending.
+//! 3. **Emit** — per-shard disjoint sorted member lists are k-way
+//!    merged into the caller's buffers (a plain copy at `shards = 1`).
+//!
+//! Two properties make the result *bit-identical* across shard counts
+//! (and to the retired single-index inverted engine):
 //!
 //! * **Boundary replication**: a query overlapping several stripes is
 //!   registered on every overlapping shard, and a stripe index's
 //!   per-cell lists are identical to the full-width index's lists for
 //!   every in-stripe cell (`QueryIndex::build_cols`). A node is
-//!   therefore classified against exactly the queries the inverted
-//!   engine would test it against, by exactly one shard.
+//!   therefore classified against exactly the same queries at any shard
+//!   count, by exactly one shard.
 //! * **Deterministic merge**: each shard's member lists are sorted node
 //!   sets, shards own disjoint node sets, and the k-way merge emits the
-//!   ascending union — the same sorted list the inverted engine emits,
-//!   independent of thread scheduling.
+//!   ascending union, independent of thread scheduling.
 //!
-//! On top of thread parallelism the engine skips work *within* a round:
-//! re-reported nodes are tracked at ingest, so a round whose evaluation
-//! time equals the previous round's re-places only dirty, pending and
-//! handed-off nodes instead of sweeping the whole store.
+//! Dirty tracking is where the single-core win lives: a round at an
+//! unchanged evaluation time re-places only re-reported + handed-off +
+//! pending nodes — `O(churn)`, not `O(nodes)`. Rounds at a new
+//! evaluation time sweep every owned node (every prediction moved).
+//! `UnifiedEval::set_dirty_tracking(false)` disables the
+//! unchanged-time shortcut, reproducing the retired inverted engine's
+//! every-node incremental round — the benchmarks' baseline.
 
 use std::fmt;
 use std::ops::Range;
@@ -44,14 +57,18 @@ use std::time::Instant;
 
 use lira_core::geometry::{Point, Rect};
 
-use crate::inverted::{insert_member, remove_member, side_for, QueryIndex};
 use crate::node_store::NodeStore;
+use crate::qindex::{axis_cell, insert_member, remove_member, side_for, QueryIndex};
 use crate::query::{QueryResult, RangeQuery, UncertainResult};
 
 /// Hard cap on the shard count: the emit merge keeps one cursor per
 /// shard on the stack, and stripe parallelism past this point is far
 /// beyond any sensible core count for one lane.
 pub const MAX_SHARDS: usize = 32;
+
+/// Sentinel for "this node is owned by no shard" in the global per-node
+/// arrays (`side ≤ 256`, so real cell ids stay far below it).
+const UNOWNED: u32 = u32::MAX;
 
 /// A snapshot of one shard's telemetry, exposed through
 /// [`CqServer::shard_stats`](crate::cq_engine::CqServer::shard_stats).
@@ -72,7 +89,7 @@ pub struct ShardStats {
 }
 
 /// One dispatched unit: run `f(idx)`. The erased borrow is kept alive by
-/// [`WorkerPool::broadcast`], which blocks until the worker signals
+/// [`WorkerPool::run_on`], which blocks until the worker signals
 /// completion.
 struct Job {
     f: &'static (dyn Fn(usize) + Sync),
@@ -119,16 +136,42 @@ impl WorkerPool {
         }
     }
 
-    /// Runs `f(0), …, f(n-1)` concurrently — indices `1..n` on pool
-    /// workers, index 0 on the calling thread — and blocks until all of
-    /// them finish. The join doubles as the inter-phase barrier: a
-    /// broadcast never overlaps the previous one.
-    fn broadcast(&self, n: usize, f: &(dyn Fn(usize) + Sync)) {
-        assert!(n <= self.senders.len() + 1, "pool too small for {n} shards");
+    /// Runs `f(i)` concurrently for every index in `targets` — the tail
+    /// on pool workers, the head on the calling thread — and blocks
+    /// until all of them finish. The join doubles as the inter-phase
+    /// barrier: a dispatch never overlaps the previous one. Idle shards
+    /// are simply not in `targets` and their workers never wake.
+    fn run_on(&self, targets: &[usize], f: &(dyn Fn(usize) + Sync)) {
+        let Some((&head, tail)) = targets.split_first() else {
+            return;
+        };
+        assert!(
+            tail.len() <= self.senders.len(),
+            "pool too small for {} shards",
+            targets.len()
+        );
         // SAFETY: erasing the borrow's lifetime is sound because this
         // function does not return until every dispatched job has
         // signalled completion on the done channel, so no worker can
         // still hold `f` after the borrow ends.
+        let f_erased: &'static (dyn Fn(usize) + Sync) = unsafe { std::mem::transmute(f) };
+        for (w, &idx) in tail.iter().enumerate() {
+            self.senders[w]
+                .send(Job { f: f_erased, idx })
+                .expect("shard worker alive");
+        }
+        f(head);
+        for _ in tail {
+            self.done.recv().expect("shard worker finished");
+        }
+    }
+
+    /// Runs `f(0), …, f(n-1)` concurrently (a full-width
+    /// [`run_on`](Self::run_on) without the target-list allocation).
+    fn broadcast(&self, n: usize, f: &(dyn Fn(usize) + Sync)) {
+        assert!(n <= self.senders.len() + 1, "pool too small for {n} shards");
+        // SAFETY: as in `run_on` — the join below outlives every worker's
+        // use of `f`.
         let f_erased: &'static (dyn Fn(usize) + Sync) = unsafe { std::mem::transmute(f) };
         let jobs = n.saturating_sub(1);
         for w in 0..jobs {
@@ -167,9 +210,10 @@ impl fmt::Debug for WorkerPool {
 }
 
 /// A raw pointer the phase closures can share across worker threads.
-/// Every use site upholds the phase protocol: during a phase each shard
-/// index is accessed mutably by exactly one worker, or the pointee is
-/// read-only for the whole phase; the broadcast join orders phases.
+/// Every use site upholds the phase protocol: during a phase each
+/// accessed index is touched mutably by exactly one worker, or the
+/// pointee is read-only for the whole phase; the dispatch join orders
+/// phases.
 struct SendMutPtr<T>(*mut T);
 
 impl<T> SendMutPtr<T> {
@@ -188,13 +232,68 @@ impl<T> Clone for SendMutPtr<T> {
 }
 impl<T> Copy for SendMutPtr<T> {}
 // SAFETY: see the struct documentation — disjoint or read-only access
-// per phase, phases ordered by the broadcast join.
+// per phase, phases ordered by the dispatch join.
 unsafe impl<T> Send for SendMutPtr<T> {}
 unsafe impl<T> Sync for SendMutPtr<T> {}
 
-/// One stripe's complete evaluation state: the same structures the
-/// inverted engine keeps globally, restricted to the nodes whose
-/// predicted position falls in this shard's columns.
+/// Shared views of the engine's *global* per-node arrays, handed to the
+/// shard phase methods. Per-element access only, via raw pointers — no
+/// aliased `&mut` slices ever exist across workers.
+///
+/// The disjointness protocol: a node's entries are written only by the
+/// shard that owns the node (step/sweep phases), by the shard claiming
+/// it (integrate phase — exactly one shard per node, since a node is
+/// routed to exactly one stripe), or by the coordinator between phases.
+#[derive(Clone, Copy)]
+struct NodeRefs {
+    cell: SendMutPtr<u32>,
+    hits: SendMutPtr<Vec<u32>>,
+    pos: SendMutPtr<u32>,
+}
+
+impl NodeRefs {
+    /// The global cell node `n`'s prediction occupied at the last round
+    /// (`UNOWNED` when no shard owns the node).
+    #[inline]
+    fn cell(&self, n: usize) -> u32 {
+        // SAFETY: per-node disjoint access, see the struct docs.
+        unsafe { *self.cell.ptr().add(n) }
+    }
+
+    #[inline]
+    fn set_cell(&self, n: usize, v: u32) {
+        // SAFETY: per-node disjoint access, see the struct docs.
+        unsafe { *self.cell.ptr().add(n) = v }
+    }
+
+    /// Node `n`'s sorted list of currently-satisfied partial queries.
+    #[allow(clippy::mut_from_ref)]
+    #[inline]
+    fn hits(&self, n: usize) -> &mut Vec<u32> {
+        // SAFETY: per-node disjoint access, see the struct docs; the
+        // returned borrow is used and dropped within one shard's
+        // single-threaded phase code.
+        unsafe { &mut *self.hits.ptr().add(n) }
+    }
+
+    /// Node `n`'s position in its owning shard's `owned` list.
+    #[inline]
+    fn pos(&self, n: usize) -> u32 {
+        // SAFETY: per-node disjoint access, see the struct docs.
+        unsafe { *self.pos.ptr().add(n) }
+    }
+
+    #[inline]
+    fn set_pos(&self, n: usize, v: u32) {
+        // SAFETY: per-node disjoint access, see the struct docs.
+        unsafe { *self.pos.ptr().add(n) = v }
+    }
+}
+
+/// One stripe's evaluation state: the per-query member lists restricted
+/// to the nodes whose predicted position falls in this shard's columns,
+/// plus the stripe-clipped indexes. Per-node state lives in the
+/// engine-global arrays (see [`NodeRefs`]).
 #[derive(Debug, Clone)]
 struct Shard {
     /// Grid columns `[start, end)` owned by this shard.
@@ -203,15 +302,9 @@ struct Shard {
     qindex: QueryIndex,
     /// Per *global* query slot: sorted ids of owned member nodes.
     members: Vec<Vec<u32>>,
-    /// Per node: the global cell its prediction occupied at the last
-    /// round, or `usize::MAX` when this shard does not own the node.
-    node_cell: Vec<usize>,
-    /// Per node: sorted positions of the partial queries it satisfies.
-    partial_hits: Vec<Vec<u32>>,
-    /// Owned node ids (unordered; `owned_pos` maps node → position).
+    /// Owned node ids (unordered; the global `owned_pos` array maps
+    /// node → position in this list).
     owned: Vec<u32>,
-    /// Per node: index into `owned`, or `u32::MAX` when not owned.
-    owned_pos: Vec<u32>,
     hits_scratch: Vec<u32>,
     /// Stripe-restricted Δ⊣-expanded cover for the uncertain path.
     ucover: QueryIndex,
@@ -230,10 +323,7 @@ impl Shard {
             cols: 0..0,
             qindex: QueryIndex::unbuilt(),
             members: Vec::new(),
-            node_cell: Vec::new(),
-            partial_hits: Vec::new(),
             owned: Vec::new(),
-            owned_pos: Vec::new(),
             hits_scratch: Vec::new(),
             ucover: QueryIndex::unbuilt(),
             must: Vec::new(),
@@ -245,30 +335,24 @@ impl Shard {
 
     /// Full build: claim every reported node in the stripe with one
     /// ascending store pass (pushing in node-id order keeps the member
-    /// lists sorted with no per-insert search).
-    fn rebuild(&mut self, queries: &[RangeQuery], store: &NodeStore, t: f64) {
+    /// lists sorted with no per-insert search). The coordinator reset
+    /// the global per-node arrays before this phase.
+    fn rebuild(&mut self, queries: &[RangeQuery], store: &NodeStore, t: f64, refs: NodeRefs) {
         for list in &mut self.members {
             list.clear();
         }
-        self.node_cell.fill(usize::MAX);
-        for list in &mut self.partial_hits {
-            list.clear();
-        }
         self.owned.clear();
-        self.owned_pos.fill(u32::MAX);
         let Shard {
             cols,
             qindex,
             members,
-            node_cell,
-            partial_hits,
             owned,
-            owned_pos,
             ..
         } = self;
-        for (n, model) in store.models().iter().enumerate() {
-            let Some(model) = model else { continue };
-            let p = model.predict(t);
+        for n in 0..store.len() {
+            let Some(p) = store.predict(n as u32, t) else {
+                continue;
+            };
             let (row, col) = qindex.rc_of(&p);
             if !cols.contains(&col) {
                 continue;
@@ -277,14 +361,15 @@ impl Shard {
             for &q in qindex.full_at(slot) {
                 members[q as usize].push(n as u32);
             }
+            let hits = refs.hits(n);
             for &q in qindex.partial_at(slot) {
                 if queries[q as usize].range.contains(&p) {
                     members[q as usize].push(n as u32);
-                    partial_hits[n].push(q);
+                    hits.push(q);
                 }
             }
-            node_cell[n] = row * qindex.side() + col;
-            owned_pos[n] = owned.len() as u32;
+            refs.set_cell(n, (row * qindex.side() + col) as u32);
+            refs.set_pos(n, owned.len() as u32);
             owned.push(n as u32);
         }
     }
@@ -298,22 +383,24 @@ impl Shard {
         t: f64,
         routes_row: &mut [Vec<u32>],
         col_owner: &[u32],
+        refs: NodeRefs,
     ) {
         let mut k = 0;
         while k < self.owned.len() {
             let n = self.owned[k] as usize;
-            if self.step_node(n, queries, store, t, routes_row, col_owner) {
+            if self.step_node(n, queries, store, t, routes_row, col_owner, refs) {
                 k += 1;
             } else {
-                self.unown_at(k);
+                self.unown_at(k, refs);
             }
         }
     }
 
-    /// Work-skipping round at an unchanged evaluation time: only nodes
-    /// that re-reported since the last round can change membership (same
-    /// model + same `t` ⇒ same prediction ⇒ same memberships), so only
-    /// they are re-placed.
+    /// Work-skipping round at an unchanged evaluation time: `dirty` is
+    /// this shard's bucket of owned nodes that re-reported (or were
+    /// removed) since the last round — same model + same `t` ⇒ same
+    /// prediction ⇒ same memberships for everyone else.
+    #[allow(clippy::too_many_arguments)]
     fn dirty_round(
         &mut self,
         dirty: &[u32],
@@ -322,31 +409,49 @@ impl Shard {
         t: f64,
         routes_row: &mut [Vec<u32>],
         col_owner: &[u32],
+        refs: NodeRefs,
     ) {
         for &n in dirty {
             let n = n as usize;
-            if self.node_cell[n] == usize::MAX {
-                continue; // owned by another shard (or still pending)
-            }
-            if !self.step_node(n, queries, store, t, routes_row, col_owner) {
-                self.unown_at(self.owned_pos[n] as usize);
+            debug_assert_ne!(refs.cell(n), UNOWNED, "dirty node routed to a non-owner");
+            if !self.step_node(n, queries, store, t, routes_row, col_owner, refs) {
+                self.unown_at(refs.pos(n) as usize, refs);
             }
         }
     }
 
     /// Drops the owned entry at position `k`, keeping `owned_pos` exact.
-    fn unown_at(&mut self, k: usize) {
+    fn unown_at(&mut self, k: usize, refs: NodeRefs) {
         let n = self.owned.swap_remove(k) as usize;
-        self.owned_pos[n] = u32::MAX;
+        refs.set_pos(n, UNOWNED);
         if let Some(&moved) = self.owned.get(k) {
-            self.owned_pos[moved as usize] = k as u32;
+            refs.set_pos(moved as usize, k as u32);
         }
     }
 
-    /// Re-places one owned node at time `t`, mirroring the inverted
-    /// engine's incremental logic. Returns false when the node left this
-    /// stripe: its memberships here are torn down and it is routed to
-    /// its new owner's inbox.
+    /// Removes every membership node `n` holds on this shard and marks
+    /// it unplaced (stripe crossing or node removal).
+    fn tear_down(&mut self, n: usize, refs: NodeRefs) {
+        let Shard {
+            qindex, members, ..
+        } = self;
+        let old_slot = qindex.slot_of_cell(refs.cell(n) as usize);
+        for &q in qindex.full_at(old_slot) {
+            remove_member(members, q, n as u32);
+        }
+        let hits = refs.hits(n);
+        for &q in hits.iter() {
+            remove_member(members, q, n as u32);
+        }
+        hits.clear();
+        refs.set_cell(n, UNOWNED);
+    }
+
+    /// Re-places one owned node at time `t`. Returns false when the node
+    /// left this shard: removed from the store (memberships torn down,
+    /// node forgotten) or crossed into another stripe (torn down and
+    /// routed to the new owner's inbox).
+    #[allow(clippy::too_many_arguments)]
     fn step_node(
         &mut self,
         n: usize,
@@ -355,46 +460,29 @@ impl Shard {
         t: f64,
         routes_row: &mut [Vec<u32>],
         col_owner: &[u32],
+        refs: NodeRefs,
     ) -> bool {
-        let model = store.models()[n].as_ref().expect("owned node has a model");
-        let p = model.predict(t);
+        debug_assert_ne!(refs.cell(n), UNOWNED, "stepping an unowned node");
+        let Some(p) = store.predict(n as u32, t) else {
+            // The node was removed since the last round.
+            self.tear_down(n, refs);
+            return false;
+        };
         let (row, col) = self.qindex.rc_of(&p);
-        let old_cell = self.node_cell[n];
-        debug_assert_ne!(
-            old_cell,
-            usize::MAX,
-            "stepping a node this shard does not own"
-        );
         if !self.cols.contains(&col) {
             // Stripe crossing: remove every membership held here and hand
             // the node to the stripe that owns its new column.
-            let Shard {
-                qindex,
-                members,
-                node_cell,
-                partial_hits,
-                ..
-            } = self;
-            let old_slot = qindex.slot_of_cell(old_cell);
-            for &q in qindex.full_at(old_slot) {
-                remove_member(members, q, n as u32);
-            }
-            for &q in &partial_hits[n] {
-                remove_member(members, q, n as u32);
-            }
-            partial_hits[n].clear();
-            node_cell[n] = usize::MAX;
+            self.tear_down(n, refs);
             self.handoffs += 1;
             routes_row[col_owner[col] as usize].push(n as u32);
             return false;
         }
         let cell = row * self.qindex.side() + col;
         let slot = self.qindex.slot(row, col);
+        let old_cell = refs.cell(n) as usize;
         let Shard {
             qindex,
             members,
-            node_cell,
-            partial_hits,
             hits_scratch,
             ..
         } = self;
@@ -411,7 +499,7 @@ impl Shard {
                     hits_scratch.push(q);
                 }
             }
-            let old_hits = &mut partial_hits[n];
+            let old_hits = refs.hits(n);
             if *hits_scratch == *old_hits {
                 return true;
             }
@@ -440,78 +528,104 @@ impl Shard {
             for &q in qindex.full_at(old_slot) {
                 remove_member(members, q, n as u32);
             }
-            for &q in &partial_hits[n] {
+            let hits = refs.hits(n);
+            for &q in hits.iter() {
                 remove_member(members, q, n as u32);
             }
-            partial_hits[n].clear();
+            hits.clear();
             for &q in qindex.full_at(slot) {
                 insert_member(members, q, n as u32);
             }
             for &q in qindex.partial_at(slot) {
                 if queries[q as usize].range.contains(&p) {
                     insert_member(members, q, n as u32);
-                    partial_hits[n].push(q);
+                    hits.push(q);
                 }
             }
-            node_cell[n] = cell;
+            refs.set_cell(n, cell as u32);
         }
         true
     }
 
     /// Claims a node routed here by another shard (its new position is
     /// guaranteed to lie in this stripe).
-    fn claim(&mut self, n: usize, queries: &[RangeQuery], store: &NodeStore, t: f64) {
-        let model = store.models()[n].as_ref().expect("routed node has a model");
-        let p = model.predict(t);
+    fn claim(
+        &mut self,
+        n: usize,
+        queries: &[RangeQuery],
+        store: &NodeStore,
+        t: f64,
+        refs: NodeRefs,
+    ) {
+        let p = store.predict(n as u32, t).expect("routed node has a model");
         let (row, col) = self.qindex.rc_of(&p);
         debug_assert!(self.cols.contains(&col), "node routed to the wrong stripe");
-        self.insert_node(n, row, col, &p, queries);
+        self.insert_node(n, row, col, &p, queries, refs);
     }
 
-    /// Claims a newly-reported node if its prediction lands in this
-    /// stripe (every shard tests every pending node; exactly one claims
-    /// it).
-    fn try_claim(&mut self, n: usize, queries: &[RangeQuery], store: &NodeStore, t: f64) {
-        let Some(model) = store.models()[n].as_ref() else {
-            return;
-        };
-        let p = model.predict(t);
-        let (row, col) = self.qindex.rc_of(&p);
-        if !self.cols.contains(&col) {
+    /// Claims a pending first report the coordinator routed to this
+    /// stripe. Skips nodes that are already owned (a node can be pending
+    /// *and* re-placed in the step phase after a remove/re-ingest pair)
+    /// or were removed again before the round.
+    fn claim_pending(
+        &mut self,
+        n: usize,
+        queries: &[RangeQuery],
+        store: &NodeStore,
+        t: f64,
+        refs: NodeRefs,
+    ) {
+        if refs.cell(n) != UNOWNED {
             return;
         }
-        debug_assert_eq!(self.node_cell[n], usize::MAX, "pending node already owned");
-        self.insert_node(n, row, col, &p, queries);
+        let Some(p) = store.predict(n as u32, t) else {
+            return;
+        };
+        let (row, col) = self.qindex.rc_of(&p);
+        debug_assert!(
+            self.cols.contains(&col),
+            "pending node routed to the wrong stripe"
+        );
+        self.insert_node(n, row, col, &p, queries, refs);
     }
 
-    fn insert_node(&mut self, n: usize, row: usize, col: usize, p: &Point, queries: &[RangeQuery]) {
+    fn insert_node(
+        &mut self,
+        n: usize,
+        row: usize,
+        col: usize,
+        p: &Point,
+        queries: &[RangeQuery],
+        refs: NodeRefs,
+    ) {
         let slot = self.qindex.slot(row, col);
         let Shard {
             qindex,
             members,
-            node_cell,
-            partial_hits,
+            owned,
             ..
         } = self;
         for &q in qindex.full_at(slot) {
             insert_member(members, q, n as u32);
         }
+        let hits = refs.hits(n);
+        debug_assert!(hits.is_empty(), "claimed node carries stale partial hits");
         for &q in qindex.partial_at(slot) {
             if queries[q as usize].range.contains(p) {
                 insert_member(members, q, n as u32);
-                partial_hits[n].push(q);
+                hits.push(q);
             }
         }
-        node_cell[n] = row * qindex.side() + col;
-        self.owned_pos[n] = self.owned.len() as u32;
-        self.owned.push(n as u32);
+        refs.set_cell(n, (row * qindex.side() + col) as u32);
+        refs.set_pos(n, owned.len() as u32);
+        owned.push(n as u32);
     }
 
     /// One uncertain classification pass over the stripe. Not
     /// incremental (per-node Δ changes freely between calls), but each
     /// node is classified by exactly one shard against exactly the
-    /// queries the inverted engine's full-width cover would list, with
-    /// `delta_of` called at most once per node.
+    /// queries a full-width cover would list, with `delta_of` called at
+    /// most once per node.
     fn uncertain_round(
         &mut self,
         queries: &[RangeQuery],
@@ -527,9 +641,10 @@ impl Shard {
         for list in self.must.iter_mut().chain(self.maybe.iter_mut()) {
             list.clear();
         }
-        for (n, model) in store.models().iter().enumerate() {
-            let Some(model) = model else { continue };
-            let p = model.predict(t);
+        for n in 0..store.len() {
+            let Some(p) = store.predict(n as u32, t) else {
+                continue;
+            };
             let (row, col) = self.ucover.rc_of(&p);
             if !self.cols.contains(&col) {
                 continue;
@@ -598,30 +713,45 @@ fn merge_into(srcs: &[&[u32]], out: &mut Vec<u32>) {
     }
 }
 
-/// All state of the sharded engine. See the module docs for the round
+/// All state of the unified engine. See the module docs for the round
 /// protocol and the bit-identity argument.
 #[derive(Debug)]
-pub(crate) struct ShardedEval {
+pub(crate) struct UnifiedEval {
     bounds: Rect,
     num_shards: usize,
     shards: Vec<Shard>,
     /// Per grid column: the shard owning it.
     col_owner: Vec<u32>,
+    /// Global per-node arrays (disjointly written — each node is owned
+    /// by exactly one shard; see [`NodeRefs`]).
+    node_cell: Vec<u32>,
+    partial_hits: Vec<Vec<u32>>,
+    owned_pos: Vec<u32>,
     /// Whether the stripe indexes match the current query set.
     indexed: bool,
     /// Whether shard state describes a completed exact round.
     primed: bool,
     /// Bit pattern of the last exact round's evaluation time.
     last_t: u64,
-    /// Nodes that re-reported since the last exact round (deduplicated
-    /// via `dirty_flag`).
+    /// Whether rounds at an unchanged evaluation time may skip clean
+    /// nodes (true in production; false reproduces the every-node
+    /// incremental baseline for benchmarking).
+    dirty_tracking: bool,
+    /// Nodes that re-reported (or were removed) since the last exact
+    /// round, deduplicated via `dirty_flag`.
     dirty: Vec<u32>,
     dirty_flag: Vec<bool>,
     /// Nodes whose *first* report arrived since the last exact round —
     /// not yet owned by any shard.
     pending: Vec<u32>,
-    /// Per `(src, dst)` handoff outboxes, reused across rounds.
-    routes: Vec<Vec<Vec<u32>>>,
+    /// Flat per-`(src, dst)` handoff outboxes (`src·S + dst`), reused
+    /// across rounds; receivers clear their inbound column after
+    /// draining it.
+    routes: Vec<Vec<u32>>,
+    /// Per-shard batches the coordinator builds before each round
+    /// (dirty nodes by owner; pending first reports by destination).
+    dirty_by_shard: Vec<Vec<u32>>,
+    pending_by_shard: Vec<Vec<u32>>,
     /// Whether the stripe Δ⊣-covers match the current query set and Δ⊣.
     uindexed: bool,
     umax_delta: f64,
@@ -630,20 +760,26 @@ pub(crate) struct ShardedEval {
     pool: Option<WorkerPool>,
 }
 
-impl Clone for ShardedEval {
+impl Clone for UnifiedEval {
     fn clone(&self) -> Self {
-        ShardedEval {
+        UnifiedEval {
             bounds: self.bounds,
             num_shards: self.num_shards,
             shards: self.shards.clone(),
             col_owner: self.col_owner.clone(),
+            node_cell: self.node_cell.clone(),
+            partial_hits: self.partial_hits.clone(),
+            owned_pos: self.owned_pos.clone(),
             indexed: self.indexed,
             primed: self.primed,
             last_t: self.last_t,
+            dirty_tracking: self.dirty_tracking,
             dirty: self.dirty.clone(),
             dirty_flag: self.dirty_flag.clone(),
             pending: self.pending.clone(),
             routes: self.routes.clone(),
+            dirty_by_shard: self.dirty_by_shard.clone(),
+            pending_by_shard: self.pending_by_shard.clone(),
             uindexed: self.uindexed,
             umax_delta: self.umax_delta,
             pool: None,
@@ -651,26 +787,38 @@ impl Clone for ShardedEval {
     }
 }
 
-impl ShardedEval {
+impl UnifiedEval {
     /// Creates empty state for a server over `bounds` with `shards`
     /// stripes (clamped to `1..=MAX_SHARDS`).
     pub(crate) fn new(bounds: Rect, num_nodes: usize, shards: usize) -> Self {
-        ShardedEval {
+        UnifiedEval {
             bounds,
             num_shards: shards.clamp(1, MAX_SHARDS),
             shards: Vec::new(),
             col_owner: Vec::new(),
+            node_cell: Vec::new(),
+            partial_hits: Vec::new(),
+            owned_pos: Vec::new(),
             indexed: false,
             primed: false,
             last_t: 0,
+            dirty_tracking: true,
             dirty: Vec::new(),
             dirty_flag: vec![false; num_nodes],
             pending: Vec::new(),
             routes: Vec::new(),
+            dirty_by_shard: Vec::new(),
+            pending_by_shard: Vec::new(),
             uindexed: false,
             umax_delta: f64::NAN,
             pool: None,
         }
+    }
+
+    /// Enables or disables the unchanged-time dirty shortcut (see the
+    /// module docs; benchmarking baseline).
+    pub(crate) fn set_dirty_tracking(&mut self, enabled: bool) {
+        self.dirty_tracking = enabled;
     }
 
     /// Marks every derived structure stale (query-set change).
@@ -692,6 +840,19 @@ impl ShardedEval {
         if first_report {
             self.pending.push(node);
         } else if !self.dirty_flag[n] {
+            self.dirty_flag[n] = true;
+            self.dirty.push(node);
+        }
+    }
+
+    /// Removal hook: the node must be re-placed (torn down) at the next
+    /// round even if the evaluation time does not advance.
+    pub(crate) fn on_remove(&mut self, node: u32) {
+        let n = node as usize;
+        if n >= self.dirty_flag.len() {
+            self.dirty_flag.resize(n + 1, false);
+        }
+        if !self.dirty_flag[n] {
             self.dirty_flag[n] = true;
             self.dirty.push(node);
         }
@@ -733,17 +894,17 @@ impl ShardedEval {
             shard.qindex = QueryIndex::build_cols(&self.bounds, queries, 0.0, true, lo..hi);
             shard.members.resize_with(queries.len(), Vec::new);
             shard.members.truncate(queries.len());
-            shard.node_cell.resize(num_nodes, usize::MAX);
-            shard.partial_hits.resize_with(num_nodes, Vec::new);
-            shard.owned_pos.resize(num_nodes, u32::MAX);
         }
+        self.node_cell.resize(num_nodes, UNOWNED);
+        self.partial_hits.resize_with(num_nodes, Vec::new);
+        self.owned_pos.resize(num_nodes, UNOWNED);
         if self.dirty_flag.len() < num_nodes {
             self.dirty_flag.resize(num_nodes, false);
         }
-        self.routes.resize_with(s, Vec::new);
-        for row in &mut self.routes {
-            row.resize_with(s, Vec::new);
-        }
+        self.routes.resize_with(s * s, Vec::new);
+        self.routes.truncate(s * s);
+        self.dirty_by_shard.resize_with(s, Vec::new);
+        self.pending_by_shard.resize_with(s, Vec::new);
         self.indexed = true;
         self.primed = false;
         self.uindexed = false;
@@ -757,6 +918,21 @@ impl ShardedEval {
         }
         self.dirty.clear();
         self.pending.clear();
+        for bucket in self
+            .dirty_by_shard
+            .iter_mut()
+            .chain(self.pending_by_shard.iter_mut())
+        {
+            bucket.clear();
+        }
+    }
+
+    /// The shard owning the stripe a position falls in.
+    #[inline]
+    fn owner_of(&self, p: &Point) -> usize {
+        let side = self.col_owner.len();
+        let col = axis_cell(p.x, self.bounds.min.x, self.bounds.width(), side);
+        self.col_owner[col] as usize
     }
 
     /// One exact evaluation round at time `t`, writing sorted
@@ -776,20 +952,66 @@ impl ShardedEval {
         }
         let s = self.num_shards;
         let rebuild = !self.primed;
-        let same_t = self.primed && self.last_t == t.to_bits();
+        let same_t = self.dirty_tracking && self.primed && self.last_t == t.to_bits();
         let nq = queries.len();
         out.resize_with(nq, QueryResult::default);
         out.truncate(nq);
+
+        // Coordinator prep: batch the round's change feed per shard.
+        let mut step_targets: Vec<usize> = Vec::with_capacity(s);
+        let mut integrate_targets: Vec<usize> = Vec::with_capacity(s);
+        if rebuild {
+            // Full rebuild: reset the global per-node arrays and any
+            // stale outboxes; every shard participates in the step
+            // phase, nothing integrates.
+            self.node_cell.fill(UNOWNED);
+            self.owned_pos.fill(UNOWNED);
+            for hits in &mut self.partial_hits {
+                hits.clear();
+            }
+            for outbox in &mut self.routes {
+                outbox.clear();
+            }
+            step_targets.extend(0..s);
+        } else {
+            if same_t {
+                // Bucket dirty nodes by owning shard (derived from the
+                // node's current cell — columns map to shards).
+                let side = self.col_owner.len();
+                for &node in &self.dirty {
+                    let cell = self.node_cell[node as usize];
+                    if cell == UNOWNED {
+                        continue; // pending or already removed, never placed
+                    }
+                    let owner = self.col_owner[cell as usize % side] as usize;
+                    self.dirty_by_shard[owner].push(node);
+                }
+                step_targets.extend((0..s).filter(|&i| !self.dirty_by_shard[i].is_empty()));
+            } else {
+                step_targets.extend((0..s).filter(|&i| !self.shards[i].owned.is_empty()));
+            }
+            // Route pending first reports to their destination stripe.
+            for &node in &self.pending {
+                if self.node_cell[node as usize] != UNOWNED {
+                    continue; // re-placed via the dirty path (remove/re-ingest)
+                }
+                let Some(p) = store.predict(node, t) else {
+                    continue; // removed again before any round saw it
+                };
+                let owner = self.owner_of(&p);
+                self.pending_by_shard[owner].push(node);
+            }
+        }
 
         let pool: Option<&WorkerPool> = if sequential || s == 1 {
             None
         } else {
             Some(self.pool.get_or_insert_with(|| WorkerPool::new(s - 1)))
         };
-        let run = |f: &(dyn Fn(usize) + Sync)| match pool {
-            Some(p) => p.broadcast(s, f),
+        let run_on = |targets: &[usize], f: &(dyn Fn(usize) + Sync)| match pool {
+            Some(p) => p.run_on(targets, f),
             None => {
-                for i in 0..s {
+                for &i in targets {
                     f(i);
                 }
             }
@@ -798,70 +1020,108 @@ impl ShardedEval {
         let shards = SendMutPtr(self.shards.as_mut_ptr());
         let routes = SendMutPtr(self.routes.as_mut_ptr());
         let out_ptr = SendMutPtr(out.as_mut_ptr());
+        let refs = NodeRefs {
+            cell: SendMutPtr(self.node_cell.as_mut_ptr()),
+            hits: SendMutPtr(self.partial_hits.as_mut_ptr()),
+            pos: SendMutPtr(self.owned_pos.as_mut_ptr()),
+        };
         let col_owner = &self.col_owner;
-        let dirty = &self.dirty;
-        let pending = &self.pending;
+        let dirty_by_shard = &self.dirty_by_shard;
+        let pending_by_shard = &self.pending_by_shard;
 
-        // Phase 1 — step: each worker exclusively owns shard i and
-        // outbox row i.
-        run(&|i: usize| {
-            // SAFETY: exclusive per-index access, see SendMutPtr.
+        // Phase 1 — step: each active worker exclusively owns shard i,
+        // outbox row i, and the per-node entries of the nodes shard i
+        // owns.
+        run_on(&step_targets, &|i: usize| {
+            // SAFETY: exclusive per-index access, see SendMutPtr/NodeRefs.
             let shard = unsafe { &mut *shards.ptr().add(i) };
-            let routes_row = unsafe { &mut *routes.ptr().add(i) };
+            let routes_row = unsafe { std::slice::from_raw_parts_mut(routes.ptr().add(i * s), s) };
             let start = Instant::now();
-            for outbox in routes_row.iter_mut() {
-                outbox.clear();
-            }
             if rebuild {
-                shard.rebuild(queries, store, t);
+                shard.rebuild(queries, store, t, refs);
             } else if same_t {
-                shard.dirty_round(dirty, queries, store, t, routes_row, col_owner);
+                shard.dirty_round(
+                    &dirty_by_shard[i],
+                    queries,
+                    store,
+                    t,
+                    routes_row,
+                    col_owner,
+                    refs,
+                );
             } else {
-                shard.sweep_round(queries, store, t, routes_row, col_owner);
+                shard.sweep_round(queries, store, t, routes_row, col_owner, refs);
             }
             shard.round_ns += start.elapsed().as_nanos() as u64;
         });
 
-        // Phase 2 — integrate: outboxes are read-only now; each worker
-        // drains the column addressed to its shard and claims pending
-        // first reports that landed in its stripe.
-        run(&|i: usize| {
-            // SAFETY: shard i mutable by this worker only; routes shared
-            // read-only across workers for the whole phase.
-            let shard = unsafe { &mut *shards.ptr().add(i) };
-            let start = Instant::now();
-            if !rebuild {
+        // Phase 2 — integrate: each receiving worker drains (and clears)
+        // the outbox column addressed to its shard and claims its
+        // pre-routed pending arrivals. Skipped outright when no node
+        // crossed a stripe and nothing is pending.
+        if !rebuild {
+            for i in 0..s {
+                let inbound = (0..s).any(|src| !self.routes[src * s + i].is_empty());
+                if inbound || !self.pending_by_shard[i].is_empty() {
+                    integrate_targets.push(i);
+                }
+            }
+            run_on(&integrate_targets, &|i: usize| {
+                // SAFETY: shard i and outbox column i are touched by this
+                // worker only; claimed nodes' per-node entries are
+                // disjoint (each node is routed to exactly one stripe).
+                let shard = unsafe { &mut *shards.ptr().add(i) };
+                let start = Instant::now();
                 for src in 0..s {
-                    let row: &Vec<Vec<u32>> = unsafe { &*routes.ptr().add(src) };
-                    for &n in &row[i] {
-                        shard.claim(n as usize, queries, store, t);
+                    let outbox = unsafe { &mut *routes.ptr().add(src * s + i) };
+                    for &n in outbox.iter() {
+                        shard.claim(n as usize, queries, store, t, refs);
                     }
+                    outbox.clear();
                 }
-                for &n in pending {
-                    shard.try_claim(n as usize, queries, store, t);
+                for &n in &pending_by_shard[i] {
+                    shard.claim_pending(n as usize, queries, store, t, refs);
                 }
-            }
-            shard.round_ns += start.elapsed().as_nanos() as u64;
-        });
+                shard.round_ns += start.elapsed().as_nanos() as u64;
+            });
+        }
 
-        // Phase 3 — emit: shards are read-only; each worker merges the
-        // member lists of its contiguous query chunk.
-        run(&|i: usize| {
-            // SAFETY: shards read-only for the whole phase; out slots
-            // are written by exactly one worker (disjoint chunks).
-            let shards_ro: &[Shard] = unsafe { std::slice::from_raw_parts(shards.ptr(), s) };
-            let mut srcs: Vec<&[u32]> = vec![&[]; s];
-            let chunk = nq * i / s..nq * (i + 1) / s;
-            for (q, query) in queries.iter().enumerate().take(chunk.end).skip(chunk.start) {
-                let slot = unsafe { &mut *out_ptr.ptr().add(q) };
+        // Phase 3 — emit: shards are read-only. At one shard this is a
+        // straight copy of the member lists; otherwise each worker
+        // k-way-merges the member lists of its contiguous query chunk.
+        if s == 1 {
+            let shard = &self.shards[0];
+            for ((slot, query), members) in out.iter_mut().zip(queries).zip(&shard.members) {
                 slot.query = query.id;
                 slot.nodes.clear();
-                for (si, shard) in shards_ro.iter().enumerate() {
-                    srcs[si] = &shard.members[q];
-                }
-                merge_into(&srcs, &mut slot.nodes);
+                slot.nodes.extend_from_slice(members);
             }
-        });
+        } else {
+            let run_all = |f: &(dyn Fn(usize) + Sync)| match pool {
+                Some(p) => p.broadcast(s, f),
+                None => {
+                    for i in 0..s {
+                        f(i);
+                    }
+                }
+            };
+            run_all(&|i: usize| {
+                // SAFETY: shards read-only for the whole phase; out slots
+                // are written by exactly one worker (disjoint chunks).
+                let shards_ro: &[Shard] = unsafe { std::slice::from_raw_parts(shards.ptr(), s) };
+                let mut srcs: Vec<&[u32]> = vec![&[]; s];
+                let chunk = nq * i / s..nq * (i + 1) / s;
+                for (q, query) in queries.iter().enumerate().take(chunk.end).skip(chunk.start) {
+                    let slot = unsafe { &mut *out_ptr.ptr().add(q) };
+                    slot.query = query.id;
+                    slot.nodes.clear();
+                    for (si, shard) in shards_ro.iter().enumerate() {
+                        srcs[si] = &shard.members[q];
+                    }
+                    merge_into(&srcs, &mut slot.nodes);
+                }
+            });
+        }
 
         self.primed = true;
         self.last_t = t.to_bits();
@@ -871,7 +1131,7 @@ impl ShardedEval {
     /// One uncertain evaluation round: every shard classifies its
     /// stripe's nodes against the Δ⊣-expanded covers, then the per-shard
     /// must/maybe lists are merged per query. Stateless between rounds
-    /// (like the inverted engine's uncertain path).
+    /// (per-node Δ changes freely).
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn evaluate_uncertain_into(
         &mut self,
@@ -930,7 +1190,19 @@ impl ShardedEval {
             shard.round_ns += start.elapsed().as_nanos() as u64;
         });
 
-        // Emit: shards read-only, disjoint query chunks per worker.
+        // Emit: a copy at one shard, else shards read-only with disjoint
+        // query chunks per worker.
+        if s == 1 {
+            let shard = &self.shards[0];
+            for (q, (slot, query)) in out.iter_mut().zip(queries).enumerate() {
+                slot.query = query.id;
+                slot.must.clear();
+                slot.must.extend_from_slice(&shard.must[q]);
+                slot.maybe.clear();
+                slot.maybe.extend_from_slice(&shard.maybe[q]);
+            }
+            return;
+        }
         run(&|i: usize| {
             // SAFETY: see the exact emit phase.
             let shards_ro: &[Shard] = unsafe { std::slice::from_raw_parts(shards.ptr(), s) };
@@ -958,7 +1230,7 @@ impl ShardedEval {
 // into per-policy lane threads.
 const _: () = {
     const fn assert_send<T: Send>() {}
-    assert_send::<ShardedEval>();
+    assert_send::<UnifiedEval>();
 };
 
 #[cfg(test)]
@@ -1003,5 +1275,17 @@ mod tests {
         let mut got = hits.into_inner().unwrap();
         got.sort_unstable();
         assert_eq!(got, vec![0, 1]);
+    }
+
+    #[test]
+    fn pool_run_on_dispatches_sparse_targets() {
+        let pool = WorkerPool::new(3);
+        let hits = std::sync::Mutex::new(Vec::new());
+        pool.run_on(&[], &|i| hits.lock().unwrap().push(i));
+        pool.run_on(&[2], &|i| hits.lock().unwrap().push(i));
+        pool.run_on(&[0, 3], &|i| hits.lock().unwrap().push(i));
+        let mut got = hits.into_inner().unwrap();
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 2, 3]);
     }
 }

@@ -1,7 +1,9 @@
 //! Property-based equivalence suite for the CQ evaluation engines:
-//! inverted-incremental ≡ legacy per-query ≡ brute force, on both
+//! unified-incremental ≡ legacy per-query ≡ brute force, on both
 //! `PredictedGrid` and `TprTree`, for `evaluate`, `evaluate_uncertain`,
-//! and `nearest`.
+//! and `nearest`. The unified engine runs at the shard count the CI
+//! matrix selects via `LIRA_TEST_SHARDS` (default 1, the degenerate
+//! single-stripe case).
 //!
 //! Every generated coordinate is a multiple of 62.5 m (exactly
 //! representable in binary) over a 1 km² space with 8×8 index cells of
@@ -9,6 +11,9 @@
 //! index-cell boundaries, the places where the engines' different
 //! traversal orders could disagree. Positions outside the bounds exercise
 //! the clamped border cells.
+
+// The whole battery compares against the legacy oracle.
+#![cfg(feature = "legacy-oracle")]
 
 use lira_core::geometry::{Point, Rect};
 use lira_server::prelude::*;
@@ -169,41 +174,41 @@ impl Oracle {
 
 /// All four engine × index combinations under test, fed identically.
 struct Quad {
-    grid_inv: CqServer,
+    grid_uni: CqServer,
     grid_leg: CqServer,
-    tpr_inv: CqServer<TprTree>,
+    tpr_uni: CqServer<TprTree>,
     tpr_leg: CqServer<TprTree>,
 }
 
 impl Quad {
     fn new(queries: &[RangeQuery]) -> Self {
         let b = bounds();
+        let engine = EvalEngine::unified_from_env(1);
         let mut quad = Quad {
-            grid_inv: CqServer::new(b, NUM_NODES, 8).with_engine(EvalEngine::Inverted),
+            grid_uni: CqServer::new(b, NUM_NODES, 8).with_engine(engine),
             grid_leg: CqServer::new(b, NUM_NODES, 8).with_engine(EvalEngine::Legacy),
-            tpr_inv: CqServer::with_index(b, NUM_NODES, TprTree::new(60.0))
-                .with_engine(EvalEngine::Inverted),
+            tpr_uni: CqServer::with_index(b, NUM_NODES, TprTree::new(60.0)).with_engine(engine),
             tpr_leg: CqServer::with_index(b, NUM_NODES, TprTree::new(60.0))
                 .with_engine(EvalEngine::Legacy),
         };
-        quad.grid_inv.register_queries(queries.iter().copied());
+        quad.grid_uni.register_queries(queries.iter().copied());
         quad.grid_leg.register_queries(queries.iter().copied());
-        quad.tpr_inv.register_queries(queries.iter().copied());
+        quad.tpr_uni.register_queries(queries.iter().copied());
         quad.tpr_leg.register_queries(queries.iter().copied());
         quad
     }
 
     fn ingest(&mut self, u: &Update) {
-        self.grid_inv.ingest(u.node, u.t, u.pos, u.vel);
+        self.grid_uni.ingest(u.node, u.t, u.pos, u.vel);
         self.grid_leg.ingest(u.node, u.t, u.pos, u.vel);
-        self.tpr_inv.ingest(u.node, u.t, u.pos, u.vel);
+        self.tpr_uni.ingest(u.node, u.t, u.pos, u.vel);
         self.tpr_leg.ingest(u.node, u.t, u.pos, u.vel);
     }
 
     fn replace(&mut self, queries: &[RangeQuery]) {
-        self.grid_inv.replace_queries(queries.iter().copied());
+        self.grid_uni.replace_queries(queries.iter().copied());
         self.grid_leg.replace_queries(queries.iter().copied());
-        self.tpr_inv.replace_queries(queries.iter().copied());
+        self.tpr_uni.replace_queries(queries.iter().copied());
         self.tpr_leg.replace_queries(queries.iter().copied());
     }
 }
@@ -225,7 +230,7 @@ proptest! {
     ) {
         let mut quad = Quad::new(&qs);
         let mut oracle = Oracle::new();
-        // Interleave ingest and evaluation so the inverted engine runs
+        // Interleave ingest and evaluation so the unified engine runs
         // genuine incremental rounds (round 0 is its full rebuild).
         for (round, chunk) in ups.chunks(8).enumerate() {
             for u in chunk {
@@ -234,17 +239,17 @@ proptest! {
             }
             let t = round as f64 + 0.5;
             let want = oracle.evaluate(&qs, t);
-            prop_assert_eq!(&quad.grid_inv.evaluate(t), &want, "grid/inverted t={}", t);
+            prop_assert_eq!(&quad.grid_uni.evaluate(t), &want, "grid/unified t={}", t);
             prop_assert_eq!(&quad.grid_leg.evaluate(t), &want, "grid/legacy t={}", t);
-            prop_assert_eq!(&quad.tpr_inv.evaluate(t), &want, "tpr/inverted t={}", t);
+            prop_assert_eq!(&quad.tpr_uni.evaluate(t), &want, "tpr/unified t={}", t);
             prop_assert_eq!(&quad.tpr_leg.evaluate(t), &want, "tpr/legacy t={}", t);
         }
         // Workload swap: the query index must invalidate and rebuild.
         quad.replace(&qs2);
         let t = 9.0;
         let want = oracle.evaluate(&qs2, t);
-        prop_assert_eq!(&quad.grid_inv.evaluate(t), &want, "grid/inverted after swap");
-        prop_assert_eq!(&quad.tpr_inv.evaluate(t), &want, "tpr/inverted after swap");
+        prop_assert_eq!(&quad.grid_uni.evaluate(t), &want, "grid/unified after swap");
+        prop_assert_eq!(&quad.tpr_uni.evaluate(t), &want, "tpr/unified after swap");
     }
 
     #[test]
@@ -267,16 +272,16 @@ proptest! {
             let t = round as f64 + 0.25;
             let want = oracle.evaluate_uncertain(&qs, t, max_delta, delta_of);
             prop_assert_eq!(
-                &quad.grid_inv.evaluate_uncertain(t, max_delta, delta_of),
-                &want, "grid/inverted t={}", t
+                &quad.grid_uni.evaluate_uncertain(t, max_delta, delta_of),
+                &want, "grid/unified t={}", t
             );
             prop_assert_eq!(
                 &quad.grid_leg.evaluate_uncertain(t, max_delta, delta_of),
                 &want, "grid/legacy t={}", t
             );
             prop_assert_eq!(
-                &quad.tpr_inv.evaluate_uncertain(t, max_delta, delta_of),
-                &want, "tpr/inverted t={}", t
+                &quad.tpr_uni.evaluate_uncertain(t, max_delta, delta_of),
+                &want, "tpr/unified t={}", t
             );
             prop_assert_eq!(
                 &quad.tpr_leg.evaluate_uncertain(t, max_delta, delta_of),
@@ -302,9 +307,9 @@ proptest! {
         }
         let t = 4.0;
         let want = oracle.nearest(center, k, t);
-        prop_assert_eq!(&quad.grid_inv.nearest(center, k, t), &want, "grid/inverted");
+        prop_assert_eq!(&quad.grid_uni.nearest(center, k, t), &want, "grid/unified");
         prop_assert_eq!(&quad.grid_leg.nearest(center, k, t), &want, "grid/legacy");
-        prop_assert_eq!(&quad.tpr_inv.nearest(center, k, t), &want, "tpr/inverted");
+        prop_assert_eq!(&quad.tpr_uni.nearest(center, k, t), &want, "tpr/unified");
         prop_assert_eq!(&quad.tpr_leg.nearest(center, k, t), &want, "tpr/legacy");
     }
 }
@@ -338,15 +343,15 @@ fn border_points_resolve_identically_on_every_engine() {
         oracle.apply(&u);
     }
     let want = oracle.evaluate(&qs, 0.0);
-    assert_eq!(quad.grid_inv.evaluate(0.0), want);
+    assert_eq!(quad.grid_uni.evaluate(0.0), want);
     assert_eq!(quad.grid_leg.evaluate(0.0), want);
-    assert_eq!(quad.tpr_inv.evaluate(0.0), want);
+    assert_eq!(quad.tpr_uni.evaluate(0.0), want);
     assert_eq!(quad.tpr_leg.evaluate(0.0), want);
     // Nodes sitting at distance exactly Δ from the range must classify
     // identically too (the maybe-boundary).
     let want = oracle.evaluate_uncertain(&qs, 0.0, 62.5, |_, _| 62.5);
     assert_eq!(
-        quad.grid_inv.evaluate_uncertain(0.0, 62.5, |_, _| 62.5),
+        quad.grid_uni.evaluate_uncertain(0.0, 62.5, |_, _| 62.5),
         want
     );
     assert_eq!(
@@ -354,7 +359,7 @@ fn border_points_resolve_identically_on_every_engine() {
         want
     );
     assert_eq!(
-        quad.tpr_inv.evaluate_uncertain(0.0, 62.5, |_, _| 62.5),
+        quad.tpr_uni.evaluate_uncertain(0.0, 62.5, |_, _| 62.5),
         want
     );
     assert_eq!(
@@ -365,7 +370,7 @@ fn border_points_resolve_identically_on_every_engine() {
     // to exactly the nodes sitting *on* the closed boundary (distance 0
     // but outside the half-open rect).
     let exact = oracle.evaluate(&qs, 0.0);
-    let zero = quad.grid_inv.evaluate_uncertain(0.0, 0.0, |_, _| 0.0);
+    let zero = quad.grid_uni.evaluate_uncertain(0.0, 0.0, |_, _| 0.0);
     assert_eq!(zero[0].must, exact[0].nodes);
     assert_eq!(zero, quad.grid_leg.evaluate_uncertain(0.0, 0.0, |_, _| 0.0));
     for &n in &zero[0].maybe {

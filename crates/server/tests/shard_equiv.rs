@@ -1,6 +1,7 @@
-//! Property-based equivalence suite for the spatially-sharded engine:
-//! sharded ≡ inverted ≡ legacy ≡ brute force across shard counts
-//! {1, 2, 3, 7} (plus the `LIRA_TEST_SHARDS` CI count), for `evaluate`,
+//! Property-based equivalence suite for the unified engine across shard
+//! counts: unified at shards ∈ {1, 2, 3, 7, 8} (plus a pool-free
+//! sequential run and the `LIRA_TEST_SHARDS` CI count) ≡ the
+//! dirty-tracking-off baseline ≡ legacy ≡ brute force, for `evaluate`,
 //! `evaluate_uncertain`, and `nearest`.
 //!
 //! Coordinates reuse the lattice trick from `eval_equiv.rs` — every
@@ -9,8 +10,11 @@
 //! the evaluation grid has exactly 8 columns, making lattice points land
 //! *exactly* on stripe boundaries for every tested shard count. Rounds
 //! are evaluated twice per step (advancing `t`, then the same `t` again
-//! after more ingests) so the sharded engine's work-skipping dirty
-//! rounds are exercised as hard as its full sweeps and handoffs.
+//! after more ingests) so the engine's work-skipping dirty rounds are
+//! exercised as hard as its full sweeps and handoffs.
+
+// The whole battery compares against the legacy oracle.
+#![cfg(feature = "legacy-oracle")]
 
 use lira_core::geometry::{Point, Rect};
 use lira_server::prelude::*;
@@ -19,9 +23,10 @@ use proptest::prelude::*;
 /// The coordinate lattice unit (m); binary-exact.
 const U: f64 = 62.5;
 const NUM_NODES: usize = 24;
-/// Shard counts under test: trivial (1), even split (2), uneven splits
-/// that leave stripes of different widths (3, 7).
-const SHARD_COUNTS: [usize; 4] = [1, 2, 3, 7];
+/// Shard counts under test: degenerate (1), even splits (2, 8 — at 8 the
+/// boundary test's grid gives every shard exactly one column), uneven
+/// splits that leave stripes of different widths (3, 7).
+const SHARD_COUNTS: [usize; 5] = [1, 2, 3, 7, 8];
 
 fn bounds() -> Rect {
     Rect::from_coords(0.0, 0.0, 1000.0, 1000.0)
@@ -171,66 +176,68 @@ impl Oracle {
     }
 }
 
-/// Every engine under test, fed identically: the two reference engines,
-/// one pooled sharded server per count in `SHARD_COUNTS`, one sharded
-/// server forced onto the calling thread (sequential ≡ parallel), and
-/// one with the CI matrix's `LIRA_TEST_SHARDS` count.
+/// Every engine configuration under test, fed identically: the two
+/// reference servers (the dirty-tracking-off baseline — the retired
+/// inverted engine's every-node incremental round — and the legacy
+/// oracle), one pooled unified server per count in `SHARD_COUNTS`, one
+/// forced onto the calling thread (sequential ≡ parallel), and one with
+/// the CI matrix's `LIRA_TEST_SHARDS` count.
 struct Fleet {
-    inverted: CqServer,
+    baseline: CqServer,
     legacy: CqServer,
-    sharded: Vec<(usize, CqServer)>,
+    unified: Vec<(usize, CqServer)>,
 }
 
 impl Fleet {
     fn new(queries: &[RangeQuery]) -> Self {
         let b = bounds();
-        let mut sharded: Vec<(usize, CqServer)> = SHARD_COUNTS
+        let mut unified: Vec<(usize, CqServer)> = SHARD_COUNTS
             .iter()
             .map(|&s| {
                 (
                     s,
-                    CqServer::new(b, NUM_NODES, 8).with_engine(EvalEngine::Sharded { shards: s }),
+                    CqServer::new(b, NUM_NODES, 8).with_engine(EvalEngine::Unified { shards: s }),
                 )
             })
             .collect();
-        // Shards = 3 again, but with every phase on the calling thread:
+        // Shards = 4 again, but with every phase on the calling thread:
         // must be bit-identical to the pooled run.
-        sharded.push((
-            3,
+        unified.push((
+            4,
             CqServer::new(b, NUM_NODES, 8)
-                .with_engine(EvalEngine::Sharded { shards: 3 })
+                .with_engine(EvalEngine::Unified { shards: 4 })
                 .with_sequential_eval(true),
         ));
-        // The CI matrix leg (LIRA_TEST_SHARDS=4) widens coverage here.
-        sharded.push((
+        // The CI matrix leg (LIRA_TEST_SHARDS ∈ {4, 8}) widens coverage.
+        unified.push((
             0, // label: env-selected
-            CqServer::new(b, NUM_NODES, 8).with_engine(EvalEngine::sharded_from_env(4)),
+            CqServer::new(b, NUM_NODES, 8).with_engine(EvalEngine::unified_from_env(4)),
         ));
         let mut fleet = Fleet {
-            inverted: CqServer::new(b, NUM_NODES, 8).with_engine(EvalEngine::Inverted),
+            baseline: CqServer::new(b, NUM_NODES, 8).with_dirty_tracking(false),
             legacy: CqServer::new(b, NUM_NODES, 8).with_engine(EvalEngine::Legacy),
-            sharded,
+            unified,
         };
-        fleet.inverted.register_queries(queries.iter().copied());
+        fleet.baseline.register_queries(queries.iter().copied());
         fleet.legacy.register_queries(queries.iter().copied());
-        for (_, s) in &mut fleet.sharded {
+        for (_, s) in &mut fleet.unified {
             s.register_queries(queries.iter().copied());
         }
         fleet
     }
 
     fn ingest(&mut self, u: &Update) {
-        self.inverted.ingest(u.node, u.t, u.pos, u.vel);
+        self.baseline.ingest(u.node, u.t, u.pos, u.vel);
         self.legacy.ingest(u.node, u.t, u.pos, u.vel);
-        for (_, s) in &mut self.sharded {
+        for (_, s) in &mut self.unified {
             s.ingest(u.node, u.t, u.pos, u.vel);
         }
     }
 
     fn replace(&mut self, queries: &[RangeQuery]) {
-        self.inverted.replace_queries(queries.iter().copied());
+        self.baseline.replace_queries(queries.iter().copied());
         self.legacy.replace_queries(queries.iter().copied());
-        for (_, s) in &mut self.sharded {
+        for (_, s) in &mut self.unified {
             s.replace_queries(queries.iter().copied());
         }
     }
@@ -262,30 +269,30 @@ proptest! {
             // Advancing-t round: full sweeps, stripe handoffs.
             let t = round as f64 + 0.5;
             let want = oracle.evaluate(&qs, t);
-            prop_assert_eq!(&fleet.inverted.evaluate(t), &want, "inverted t={}", t);
+            prop_assert_eq!(&fleet.baseline.evaluate(t), &want, "baseline t={}", t);
             prop_assert_eq!(&fleet.legacy.evaluate(t), &want, "legacy t={}", t);
-            for (s, server) in &mut fleet.sharded {
-                prop_assert_eq!(&server.evaluate(t), &want, "sharded({}) t={}", *s, t);
+            for (s, server) in &mut fleet.unified {
+                prop_assert_eq!(&server.evaluate(t), &want, "unified({}) t={}", *s, t);
             }
-            // Same-t round after more ingests: the sharded engine's
+            // Same-t round after more ingests: the unified engine's
             // dirty path re-places only the re-reported nodes.
             for u in tail {
                 fleet.ingest(u);
                 oracle.apply(u);
             }
             let want = oracle.evaluate(&qs, t);
-            prop_assert_eq!(&fleet.inverted.evaluate(t), &want, "inverted same-t {}", t);
-            for (s, server) in &mut fleet.sharded {
-                prop_assert_eq!(&server.evaluate(t), &want, "sharded({}) same-t {}", *s, t);
+            prop_assert_eq!(&fleet.baseline.evaluate(t), &want, "baseline same-t {}", t);
+            for (s, server) in &mut fleet.unified {
+                prop_assert_eq!(&server.evaluate(t), &want, "unified({}) same-t {}", *s, t);
             }
         }
         // Workload swap: stripe indexes must invalidate and rebuild.
         fleet.replace(&qs2);
         let t = 9.0;
         let want = oracle.evaluate(&qs2, t);
-        prop_assert_eq!(&fleet.inverted.evaluate(t), &want, "inverted after swap");
-        for (s, server) in &mut fleet.sharded {
-            prop_assert_eq!(&server.evaluate(t), &want, "sharded({}) after swap", *s);
+        prop_assert_eq!(&fleet.baseline.evaluate(t), &want, "baseline after swap");
+        for (s, server) in &mut fleet.unified {
+            prop_assert_eq!(&server.evaluate(t), &want, "unified({}) after swap", *s);
         }
     }
 
@@ -308,17 +315,17 @@ proptest! {
             let t = round as f64 + 0.25;
             let want = oracle.evaluate_uncertain(&qs, t, max_delta, delta_of);
             prop_assert_eq!(
-                &fleet.inverted.evaluate_uncertain(t, max_delta, delta_of),
-                &want, "inverted t={}", t
+                &fleet.baseline.evaluate_uncertain(t, max_delta, delta_of),
+                &want, "baseline t={}", t
             );
             prop_assert_eq!(
                 &fleet.legacy.evaluate_uncertain(t, max_delta, delta_of),
                 &want, "legacy t={}", t
             );
-            for (s, server) in &mut fleet.sharded {
+            for (s, server) in &mut fleet.unified {
                 prop_assert_eq!(
                     &server.evaluate_uncertain(t, max_delta, delta_of),
-                    &want, "sharded({}) t={}", *s, t
+                    &want, "unified({}) t={}", *s, t
                 );
             }
         }
@@ -341,9 +348,9 @@ proptest! {
         }
         let t = 4.0;
         let want = oracle.nearest(center, k, t);
-        prop_assert_eq!(&fleet.inverted.nearest(center, k, t), &want, "inverted");
-        for (s, server) in &mut fleet.sharded {
-            prop_assert_eq!(&server.nearest(center, k, t), &want, "sharded({})", *s);
+        prop_assert_eq!(&fleet.baseline.nearest(center, k, t), &want, "baseline");
+        for (s, server) in &mut fleet.unified {
+            prop_assert_eq!(&server.nearest(center, k, t), &want, "unified({})", *s);
         }
     }
 }
@@ -386,29 +393,29 @@ fn stripe_boundary_alignment_is_exact() {
         // node lands on the next boundary, many crossing stripes.
         let t = round as f64;
         let want = oracle.evaluate(&qs, t);
-        assert_eq!(fleet.inverted.evaluate(t), want, "inverted t={t}");
+        assert_eq!(fleet.baseline.evaluate(t), want, "baseline t={t}");
         assert_eq!(fleet.legacy.evaluate(t), want, "legacy t={t}");
-        for (s, server) in &mut fleet.sharded {
-            assert_eq!(server.evaluate(t), want, "sharded({s}) t={t}");
+        for (s, server) in &mut fleet.unified {
+            assert_eq!(server.evaluate(t), want, "unified({s}) t={t}");
         }
         let wantu = oracle.evaluate_uncertain(&qs, t, 125.0, delta_of);
-        for (s, server) in &mut fleet.sharded {
+        for (s, server) in &mut fleet.unified {
             assert_eq!(
                 server.evaluate_uncertain(t, 125.0, delta_of),
                 wantu,
-                "sharded({s}) uncertain t={t}"
+                "unified({s}) uncertain t={t}"
             );
         }
     }
     // The crossing traffic must actually have exercised handoffs, and
     // ownership must still cover every node exactly once.
-    for (s, server) in &fleet.sharded {
-        let stats = server.shard_stats().expect("sharded engine");
+    for (s, server) in &fleet.unified {
+        let stats = server.shard_stats().expect("unified engine");
         let owned: usize = stats.iter().map(|st| st.nodes).sum();
-        assert_eq!(owned, NUM_NODES, "sharded({s}): every node owned once");
+        assert_eq!(owned, NUM_NODES, "unified({s}): every node owned once");
         if *s > 1 {
             let handoffs: u64 = stats.iter().map(|st| st.handoffs).sum();
-            assert!(handoffs > 0, "sharded({s}): crossing traffic hands off");
+            assert!(handoffs > 0, "unified({s}): crossing traffic hands off");
         }
     }
 }
@@ -423,7 +430,7 @@ fn shard_stats_reflect_layout_and_occupancy() {
         })
         .collect();
     let mut server =
-        CqServer::new(bounds(), NUM_NODES, 8).with_engine(EvalEngine::Sharded { shards: 3 });
+        CqServer::new(bounds(), NUM_NODES, 8).with_engine(EvalEngine::Unified { shards: 3 });
     assert_eq!(server.shard_stats(), Some(Vec::new()), "no stripes yet");
     server.register_queries(qs);
     // All nodes in the westmost column.
@@ -439,10 +446,22 @@ fn shard_stats_reflect_layout_and_occupancy() {
     assert_eq!(stats[2].columns, (5, 8));
     assert_eq!(stats[0].nodes, NUM_NODES, "west stripe owns everything");
     assert_eq!(stats[1].nodes + stats[2].nodes, 0);
-    // Engines other than sharded expose no shard stats.
+    // The unified engine always has stripes — the default server reports
+    // its single degenerate one; only the legacy oracle has none.
+    let mut default_server = CqServer::new(bounds(), 4, 8);
+    default_server.register_query(RangeQuery {
+        id: 0,
+        range: Rect::from_coords(0.0, 0.0, 1000.0, 1000.0),
+    });
+    default_server.evaluate(0.0);
+    let stats = default_server.shard_stats().expect("unified default");
+    assert_eq!(stats.len(), 1, "shards = 1 is one degenerate stripe");
+    assert_eq!(stats[0].columns, (0, 4), "side_for(1) = 4 columns");
     assert_eq!(
-        CqServer::new(bounds(), 4, 8).shard_stats(),
+        CqServer::new(bounds(), 4, 8)
+            .with_engine(EvalEngine::Legacy)
+            .shard_stats(),
         None,
-        "inverted engine has no shards"
+        "the legacy oracle has no shards"
     );
 }

@@ -1,0 +1,259 @@
+//! Property-based churn suite for the SoA `NodeStore` under the unified
+//! engine: random interleavings of first reports, re-reports (including
+//! stale ones), *removals*, and re-registrations, with evaluate rounds
+//! in between — results must stay bit-identical to a brute-force oracle
+//! that models the store's exact staleness and removal semantics, and to
+//! the legacy per-query path. Rounds reuse the same output buffers
+//! throughout (the membership/result buffer-reuse contract): a node that
+//! vanishes must vanish from the *reused* vectors too, not merely from
+//! freshly-allocated ones.
+//!
+//! Coordinates use the binary-exact 62.5 m lattice from `eval_equiv.rs`
+//! so removals and re-insertions land exactly on cell and stripe
+//! boundaries.
+
+// The battery compares against the legacy oracle.
+#![cfg(feature = "legacy-oracle")]
+
+use lira_core::geometry::{Point, Rect};
+use lira_server::prelude::*;
+use proptest::prelude::*;
+
+/// The coordinate lattice unit (m); binary-exact.
+const U: f64 = 62.5;
+const NUM_NODES: usize = 16;
+
+fn bounds() -> Rect {
+    Rect::from_coords(0.0, 0.0, 1000.0, 1000.0)
+}
+
+/// One step of the churn script.
+#[derive(Clone, Debug)]
+enum Op {
+    /// Report (first or repeat; possibly stale) for `node` at time `t`.
+    Report {
+        node: u32,
+        t: f64,
+        pos: Point,
+        vel: (f64, f64),
+    },
+    /// Remove `node` (no-op if it never reported).
+    Remove { node: u32 },
+    /// Evaluate everything at the *last* round time again (dirty round).
+    EvalSame,
+    /// Evaluate everything at an advanced time (sweep round).
+    EvalAdvance,
+}
+
+fn ops(max: usize) -> impl Strategy<Value = Vec<Op>> {
+    // Op selector 0..10 — 5 parts report, 2 remove, 1 same-t round,
+    // 2 advancing rounds (the vendored proptest has no `prop_oneof`).
+    prop::collection::vec(
+        (
+            0u32..10,
+            0u32..NUM_NODES as u32,
+            0u32..6,
+            -2i32..19,
+            -2i32..19,
+            0u32..25,
+        )
+            .prop_map(|(sel, node, k, i, j, v)| match sel {
+                0..=4 => Op::Report {
+                    node,
+                    t: k as f64,
+                    pos: Point::new(i as f64 * U, j as f64 * U),
+                    // v encodes (vx, vy) ∈ {-2..2}² in multiples of 6.25.
+                    vel: (((v / 5) as f64 - 2.0) * 6.25, ((v % 5) as f64 - 2.0) * 6.25),
+                },
+                5 | 6 => Op::Remove { node },
+                7 => Op::EvalSame,
+                _ => Op::EvalAdvance,
+            }),
+        1..max,
+    )
+}
+
+/// `(report time, origin, velocity)`.
+type Model = (f64, Point, (f64, f64));
+
+/// Brute-force oracle with the store's exact semantics: reject strictly
+/// older reports (ties accepted), and removal *forgets history* — a
+/// later report re-registers the node even with an older timestamp.
+#[derive(Clone)]
+struct Oracle {
+    models: Vec<Option<Model>>,
+}
+
+impl Oracle {
+    fn new() -> Self {
+        Oracle {
+            models: vec![None; NUM_NODES],
+        }
+    }
+
+    fn report(&mut self, node: u32, t: f64, pos: Point, vel: (f64, f64)) {
+        let slot = &mut self.models[node as usize];
+        if let Some((time, _, _)) = slot {
+            if *time > t {
+                return;
+            }
+        }
+        *slot = Some((t, pos, vel));
+    }
+
+    fn remove(&mut self, node: u32) {
+        self.models[node as usize] = None;
+    }
+
+    fn predict(&self, node: usize, t: f64) -> Option<Point> {
+        self.models[node].map(|(time, origin, vel)| {
+            let dt = t - time;
+            Point::new(origin.x + vel.0 * dt, origin.y + vel.1 * dt)
+        })
+    }
+
+    fn evaluate(&self, queries: &[RangeQuery], t: f64) -> Vec<QueryResult> {
+        queries
+            .iter()
+            .map(|q| QueryResult {
+                query: q.id,
+                nodes: (0..NUM_NODES)
+                    .filter(|&n| self.predict(n, t).is_some_and(|p| q.range.contains(&p)))
+                    .map(|n| n as u32)
+                    .collect(),
+            })
+            .collect()
+    }
+}
+
+fn query_set(max: usize) -> impl Strategy<Value = Vec<RangeQuery>> {
+    prop::collection::vec(
+        (-1i32..17, -1i32..17, 1i32..8, 1i32..8).prop_map(|(i, j, w, h)| {
+            Rect::from_coords(
+                i as f64 * U,
+                j as f64 * U,
+                (i + w) as f64 * U,
+                (j + h) as f64 * U,
+            )
+        }),
+        1..max,
+    )
+    .prop_map(|rects| {
+        rects
+            .into_iter()
+            .enumerate()
+            .map(|(id, range)| RangeQuery {
+                id: id as u32,
+                range,
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn churn_with_removals_stays_bit_identical_to_the_oracle(
+        script in ops(80),
+        qs in query_set(7),
+    ) {
+        let b = bounds();
+        // Unified at 1 and 3 shards plus the legacy path; output buffers
+        // created once and reused across every round below.
+        let mut servers: Vec<(String, CqServer)> = vec![
+            ("unified(1)".into(), CqServer::new(b, NUM_NODES, 8)),
+            (
+                "unified(3)".into(),
+                CqServer::new(b, NUM_NODES, 8).with_engine(EvalEngine::Unified { shards: 3 }),
+            ),
+            (
+                "legacy".into(),
+                CqServer::new(b, NUM_NODES, 8).with_engine(EvalEngine::Legacy),
+            ),
+        ];
+        for (_, s) in &mut servers {
+            s.register_queries(qs.iter().copied());
+        }
+        let mut oracle = Oracle::new();
+        let mut bufs: Vec<Vec<QueryResult>> = vec![Vec::new(); servers.len()];
+        let mut t = 0.5;
+        let mut rounds = 0u32;
+        for op in &script {
+            match op {
+                Op::Report { node, t, pos, vel } => {
+                    for (_, s) in &mut servers {
+                        s.ingest(*node, *t, *pos, *vel);
+                    }
+                    oracle.report(*node, *t, *pos, *vel);
+                }
+                Op::Remove { node } => {
+                    let removed: Vec<bool> = servers
+                        .iter_mut()
+                        .map(|(_, s)| s.remove_node(*node))
+                        .collect();
+                    prop_assert!(
+                        removed.iter().all(|&r| r == removed[0]),
+                        "engines disagree on removal of {}", node
+                    );
+                    oracle.remove(*node);
+                }
+                Op::EvalSame | Op::EvalAdvance => {
+                    if matches!(op, Op::EvalAdvance) {
+                        t += 1.0;
+                    }
+                    rounds += 1;
+                    let want = oracle.evaluate(&qs, t);
+                    for ((label, s), buf) in servers.iter_mut().zip(&mut bufs) {
+                        s.evaluate_into(t, buf);
+                        prop_assert_eq!(&*buf, &want, "{} t={} round={}", label, t, rounds);
+                    }
+                }
+            }
+        }
+        // Final settling round into the same reused buffers.
+        t += 1.0;
+        let want = oracle.evaluate(&qs, t);
+        for ((label, s), buf) in servers.iter_mut().zip(&mut bufs) {
+            s.evaluate_into(t, buf);
+            prop_assert_eq!(&*buf, &want, "{} final", label);
+        }
+        // And the store agrees with the oracle on who exists.
+        let alive = oracle.models.iter().filter(|m| m.is_some()).count();
+        for (label, s) in &servers {
+            prop_assert_eq!(s.store().reported_count(), alive, "{} reported_count", label);
+        }
+    }
+}
+
+/// A remove → re-ingest → evaluate sequence within a single round must
+/// re-register the node exactly once (the pending/dirty overlap path),
+/// at every shard count, including with reused buffers across the
+/// transition.
+#[test]
+fn remove_then_reingest_within_one_round() {
+    let qs = [RangeQuery {
+        id: 0,
+        range: Rect::from_coords(0.0, 0.0, 1000.0, 1000.0),
+    }];
+    for shards in [1usize, 2, 4] {
+        let mut s = CqServer::new(bounds(), 4, 8).with_engine(EvalEngine::Unified { shards });
+        s.register_queries(qs);
+        let mut buf = Vec::new();
+        s.ingest(0, 0.0, Point::new(100.0, 100.0), (0.0, 0.0));
+        s.ingest(1, 0.0, Point::new(900.0, 100.0), (0.0, 0.0));
+        s.evaluate_into(0.5, &mut buf);
+        assert_eq!(buf[0].nodes, vec![0, 1], "shards={shards}");
+        // Same-t: remove node 0, re-ingest it elsewhere, remove node 1.
+        assert!(s.remove_node(0));
+        s.ingest(0, 0.25, Point::new(500.0, 500.0), (0.0, 0.0));
+        assert!(s.remove_node(1));
+        s.evaluate_into(0.5, &mut buf);
+        assert_eq!(buf[0].nodes, vec![0], "shards={shards} after churn");
+        // Double-remove is a no-op and nothing reappears.
+        assert!(!s.remove_node(1));
+        s.evaluate_into(0.5, &mut buf);
+        assert_eq!(buf[0].nodes, vec![0], "shards={shards} idempotent");
+        assert_eq!(s.store().reported_count(), 1);
+    }
+}

@@ -170,7 +170,7 @@ impl SimSetup {
     /// every evaluation phase onto the calling thread.
     /// [`Parallelism::Sequential`] passes `sequential_eval = true` so a
     /// "sequential" pipeline run spawns no threads anywhere — not even
-    /// inside a sharded engine (which is bit-identical either way).
+    /// inside the unified engine (which is bit-identical either way).
     pub fn new_server_opts(
         &self,
         sc: &Scenario,
@@ -371,7 +371,7 @@ struct PolicyLane {
     adapt_micros: Vec<u64>,
     accumulator: MetricsAccumulator,
     /// The lane's evaluation-round result buffer, reused across rounds
-    /// (the inverted engine writes into it without allocating).
+    /// (the unified engine writes into it without allocating).
     shed_results: Vec<QueryResult>,
     tel: LaneTelemetry,
     /// Updates admitted per plan region in the current plan epoch. Kept
@@ -571,7 +571,7 @@ impl PolicyLane {
         if let Some(ch) = &self.channel {
             self.tel.on_channel(&ch.stats());
         }
-        // End-of-run per-shard accounting (sharded engine only): final
+        // End-of-run per-shard accounting (unified engine): final
         // node ownership, cumulative round wall time, total handoffs.
         if let Some(stats) = self.server.shard_stats() {
             self.tel.on_shards(&stats);
@@ -636,9 +636,9 @@ impl SimPipeline {
     }
 
     /// Selects the CQ evaluation engine used by the reference server and
-    /// every policy lane. Both engines yield bit-identical reports
-    /// (asserted by `tests/pipeline.rs`); [`EvalEngine::Legacy`] exists as
-    /// the oracle and fallback.
+    /// every policy lane. Every engine configuration yields bit-identical
+    /// reports (asserted by `tests/pipeline.rs`); the legacy oracle
+    /// exists behind the default-on `legacy-oracle` feature.
     #[must_use]
     pub fn with_engine(mut self, engine: EvalEngine) -> Self {
         self.engine = engine;
@@ -655,7 +655,7 @@ impl SimPipeline {
         let trace = setup.record_trace(sc);
         ptel.on_trace(stage.elapsed().as_micros() as u64);
         // Sequential mode means *no* spawned threads at all: lanes on the
-        // calling thread, and sharded evaluation phases inlined too.
+        // calling thread, and unified evaluation phases inlined too.
         let sequential_eval = self.parallelism == Parallelism::Sequential;
         let stage = Instant::now();
         let reference =

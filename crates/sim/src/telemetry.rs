@@ -24,7 +24,7 @@ use lira_core::telemetry::{
 };
 use lira_core::throt_loop::ThrotLoop;
 use lira_server::channel::ChannelStats;
-use lira_server::sharded::ShardStats;
+use lira_server::unified::ShardStats;
 
 // Lane metrics (component "sim.lane").
 const LANE_UPDATES_SENT: MetricSpec = MetricSpec::new("lane.updates_sent", "sim.lane", "updates");
@@ -54,11 +54,12 @@ const CHANNEL_LOST: MetricSpec = MetricSpec::new("channel.lost", "server.channel
 const CHANNEL_DUPLICATES: MetricSpec =
     MetricSpec::new("channel.duplicates", "server.channel", "updates");
 
-// Sharded-engine metrics (component "server.sharded"): end-of-run
-// per-shard accounting, recorded once per run when the lane's engine is
-// [`EvalEngine::Sharded`](lira_server::cq_engine::EvalEngine). One
-// histogram sample per shard; `shard.round_ns` is wall clock, hence
-// excluded from the determinism contract like the pipeline stage timers.
+// Per-stripe engine metrics (component "server.sharded", the historical
+// name kept for schema stability): end-of-run per-shard accounting,
+// recorded once per run for the unified engine at any shard count (one
+// entry at shards = 1). One histogram sample per shard; `shard.round_ns`
+// is wall clock, hence excluded from the determinism contract like the
+// pipeline stage timers.
 const SHARD_NODES: MetricSpec = MetricSpec::new("shard.nodes", "server.sharded", "nodes");
 const SHARD_ROUND_NS: MetricSpec = MetricSpec::new("shard.round_ns", "server.sharded", "ns");
 const SHARD_HANDOFFS: MetricSpec = MetricSpec::new("shard.handoffs", "server.sharded", "nodes");
@@ -216,7 +217,7 @@ impl LaneTelemetry {
             .add(stats.duplicates);
     }
 
-    /// Copies the sharded engine's end-of-run per-shard accounting: one
+    /// Copies the unified engine's end-of-run per-shard accounting: one
     /// `shard.nodes` / `shard.round_ns` sample per shard (final
     /// ownership, cumulative round wall time) and the total cross-stripe
     /// handoff count.
@@ -424,7 +425,7 @@ impl AdaptiveTelemetry {
     }
 
     /// Copies the shedding server's end-of-run per-shard accounting
-    /// (sharded engine only; see [`LaneTelemetry::on_shards`]).
+    /// (see [`LaneTelemetry::on_shards`]).
     pub fn on_shards(&self, stats: &[ShardStats]) {
         if !self.registry.is_enabled() {
             return;

@@ -120,28 +120,29 @@ fn parallel_lanes_match_sequential_under_faults() {
 }
 
 #[test]
-fn sharded_engine_matches_inverted_under_faults() {
-    // The sharded engine must not perturb a fault-injected run either:
-    // delayed, duplicated, and lost updates exercise the dirty-round and
-    // handoff paths with stale ingests, and the report must still match
-    // the inverted engine bit for bit — in pooled and inline modes.
+fn striped_engine_matches_single_stripe_under_faults() {
+    // Striping must not perturb a fault-injected run either: delayed,
+    // duplicated, and lost updates exercise the dirty-round and handoff
+    // paths with stale ingests, and the report must still match the
+    // shards = 1 degenerate case bit for bit — in pooled and inline
+    // modes.
     let sc = base_scenario(101).with_faults(stormy_profile());
-    let inverted = SimPipeline::new()
-        .with_engine(EvalEngine::Inverted)
+    let baseline = SimPipeline::new()
+        .with_engine(EvalEngine::Unified { shards: 1 })
         .run(&sc, &Policy::ALL);
-    let sharded = SimPipeline::new()
-        .with_engine(EvalEngine::Sharded { shards: 4 })
+    let striped = SimPipeline::new()
+        .with_engine(EvalEngine::Unified { shards: 4 })
         .run(&sc, &Policy::ALL);
     let inline = SimPipeline::new()
-        .with_engine(EvalEngine::Sharded { shards: 4 })
+        .with_engine(EvalEngine::Unified { shards: 4 })
         .with_parallelism(Parallelism::Sequential)
         .run(&sc, &Policy::ALL);
-    assert_eq!(inverted.reference_updates, sharded.reference_updates);
-    assert_eq!(inverted.reference_updates, inline.reference_updates);
-    for ((oi, os), ol) in inverted
+    assert_eq!(baseline.reference_updates, striped.reference_updates);
+    assert_eq!(baseline.reference_updates, inline.reference_updates);
+    for ((oi, os), ol) in baseline
         .outcomes
         .iter()
-        .zip(&sharded.outcomes)
+        .zip(&striped.outcomes)
         .zip(&inline.outcomes)
     {
         assert_outcomes_identical(oi, os, oi.policy.name());
@@ -150,7 +151,7 @@ fn sharded_engine_matches_inverted_under_faults() {
         assert_eq!(oi.faults, ol.faults, "{}: fault books", oi.policy.name());
     }
     // The profile actually bit.
-    let f = &sharded.outcomes[0].faults;
+    let f = &striped.outcomes[0].faults;
     assert!(f.lost + f.retries + f.duplicates > 0, "{f:?}");
 }
 

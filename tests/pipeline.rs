@@ -217,26 +217,26 @@ fn parallel_lanes_are_bit_identical_to_sequential() {
 }
 
 #[test]
-fn inverted_engine_run_report_is_bit_identical_to_legacy() {
-    // The acceptance bar for the inverted engine: for a fixed-seed
+fn unified_engine_run_report_is_bit_identical_to_legacy() {
+    // The acceptance bar for the unified engine: for a fixed-seed
     // scenario, the whole multi-policy report must match the legacy
-    // per-query engine bit for bit — policy outcomes, update counts,
+    // per-query oracle bit for bit — policy outcomes, update counts,
     // fault accounting, plan sizes. Only wall-clock fields
     // (`adapt_micros`, telemetry snapshots) are exempt.
     let mut sc = Scenario::small(31);
     sc.duration_s = 90.0;
-    let inverted = SimPipeline::new()
-        .with_engine(EvalEngine::Inverted)
+    let unified = SimPipeline::new()
+        .with_engine(EvalEngine::Unified { shards: 1 })
         .run(&sc, &Policy::ALL);
     let legacy = SimPipeline::new()
         .with_engine(EvalEngine::Legacy)
         .run(&sc, &Policy::ALL);
 
-    assert_eq!(inverted.reference_updates, legacy.reference_updates);
-    assert_eq!(inverted.num_queries, legacy.num_queries);
-    assert_eq!(inverted.num_cars, legacy.num_cars);
-    assert_eq!(inverted.outcomes.len(), legacy.outcomes.len());
-    for (i, l) in inverted.outcomes.iter().zip(&legacy.outcomes) {
+    assert_eq!(unified.reference_updates, legacy.reference_updates);
+    assert_eq!(unified.num_queries, legacy.num_queries);
+    assert_eq!(unified.num_cars, legacy.num_cars);
+    assert_eq!(unified.outcomes.len(), legacy.outcomes.len());
+    for (i, l) in unified.outcomes.iter().zip(&legacy.outcomes) {
         assert_eq!(i.policy, l.policy);
         assert_eq!(i.updates_sent, l.updates_sent, "{:?} sent", i.policy);
         assert_eq!(
@@ -272,7 +272,7 @@ fn inverted_engine_run_report_is_bit_identical_to_legacy() {
             assert_eq!(
                 a.to_bits(),
                 b.to_bits(),
-                "{:?} {label}: inverted {a} vs legacy {b}",
+                "{:?} {label}: unified {a} vs legacy {b}",
                 i.policy
             );
         }
@@ -280,54 +280,65 @@ fn inverted_engine_run_report_is_bit_identical_to_legacy() {
 }
 
 #[test]
-fn sharded_engine_run_report_is_bit_identical_to_inverted() {
-    // The acceptance bar for the sharded engine mirrors the inverted
-    // one: the whole multi-policy report must match bit for bit, at a
-    // shard count that leaves stripes of unequal width.
+fn shard_counts_yield_bit_identical_run_reports() {
+    // The acceptance bar for the striped unified engine: the whole
+    // multi-policy report must match the shards = 1 degenerate case bit
+    // for bit at every shard count, including one (3) that leaves
+    // stripes of unequal width.
     let mut sc = Scenario::small(41);
     sc.duration_s = 90.0;
-    let sharded = SimPipeline::new()
-        .with_engine(EvalEngine::Sharded { shards: 3 })
-        .run(&sc, &Policy::ALL);
-    let inverted = SimPipeline::new()
-        .with_engine(EvalEngine::Inverted)
+    let baseline = SimPipeline::new()
+        .with_engine(EvalEngine::Unified { shards: 1 })
         .run(&sc, &Policy::ALL);
 
-    assert_eq!(sharded.reference_updates, inverted.reference_updates);
-    assert_eq!(sharded.num_queries, inverted.num_queries);
-    assert_eq!(sharded.outcomes.len(), inverted.outcomes.len());
-    for (s, i) in sharded.outcomes.iter().zip(&inverted.outcomes) {
-        assert_eq!(s.policy, i.policy);
-        assert_eq!(s.updates_sent, i.updates_sent, "{:?} sent", s.policy);
-        assert_eq!(
-            s.updates_processed, i.updates_processed,
-            "{:?} processed",
-            s.policy
-        );
-        assert_eq!(s.plan_regions, i.plan_regions, "{:?} regions", s.policy);
-        assert_eq!(s.faults, i.faults, "{:?} faults", s.policy);
-        assert_eq!(s.metrics, i.metrics, "{:?} metrics", s.policy);
-        assert_eq!(
-            s.processed_fraction.to_bits(),
-            i.processed_fraction.to_bits(),
-            "{:?} processed fraction",
-            s.policy
-        );
+    for shards in [2usize, 3, 4, 8] {
+        let striped = SimPipeline::new()
+            .with_engine(EvalEngine::Unified { shards })
+            .run(&sc, &Policy::ALL);
+        assert_eq!(striped.reference_updates, baseline.reference_updates);
+        assert_eq!(striped.num_queries, baseline.num_queries);
+        assert_eq!(striped.outcomes.len(), baseline.outcomes.len());
+        for (s, i) in striped.outcomes.iter().zip(&baseline.outcomes) {
+            assert_eq!(s.policy, i.policy);
+            assert_eq!(
+                s.updates_sent, i.updates_sent,
+                "{shards} {:?} sent",
+                s.policy
+            );
+            assert_eq!(
+                s.updates_processed, i.updates_processed,
+                "{shards} {:?} processed",
+                s.policy
+            );
+            assert_eq!(
+                s.plan_regions, i.plan_regions,
+                "{shards} {:?} regions",
+                s.policy
+            );
+            assert_eq!(s.faults, i.faults, "{shards} {:?} faults", s.policy);
+            assert_eq!(s.metrics, i.metrics, "{shards} {:?} metrics", s.policy);
+            assert_eq!(
+                s.processed_fraction.to_bits(),
+                i.processed_fraction.to_bits(),
+                "{shards} {:?} processed fraction",
+                s.policy
+            );
+        }
     }
 }
 
 #[test]
-fn sequential_parallelism_inlines_sharded_evaluation() {
+fn sequential_parallelism_inlines_striped_evaluation() {
     // `Parallelism::Sequential` must mean *no* spawned threads anywhere:
-    // the sharded engine's phases run on the calling thread, and the
+    // the unified engine's phases run on the calling thread, and the
     // report still matches the pooled run bit for bit.
     let mut sc = Scenario::small(43);
     sc.duration_s = 60.0;
     let pooled = SimPipeline::new()
-        .with_engine(EvalEngine::Sharded { shards: 4 })
+        .with_engine(EvalEngine::Unified { shards: 4 })
         .run(&sc, &Policy::ALL);
     let inline = SimPipeline::new()
-        .with_engine(EvalEngine::Sharded { shards: 4 })
+        .with_engine(EvalEngine::Unified { shards: 4 })
         .with_parallelism(Parallelism::Sequential)
         .run(&sc, &Policy::ALL);
     assert_eq!(pooled.reference_updates, inline.reference_updates);
@@ -356,32 +367,32 @@ fn adaptive_report_is_bit_identical_across_engines() {
         queue_capacity: 300,
         control_period_s: 20.0,
     };
-    let inverted = run_adaptive_with_engine(&sc, &cfg, EvalEngine::Inverted);
+    let unified = run_adaptive_with_engine(&sc, &cfg, EvalEngine::Unified { shards: 1 });
     let legacy = run_adaptive_with_engine(&sc, &cfg, EvalEngine::Legacy);
-    let sharded = run_adaptive_with_engine(&sc, &cfg, EvalEngine::Sharded { shards: 4 });
+    let striped = run_adaptive_with_engine(&sc, &cfg, EvalEngine::Unified { shards: 4 });
 
-    assert_eq!(inverted.windows, legacy.windows);
+    assert_eq!(unified.windows, legacy.windows);
     assert_eq!(
-        inverted.final_throttle.to_bits(),
+        unified.final_throttle.to_bits(),
         legacy.final_throttle.to_bits()
     );
     assert_eq!(
-        inverted.drop_fraction.to_bits(),
+        unified.drop_fraction.to_bits(),
         legacy.drop_fraction.to_bits()
     );
-    assert_eq!(inverted.metrics, legacy.metrics);
-    assert_eq!(inverted.faults, legacy.faults);
-    assert_eq!(sharded.windows, inverted.windows);
+    assert_eq!(unified.metrics, legacy.metrics);
+    assert_eq!(unified.faults, legacy.faults);
+    assert_eq!(striped.windows, unified.windows);
     assert_eq!(
-        sharded.final_throttle.to_bits(),
-        inverted.final_throttle.to_bits()
+        striped.final_throttle.to_bits(),
+        unified.final_throttle.to_bits()
     );
     assert_eq!(
-        sharded.drop_fraction.to_bits(),
-        inverted.drop_fraction.to_bits()
+        striped.drop_fraction.to_bits(),
+        unified.drop_fraction.to_bits()
     );
-    assert_eq!(sharded.metrics, inverted.metrics);
-    assert_eq!(sharded.faults, inverted.faults);
+    assert_eq!(striped.metrics, unified.metrics);
+    assert_eq!(striped.faults, unified.faults);
 }
 
 #[test]

@@ -1,7 +1,7 @@
 //! Paper-scale stress tests. Ignored by default (`cargo test -- --ignored`
 //! runs them); each finishes in tens of seconds on a modern machine.
-//! The sharded-determinism tests at the bottom are *not* ignored: they
-//! are the stress leg of the sharded engine's acceptance battery and run
+//! The shard-determinism tests at the bottom are *not* ignored: they
+//! are the stress leg of the unified engine's acceptance battery and run
 //! on a compact scenario.
 
 use lira::prelude::*;
@@ -23,7 +23,7 @@ fn assert_outcomes_identical(a: &PolicyOutcome, b: &PolicyOutcome, ctx: &str) {
 }
 
 #[test]
-fn sharded_runs_are_deterministic_across_repeats_and_shard_counts() {
+fn unified_runs_are_deterministic_across_repeats_and_shard_counts() {
     // Same seed, run twice at shards = 1 and twice at shards = 8, under
     // fault injection (delays, duplicates, loss) that stresses the
     // dirty-round and handoff machinery with stale out-of-order ingests.
@@ -49,7 +49,7 @@ fn sharded_runs_are_deterministic_across_repeats_and_shard_counts() {
     let policies = [Policy::Lira, Policy::RandomDrop];
     let run = |shards: usize| {
         SimPipeline::new()
-            .with_engine(EvalEngine::Sharded { shards })
+            .with_engine(EvalEngine::Unified { shards })
             .run(&sc, &policies)
     };
     let reports = [run(1), run(1), run(8), run(8)];
@@ -93,7 +93,7 @@ fn crossing_heavy_traffic_conserves_memberships_across_stripes() {
             }
         })
         .collect();
-    let mut server = CqServer::new(bounds, NUM, 8).with_engine(EvalEngine::Sharded { shards: 8 });
+    let mut server = CqServer::new(bounds, NUM, 8).with_engine(EvalEngine::Unified { shards: 8 });
     server.register_queries(queries.iter().copied());
     for n in 0..NUM as u32 {
         let x = 100.0 + (n as f64 * 37.0) % 700.0;
@@ -125,7 +125,7 @@ fn crossing_heavy_traffic_conserves_memberships_across_stripes() {
             "round {round}: memberships lost or duplicated"
         );
     }
-    let stats = server.shard_stats().expect("sharded engine");
+    let stats = server.shard_stats().expect("unified engine");
     let owned: usize = stats.iter().map(|s| s.nodes).sum();
     assert_eq!(owned, NUM, "every node owned by exactly one shard");
     let handoffs: u64 = stats.iter().map(|s| s.handoffs).sum();
