@@ -32,6 +32,7 @@ fn main() {
         arterial_period: sc.arterial_period,
         expressway_period: sc.expressway_period,
         jitter_frac: 0.2,
+        dead_zones: sc.dead_zones.clone(),
         seed: sc.seed,
     });
     let demand = TrafficDemand::random_hotspots(&sc.bounds(), sc.hotspots, sc.seed);

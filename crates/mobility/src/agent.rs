@@ -82,6 +82,52 @@ impl Car {
         self.offset = 0.0;
     }
 
+    /// Redirects the car mid-trip: the remainder of the current route is
+    /// replaced by `path_from_next`, which must start at the intersection
+    /// the car is currently driving toward — see
+    /// [`Self::next_intersection`]. The car keeps its position, speed and
+    /// any pending wait — it finishes the segment it is on, then follows
+    /// the new route. This is how flash-crowd scenarios turn a whole fleet
+    /// around without teleporting anyone.
+    pub fn redirect(&mut self, path_from_next: Vec<u32>) {
+        assert!(
+            !path_from_next.is_empty(),
+            "redirect path must not be empty"
+        );
+        assert_eq!(
+            path_from_next[0],
+            self.next_intersection(),
+            "redirect must start at the intersection the car is heading to"
+        );
+        let mut new_path = Vec::with_capacity(path_from_next.len() + 1);
+        new_path.push(self.path[self.leg]);
+        new_path.extend(path_from_next);
+        self.path = new_path;
+        self.leg = 0;
+        // `offset` is kept: it still measures progress along the same
+        // (current) segment, now the first leg of the new path.
+    }
+
+    /// Applies a multiplicative speed-class factor (pedestrian ≪ 1, drone
+    /// ≫ 1) on top of the car's personal factor. Takes effect immediately:
+    /// both the long-run target speed and the current speed scale, so a
+    /// fleet split into classes diverges from the first step. Calling this
+    /// never perturbs any RNG stream.
+    pub fn scale_speed(&mut self, factor: f64) {
+        assert!(
+            factor.is_finite() && factor > 0.0,
+            "speed factor must be finite and positive"
+        );
+        self.speed_factor *= factor;
+        self.current_speed *= factor;
+    }
+
+    /// The intersection the car is currently driving toward.
+    #[inline]
+    pub fn next_intersection(&self) -> u32 {
+        self.path[self.leg + 1]
+    }
+
     /// Current position.
     #[inline]
     pub fn position(&self) -> Point {
@@ -137,7 +183,12 @@ impl Car {
         let target = self.target_speed(network);
         let noise = gaussian(rng) * SPEED_NOISE * dt.sqrt();
         self.current_speed += SPEED_REVERSION * (target - self.current_speed) * dt + noise;
-        self.current_speed = self.current_speed.clamp(MIN_MOVING_SPEED, target * 1.3);
+        // The upper bound must not dip below the floor — a pedestrian-class
+        // speed scale can push `target * 1.3` under MIN_MOVING_SPEED, and
+        // `f64::clamp` panics on an inverted range.
+        self.current_speed = self
+            .current_speed
+            .clamp(MIN_MOVING_SPEED, (target * 1.3).max(MIN_MOVING_SPEED));
 
         let mut remaining = dt;
         let mut arrived = false;
@@ -297,6 +348,84 @@ mod tests {
         let mut car = Car::new(1, path, &net, &mut rng);
         let bad = shortest_path(&net, 55, 60).unwrap();
         car.assign_trip(bad);
+    }
+
+    #[test]
+    fn redirect_keeps_pose_and_changes_destination() {
+        let (net, mut rng) = setup();
+        let path = shortest_path(&net, 0, 110).unwrap();
+        let mut car = Car::new(1, path, &net, &mut rng);
+        for _ in 0..5 {
+            car.step(1.0, &net, &mut rng);
+        }
+        let pos_before = car.position();
+        let vel_before = car.velocity();
+        let next = car.next_intersection();
+        let new_tail = shortest_path(&net, next, 7).unwrap();
+        car.redirect(new_tail);
+        assert_eq!(car.position(), pos_before, "redirect must not teleport");
+        assert_eq!(car.velocity(), vel_before);
+        assert_eq!(car.destination(), 7);
+        assert_eq!(car.next_intersection(), next);
+        // And the car still drives normally afterwards.
+        for _ in 0..50 {
+            car.step(1.0, &net, &mut rng);
+            assert!(net.bounds().contains_closed(&car.position()));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "heading to")]
+    fn redirect_rejects_discontinuous_path() {
+        let (net, mut rng) = setup();
+        let path = shortest_path(&net, 0, 110).unwrap();
+        let mut car = Car::new(1, path, &net, &mut rng);
+        let next = car.next_intersection();
+        let bad = shortest_path(&net, next + 7, 3).unwrap();
+        car.redirect(bad);
+    }
+
+    #[test]
+    fn scale_speed_separates_the_classes() {
+        let (net, _) = setup();
+        let path = shortest_path(&net, 0, 110).unwrap();
+        let mean_speed = |scale: f64, steps: usize| -> f64 {
+            // Fresh RNG per class: identical streams, so the scale factor
+            // is the only difference.
+            let mut rng = SmallRng::seed_from_u64(5);
+            let mut car = Car::new(1, path.clone(), &net, &mut rng);
+            if scale != 1.0 {
+                car.scale_speed(scale);
+            }
+            let mut sum = 0.0;
+            for _ in 0..steps {
+                car.step(1.0, &net, &mut rng);
+                sum += car.speed();
+            }
+            sum / steps as f64
+        };
+        let pedestrian = mean_speed(0.12, 120);
+        let car_class = mean_speed(1.0, 120);
+        let drone = mean_speed(2.0, 120);
+        assert!(
+            pedestrian < car_class * 0.5,
+            "pedestrian {pedestrian} vs car {car_class}"
+        );
+        assert!(drone > car_class * 1.3, "drone {drone} vs car {car_class}");
+        // The clamp guard holds even when target*1.3 < MIN_MOVING_SPEED.
+        assert!(pedestrian >= 0.0);
+    }
+
+    #[test]
+    fn extreme_slow_class_does_not_panic() {
+        let (net, mut rng) = setup();
+        let path = shortest_path(&net, 0, 30).unwrap();
+        let mut car = Car::new(1, path, &net, &mut rng);
+        car.scale_speed(1e-4); // target*1.3 far below MIN_MOVING_SPEED
+        for _ in 0..50 {
+            car.step(1.0, &net, &mut rng);
+        }
+        assert!(net.bounds().contains_closed(&car.position()));
     }
 
     #[test]

@@ -29,6 +29,13 @@ pub struct NetworkConfig {
     /// Intersection positions are jittered by up to this fraction of the
     /// spacing, so the network does not look artificially regular.
     pub jitter_frac: f64,
+    /// Unbuildable areas — rivers, lakes, restricted zones. Intersections
+    /// falling inside any of these rectangles (half-open, like range
+    /// queries) are removed along with their incident segments, and the
+    /// network is then pruned to its largest connected component so every
+    /// surviving intersection stays routable. Empty for the paper's
+    /// single-city space.
+    pub dead_zones: Vec<Rect>,
     /// RNG seed (the generator is fully deterministic given the config).
     pub seed: u64,
 }
@@ -41,6 +48,7 @@ impl Default for NetworkConfig {
             arterial_period: 4,
             expressway_period: 16,
             jitter_frac: 0.2,
+            dead_zones: Vec::new(),
             seed: 7,
         }
     }
@@ -55,6 +63,7 @@ impl NetworkConfig {
             arterial_period: 3,
             expressway_period: 9,
             jitter_frac: 0.2,
+            dead_zones: Vec::new(),
             seed,
         }
     }
@@ -131,7 +140,84 @@ pub fn generate_network(cfg: &NetworkConfig) -> RoadNetwork {
         }
     }
 
-    RoadNetwork::new(cfg.bounds, nodes, edges)
+    if cfg.dead_zones.is_empty() {
+        return RoadNetwork::new(cfg.bounds, nodes, edges);
+    }
+    carve_dead_zones(cfg.bounds, nodes, edges, &cfg.dead_zones)
+}
+
+/// Removes intersections inside any dead zone (and their segments), then
+/// keeps only the largest connected component of what remains, reindexing
+/// nodes. Dead zones may split the grid — a river bisecting the space
+/// leaves two banks, and only the bigger one survives — so multi-city
+/// scenarios place their zones to leave corridors between the parts they
+/// want to keep.
+fn carve_dead_zones(
+    bounds: Rect,
+    nodes: Vec<Point>,
+    edges: Vec<Edge>,
+    zones: &[Rect],
+) -> RoadNetwork {
+    let alive: Vec<bool> = nodes
+        .iter()
+        .map(|p| !zones.iter().any(|z| z.contains(p)))
+        .collect();
+    assert!(
+        alive.iter().any(|&a| a),
+        "dead zones swallowed the entire network"
+    );
+
+    // Union-find over surviving nodes to locate the largest component.
+    let mut parent: Vec<usize> = (0..nodes.len()).collect();
+    fn find(parent: &mut [usize], mut x: usize) -> usize {
+        while parent[x] != x {
+            parent[x] = parent[parent[x]];
+            x = parent[x];
+        }
+        x
+    }
+    for e in &edges {
+        let (a, b) = (e.from as usize, e.to as usize);
+        if alive[a] && alive[b] {
+            let (ra, rb) = (find(&mut parent, a), find(&mut parent, b));
+            parent[ra] = rb;
+        }
+    }
+    let mut comp_size = vec![0usize; nodes.len()];
+    for i in 0..nodes.len() {
+        if alive[i] {
+            comp_size[find(&mut parent, i)] += 1;
+        }
+    }
+    let best_root = (0..nodes.len())
+        .max_by_key(|&i| comp_size[i])
+        .expect("non-empty network");
+
+    // Reindex the surviving component.
+    let mut remap = vec![u32::MAX; nodes.len()];
+    let mut kept_nodes = Vec::new();
+    for i in 0..nodes.len() {
+        if alive[i] && find(&mut parent, i) == best_root {
+            remap[i] = kept_nodes.len() as u32;
+            kept_nodes.push(nodes[i]);
+        }
+    }
+    let kept_edges: Vec<Edge> = edges
+        .into_iter()
+        .filter_map(|e| {
+            let (a, b) = (remap[e.from as usize], remap[e.to as usize]);
+            (a != u32::MAX && b != u32::MAX).then_some(Edge {
+                from: a,
+                to: b,
+                ..e
+            })
+        })
+        .collect();
+    assert!(
+        kept_nodes.len() >= 2 && !kept_edges.is_empty(),
+        "dead zones left no routable network"
+    );
+    RoadNetwork::new(bounds, kept_nodes, kept_edges)
 }
 
 #[cfg(test)]
@@ -205,6 +291,60 @@ mod tests {
     fn rejects_bad_spacing() {
         let mut cfg = NetworkConfig::small(0);
         cfg.spacing = 0.0;
+        generate_network(&cfg);
+    }
+
+    #[test]
+    fn dead_zone_removes_intersections_but_keeps_connectivity() {
+        let mut cfg = NetworkConfig::small(42);
+        let full = generate_network(&cfg);
+        // A lake in the middle of the space.
+        cfg.dead_zones = vec![Rect::from_coords(700.0, 700.0, 1300.0, 1300.0)];
+        let carved = generate_network(&cfg);
+        assert!(carved.num_nodes() < full.num_nodes());
+        assert!(carved.is_connected(), "carved network must stay routable");
+        for p in carved.nodes() {
+            assert!(
+                !cfg.dead_zones[0].contains(p),
+                "intersection {p} inside the dead zone"
+            );
+        }
+        // Every surviving intersection still has a way out.
+        for id in 0..carved.num_nodes() as u32 {
+            assert!(!carved.neighbors(id).is_empty(), "isolated node {id}");
+        }
+    }
+
+    #[test]
+    fn splitting_dead_zone_keeps_only_the_larger_bank() {
+        let mut cfg = NetworkConfig::small(7);
+        cfg.jitter_frac = 0.0;
+        // A river crossing the full 2 km space at x ∈ [800, 1000): the west
+        // bank keeps 4 columns (x ∈ {0..600}), the east bank 6.
+        cfg.dead_zones = vec![Rect::from_coords(800.0, -1.0, 1000.0, 2001.0)];
+        let n = generate_network(&cfg);
+        assert!(n.is_connected());
+        assert!(
+            n.nodes().iter().all(|p| p.x >= 1000.0),
+            "only the larger (east) bank survives"
+        );
+    }
+
+    #[test]
+    fn dead_zones_are_deterministic() {
+        let mut cfg = NetworkConfig::small(3);
+        cfg.dead_zones = vec![Rect::from_coords(0.0, 0.0, 500.0, 500.0)];
+        let a = generate_network(&cfg);
+        let b = generate_network(&cfg);
+        assert_eq!(a.nodes(), b.nodes());
+        assert_eq!(a.num_edges(), b.num_edges());
+    }
+
+    #[test]
+    #[should_panic(expected = "entire network")]
+    fn rejects_all_consuming_dead_zone() {
+        let mut cfg = NetworkConfig::small(0);
+        cfg.dead_zones = vec![Rect::from_coords(-1.0, -1.0, 3000.0, 3000.0)];
         generate_network(&cfg);
     }
 }

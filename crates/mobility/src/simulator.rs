@@ -78,6 +78,40 @@ impl TrafficSimulator {
         }
     }
 
+    /// Replaces the demand surface governing *future* trips (day/night
+    /// commute phases, flash-crowd inversions). Cars already en route keep
+    /// their current trip; combine with [`Self::reroute_all`] to turn the
+    /// whole fleet toward the new demand at once.
+    pub fn set_demand(&mut self, demand: &TrafficDemand) {
+        self.sampler = demand.node_sampler(&self.network);
+    }
+
+    /// Abandons every car's current trip and assigns a fresh
+    /// demand-weighted one, starting from the intersection each car is
+    /// already driving toward (no teleporting, no pose change). Cars are
+    /// processed in id order off the simulator's own RNG, so the call is
+    /// deterministic.
+    pub fn reroute_all(&mut self) {
+        for i in 0..self.cars.len() {
+            let next = self.cars[i].next_intersection();
+            let path = sample_trip(&self.network, &self.sampler, Some(next), &mut self.rng);
+            self.cars[i].redirect(path);
+        }
+    }
+
+    /// Applies a per-car multiplicative speed factor, keyed by car id —
+    /// how heterogeneous fleets (pedestrian/car/drone classes) are set up
+    /// after spawning. Consumes no RNG draws, so a scaled fleet's random
+    /// stream stays aligned with an unscaled one.
+    pub fn scale_speeds<F: Fn(u32) -> f64>(&mut self, factor_of: F) {
+        for car in &mut self.cars {
+            let f = factor_of(car.id);
+            if f != 1.0 {
+                car.scale_speed(f);
+            }
+        }
+    }
+
     /// Elapsed simulation time in seconds.
     #[inline]
     pub fn time(&self) -> f64 {
@@ -225,6 +259,87 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn set_demand_and_reroute_redirect_the_fleet() {
+        use crate::traffic::Hotspot;
+        let mut sim = small_sim(60, 31);
+        for _ in 0..30 {
+            sim.step(1.0);
+        }
+        let before: Vec<Point> = sim.cars().iter().map(|c| c.position()).collect();
+        // All future demand collapses onto one corner hotspot.
+        let corner = Hotspot {
+            center: Point::new(1900.0, 1900.0),
+            sigma: 120.0,
+            weight: 50.0,
+        };
+        sim.set_demand(&TrafficDemand::new(vec![corner], 0.01));
+        sim.reroute_all();
+        // Rerouting itself must not move anyone.
+        for (car, p0) in sim.cars().iter().zip(&before) {
+            assert_eq!(car.position(), *p0);
+        }
+        // After driving a while, the fleet should crowd toward the corner.
+        for _ in 0..600 {
+            sim.step(1.0);
+        }
+        let near = sim
+            .cars()
+            .iter()
+            .filter(|c| c.position().distance(&corner.center) < 600.0)
+            .count();
+        assert!(near > 30, "only {near}/60 cars converged on the hotspot");
+    }
+
+    #[test]
+    fn reroute_all_is_deterministic() {
+        let make = || {
+            let mut sim = small_sim(25, 9);
+            for _ in 0..20 {
+                sim.step(1.0);
+            }
+            sim.reroute_all();
+            for _ in 0..50 {
+                sim.step(1.0);
+            }
+            sim
+        };
+        let a = make();
+        let b = make();
+        for (ca, cb) in a.cars().iter().zip(b.cars()) {
+            assert_eq!(ca.position(), cb.position());
+        }
+    }
+
+    #[test]
+    fn scale_speeds_splits_the_fleet_into_classes() {
+        let mut sim = small_sim(90, 15);
+        // Thirds: pedestrians, cars, drones (by id stripe).
+        sim.scale_speeds(|id| match id % 3 {
+            0 => 0.12,
+            1 => 1.0,
+            _ => 2.0,
+        });
+        let mut dist = vec![0.0f64; 90];
+        let start: Vec<Point> = sim.cars().iter().map(|c| c.position()).collect();
+        for _ in 0..120 {
+            sim.step(1.0);
+            for (i, car) in sim.cars().iter().enumerate() {
+                dist[i] = dist[i].max(car.position().distance(&start[i]));
+            }
+        }
+        let class_mean = |k: u32| {
+            let xs: Vec<f64> = (0..90)
+                .filter(|i| i % 3 == k as usize)
+                .map(|i| dist[i])
+                .collect();
+            xs.iter().sum::<f64>() / xs.len() as f64
+        };
+        let (ped, car, drone) = (class_mean(0), class_mean(1), class_mean(2));
+        assert!(ped < car * 0.6, "pedestrians {ped} m vs cars {car} m");
+        assert!(drone > car, "drones {drone} m vs cars {car} m");
     }
 
     #[test]

@@ -31,6 +31,7 @@
 //! perfect-channel path.
 
 use lira_core::error::{LiraError, Result};
+use lira_core::geometry::{Point, Rect};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -114,19 +115,65 @@ impl DelayModel {
 /// A scheduled base-station outage: every transmission attempted in
 /// `[start_s, end_s)` is lost without consuming an RNG draw (the loss is
 /// certain, not stochastic). In-flight deliveries are unaffected.
+///
+/// An outage may additionally carry a *region predicate*: when `region`
+/// is set, the outage only swallows transmissions whose sender declared a
+/// position inside that rectangle (via
+/// [`FaultyChannel::send_from`]) — the model of one base station failing
+/// and taking its whole coverage area down at once, while the rest of the
+/// space keeps transmitting. Position-unaware sends
+/// ([`FaultyChannel::send`]) are never affected by regional outages.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Outage {
     /// Outage start (inclusive), seconds.
     pub start_s: f64,
     /// Outage end (exclusive), seconds.
     pub end_s: f64,
+    /// When set, the outage only applies to transmissions sent from
+    /// inside this rectangle (min-edge inclusive, max-edge exclusive —
+    /// the same predicate range queries use). `None` is a global outage.
+    pub region: Option<Rect>,
 }
 
 impl Outage {
-    /// Whether `t` falls inside the outage window.
+    /// A global (space-wide) outage over `[start_s, end_s)`.
+    pub fn window(start_s: f64, end_s: f64) -> Self {
+        Outage {
+            start_s,
+            end_s,
+            region: None,
+        }
+    }
+
+    /// A correlated regional outage: only transmissions sent from inside
+    /// `region` during `[start_s, end_s)` are lost.
+    pub fn regional(start_s: f64, end_s: f64, region: Rect) -> Self {
+        Outage {
+            start_s,
+            end_s,
+            region: Some(region),
+        }
+    }
+
+    /// Whether `t` falls inside the outage window (ignores the region).
     #[inline]
     pub fn contains(&self, t: f64) -> bool {
         t >= self.start_s && t < self.end_s
+    }
+
+    /// Whether a transmission at time `t` from `pos` is swallowed by this
+    /// outage. A regional outage never applies to a position-unaware send
+    /// (`pos = None`); a global outage applies regardless of position.
+    #[inline]
+    pub fn applies(&self, t: f64, pos: Option<Point>) -> bool {
+        if !self.contains(t) {
+            return false;
+        }
+        match (self.region, pos) {
+            (None, _) => true,
+            (Some(r), Some(p)) => r.contains(&p),
+            (Some(_), None) => false,
+        }
     }
 }
 
@@ -217,6 +264,17 @@ impl FaultProfile {
                     o.start_s, o.end_s
                 )));
             }
+            if let Some(r) = &o.region {
+                let finite = r.min.x.is_finite()
+                    && r.min.y.is_finite()
+                    && r.max.x.is_finite()
+                    && r.max.y.is_finite();
+                if !finite || r.width() <= 0.0 || r.height() <= 0.0 {
+                    return Err(LiraError::InvalidConfig(format!(
+                        "outage region {r:?} must be finite with positive area"
+                    )));
+                }
+            }
         }
         if !(self.retry.backoff_s >= 0.0 && self.retry.backoff_s.is_finite()) {
             return Err(LiraError::InvalidConfig(format!(
@@ -298,13 +356,17 @@ pub struct Delivery<T> {
     pub duplicate: bool,
 }
 
-/// A retransmission waiting for its backoff to elapse.
+/// A retransmission waiting for its backoff to elapse. Carries the
+/// sender's declared position so regional outages keep applying to
+/// retries (the node is assumed stationary relative to the base-station
+/// coverage area over a backoff interval).
 #[derive(Debug, Clone)]
 struct PendingRetry<T> {
     due: f64,
     seq: u64,
     sent_at: f64,
     attempt: u32,
+    pos: Option<Point>,
     payload: T,
 }
 
@@ -375,11 +437,27 @@ impl<T: Clone> FaultyChannel<T> {
     /// transmission attempt happens immediately; the payload surfaces
     /// from a later [`poll`](Self::poll) (the same-call poll when both
     /// delay and faults are absent).
+    ///
+    /// Position-unaware: regional outages in the profile never apply to
+    /// payloads sent this way. Use [`send_from`](Self::send_from) when
+    /// the profile carries regional outages.
     pub fn send(&mut self, now: f64, payload: T) {
         self.stats.sent += 1;
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.transmit(now, seq, now, 0, payload);
+        self.transmit(now, seq, now, 0, None, payload);
+    }
+
+    /// [`send`](Self::send) with the sender's position declared, so
+    /// regional outages can decide whether this transmission falls inside
+    /// a failed base station's coverage. With no regional outages in the
+    /// profile this is behaviorally identical to `send` — same RNG draw
+    /// sequence, same delivery schedule.
+    pub fn send_from(&mut self, now: f64, pos: Point, payload: T) {
+        self.stats.sent += 1;
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.transmit(now, seq, now, 0, Some(pos), payload);
     }
 
     /// Advances the channel clock to `now`: due retransmissions are
@@ -406,7 +484,7 @@ impl<T: Clone> FaultyChannel<T> {
         while let Some(idx) = next_due(&self.retries) {
             let r = self.retries.remove(idx);
             self.stats.retries += 1;
-            self.transmit(r.due, r.seq, r.sent_at, r.attempt, r.payload);
+            self.transmit(r.due, r.seq, r.sent_at, r.attempt, r.pos, r.payload);
         }
 
         let mut due: Vec<InFlight<T>> = Vec::new();
@@ -476,9 +554,17 @@ impl<T: Clone> FaultyChannel<T> {
     /// One wireless transmission attempt: outage check, loss draw, then
     /// either schedule the delivery (plus a possible duplicate) or a
     /// retry / terminal loss.
-    fn transmit(&mut self, now: f64, seq: u64, sent_at: f64, attempt: u32, payload: T) {
+    fn transmit(
+        &mut self,
+        now: f64,
+        seq: u64,
+        sent_at: f64,
+        attempt: u32,
+        pos: Option<Point>,
+        payload: T,
+    ) {
         self.stats.transmissions += 1;
-        let lost = if self.in_outage(now) {
+        let lost = if self.in_outage(now, pos) {
             // Certain loss: no RNG draw, so outage placement can't shift
             // the stochastic stream of the surrounding traffic.
             true
@@ -509,6 +595,7 @@ impl<T: Clone> FaultyChannel<T> {
                     seq,
                     sent_at,
                     attempt: attempt + 1,
+                    pos,
                     payload,
                 });
             } else {
@@ -559,8 +646,8 @@ impl<T: Clone> FaultyChannel<T> {
         }
     }
 
-    fn in_outage(&self, t: f64) -> bool {
-        self.profile.outages.iter().any(|o| o.contains(t))
+    fn in_outage(&self, t: f64, pos: Option<Point>) -> bool {
+        self.profile.outages.iter().any(|o| o.applies(t, pos))
     }
 }
 
@@ -607,10 +694,7 @@ mod tests {
                 max_s: 2.0,
             },
             duplicate_prob: 0.2,
-            outages: vec![Outage {
-                start_s: 3.0,
-                end_s: 5.0,
-            }],
+            outages: vec![Outage::window(3.0, 5.0)],
             retry: RetryPolicy {
                 max_retries: 2,
                 backoff_s: 0.5,
@@ -744,10 +828,7 @@ mod tests {
     #[test]
     fn outage_loses_every_transmission_without_rng() {
         let profile = FaultProfile {
-            outages: vec![Outage {
-                start_s: 10.0,
-                end_s: 20.0,
-            }],
+            outages: vec![Outage::window(10.0, 20.0)],
             ..FaultProfile::none()
         };
         let mut ch = FaultyChannel::new(profile, 1);
@@ -764,10 +845,7 @@ mod tests {
     #[test]
     fn retry_redelivers_after_outage() {
         let profile = FaultProfile {
-            outages: vec![Outage {
-                start_s: 0.0,
-                end_s: 5.0,
-            }],
+            outages: vec![Outage::window(0.0, 5.0)],
             retry: RetryPolicy {
                 max_retries: 10,
                 backoff_s: 1.0,
@@ -791,10 +869,7 @@ mod tests {
     #[test]
     fn retry_budget_is_bounded() {
         let profile = FaultProfile {
-            outages: vec![Outage {
-                start_s: 0.0,
-                end_s: 100.0,
-            }],
+            outages: vec![Outage::window(0.0, 100.0)],
             retry: RetryPolicy {
                 max_retries: 3,
                 backoff_s: 1.0,
@@ -816,10 +891,7 @@ mod tests {
                 min_s: 50.0,
                 max_s: 60.0,
             },
-            outages: vec![Outage {
-                start_s: 5.0,
-                end_s: 1e18,
-            }],
+            outages: vec![Outage::window(5.0, 1e18)],
             retry: RetryPolicy {
                 max_retries: 1000,
                 backoff_s: 1.0,
@@ -870,10 +942,7 @@ mod tests {
         // with its full (post-run) latency. Mean staleness must reflect
         // only deliveries that happened within the run.
         let profile = FaultProfile {
-            outages: vec![Outage {
-                start_s: 10.0,
-                end_s: 1e18,
-            }],
+            outages: vec![Outage::window(10.0, 1e18)],
             retry: RetryPolicy {
                 max_retries: 1000,
                 backoff_s: 5.0,
@@ -934,6 +1003,145 @@ mod tests {
     }
 
     #[test]
+    fn regional_outage_only_hits_senders_inside_the_region() {
+        let region = Rect::from_coords(100.0, 100.0, 200.0, 200.0);
+        let profile = FaultProfile {
+            outages: vec![Outage::regional(10.0, 20.0, region)],
+            ..FaultProfile::none()
+        };
+        let mut ch = FaultyChannel::new(profile, 1);
+        ch.send_from(15.0, Point::new(150.0, 150.0), 1); // inside: lost
+        ch.send_from(15.0, Point::new(50.0, 150.0), 2); // outside: delivered
+        ch.send_from(5.0, Point::new(150.0, 150.0), 3); // before window
+        ch.send_from(20.0, Point::new(150.0, 150.0), 4); // end exclusive
+        let got = ch.poll(30.0);
+        let payloads: Vec<u32> = got.iter().map(|d| d.payload).collect();
+        assert_eq!(payloads, vec![3, 2, 4]);
+        let s = ch.stats();
+        assert_eq!((s.lost, s.delivered), (1, 3));
+        // Certain loss: the regional check consumed no RNG draw.
+        assert_eq!(s.rng_draws, 0);
+    }
+
+    #[test]
+    fn regional_outage_region_edges_match_range_query_semantics() {
+        // Min edge inclusive, max edge exclusive — same as range queries.
+        let region = Rect::from_coords(100.0, 100.0, 200.0, 200.0);
+        let profile = FaultProfile {
+            outages: vec![Outage::regional(0.0, 100.0, region)],
+            ..FaultProfile::none()
+        };
+        let mut ch = FaultyChannel::new(profile, 1);
+        ch.send_from(1.0, Point::new(100.0, 100.0), 1); // min corner: lost
+        ch.send_from(2.0, Point::new(200.0, 150.0), 2); // max x edge: delivered
+        ch.send_from(3.0, Point::new(150.0, 200.0), 3); // max y edge: delivered
+        let got = ch.poll(50.0);
+        let payloads: Vec<u32> = got.iter().map(|d| d.payload).collect();
+        assert_eq!(payloads, vec![2, 3]);
+        assert_eq!(ch.stats().lost, 1);
+    }
+
+    #[test]
+    fn position_unaware_send_ignores_regional_outages() {
+        let region = Rect::from_coords(0.0, 0.0, 1000.0, 1000.0);
+        let profile = FaultProfile {
+            outages: vec![Outage::regional(0.0, 100.0, region)],
+            ..FaultProfile::none()
+        };
+        let mut ch = FaultyChannel::new(profile, 1);
+        ch.send(10.0, 1);
+        ch.send(50.0, 2);
+        let got = ch.poll(200.0);
+        assert_eq!(got.len(), 2, "plain send never matches a regional outage");
+        assert_eq!(ch.stats().lost, 0);
+    }
+
+    #[test]
+    fn send_from_is_bit_identical_to_send_without_regional_outages() {
+        // The position argument must be inert when no outage carries a
+        // region: same deliveries, same stats, same RNG draw count.
+        let profile = FaultProfile {
+            loss: LossModel::Iid { p: 0.3 },
+            delay: DelayModel::Uniform {
+                min_s: 0.1,
+                max_s: 2.0,
+            },
+            duplicate_prob: 0.2,
+            outages: vec![Outage::window(3.0, 5.0)],
+            retry: RetryPolicy {
+                max_retries: 2,
+                backoff_s: 0.5,
+            },
+        };
+        let mut plain = FaultyChannel::new(profile.clone(), 42);
+        let mut positioned = FaultyChannel::new(profile, 42);
+        let mut got_plain = Vec::new();
+        let mut got_positioned = Vec::new();
+        for i in 0..200 {
+            let t = i as f64 * 0.1;
+            plain.send(t, i);
+            positioned.send_from(t, Point::new(i as f64, i as f64), i);
+            got_plain.extend(plain.poll(t));
+            got_positioned.extend(positioned.poll(t));
+        }
+        got_plain.extend(plain.drain(100.0));
+        got_positioned.extend(positioned.drain(100.0));
+        assert_eq!(got_plain, got_positioned);
+        assert_eq!(plain.stats(), positioned.stats());
+    }
+
+    #[test]
+    fn regional_outage_applies_to_retries_at_the_senders_position() {
+        // A retry re-attempts from the original position, so a retry due
+        // inside the regional window is swallowed again; the first retry
+        // past the window delivers.
+        let region = Rect::from_coords(0.0, 0.0, 100.0, 100.0);
+        let profile = FaultProfile {
+            outages: vec![Outage::regional(0.0, 5.0, region)],
+            retry: RetryPolicy {
+                max_retries: 10,
+                backoff_s: 1.0,
+            },
+            ..FaultProfile::none()
+        };
+        let mut ch = FaultyChannel::new(profile, 1);
+        ch.send_from(2.0, Point::new(50.0, 50.0), 42);
+        assert!(ch.poll(4.9).is_empty(), "still inside the regional window");
+        let got = ch.poll(10.0);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].delivered_at, 5.0);
+        assert_eq!(ch.stats().retries, 3);
+    }
+
+    #[test]
+    fn profile_validation_rejects_bad_outage_regions() {
+        let bad_area = Rect::from_coords(10.0, 10.0, 10.0, 50.0);
+        assert!(FaultProfile {
+            outages: vec![Outage::regional(0.0, 10.0, bad_area)],
+            ..FaultProfile::none()
+        }
+        .validate()
+        .is_err());
+        let non_finite = Rect {
+            min: Point::new(0.0, 0.0),
+            max: Point::new(f64::NAN, 100.0),
+        };
+        assert!(FaultProfile {
+            outages: vec![Outage::regional(0.0, 10.0, non_finite)],
+            ..FaultProfile::none()
+        }
+        .validate()
+        .is_err());
+        let fine = Rect::from_coords(0.0, 0.0, 100.0, 100.0);
+        assert!(FaultProfile {
+            outages: vec![Outage::regional(0.0, 10.0, fine)],
+            ..FaultProfile::none()
+        }
+        .validate()
+        .is_ok());
+    }
+
+    #[test]
     fn profile_validation_rejects_bad_values() {
         assert!(FaultProfile::iid_loss(1.5).validate().is_err());
         assert!(FaultProfile {
@@ -952,10 +1160,7 @@ mod tests {
         .validate()
         .is_err());
         assert!(FaultProfile {
-            outages: vec![Outage {
-                start_s: 5.0,
-                end_s: 5.0
-            }],
+            outages: vec![Outage::window(5.0, 5.0)],
             ..FaultProfile::none()
         }
         .validate()

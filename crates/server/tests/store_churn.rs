@@ -226,6 +226,123 @@ proptest! {
     }
 }
 
+/// Node churn interleaved with a correlated regional outage: while the
+/// west half's base stations are dark (`[10, 20)`), every west-side
+/// report is silently lost on the uplink, some of those same nodes are
+/// removed server-side, and after the window they re-register through
+/// the recovered channel. The unified engine (1 and 3 shards) and the
+/// legacy path must agree bit for bit at every round — losses arriving
+/// as *gaps* (a removal with no subsequent report) exercise a different
+/// store path than the usual stale-rejection churn.
+#[test]
+fn churn_across_a_regional_outage_window_stays_engine_identical() {
+    let west = Rect::from_coords(0.0, 0.0, 500.0, 1000.0);
+    let profile = FaultProfile {
+        outages: vec![Outage::regional(10.0, 20.0, west)],
+        ..FaultProfile::none()
+    };
+    // Zero-draw profile: the outage decides by position and time alone,
+    // so the whole test is deterministic for any seed.
+    let mut ch: FaultyChannel<(u32, f64, Point, (f64, f64))> = FaultyChannel::new(profile, 3);
+
+    let mut servers: Vec<(String, CqServer)> = vec![
+        ("unified(1)".into(), CqServer::new(bounds(), NUM_NODES, 8)),
+        (
+            "unified(3)".into(),
+            CqServer::new(bounds(), NUM_NODES, 8).with_engine(EvalEngine::Unified { shards: 3 }),
+        ),
+        (
+            "legacy".into(),
+            CqServer::new(bounds(), NUM_NODES, 8).with_engine(EvalEngine::Legacy),
+        ),
+    ];
+    let qs = [
+        RangeQuery {
+            id: 0,
+            range: Rect::from_coords(0.0, 0.0, 500.0, 1000.0),
+        },
+        RangeQuery {
+            id: 1,
+            range: Rect::from_coords(250.0, 0.0, 1000.0, 1000.0),
+        },
+    ];
+    for (_, s) in &mut servers {
+        s.register_queries(qs);
+    }
+    let mut bufs: Vec<Vec<QueryResult>> = vec![Vec::new(); servers.len()];
+
+    // Node i lives at a fixed lattice position; the west half is
+    // ids 0..8, the east half 8..16.
+    let pos = |i: u32| {
+        let col = if i < 8 { 1 + (i % 4) } else { 9 + (i % 4) };
+        Point::new(col as f64 * U, (1 + i / 4 % 4) as f64 * U)
+    };
+
+    for step in 0..30u32 {
+        let t = step as f64;
+        // Every node re-reports each second from its position.
+        for i in 0..NUM_NODES as u32 {
+            ch.send_from(t, pos(i), (i, t, pos(i), (0.0, 0.0)));
+        }
+        // Mid-outage churn: remove a west node (whose replacement report
+        // is being eaten by the outage) and an east node (whose report
+        // still flows) each second of the window.
+        if (12..16).contains(&step) {
+            let west_node = step - 12; // 0..4
+            let east_node = 8 + (step - 12);
+            for (label, s) in &mut servers {
+                assert!(s.remove_node(west_node), "{label} remove {west_node}");
+                assert!(s.remove_node(east_node), "{label} remove {east_node}");
+            }
+        }
+        for d in ch.poll(t) {
+            let (node, rt, p, v) = d.payload;
+            for (_, s) in &mut servers {
+                s.ingest(node, rt, p, v);
+            }
+        }
+        // Evaluate every tick; all three engines must agree exactly.
+        for ((_, s), buf) in servers.iter_mut().zip(&mut bufs) {
+            s.evaluate_into(t + 0.5, buf);
+        }
+        let (first, rest) = bufs.split_first().expect("three servers");
+        for ((label, _), buf) in servers.iter().skip(1).zip(rest) {
+            assert_eq!(buf, first, "{label} diverged at t = {t}");
+        }
+        // Spot-check the semantics at the window edges: while the outage
+        // holds, removed west nodes stay gone (their re-reports are being
+        // lost), removed east nodes reappear next tick.
+        if step == 17 {
+            let west_ids = &bufs[0][0].nodes;
+            for removed in 0..4u32 {
+                assert!(
+                    !west_ids.contains(&removed),
+                    "west node {removed} resurrected mid-outage: {west_ids:?}"
+                );
+            }
+            let east_ids = &bufs[0][1].nodes;
+            for removed in 8..12u32 {
+                assert!(
+                    east_ids.contains(&removed),
+                    "east node {removed} should re-register through the live channel"
+                );
+            }
+        }
+    }
+    // After the window every node is back.
+    for ((label, s), buf) in servers.iter_mut().zip(&mut bufs) {
+        s.evaluate_into(30.5, buf);
+        let mut all: Vec<u32> = buf[0].nodes.iter().chain(&buf[1].nodes).copied().collect();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), NUM_NODES, "{label}: someone never recovered");
+        assert_eq!(s.store().reported_count(), NUM_NODES, "{label}");
+    }
+    // The outage actually bit: 8 west nodes x 10 seconds of lost reports.
+    assert_eq!(ch.stats().lost, 80);
+    assert_eq!(ch.stats().rng_draws, 0, "zero-draw fault profile");
+}
+
 /// A remove → re-ingest → evaluate sequence within a single round must
 /// re-register the node exactly once (the pending/dirty overlap path),
 /// at every shard count, including with reused buffers across the

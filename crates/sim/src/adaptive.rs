@@ -108,6 +108,8 @@ pub fn run_adaptive_with_engine(
         .expect("validated config")
         .with_model(setup.model.clone());
     let sim = &mut setup.sim;
+    let phases = &mut setup.phases;
+    let delta_caps = sc.fleet_delta_caps();
     let mut grid = StatsGrid::new(sc.alpha, bounds).expect("valid grid");
     let mut queue: UpdateQueue<MotionReport> = UpdateQueue::new(cfg.queue_capacity);
     let mut plan = SheddingPlan::uniform(bounds, sc.delta_min);
@@ -133,6 +135,7 @@ pub fn run_adaptive_with_engine(
     let mut windows = Vec::new();
     let mut dropped_before = 0u64;
     for tick in 1..=total_ticks {
+        phases.apply_due(sim);
         sim.step(sc.dt);
         let t = sim.time();
         for (i, car) in sim.cars().iter().enumerate() {
@@ -141,12 +144,16 @@ pub fn run_adaptive_with_engine(
                 reference.ingest(rep.node, t, rep.model.origin, rep.model.velocity);
             }
             let delta = plan.throttler_at(&pos);
+            let delta = match &delta_caps {
+                Some(caps) => delta.min(caps[i]),
+                None => delta,
+            };
             if let Some(rep) = shed_reckoners[i].observe(i as u32, t, pos, vel, delta) {
                 match &mut channel {
                     None => {
                         queue.offer_at(t, rep);
                     }
-                    Some(ch) => ch.send(t, rep),
+                    Some(ch) => ch.send_from(t, pos, rep),
                 }
             }
         }

@@ -34,7 +34,7 @@ pub mod prelude {
         CarState, Parallelism, ReferenceTimeline, SimPipeline, SimSetup, TrafficTrace,
     };
     pub use crate::runner::{run_scenario, Policy, PolicyOutcome, RunReport};
-    pub use crate::scenario::Scenario;
+    pub use crate::scenario::{DemandPhase, NamedScenario, PhaseSchedule, Scenario, SpeedClass};
     pub use crate::telemetry::{AdaptiveTelemetry, LaneTelemetry, PipelineTelemetry};
     pub use lira_core::telemetry::TelemetrySnapshot;
     pub use lira_server::cq_engine::EvalEngine;

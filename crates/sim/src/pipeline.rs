@@ -38,10 +38,10 @@ use lira_core::stats_grid::StatsGrid;
 use lira_mobility::generator::{generate_network, NetworkConfig};
 use lira_mobility::motion::DeadReckoner;
 use lira_mobility::simulator::{TrafficConfig, TrafficSimulator};
-use lira_mobility::traffic::TrafficDemand;
 use lira_server::channel::FaultyChannel;
 use lira_server::cq_engine::{CqServer, EvalEngine};
 use lira_server::query::{QueryResult, RangeQuery};
+use lira_workload::scenario::PhaseSchedule;
 use lira_workload::{generate_queries, WorkloadConfig};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -75,6 +75,10 @@ pub struct SimSetup {
     pub model: ReductionModel,
     /// The traffic simulator, already past `warmup_s`.
     pub sim: TrafficSimulator,
+    /// The scenario's demand-phase schedule, advanced through warmup and
+    /// consumed by [`record_trace`](Self::record_trace) (or by a caller
+    /// driving `sim` itself — apply before every step).
+    pub phases: PhaseSchedule,
     /// The registered continual queries.
     pub queries: Vec<RangeQuery>,
 }
@@ -88,6 +92,8 @@ impl SimSetup {
         config
             .validate()
             .expect("scenario produces a valid LiraConfig");
+        sc.validate()
+            .expect("scenario extensions (phases/fleet/dead zones) validate");
         let bounds = sc.bounds();
         let model = ReductionModel::analytic(sc.delta_min, sc.delta_max, config.kappa());
 
@@ -97,9 +103,10 @@ impl SimSetup {
             arterial_period: sc.arterial_period,
             expressway_period: sc.expressway_period,
             jitter_frac: 0.2,
+            dead_zones: sc.dead_zones.clone(),
             seed: sc.seed,
         });
-        let demand = TrafficDemand::random_hotspots(&bounds, sc.hotspots, sc.seed);
+        let demand = sc.base_demand();
         let mut sim = TrafficSimulator::new(
             network,
             &demand,
@@ -108,7 +115,14 @@ impl SimSetup {
                 seed: sc.seed,
             },
         );
+        if let Some(scales) = sc.fleet_speed_scales() {
+            // Applied after spawning, so a heterogeneous fleet's RNG
+            // streams stay aligned with the homogeneous baseline.
+            sim.scale_speeds(|id| scales[id as usize]);
+        }
+        let mut phases = PhaseSchedule::new(sc);
         for _ in 0..(sc.warmup_s / sc.dt).round() as usize {
+            phases.apply_due(&mut sim);
             sim.step(sc.dt);
         }
 
@@ -144,15 +158,20 @@ impl SimSetup {
             bounds,
             model,
             sim,
+            phases,
             queries,
         }
     }
 
     /// Advances the setup's simulator through the measured window,
     /// recording the traffic trace every downstream stage replays.
+    /// Demand-phase switches scheduled inside the window fire here.
     pub fn record_trace(&mut self, sc: &Scenario) -> TrafficTrace {
         let total_ticks = (sc.duration_s / sc.dt).round() as usize;
-        TrafficTrace::record(&mut self.sim, total_ticks, sc.dt)
+        let phases = &mut self.phases;
+        TrafficTrace::record_with(&mut self.sim, total_ticks, sc.dt, |sim| {
+            phases.apply_due(sim)
+        })
     }
 
     /// A CQ server over this setup's space with the workload registered,
@@ -214,6 +233,18 @@ impl TrafficTrace {
     /// Advances `sim` by `total_ticks` steps of `dt`, recording every car's
     /// state at every tick (including the starting state).
     pub fn record(sim: &mut TrafficSimulator, total_ticks: usize, dt: f64) -> Self {
+        Self::record_with(sim, total_ticks, dt, |_| {})
+    }
+
+    /// [`record`](Self::record) with a hook invoked immediately before
+    /// every step — the pipeline threads demand-phase switches through it
+    /// (see [`PhaseSchedule::apply_due`]).
+    pub fn record_with<F: FnMut(&mut TrafficSimulator)>(
+        sim: &mut TrafficSimulator,
+        total_ticks: usize,
+        dt: f64,
+        mut before_step: F,
+    ) -> Self {
         let num_cars = sim.cars().len();
         let mut times = Vec::with_capacity(total_ticks + 1);
         let mut states = Vec::with_capacity((total_ticks + 1) * num_cars);
@@ -227,6 +258,7 @@ impl TrafficTrace {
             };
         snapshot(sim, &mut times, &mut states);
         for _ in 0..total_ticks {
+            before_step(sim);
             sim.step(dt);
             snapshot(sim, &mut times, &mut states);
         }
@@ -381,6 +413,46 @@ struct PolicyLane {
     /// Updates shed (server-actuated admission drop) per plan region in
     /// the current plan epoch.
     region_shed: Vec<u64>,
+    /// Per-node `Δ` caps for heterogeneous fleets (`None` = uncapped,
+    /// the historical fast path).
+    delta_caps: Option<Vec<f64>>,
+    /// Where this epoch's server-actuated drops landed, on a fixed
+    /// [`SKEW_GRID`]×[`SKEW_GRID`] partition of the monitored space. A
+    /// *fixed* grid, not the plan's regions: Random Drop's plan is a
+    /// single region, which would make its skew vacuously zero, and a
+    /// plan-relative measure could not be compared across policies.
+    skew_cells: Vec<u64>,
+    /// The monitored space (for mapping drop positions to skew cells).
+    bounds: Rect,
+    /// Shed-volume-weighted sum of per-epoch shed-skew CoVs (numerator
+    /// of [`PolicyOutcome::shed_skew`]).
+    shed_skew_sum: f64,
+    /// Total server-actuated drops across all epochs (its denominator).
+    shed_skew_weight: f64,
+    /// Sum and count of per-epoch plan-threshold CoVs (for
+    /// [`PolicyOutcome::plan_skew`]).
+    plan_skew_sum: f64,
+    plan_epochs: u64,
+}
+
+/// Side of the fixed spatial grid used for shed-skew accounting (see
+/// [`PolicyLane::skew_cells`]).
+const SKEW_GRID: usize = 4;
+
+/// Coefficient of variation (stddev/mean) of `values`; `0` when there are
+/// fewer than two values or the mean is zero.
+fn coefficient_of_variation(values: impl Iterator<Item = f64> + Clone) -> f64 {
+    let (mut n, mut sum) = (0u64, 0.0f64);
+    for v in values.clone() {
+        n += 1;
+        sum += v;
+    }
+    if n < 2 || sum == 0.0 {
+        return 0.0;
+    }
+    let mean = sum / n as f64;
+    let var = values.map(|v| (v - mean) * (v - mean)).sum::<f64>() / n as f64;
+    var.sqrt() / mean
 }
 
 impl PolicyLane {
@@ -418,7 +490,39 @@ impl PolicyLane {
             tel: LaneTelemetry::new(telemetry),
             region_admitted: Vec::new(),
             region_shed: Vec::new(),
+            delta_caps: sc.fleet_delta_caps(),
+            skew_cells: vec![0; SKEW_GRID * SKEW_GRID],
+            bounds: setup.bounds,
+            shed_skew_sum: 0.0,
+            shed_skew_weight: 0.0,
+            plan_skew_sum: 0.0,
+            plan_epochs: 0,
         }
+    }
+
+    /// Records one server-actuated drop at the sender's reported origin
+    /// for shed-skew accounting.
+    fn bump_skew_cell(&mut self, p: &Point) {
+        let k = SKEW_GRID as f64;
+        let fx = ((p.x - self.bounds.min.x) / self.bounds.width() * k) as usize;
+        let fy = ((p.y - self.bounds.min.y) / self.bounds.height() * k) as usize;
+        let cell = fy.min(SKEW_GRID - 1) * SKEW_GRID + fx.min(SKEW_GRID - 1);
+        self.skew_cells[cell] += 1;
+    }
+
+    /// Closes the current plan epoch's shed-skew accounting: the CoV of
+    /// server-actuated drops across the fixed spatial grid, weighted by
+    /// the epoch's drop volume (epochs that shed nothing contribute
+    /// nothing), then resets the epoch counters.
+    fn flush_shed_skew(&mut self) {
+        let total: u64 = self.skew_cells.iter().sum();
+        if total == 0 {
+            return;
+        }
+        let cov = coefficient_of_variation(self.skew_cells.iter().map(|&c| c as f64));
+        self.shed_skew_sum += cov * total as f64;
+        self.shed_skew_weight += total as f64;
+        self.skew_cells.iter_mut().for_each(|c| *c = 0);
     }
 
     /// One adaptation round: snapshot statistics from the tick's car
@@ -429,6 +533,7 @@ impl PolicyLane {
         // it (the region indices are only meaningful against one plan).
         self.tel
             .flush_regions(&self.region_admitted, &self.region_shed);
+        self.flush_shed_skew();
         self.grid.begin_snapshot();
         for car in cars {
             self.grid.observe_node(&car.position, car.speed(), 1.0);
@@ -444,6 +549,9 @@ impl PolicyLane {
             .expect("adaptation succeeds on a committed snapshot");
         let micros = started.elapsed().as_micros() as u64;
         self.adapt_micros.push(micros);
+        self.plan_skew_sum +=
+            coefficient_of_variation(self.plan.regions().iter().map(|r| r.throttler));
+        self.plan_epochs += 1;
         self.tel
             .on_adapt(micros, z, self.shedding.last_cost(), &self.plan);
         self.region_admitted.clear();
@@ -482,6 +590,12 @@ impl PolicyLane {
                 // index (identical cost to the old `throttler_at` path).
                 let (region, delta) = self.plan.region_at(&car.position);
                 let region = region.map_or(NO_REGION, |r| r as u32);
+                // Heterogeneous fleets cap the plan's threshold per node
+                // (a pedestrian's consumers reject wide Δ).
+                let delta = match &self.delta_caps {
+                    Some(caps) => delta.min(caps[i]),
+                    None => delta,
+                };
                 if let Some(rep) =
                     self.reckoners[i].observe(i as u32, t, car.position, car.velocity, delta)
                 {
@@ -506,11 +620,18 @@ impl PolicyLane {
                             } else {
                                 self.tel.on_shed();
                                 Self::bump_region(&mut self.region_shed, region);
+                                self.bump_skew_cell(&rep.model.origin);
                             }
                         }
-                        Some(ch) => {
-                            ch.send(t, (rep.node, rep.model.origin, rep.model.velocity, region))
-                        }
+                        // The sender's true position is declared so
+                        // regional outages (failed base stations) can
+                        // match it; without regional outages in the
+                        // profile this is bit-identical to plain `send`.
+                        Some(ch) => ch.send_from(
+                            t,
+                            car.position,
+                            (rep.node, rep.model.origin, rep.model.velocity, region),
+                        ),
                     }
                 }
             }
@@ -536,6 +657,7 @@ impl PolicyLane {
                     } else {
                         self.tel.on_shed();
                         Self::bump_region(&mut self.region_shed, region);
+                        self.bump_skew_cell(&origin);
                     }
                 }
             }
@@ -568,6 +690,7 @@ impl PolicyLane {
         };
         self.tel
             .flush_regions(&self.region_admitted, &self.region_shed);
+        self.flush_shed_skew();
         if let Some(ch) = &self.channel {
             self.tel.on_channel(&ch.stats());
         }
@@ -591,6 +714,16 @@ impl PolicyLane {
             },
             adapt_micros: self.adapt_micros,
             plan_regions: self.plan.len(),
+            shed_skew: if self.shed_skew_weight > 0.0 {
+                self.shed_skew_sum / self.shed_skew_weight
+            } else {
+                0.0
+            },
+            plan_skew: if self.plan_epochs > 0 {
+                self.plan_skew_sum / self.plan_epochs as f64
+            } else {
+                0.0
+            },
         }
     }
 }

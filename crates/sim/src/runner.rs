@@ -106,6 +106,18 @@ pub struct PolicyOutcome {
     pub adapt_micros: Vec<u64>,
     /// Number of regions in the final plan.
     pub plan_regions: usize,
+    /// How unevenly server-actuated drops landed across the monitored
+    /// space: the drop-volume-weighted mean over plan epochs of the
+    /// coefficient of variation of shed counts on a fixed 4×4 spatial
+    /// grid. `0` for source-actuated policies (they shed at the sender,
+    /// not the input queue); for Random Drop it tracks how strongly the
+    /// dropped volume concentrates in hotspots.
+    pub shed_skew: f64,
+    /// How unevenly the *plan itself* spreads its thresholds: the mean
+    /// over adaptation epochs of the CoV of per-region `Δ` values. `0`
+    /// for single-threshold plans (Uniform Delta, Random Drop); higher
+    /// means the policy differentiates regions more aggressively.
+    pub plan_skew: f64,
 }
 
 /// The result of one scenario run.

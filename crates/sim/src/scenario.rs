@@ -1,227 +1,11 @@
-//! Experiment scenarios: bundled configuration for the end-to-end runs,
-//! with presets matching Table 2 of the paper.
+//! Experiment scenarios, re-exported from their home in
+//! [`lira_workload::scenario`].
+//!
+//! The `Scenario` type moved into `lira-workload` when the adversarial
+//! catalog landed (the catalog composes scenarios from mobility demand,
+//! fleet classes, and fault profiles, and `lira-sim` already depends on
+//! `lira-workload` — not the other way around). This module remains so
+//! `lira_sim::scenario::Scenario` and the prelude keep working.
 
-use lira_core::config::LiraConfig;
-use lira_core::geometry::Rect;
-use lira_server::channel::FaultProfile;
-use lira_workload::QueryDistribution;
-
-/// Full configuration of one simulation run.
-#[derive(Debug, Clone, PartialEq)]
-pub struct Scenario {
-    /// Side of the (square) monitored space, meters.
-    pub space_side: f64,
-    /// Road-grid spacing, meters.
-    pub road_spacing: f64,
-    /// Every n-th grid line is an arterial / expressway.
-    pub arterial_period: usize,
-    pub expressway_period: usize,
-    /// Number of traffic hotspots.
-    pub hotspots: usize,
-    /// Number of mobile nodes.
-    pub num_cars: usize,
-
-    /// Query placement distribution.
-    pub query_distribution: QueryDistribution,
-    /// Queries per node, `m/n` (Table 2 default 0.01).
-    pub query_ratio: f64,
-    /// Query side-length parameter `w`, meters.
-    pub query_side: f64,
-
-    /// Number of shedding regions `l`.
-    pub num_regions: usize,
-    /// Statistics-grid side cell count `α`.
-    pub alpha: usize,
-    /// Throttle fraction `z`.
-    pub throttle: f64,
-    /// `Δ⊢`, meters.
-    pub delta_min: f64,
-    /// `Δ⊣`, meters.
-    pub delta_max: f64,
-    /// Greedy increment `c_Δ`, meters.
-    pub increment: f64,
-    /// Fairness threshold `Δ⇔`, meters.
-    pub fairness: f64,
-    /// Speed-factor extension on/off.
-    pub use_speed_factor: bool,
-    /// When set, the runner calibrates the update-reduction model `f(Δ)`
-    /// empirically from a short trace of the warmed-up traffic instead of
-    /// using the analytic default (ablation: Section "empirical vs
-    /// analytic f" in DESIGN.md).
-    pub calibrate_model: bool,
-
-    /// Traffic warm-up before measurement, seconds.
-    pub warmup_s: f64,
-    /// Measured duration, seconds.
-    pub duration_s: f64,
-    /// Simulation tick, seconds.
-    pub dt: f64,
-    /// Query-evaluation period, seconds.
-    pub eval_period_s: f64,
-    /// Plan re-adaptation period, seconds.
-    pub adapt_period_s: f64,
-
-    /// Uplink fault model between the dead reckoners and the server's
-    /// input queue. `None` is the historical perfect channel (and takes
-    /// the exact code path the seed runs always took); `Some` routes
-    /// every policy lane's updates through a
-    /// [`FaultyChannel`](lira_server::channel::FaultyChannel) seeded from
-    /// the lane-RNG rule (`seed + 2000 + lane index`).
-    pub faults: Option<FaultProfile>,
-
-    /// Master seed (traffic, queries, and drop decisions derive from it).
-    pub seed: u64,
-}
-
-impl Default for Scenario {
-    /// A medium scenario: ¼ of the paper's area, paper-like parameters,
-    /// sized to run a full policy comparison in seconds.
-    fn default() -> Self {
-        Scenario {
-            space_side: 7_071.0, // ~50 km²
-            road_spacing: 250.0,
-            arterial_period: 4,
-            expressway_period: 16,
-            hotspots: 5,
-            num_cars: 2_000,
-            query_distribution: QueryDistribution::Proportional,
-            query_ratio: 0.01,
-            query_side: 1_000.0,
-            num_regions: 100,
-            alpha: LiraConfig::alpha_for(100, 10.0),
-            throttle: 0.5,
-            delta_min: 5.0,
-            delta_max: 100.0,
-            increment: 1.0,
-            fairness: 50.0,
-            use_speed_factor: true,
-            calibrate_model: false,
-            warmup_s: 120.0,
-            duration_s: 300.0,
-            dt: 1.0,
-            eval_period_s: 15.0,
-            adapt_period_s: 300.0,
-            faults: None,
-            seed: 17,
-        }
-    }
-}
-
-impl Scenario {
-    /// A small, fast scenario for unit/integration tests (~2 km², a few
-    /// hundred cars, tens of seconds of simulated time).
-    pub fn small(seed: u64) -> Self {
-        Scenario {
-            space_side: 2_000.0,
-            road_spacing: 200.0,
-            arterial_period: 3,
-            expressway_period: 9,
-            hotspots: 3,
-            num_cars: 250,
-            query_ratio: 0.04,
-            query_side: 400.0,
-            num_regions: 13,
-            alpha: 32,
-            warmup_s: 30.0,
-            duration_s: 120.0,
-            eval_period_s: 10.0,
-            adapt_period_s: 120.0,
-            seed,
-            ..Scenario::default()
-        }
-    }
-
-    /// The paper's full Table 2 setup: ~200 km², `l = 250`, `α = 128`,
-    /// 10 000 nodes, one hour of trace.
-    pub fn paper(seed: u64) -> Self {
-        Scenario {
-            space_side: 14_142.0,
-            num_cars: 10_000,
-            num_regions: 250,
-            alpha: 128,
-            warmup_s: 300.0,
-            duration_s: 3_600.0,
-            adapt_period_s: 600.0,
-            seed,
-            ..Scenario::default()
-        }
-    }
-
-    /// The monitored space.
-    pub fn bounds(&self) -> Rect {
-        Rect::from_coords(0.0, 0.0, self.space_side, self.space_side)
-    }
-
-    /// The LIRA configuration implied by this scenario.
-    pub fn lira_config(&self) -> LiraConfig {
-        LiraConfig {
-            bounds: self.bounds(),
-            num_regions: self.num_regions,
-            alpha: self.alpha,
-            throttle: self.throttle,
-            delta_min: self.delta_min,
-            delta_max: self.delta_max,
-            increment: self.increment,
-            fairness: self.fairness,
-            use_speed_factor: self.use_speed_factor,
-        }
-    }
-
-    /// Sets the number of shedding regions and re-derives `α` with the
-    /// paper's `x = 10` rule.
-    pub fn with_regions(mut self, l: usize) -> Self {
-        self.num_regions = l;
-        self.alpha = LiraConfig::alpha_for(l, 10.0);
-        self
-    }
-
-    /// Routes the uplink through a faulty channel. The profile is
-    /// validated here so a bad sweep parameter fails loudly at scenario
-    /// construction, not mid-run inside a lane thread.
-    pub fn with_faults(mut self, profile: FaultProfile) -> Self {
-        profile.validate().expect("valid fault profile");
-        self.faults = Some(profile);
-        self
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn presets_validate() {
-        for sc in [Scenario::default(), Scenario::small(1), Scenario::paper(1)] {
-            sc.lira_config()
-                .validate()
-                .unwrap_or_else(|e| panic!("{sc:?}: {e}"));
-            assert!(sc.warmup_s >= 0.0 && sc.duration_s > 0.0);
-            assert!(sc.num_cars > 0);
-        }
-    }
-
-    #[test]
-    fn paper_preset_matches_table2() {
-        let sc = Scenario::paper(0);
-        assert_eq!(sc.num_regions, 250);
-        assert_eq!(sc.alpha, 128);
-        assert_eq!(sc.throttle, 0.5);
-        assert_eq!(sc.delta_min, 5.0);
-        assert_eq!(sc.delta_max, 100.0);
-        assert_eq!(sc.increment, 1.0);
-        assert_eq!(sc.fairness, 50.0);
-        assert_eq!(sc.query_ratio, 0.01);
-        assert_eq!(sc.query_side, 1000.0);
-        assert_eq!(sc.duration_s, 3600.0);
-        // ~200 km².
-        assert!((sc.space_side * sc.space_side / 1e6 - 200.0).abs() < 1.0);
-    }
-
-    #[test]
-    fn with_regions_rederives_alpha() {
-        let sc = Scenario::default().with_regions(250);
-        assert_eq!(sc.alpha, 128);
-        let sc = Scenario::default().with_regions(4000);
-        assert_eq!(sc.alpha, 512);
-    }
-}
+pub use lira_workload::catalog::NamedScenario;
+pub use lira_workload::scenario::{DemandPhase, PhaseSchedule, Scenario, SpeedClass};

@@ -1,0 +1,336 @@
+//! The named adversarial scenario catalog (ROADMAP item 5): worlds the
+//! paper never tested, each engineered to stress a specific assumption of
+//! region-aware load shedding. Every [`NamedScenario`] composes the
+//! mobility stack (phased demand, speed classes, dead zones) with the
+//! fault layer (regional outages) into a fully deterministic
+//! [`Scenario`]; the `exp_scenarios` sweep in `lira-bench` scores every
+//! shedding policy on every catalog entry, and docs/SCENARIOS.md is the
+//! operator-facing reference.
+//!
+//! Geometry is expressed in fractions of the scenario's space side and
+//! times in fractions of its measured duration, so the same catalog entry
+//! scales from the tiny test preset to the paper-scale world without
+//! re-tuning.
+
+use lira_core::geometry::{Point, Rect};
+use lira_mobility::traffic::Hotspot;
+use lira_server::channel::{FaultProfile, Outage, RetryPolicy};
+
+use crate::scenario::{DemandPhase, Scenario, SpeedClass};
+
+/// A named, reproducible adversarial world from the catalog.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NamedScenario {
+    /// The paper's own world, unmodified — the control entry every other
+    /// scenario is compared against.
+    PaperWorld,
+    /// A stadium emptying: one extreme hotspot holds the fleet, then the
+    /// demand inverts to two far-away suburbs at once and the whole fleet
+    /// turns around (sudden hotspot inversion; stale statistics).
+    FlashCrowd,
+    /// Day/night commute: demand drifts between downtown, a midday
+    /// spread, and the evening suburbs over three phases (slowly moving
+    /// hotspots; adaptation lag).
+    CommuteCycle,
+    /// Pedestrian/car/drone speed classes with a per-class `Δ⊣` cap on
+    /// the slow class (heterogeneous `Δ` sensitivity; region statistics
+    /// mix regimes the plan cannot separate).
+    HeterogeneousFleet,
+    /// Two dense cities separated by a river dead zone plus a lake — the
+    /// space is mostly empty and the network is carved (extreme density
+    /// skew; regions spanning the void waste budget).
+    TwinCities,
+    /// A base-station failure blacks out the central region for part of
+    /// the run while background i.i.d. loss continues everywhere
+    /// (correlated regional loss; statistics go dark region-wide).
+    RegionalBlackout,
+}
+
+impl NamedScenario {
+    /// Every catalog entry, in presentation order.
+    pub const ALL: [NamedScenario; 6] = [
+        NamedScenario::PaperWorld,
+        NamedScenario::FlashCrowd,
+        NamedScenario::CommuteCycle,
+        NamedScenario::HeterogeneousFleet,
+        NamedScenario::TwinCities,
+        NamedScenario::RegionalBlackout,
+    ];
+
+    /// Stable kebab-case identifier used in reports and BENCH JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            NamedScenario::PaperWorld => "paper-world",
+            NamedScenario::FlashCrowd => "flash-crowd",
+            NamedScenario::CommuteCycle => "commute-cycle",
+            NamedScenario::HeterogeneousFleet => "heterogeneous-fleet",
+            NamedScenario::TwinCities => "twin-cities",
+            NamedScenario::RegionalBlackout => "regional-blackout",
+        }
+    }
+
+    /// One sentence on what the scenario stresses.
+    pub fn stresses(self) -> &'static str {
+        match self {
+            NamedScenario::PaperWorld => "the paper's baseline regime (control entry)",
+            NamedScenario::FlashCrowd => {
+                "sudden hotspot inversion: plans adapted to stale statistics"
+            }
+            NamedScenario::CommuteCycle => {
+                "slow demand drift: adaptation lag across day/night phases"
+            }
+            NamedScenario::HeterogeneousFleet => {
+                "mixed speed/Δ-sensitivity classes inside the same regions"
+            }
+            NamedScenario::TwinCities => "extreme density skew over a carved, mostly-empty space",
+            NamedScenario::RegionalBlackout => {
+                "correlated regional uplink loss on top of background noise"
+            }
+        }
+    }
+
+    /// The policy the scenario is engineered to hurt most (the expected
+    /// victim — see docs/SCENARIOS.md for the reasoning and caveats).
+    pub fn expected_victim(self) -> &'static str {
+        match self {
+            NamedScenario::PaperWorld => "Random Drop",
+            NamedScenario::FlashCrowd => "LIRA",
+            NamedScenario::CommuteCycle => "LIRA",
+            NamedScenario::HeterogeneousFleet => "Uniform Delta",
+            NamedScenario::TwinCities => "Lira-Grid",
+            NamedScenario::RegionalBlackout => "Random Drop",
+        }
+    }
+
+    /// Applies the catalog entry to a base scenario, keeping the base's
+    /// scale (space, fleet size, durations, seed) and layering the
+    /// adversarial structure on top in side/duration fractions.
+    pub fn apply(self, mut base: Scenario) -> Scenario {
+        let l = base.space_side;
+        let warmup = base.warmup_s;
+        let dur = base.duration_s;
+        let spot = |fx: f64, fy: f64, sigma_frac: f64, weight: f64| Hotspot {
+            center: Point::new(fx * l, fy * l),
+            sigma: sigma_frac * l,
+            weight,
+        };
+        match self {
+            NamedScenario::PaperWorld => {}
+            NamedScenario::FlashCrowd => {
+                base.phases = vec![
+                    // The stadium: one extreme attractor in the NE.
+                    DemandPhase {
+                        start_s: 0.0,
+                        hotspots: vec![spot(0.7, 0.7, 0.06, 12.0)],
+                        uniform_weight: 0.2,
+                        reroute: false,
+                    },
+                    // Full-time whistle: everyone leaves for the suburbs
+                    // at once, 40% into the measured window.
+                    DemandPhase {
+                        start_s: warmup + 0.4 * dur,
+                        hotspots: vec![spot(0.25, 0.25, 0.08, 6.0), spot(0.2, 0.8, 0.08, 6.0)],
+                        uniform_weight: 0.1,
+                        reroute: true,
+                    },
+                ];
+            }
+            NamedScenario::CommuteCycle => {
+                base.phases = vec![
+                    // Morning: everything converges downtown.
+                    DemandPhase {
+                        start_s: 0.0,
+                        hotspots: vec![spot(0.5, 0.5, 0.08, 8.0)],
+                        uniform_weight: 0.25,
+                        reroute: false,
+                    },
+                    // Midday: demand spreads across secondary centers.
+                    DemandPhase {
+                        start_s: warmup + dur / 3.0,
+                        hotspots: vec![
+                            spot(0.5, 0.5, 0.1, 3.0),
+                            spot(0.25, 0.7, 0.08, 3.0),
+                            spot(0.75, 0.3, 0.08, 3.0),
+                        ],
+                        uniform_weight: 0.5,
+                        reroute: false,
+                    },
+                    // Evening: the suburbs pull everyone home.
+                    DemandPhase {
+                        start_s: warmup + 2.0 * dur / 3.0,
+                        hotspots: vec![spot(0.15, 0.15, 0.07, 6.0), spot(0.85, 0.85, 0.07, 6.0)],
+                        uniform_weight: 0.2,
+                        reroute: false,
+                    },
+                ];
+            }
+            NamedScenario::HeterogeneousFleet => {
+                base.fleet = vec![
+                    SpeedClass {
+                        name: "pedestrian",
+                        fraction: 0.3,
+                        speed_scale: 0.12,
+                        // Pedestrians drift slowly; past ~0.2·Δ⊣ they stop
+                        // reporting at all, so their consumers cap Δ.
+                        delta_cap: (0.2 * base.delta_max).max(base.delta_min),
+                    },
+                    SpeedClass {
+                        name: "car",
+                        fraction: 0.5,
+                        speed_scale: 1.0,
+                        delta_cap: f64::INFINITY,
+                    },
+                    SpeedClass {
+                        name: "drone",
+                        fraction: 0.2,
+                        speed_scale: 2.0,
+                        delta_cap: f64::INFINITY,
+                    },
+                ];
+            }
+            NamedScenario::TwinCities => {
+                // A river bisects most of the space (a corridor survives
+                // at the top) and a lake blocks the NE corner.
+                base.dead_zones = vec![
+                    Rect::from_coords(0.42 * l, 0.05 * l, 0.58 * l, 0.6 * l),
+                    Rect::from_coords(0.8 * l, 0.8 * l, 0.95 * l, 0.95 * l),
+                ];
+                base.phases = vec![DemandPhase {
+                    start_s: 0.0,
+                    hotspots: vec![spot(0.2, 0.5, 0.07, 8.0), spot(0.8, 0.35, 0.07, 8.0)],
+                    uniform_weight: 0.05,
+                    reroute: false,
+                }];
+            }
+            NamedScenario::RegionalBlackout => {
+                base.phases = vec![DemandPhase {
+                    start_s: 0.0,
+                    hotspots: vec![spot(0.5, 0.5, 0.1, 8.0)],
+                    uniform_weight: 0.3,
+                    reroute: false,
+                }];
+                let mut profile = FaultProfile::iid_loss(0.02);
+                // The central base station fails for a quarter of the
+                // measured window, taking the hotspot's region with it.
+                profile.outages = vec![Outage::regional(
+                    warmup + 0.3 * dur,
+                    warmup + 0.55 * dur,
+                    Rect::from_coords(0.3 * l, 0.3 * l, 0.7 * l, 0.7 * l),
+                )];
+                profile.retry = RetryPolicy {
+                    max_retries: 2,
+                    backoff_s: 2.0,
+                };
+                base = base.with_faults(profile);
+            }
+        }
+        base.validate().expect("catalog scenario validates");
+        base
+    }
+
+    /// The catalog entry at bench scale: layered over
+    /// [`Scenario::small`], which runs a full four-policy comparison in
+    /// seconds.
+    pub fn scenario(self, seed: u64) -> Scenario {
+        self.apply(Scenario::small(seed))
+    }
+
+    /// The catalog entry at test scale: a shrunken [`Scenario::small`]
+    /// (fewer cars, a one-minute window) for determinism batteries and
+    /// golden snapshots.
+    pub fn tiny(self, seed: u64) -> Scenario {
+        let mut base = Scenario::small(seed);
+        base.num_cars = 120;
+        base.warmup_s = 20.0;
+        base.duration_s = 60.0;
+        base.adapt_period_s = 30.0;
+        base.query_ratio = 0.05;
+        self.apply(base)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_unique_and_kebab() {
+        let names: Vec<&str> = NamedScenario::ALL.iter().map(|s| s.name()).collect();
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), NamedScenario::ALL.len());
+        for n in names {
+            assert!(
+                n.chars().all(|c| c.is_ascii_lowercase() || c == '-'),
+                "{n} is not kebab-case"
+            );
+        }
+    }
+
+    #[test]
+    fn every_entry_validates_at_both_scales() {
+        for s in NamedScenario::ALL {
+            for sc in [s.scenario(7), s.tiny(7)] {
+                sc.validate()
+                    .unwrap_or_else(|e| panic!("{}: {e}", s.name()));
+                sc.lira_config()
+                    .validate()
+                    .unwrap_or_else(|e| panic!("{}: {e}", s.name()));
+                if let Some(profile) = &sc.faults {
+                    profile
+                        .validate()
+                        .unwrap_or_else(|e| panic!("{}: {e}", s.name()));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn apply_scales_with_the_base() {
+        // The same entry layered over different space sizes keeps its
+        // geometry proportional.
+        let small = NamedScenario::FlashCrowd.apply(Scenario::small(1));
+        let paper = NamedScenario::FlashCrowd.apply(Scenario::paper(1));
+        let frac = |sc: &Scenario| {
+            let h = sc.phases[0].hotspots[0];
+            (h.center.x / sc.space_side, h.sigma / sc.space_side)
+        };
+        let (fs, ss) = frac(&small);
+        let (fp, sp) = frac(&paper);
+        assert!((fs - fp).abs() < 1e-12);
+        assert!((ss - sp).abs() < 1e-12);
+        // And the phase switch lands 40% into each measured window.
+        let switch_frac = |sc: &Scenario| (sc.phases[1].start_s - sc.warmup_s) / sc.duration_s;
+        assert!((switch_frac(&small) - 0.4).abs() < 1e-12);
+        assert!((switch_frac(&paper) - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn regional_blackout_outage_sits_inside_the_measured_window() {
+        let sc = NamedScenario::RegionalBlackout.scenario(3);
+        let profile = sc.faults.as_ref().unwrap();
+        assert_eq!(profile.outages.len(), 1);
+        let o = &profile.outages[0];
+        assert!(o.region.is_some(), "the outage must be regional");
+        assert!(o.start_s > sc.warmup_s);
+        assert!(o.end_s < sc.warmup_s + sc.duration_s);
+    }
+
+    #[test]
+    fn heterogeneous_fleet_caps_only_pedestrians() {
+        let sc = NamedScenario::HeterogeneousFleet.scenario(5);
+        let caps = sc.fleet_delta_caps().expect("pedestrian class caps Δ");
+        let capped = caps.iter().filter(|c| c.is_finite()).count();
+        // 30% of the fleet, striped at the low ids.
+        assert_eq!(capped, (0.3 * sc.num_cars as f64).floor() as usize);
+        assert!(caps[0] >= sc.delta_min && caps[0] < sc.delta_max);
+    }
+
+    #[test]
+    fn paper_world_is_the_unmodified_base() {
+        let base = Scenario::small(11);
+        let sc = NamedScenario::PaperWorld.apply(base.clone());
+        assert_eq!(sc, base);
+    }
+}

@@ -1,10 +1,18 @@
 //! # lira-workload
 //!
-//! Query-workload generators for the LIRA experiments (Section 4.2): range
-//! CQs with side lengths drawn from `[w/2, w]`, placed by one of three
-//! spatial distributions relative to the mobile-node population —
-//! **Proportional** (query centers follow the node distribution),
-//! **Inverse** (they follow its inverse), and **Random** (uniform).
+//! The workload subsystem of the LIRA reproduction:
+//!
+//! * **Query generators** (Section 4.2): range CQs with side lengths
+//!   drawn from `[w/2, w]`, placed by one of three spatial distributions
+//!   relative to the mobile-node population — **Proportional** (query
+//!   centers follow the node distribution), **Inverse** (they follow its
+//!   inverse), and **Random** (uniform).
+//! * **Scenarios** ([`scenario`]): the full run configuration (Table 2
+//!   presets plus phased demand, heterogeneous fleets, dead zones, and
+//!   uplink fault profiles).
+//! * **The adversarial catalog** ([`catalog`]): named, deterministic
+//!   worlds engineered to stress region-aware shedding — the standing
+//!   regression battery behind `exp_scenarios` (see docs/SCENARIOS.md).
 //!
 //! ```
 //! use lira_workload::prelude::*;
@@ -17,10 +25,15 @@
 //! assert_eq!(queries.len(), 5);
 //! ```
 
+#![warn(missing_docs)]
+
 use lira_core::geometry::{Point, Rect};
 use lira_server::query::RangeQuery;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+
+pub mod catalog;
+pub mod scenario;
 
 /// Spatial distribution of query centers (Section 4.2).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -189,6 +202,8 @@ fn uniform_point<R: Rng>(bounds: &Rect, rng: &mut R) -> Point {
 
 /// Convenient re-exports.
 pub mod prelude {
+    pub use crate::catalog::NamedScenario;
+    pub use crate::scenario::{DemandPhase, PhaseSchedule, Scenario, SpeedClass};
     pub use crate::{generate_queries, QueryDistribution, WorkloadConfig};
 }
 

@@ -59,10 +59,7 @@ fn main() {
     // relaxes z (never NaN, never 0), then re-converges to the capacity
     // once the channel returns.
     let mut outage = FaultProfile::none();
-    outage.outages.push(Outage {
-        start_s: 40.0,
-        end_s: 70.0,
-    });
+    outage.outages.push(Outage::window(40.0, 70.0));
     let mut sc = Scenario::small(42);
     sc.num_cars = 300;
     sc.duration_s = 160.0;

@@ -246,6 +246,7 @@ fn cmd_plan(opts: &Options) -> ExitCode {
         arterial_period: sc.arterial_period,
         expressway_period: sc.expressway_period,
         jitter_frac: 0.2,
+        dead_zones: sc.dead_zones.clone(),
         seed: sc.seed,
     });
     let demand = TrafficDemand::random_hotspots(&bounds, sc.hotspots, sc.seed);

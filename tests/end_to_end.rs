@@ -163,6 +163,7 @@ fn fairness_threshold_bounds_plan_spread() {
         arterial_period: sc.arterial_period,
         expressway_period: sc.expressway_period,
         jitter_frac: 0.2,
+        dead_zones: sc.dead_zones.clone(),
         seed: sc.seed,
     });
     let demand = TrafficDemand::random_hotspots(&bounds, sc.hotspots, sc.seed);

@@ -37,10 +37,7 @@ fn stormy_profile() -> FaultProfile {
             max_s: 3.0,
         },
         duplicate_prob: 0.05,
-        outages: vec![Outage {
-            start_s: 50.0,
-            end_s: 60.0,
-        }],
+        outages: vec![Outage::window(50.0, 60.0)],
         retry: RetryPolicy {
             max_retries: 2,
             backoff_s: 1.0,
@@ -223,10 +220,7 @@ fn pure_duplication_is_accuracy_neutral() {
 
 #[test]
 fn retries_recover_updates_an_outage_would_lose() {
-    let outage = Outage {
-        start_s: 40.0,
-        end_s: 55.0,
-    };
+    let outage = Outage::window(40.0, 55.0);
     let run = |retry: RetryPolicy| {
         let sc = base_scenario(59).with_faults(FaultProfile {
             outages: vec![outage],
@@ -263,10 +257,7 @@ fn closed_loop_survives_outage_and_recovers_throttle() {
     let mut sc = base_scenario(67);
     sc.duration_s = 120.0;
     let sc = sc.with_faults(FaultProfile {
-        outages: vec![Outage {
-            start_s: 50.0,
-            end_s: 80.0,
-        }],
+        outages: vec![Outage::window(50.0, 80.0)],
         retry: RetryPolicy {
             max_retries: 5,
             backoff_s: 2.0,
@@ -322,6 +313,163 @@ fn adaptive_zero_fault_profile_matches_perfect_channel() {
         b.final_throttle
     );
     assert_eq!(a.drop_fraction.to_bits(), b.drop_fraction.to_bits());
+}
+
+#[test]
+fn full_space_regional_outage_is_bit_identical_to_a_global_window() {
+    // A regional outage whose rect covers every possible sender position
+    // is the same fault as a plain time-window outage — down to the last
+    // bit, since outage losses draw no RNG either way.
+    let sc = base_scenario(37);
+    let everywhere = Rect::from_coords(-1.0, -1.0, sc.space_side + 1.0, sc.space_side + 1.0);
+    let global = sc.clone().with_faults(FaultProfile {
+        outages: vec![Outage::window(30.0, 45.0)],
+        ..FaultProfile::none()
+    });
+    let regional = sc.with_faults(FaultProfile {
+        outages: vec![Outage::regional(30.0, 45.0, everywhere)],
+        ..FaultProfile::none()
+    });
+    let a = run_scenario(&global, &Policy::ALL);
+    let b = run_scenario(&regional, &Policy::ALL);
+    assert_eq!(a.reference_updates, b.reference_updates);
+    for (oa, ob) in a.outcomes.iter().zip(&b.outcomes) {
+        assert_outcomes_identical(oa, ob, oa.policy.name());
+        assert_eq!(oa.faults, ob.faults, "{}: fault books", oa.policy.name());
+    }
+    assert!(a.outcomes[0].faults.lost > 0, "the outage must bite");
+}
+
+#[test]
+fn regional_outage_loses_strictly_less_than_its_global_counterpart() {
+    // Failing one quadrant's base stations must lose some traffic (cars
+    // do drive there) but strictly less than failing all of them over the
+    // same window.
+    let sc = base_scenario(43);
+    let side = sc.space_side;
+    let quadrant = Rect::from_coords(0.0, 0.0, side / 2.0, side / 2.0);
+    let run = |outage: Outage| {
+        let sc = base_scenario(43).with_faults(FaultProfile {
+            outages: vec![outage],
+            ..FaultProfile::none()
+        });
+        run_scenario(&sc, &[Policy::Lira]).outcomes[0].clone()
+    };
+    let regional = run(Outage::regional(30.0, 60.0, quadrant));
+    let global = run(Outage::window(30.0, 60.0));
+    assert!(
+        regional.faults.lost > 0,
+        "cars inside the quadrant must lose updates: {:?}",
+        regional.faults
+    );
+    assert!(
+        regional.faults.lost < global.faults.lost,
+        "a quadrant outage cannot lose as much as a global one: {} vs {}",
+        regional.faults.lost,
+        global.faults.lost
+    );
+    // Less lost traffic must not make accuracy *worse* than the global
+    // blackout (generous tolerance: different loss patterns shift the
+    // evaluation rounds they land in).
+    assert!(regional.metrics.mean_position <= global.metrics.mean_position * 1.1);
+}
+
+#[test]
+fn outage_boundaries_are_start_inclusive_end_exclusive() {
+    // Regression pin for the window convention, global and regional: a
+    // transmission at exactly `start_s` is lost, one at exactly `end_s`
+    // goes through.
+    let region = Rect::from_coords(0.0, 0.0, 100.0, 100.0);
+    let inside = Point::new(50.0, 50.0);
+    let profile = FaultProfile {
+        outages: vec![
+            Outage::window(10.0, 20.0),
+            Outage::regional(30.0, 40.0, region),
+        ],
+        ..FaultProfile::none()
+    };
+    let mut ch: FaultyChannel<u32> = FaultyChannel::new(profile, 5);
+    ch.send(10.0, 1); // global start: lost
+    ch.send(20.0, 2); // global end: delivered
+    ch.send_from(30.0, inside, 3); // regional start, inside: lost
+    ch.send_from(40.0, inside, 4); // regional end, inside: delivered
+    ch.send_from(35.0, Point::new(500.0, 500.0), 5); // mid-window, outside: delivered
+                                                     // Ordered by delivery time: 2 at 20.0, 5 at 35.0, 4 at 40.0.
+    let got: Vec<u32> = ch.drain(50.0).into_iter().map(|d| d.payload).collect();
+    assert_eq!(got, vec![2, 5, 4]);
+    let stats = ch.stats();
+    assert_eq!(stats.lost, 2);
+    assert_eq!(stats.rng_draws, 0, "outage decisions must not draw RNG");
+}
+
+#[test]
+fn retry_backoff_chain_across_outage_edges_is_pinned() {
+    // A send inside one outage whose retry cadence walks straight into a
+    // second window: attempts at 5.5 (lost, in [5,6)), 10.0 (lost —
+    // start-inclusive), 14.5 and 19.0 (lost, inside [10,20)), and 23.5
+    // (clear air, delivered). The update survives with exactly 4 retries
+    // and arrives at 23.5, 18 s stale.
+    let profile = FaultProfile {
+        outages: vec![Outage::window(5.0, 6.0), Outage::window(10.0, 20.0)],
+        retry: RetryPolicy {
+            max_retries: 4,
+            backoff_s: 4.5,
+        },
+        ..FaultProfile::none()
+    };
+    let mut ch: FaultyChannel<u32> = FaultyChannel::new(profile, 5);
+    ch.send(5.5, 7);
+    assert!(ch.poll(23.4).is_empty(), "nothing may arrive early");
+    // Poll (not drain): drain would abandon the queued 23.5 retry.
+    let got = ch.poll(30.0);
+    assert_eq!(got.len(), 1);
+    assert_eq!(got[0].payload, 7);
+    assert_eq!(got[0].sent_at, 5.5);
+    assert_eq!(got[0].delivered_at, 23.5);
+    let stats = ch.stats();
+    assert_eq!((stats.delivered, stats.retries, stats.lost), (1, 4, 0));
+    assert_eq!(stats.transmissions, 5);
+    // One retry fewer and the 19.0 attempt is the last: the update dies
+    // inside the second window instead.
+    let profile = FaultProfile {
+        outages: vec![Outage::window(5.0, 6.0), Outage::window(10.0, 20.0)],
+        retry: RetryPolicy {
+            max_retries: 3,
+            backoff_s: 4.5,
+        },
+        ..FaultProfile::none()
+    };
+    let mut ch: FaultyChannel<u32> = FaultyChannel::new(profile, 5);
+    ch.send(5.5, 7);
+    assert!(ch.poll(30.0).is_empty());
+    assert_eq!(ch.stats().lost, 1);
+    assert_eq!(ch.stats().retries, 3);
+}
+
+#[test]
+fn regional_blackout_scenario_end_to_end_accounting_holds() {
+    // The catalog's regional-blackout composition (iid loss + regional
+    // outage + retries) through the full pipeline: conservation laws and
+    // determinism must survive the stacked fault models.
+    let sc = NamedScenario::RegionalBlackout.tiny(61);
+    let a = run_scenario(&sc, &Policy::ALL);
+    let b = run_scenario(&sc, &Policy::ALL);
+    for (oa, ob) in a.outcomes.iter().zip(&b.outcomes) {
+        assert_outcomes_identical(oa, ob, oa.policy.name());
+        assert_eq!(oa.faults, ob.faults, "{}: fault books", oa.policy.name());
+        assert!(
+            oa.faults.accounted(),
+            "{}: {:?}",
+            oa.policy.name(),
+            oa.faults
+        );
+        assert!(
+            oa.faults.lost > 0,
+            "{}: the blackout must lose traffic",
+            oa.policy.name()
+        );
+        assert!(oa.faults.retries > 0, "{}", oa.policy.name());
+    }
 }
 
 #[test]
