@@ -1,0 +1,313 @@
+//! `exp_serve` — throughput and service latency of the networked façade.
+//!
+//! Boots `lira-serve`'s session loop on an ephemeral localhost port,
+//! drives it with the `lira-storm` churn workload over a real TCP
+//! socket, and replays the *identical* frame stream through the
+//! in-process transport. The two deterministic report cores must be
+//! bit-identical — the socket is allowed to add bytes, never behavior —
+//! and only then are the wire numbers worth reporting.
+//!
+//! ```text
+//! exp_serve [--quick] [--assert] [--min-ups X] [--max-p99-ms M]
+//!           [--rounds R] [--churn F] [--out PATH]
+//! ```
+//!
+//! * default: a ladder up to 1 000 000 nodes (space grows with √nodes so
+//!   density stays constant);
+//! * `--quick` — 20 000 and 100 000 nodes, for the CI serve-smoke job;
+//! * `--rounds R` — churn rounds per scale (default 30);
+//! * `--churn F` — fraction of the fleet re-reporting per round
+//!   (default 0.1);
+//! * `--out PATH` — where to write the JSON report (default
+//!   `BENCH_serve.json`);
+//! * `--assert` — exit nonzero unless, at the largest scale, sustained
+//!   throughput is at least `--min-ups` updates/sec (default 50 000),
+//!   the p99 queue-service wait is at most `--max-p99-ms` (default
+//!   10 000 ms), there were zero protocol errors, and every scale's wire
+//!   report was bit-identical to its in-process twin.
+//!
+//! What the numbers mean: `sustained_ups` is updates put on the wire
+//! divided by the driving loop's wall clock — handshake, batching,
+//! THROTLOOP windows, plan broadcasts and evaluation rounds all
+//! included, so it is end-to-end façade throughput, not a codec
+//! microbenchmark. `p99_wait_us` is the 99th percentile of the
+//! `serve.queue.wait_us` histogram: wall time an admitted update sat in
+//! the bounded shard queue before the engine ingested it — the paper's
+//! service latency under THROTLOOP's backpressure.
+
+use std::net::{TcpListener, TcpStream};
+
+use lira_bench::peak_rss_bytes;
+use lira_core::telemetry::json::Json;
+use lira_core::telemetry::TelemetrySnapshot;
+use lira_serve::server::{serve, ServeOptions};
+use lira_serve::session::{ServeConfig, SessionCore};
+use lira_serve::storm::{run_storm, InprocTransport, StormConfig, StormReport, TcpTransport};
+
+/// Monitored space at the reference scale (10 000 nodes); larger scales
+/// grow the side with √nodes — same convention as `exp_shard`.
+const SPACE_M: f64 = 10_000.0;
+/// Reference node count for the space scaling.
+const REF_NODES: f64 = 10_000.0;
+
+fn space_for(num_nodes: usize) -> f64 {
+    SPACE_M * (num_nodes as f64 / REF_NODES).max(1.0).sqrt()
+}
+
+struct ScaleResult {
+    nodes: usize,
+    space_m: f64,
+    wire: StormReport,
+    bit_identical: bool,
+    protocol_errors: u64,
+    p99_wait_us: Option<u64>,
+    mean_wait_us: Option<f64>,
+    peak_rss_bytes: u64,
+}
+
+/// One connection's worth of serving on an ephemeral port; returns the
+/// session's telemetry snapshot and protocol-error count after the
+/// client hangs up.
+fn serve_one_conn(
+    listener: TcpListener,
+    cfg: ServeConfig,
+) -> std::thread::JoinHandle<(TelemetrySnapshot, u64)> {
+    std::thread::spawn(move || {
+        let mut session = SessionCore::new(cfg);
+        let opts = ServeOptions {
+            exit_after_conns: Some(1),
+            ..ServeOptions::default()
+        };
+        serve(listener, &mut session, &opts).expect("serve loop");
+        (session.telemetry_snapshot(), session.protocol_errors())
+    })
+}
+
+fn run_scale(nodes: usize, rounds: usize, churn_frac: f64) -> ScaleResult {
+    let space_m = space_for(nodes);
+    let cfg = ServeConfig::new(space_m, nodes);
+    let mut storm = StormConfig::new(nodes, space_m);
+    storm.rounds = rounds;
+    storm.churn_frac = churn_frac;
+
+    // Wire run: real TCP on an ephemeral localhost port.
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind ephemeral");
+    let addr = listener.local_addr().expect("bound addr");
+    let server = serve_one_conn(listener, cfg.clone());
+    let stream = TcpStream::connect(addr).expect("connect");
+    let mut transport = TcpTransport::new(stream).expect("transport");
+    let wire = run_storm(&mut transport, &storm).expect("tcp storm");
+    drop(transport);
+    let (snapshot, protocol_errors) = server.join().expect("server thread");
+
+    // In-process twin on the same seed: the equivalence gate.
+    let mut inproc_t = InprocTransport::new(SessionCore::new(cfg));
+    let inproc = run_storm(&mut inproc_t, &storm).expect("inproc storm");
+    let bit_identical = wire.deterministic_core() == inproc.deterministic_core();
+
+    let wait = snapshot
+        .histograms
+        .iter()
+        .find(|h| h.name == "serve.queue.wait_us");
+    let p99_wait_us = wait.and_then(|h| h.quantile(0.99));
+    let mean_wait_us = wait.and_then(|h| h.mean());
+    let peak_rss = peak_rss_bytes();
+
+    let tag = format!("{nodes}");
+    println!("sustained_ups_{tag}={:.0}", wire.sustained_ups);
+    println!(
+        "p99_wait_us_{tag}={}",
+        p99_wait_us.map_or_else(|| "none".into(), |v| v.to_string())
+    );
+    println!("updates_sent_{tag}={}", wire.updates_sent);
+    println!("shed_at_source_{tag}={}", wire.shed_at_source);
+    println!("plans_received_{tag}={}", wire.plans_received);
+    println!("digest_{tag}={:016x}", wire.digest);
+    println!("bit_identical_{tag}={bit_identical}");
+    println!("protocol_errors_{tag}={protocol_errors}");
+    println!("peak_rss_bytes_{tag}={peak_rss}");
+
+    ScaleResult {
+        nodes,
+        space_m,
+        wire,
+        bit_identical,
+        protocol_errors,
+        p99_wait_us,
+        mean_wait_us,
+        peak_rss_bytes: peak_rss,
+    }
+}
+
+fn report_json(mode: &str, rounds: usize, churn_frac: f64, scales: &[ScaleResult]) -> Json {
+    Json::Obj(vec![
+        ("experiment".into(), Json::Str("exp_serve".into())),
+        ("mode".into(), Json::Str(mode.into())),
+        ("rounds".into(), Json::UInt(rounds as u64)),
+        ("churn_frac".into(), Json::Float(churn_frac)),
+        (
+            "scales".into(),
+            Json::Arr(
+                scales
+                    .iter()
+                    .map(|s| {
+                        Json::Obj(vec![
+                            ("nodes".into(), Json::UInt(s.nodes as u64)),
+                            ("space_m".into(), Json::Float(s.space_m)),
+                            ("updates_sent".into(), Json::UInt(s.wire.updates_sent)),
+                            (
+                                "updates_considered".into(),
+                                Json::UInt(s.wire.updates_considered),
+                            ),
+                            ("shed_at_source".into(), Json::UInt(s.wire.shed_at_source)),
+                            ("batches".into(), Json::UInt(s.wire.batches)),
+                            ("eval_rounds".into(), Json::UInt(s.wire.eval_rounds)),
+                            ("plans_received".into(), Json::UInt(s.wire.plans_received)),
+                            ("wall_s".into(), Json::Float(s.wire.wall_s)),
+                            ("sustained_ups".into(), Json::Float(s.wire.sustained_ups)),
+                            (
+                                "p99_wait_us".into(),
+                                s.p99_wait_us.map_or(Json::Null, Json::UInt),
+                            ),
+                            (
+                                "mean_wait_us".into(),
+                                s.mean_wait_us.map_or(Json::Null, Json::Float),
+                            ),
+                            (
+                                "digest".into(),
+                                Json::Str(format!("{:016x}", s.wire.digest)),
+                            ),
+                            ("bit_identical".into(), Json::Bool(s.bit_identical)),
+                            ("protocol_errors".into(), Json::UInt(s.protocol_errors)),
+                            ("peak_rss_bytes".into(), Json::UInt(s.peak_rss_bytes)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn main() {
+    let mut quick = false;
+    let mut do_assert = false;
+    let mut min_ups = 50_000.0f64;
+    let mut max_p99_ms = 10_000u64;
+    let mut rounds = 30usize;
+    let mut churn_frac = 0.1f64;
+    let mut out_path = String::from("BENCH_serve.json");
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--assert" => do_assert = true,
+            "--min-ups" => {
+                min_ups = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--min-ups needs updates/sec"));
+            }
+            "--max-p99-ms" => {
+                max_p99_ms = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--max-p99-ms needs milliseconds"));
+            }
+            "--rounds" => {
+                rounds = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--rounds needs a count"));
+            }
+            "--churn" => {
+                churn_frac = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--churn needs a fraction"));
+            }
+            "--out" => {
+                out_path = it.next().unwrap_or_else(|| usage("--out needs a path"));
+            }
+            "--help" | "-h" => usage(
+                "exp_serve [--quick] [--assert] [--min-ups X] [--max-p99-ms M] [--rounds R] \
+                 [--churn F] [--out PATH]",
+            ),
+            other => usage(&format!("unknown flag {other}")),
+        }
+    }
+
+    let (mode, ladder): (&str, &[usize]) = if quick {
+        ("quick", &[20_000, 100_000])
+    } else {
+        ("full", &[100_000, 1_000_000])
+    };
+    println!(
+        "== exp_serve: TCP façade throughput vs in-process twin, {mode} ladder ({} scales, \
+         {rounds} rounds, {:.0}% churn/round)",
+        ladder.len(),
+        churn_frac * 100.0
+    );
+
+    let scales: Vec<ScaleResult> = ladder
+        .iter()
+        .map(|&n| run_scale(n, rounds, churn_frac))
+        .collect();
+
+    let json = report_json(mode, rounds, churn_frac, &scales);
+    std::fs::write(&out_path, format!("{json}\n")).expect("write BENCH_serve.json");
+    println!("report={out_path}");
+
+    if do_assert {
+        let mut failures = Vec::new();
+        for s in &scales {
+            if !s.bit_identical {
+                failures.push(format!(
+                    "wire report differs from the in-process twin at {} nodes",
+                    s.nodes
+                ));
+            }
+            if s.protocol_errors != 0 {
+                failures.push(format!(
+                    "{} protocol errors at {} nodes",
+                    s.protocol_errors, s.nodes
+                ));
+            }
+        }
+        let largest = scales.last().expect("at least one scale");
+        if largest.wire.sustained_ups < min_ups {
+            failures.push(format!(
+                "sustained {:.0} updates/sec below the {min_ups:.0} floor at {} nodes",
+                largest.wire.sustained_ups, largest.nodes
+            ));
+        }
+        match largest.p99_wait_us {
+            Some(p99) if p99 > max_p99_ms * 1000 => {
+                failures.push(format!(
+                    "p99 queue wait {p99} µs above the {max_p99_ms} ms bound at {} nodes",
+                    largest.nodes
+                ));
+            }
+            None => failures.push("no queue-wait samples recorded".into()),
+            _ => {}
+        }
+        if failures.is_empty() {
+            println!(
+                "PASS: {:.0} updates/sec sustained at {} nodes (p99 wait {} µs), all scales \
+                 bit-identical, zero protocol errors",
+                largest.wire.sustained_ups,
+                largest.nodes,
+                largest.p99_wait_us.unwrap_or(0)
+            );
+        } else {
+            for f in &failures {
+                eprintln!("FAIL: {f}");
+            }
+            std::process::exit(1);
+        }
+    }
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!("{msg}");
+    std::process::exit(2);
+}

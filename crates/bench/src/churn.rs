@@ -1,106 +1,7 @@
-//! The shared churning node population the engine benchmarks replay:
-//! a seeded uniform scatter of nodes with random velocities, of which a
-//! fixed fraction re-reports (after one reflecting random-walk step)
-//! between evaluation rounds. `exp_eval` and `exp_shard` drive the same
-//! workload so their numbers are comparable points on one perf
-//! trajectory.
+//! Re-export of the shared churning benchmark workload, which moved to
+//! [`lira_workload::churn`] so the networked load generator
+//! (`lira-storm`) can replay the exact same population at wire
+//! granularity. `exp_eval`, `exp_shard` and `exp_serve` keep importing
+//! it from here.
 
-use lira_core::geometry::Point;
-use lira_server::cq_engine::CqServer;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
-
-/// A node population plus the walk that re-reports a `churn_frac`
-/// fraction of it per round, identically for every engine under test.
-pub struct ChurnWorkload {
-    /// Current node positions (also the seed scatter for query
-    /// generation, before any [`step`](Self::step)).
-    pub positions: Vec<Point>,
-    velocities: Vec<(f64, f64)>,
-    space_m: f64,
-    churn: usize,
-    round: usize,
-}
-
-impl ChurnWorkload {
-    /// A seeded population of `num_nodes` over a `space_m` × `space_m`
-    /// square, re-reporting `churn_frac` of the fleet per round.
-    pub fn new(num_nodes: usize, seed: u64, churn_frac: f64, space_m: f64) -> Self {
-        let mut rng = SmallRng::seed_from_u64(seed);
-        let positions = (0..num_nodes)
-            .map(|_| Point::new(rng.gen_range(0.0..space_m), rng.gen_range(0.0..space_m)))
-            .collect();
-        let velocities = (0..num_nodes)
-            .map(|_| (rng.gen_range(-15.0..15.0), rng.gen_range(-15.0..15.0)))
-            .collect();
-        ChurnWorkload {
-            positions,
-            velocities,
-            space_m,
-            churn: ((num_nodes as f64 * churn_frac) as usize).max(1),
-            round: 0,
-        }
-    }
-
-    /// Reports every node once at t = 0 (the steady-state population).
-    pub fn prime(&self, server: &mut CqServer) {
-        for (i, (&p, &v)) in self.positions.iter().zip(&self.velocities).enumerate() {
-            server.ingest(i as u32, 0.0, p, v);
-        }
-    }
-
-    /// Advances one round: `churn` nodes walk one step (reflecting off
-    /// the bounds) and re-report. Reports stay at t = 0 — the store
-    /// accepts same-time updates, so occupancy is stationary no matter
-    /// how many rounds the timing loop runs.
-    pub fn step(&mut self, server: &mut CqServer) {
-        let n = self.positions.len();
-        let start = (self.round * self.churn) % n;
-        for k in 0..self.churn {
-            let i = (start + k) % n;
-            let (vx, vy) = &mut self.velocities[i];
-            let p = &mut self.positions[i];
-            p.x += *vx;
-            p.y += *vy;
-            if p.x < 0.0 || p.x >= self.space_m {
-                *vx = -*vx;
-                p.x = p.x.clamp(0.0, self.space_m - 1e-6);
-            }
-            if p.y < 0.0 || p.y >= self.space_m {
-                *vy = -*vy;
-                p.y = p.y.clamp(0.0, self.space_m - 1e-6);
-            }
-            server.ingest(i as u32, 0.0, *p, (*vx, *vy));
-        }
-        self.round += 1;
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use lira_core::geometry::Rect;
-
-    #[test]
-    fn workload_is_seed_deterministic_and_stays_in_bounds() {
-        let space = 1_000.0;
-        let bounds = Rect::from_coords(0.0, 0.0, space, space);
-        let mut a = ChurnWorkload::new(200, 7, 0.1, space);
-        let mut b = ChurnWorkload::new(200, 7, 0.1, space);
-        assert_eq!(a.positions, b.positions);
-        let mut sa = CqServer::new(bounds, 200, 8);
-        let mut sb = CqServer::new(bounds, 200, 8);
-        a.prime(&mut sa);
-        b.prime(&mut sb);
-        for _ in 0..30 {
-            a.step(&mut sa);
-            b.step(&mut sb);
-            assert_eq!(a.positions, b.positions);
-            for p in &a.positions {
-                assert!(bounds.contains(p), "{p} escaped");
-            }
-        }
-        // 30 rounds × 20 churned nodes wrap the population index space.
-        assert_eq!(sa.store().updates_applied(), sb.store().updates_applied());
-    }
-}
+pub use lira_workload::churn::ChurnWorkload;

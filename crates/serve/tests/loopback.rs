@@ -1,0 +1,177 @@
+//! Loopback battery: the same storm driven over a real TCP socket and
+//! through [`InprocTransport`] must produce bit-identical deterministic
+//! report cores — the wire adds bytes, not behavior. And a raw-mode
+//! (`shed = false`) scenario replay must digest-match the in-process
+//! `ReferenceTimeline` on the same seed, tying the networked façade to
+//! the pipeline the rest of the repo trusts.
+
+use std::net::{TcpListener, TcpStream};
+
+use lira_serve::protocol::{digest_round, WireQuery};
+use lira_serve::server::{serve, ServeOptions};
+use lira_serve::session::{ServeConfig, SessionCore};
+use lira_serve::storm::{
+    run_storm, run_storm_trace, InprocTransport, StormConfig, StormReport, TcpTransport,
+    TraceStormConfig,
+};
+use lira_server::cq_engine::EvalEngine;
+use lira_sim::pipeline::{ReferenceTimeline, SimSetup};
+use lira_workload::catalog::NamedScenario;
+
+/// Spawns a one-connection server on an ephemeral port, runs `storm`
+/// against it over TCP, and returns the storm's report.
+fn run_over_tcp<F>(cfg: ServeConfig, storm: F) -> StormReport
+where
+    F: FnOnce(&mut TcpTransport) -> StormReport + Send,
+{
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind ephemeral");
+    let addr = listener.local_addr().expect("bound addr");
+    let server = std::thread::spawn(move || {
+        let mut session = SessionCore::new(cfg);
+        let opts = ServeOptions {
+            exit_after_conns: Some(1),
+            ..ServeOptions::default()
+        };
+        serve(listener, &mut session, &opts).expect("serve loop");
+        session.protocol_errors()
+    });
+    let stream = TcpStream::connect(addr).expect("connect");
+    let mut transport = TcpTransport::new(stream).expect("transport");
+    let report = storm(&mut transport);
+    drop(transport);
+    let protocol_errors = server.join().expect("server thread");
+    assert_eq!(
+        protocol_errors, 0,
+        "a clean client causes no protocol errors"
+    );
+    report
+}
+
+#[test]
+fn tcp_and_inproc_churn_runs_are_bit_identical() {
+    let mut cfg = ServeConfig::new(2_000.0, 1_500);
+    cfg.shards = 2;
+    cfg.num_regions = 49; // small adapt grids keep the test quick
+    let mut storm_cfg = StormConfig::new(1_500, 2_000.0);
+    storm_cfg.rounds = 18;
+    storm_cfg.eval_every = 6;
+    storm_cfg.window_every = 6;
+    storm_cfg.batch_cap = 400; // force multi-batch rounds
+
+    let tcp = run_over_tcp(cfg.clone(), |t| {
+        run_storm(t, &storm_cfg).expect("tcp storm")
+    });
+    let mut inproc_t = InprocTransport::new(SessionCore::new(cfg));
+    let inproc = run_storm(&mut inproc_t, &storm_cfg).expect("inproc storm");
+
+    // The deterministic report core is a pure function of the frame
+    // stream; identical streams ⇒ identical strings, byte for byte.
+    assert_eq!(tcp.deterministic_core(), inproc.deterministic_core());
+    assert_eq!(tcp.digest, inproc.digest);
+    assert_eq!(tcp.updates_sent, inproc.updates_sent);
+    assert_eq!(tcp.shed_at_source, inproc.shed_at_source);
+    assert_eq!(tcp.batches, inproc.batches);
+    assert_eq!(tcp.plans_received, inproc.plans_received);
+    assert_eq!(tcp.plan_epoch, inproc.plan_epoch);
+    // THROTLOOP windows closed and plans were actually broadcast —
+    // the run exercised adaptation, not just ingest.
+    assert!(tcp.plans_received > 0, "windows must broadcast plans");
+    assert!(tcp.digest != 0, "evaluation rounds must have run");
+}
+
+/// Builds the serve config + storm inputs for a catalog scenario the
+/// same way the `lira-storm --scenario NAME --tiny --raw` CLI does.
+fn scenario_fixture(
+    named: NamedScenario,
+    seed: u64,
+) -> (
+    ServeConfig,
+    lira_sim::pipeline::TrafficTrace,
+    Vec<WireQuery>,
+    TraceStormConfig,
+    lira_workload::scenario::Scenario,
+    SimSetup,
+) {
+    let sc = named.tiny(seed);
+    let mut setup = SimSetup::build(&sc, false);
+    let trace = setup.record_trace(&sc);
+    let queries: Vec<WireQuery> = setup.queries.iter().map(WireQuery::from_query).collect();
+    let eval_every = (sc.eval_period_s / sc.dt).round().max(1.0) as usize;
+
+    let mut cfg = ServeConfig::new(sc.space_side, sc.num_cars);
+    cfg.shards = 2;
+    cfg.num_regions = 49;
+    cfg.delta_min = sc.delta_min;
+    cfg.delta_max = sc.delta_max;
+    // Digest-tie runs must not tail-drop: give the queue headroom for
+    // every update between drains.
+    cfg.queue_capacity = 1 << 20;
+
+    let tcfg = TraceStormConfig {
+        delta_min: sc.delta_min,
+        eval_every_ticks: eval_every,
+        window_every_ticks: eval_every,
+        shed: false,
+        batch_cap: 10_000,
+        expected_bounds: Some(sc.bounds()),
+    };
+    (cfg, trace, queries, tcfg, sc, setup)
+}
+
+#[test]
+fn scenario_raw_replay_digest_ties_to_the_reference_timeline() {
+    let (cfg, trace, queries, tcfg, sc, setup) = scenario_fixture(NamedScenario::PaperWorld, 7);
+
+    let mut inproc_t = InprocTransport::new(SessionCore::new(cfg.clone()));
+    let report =
+        run_storm_trace(&mut inproc_t, &trace, queries.clone(), &tcfg).expect("inproc trace storm");
+
+    // The reference pipeline on the same trace, same engine family.
+    let reference = ReferenceTimeline::compute_with(
+        &trace,
+        &setup,
+        &sc,
+        EvalEngine::Unified { shards: cfg.shards },
+    );
+    assert_eq!(
+        report.updates_sent, reference.reference_updates,
+        "raw mode sends exactly the reference's unshed update volume"
+    );
+
+    // Fold the reference's evaluation rounds through the same digest the
+    // server maintains; raw replay must land on the identical value.
+    let mut digest = 0u64;
+    for frame in &reference.frames {
+        digest = digest_round(digest, frame.time, &frame.results);
+    }
+    assert!(!reference.frames.is_empty(), "scenario must evaluate");
+    assert_eq!(
+        report.digest, digest,
+        "networked evaluation digests must match the in-process reference"
+    );
+    assert_eq!(report.eval_rounds as usize, reference.frames.len());
+
+    // And the socket changes none of it.
+    let tcp = run_over_tcp(cfg, |t| {
+        run_storm_trace(t, &trace, queries, &tcfg).expect("tcp trace storm")
+    });
+    assert_eq!(tcp.digest, digest);
+    assert_eq!(tcp.deterministic_core(), report.deterministic_core());
+}
+
+#[test]
+fn welcome_bounds_mismatch_fails_fast() {
+    let (cfg, trace, queries, mut tcfg, _sc, _setup) =
+        scenario_fixture(NamedScenario::FlashCrowd, 11);
+    // Lie about the expected world: the driver must refuse to replay.
+    tcfg.expected_bounds = Some(lira_core::geometry::Rect::from_coords(
+        0.0, 0.0, 123.0, 123.0,
+    ));
+    let mut inproc_t = InprocTransport::new(SessionCore::new(cfg));
+    let err = run_storm_trace(&mut inproc_t, &trace, queries, &tcfg)
+        .expect_err("bounds mismatch must be fatal");
+    assert!(
+        err.to_string().contains("mismatch"),
+        "unexpected error: {err}"
+    );
+}

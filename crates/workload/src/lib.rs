@@ -33,6 +33,7 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 pub mod catalog;
+pub mod churn;
 pub mod scenario;
 
 /// Spatial distribution of query centers (Section 4.2).
