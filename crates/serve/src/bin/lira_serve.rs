@@ -5,7 +5,8 @@
 //! lira-serve [--port P] [--space M] [--nodes N] [--shards S] [--slices L]
 //!            [--queue-capacity B] [--service-rate U] [--adapt-every W]
 //!            [--regions l] [--delta-min D] [--delta-max D]
-//!            [--conns K] [--report FILE] [--no-telemetry] [--verbose]
+//!            [--rebalance] [--conns K] [--report FILE] [--no-telemetry]
+//!            [--verbose]
 //! ```
 //!
 //! With `--port 0` (the default) an ephemeral port is chosen and printed
@@ -23,7 +24,8 @@ fn usage() -> ! {
         "usage: lira-serve [--port P] [--space M] [--nodes N] [--shards S] [--slices L]\n\
          \x20                 [--queue-capacity B] [--service-rate U] [--adapt-every W]\n\
          \x20                 [--regions l] [--delta-min D] [--delta-max D]\n\
-         \x20                 [--conns K] [--report FILE] [--no-telemetry] [--verbose]"
+         \x20                 [--rebalance] [--conns K] [--report FILE] [--no-telemetry]\n\
+         \x20                 [--verbose]"
     );
     std::process::exit(2);
 }
@@ -38,6 +40,7 @@ fn main() {
     let mut report_path: Option<String> = None;
     let mut telemetry = true;
     let mut verbose = false;
+    let mut rebalance: Option<bool> = None;
 
     let mut i = 0;
     while i < args.len() {
@@ -57,6 +60,7 @@ fn main() {
             }
             "--conns" => conns = Some(val(&mut i).parse().unwrap_or_else(|_| usage())),
             "--report" => report_path = Some(val(&mut i)),
+            "--rebalance" => rebalance = Some(true),
             "--no-telemetry" => telemetry = false,
             "--verbose" => verbose = true,
             "--help" | "-h" => usage(),
@@ -67,6 +71,11 @@ fn main() {
 
     let mut cfg = ServeConfig::new(space, nodes);
     cfg.telemetry = telemetry;
+    // ServeConfig::new already honoured LIRA_REBALANCE; the flag only
+    // overrides it on.
+    if let Some(rb) = rebalance {
+        cfg.rebalance = rb;
+    }
     for (flag, v) in &cfg_overrides {
         let ok = match flag.as_str() {
             "--shards" => v.parse().map(|x| cfg.shards = x).is_ok(),

@@ -24,7 +24,7 @@ use lira_core::stats_grid::StatsGrid;
 use lira_core::telemetry::json::Json;
 use lira_core::telemetry::{Counter, Gauge, Histogram, MetricSpec, Telemetry};
 use lira_core::throt_loop::{QueueObservation, ThrotLoop};
-use lira_server::cq_engine::{CqServer, EvalEngine};
+use lira_server::cq_engine::{rebalance_from_env, CqServer, EvalEngine};
 use lira_server::query::{QueryResult, RangeQuery};
 use lira_server::queue::UpdateQueue;
 use std::sync::Arc;
@@ -63,6 +63,13 @@ pub struct ServeConfig {
     pub delta_max: f64,
     /// Enable the telemetry registry (histograms, counters, gauges).
     pub telemetry: bool,
+    /// Load-aware rebalancing: the unified engine stripes by load and
+    /// re-stripes online (see `lira-server`'s DESIGN.md §15), and the
+    /// session rewrites the slice→shard routing table at window close
+    /// when per-window admission counts leave the shard queues
+    /// imbalanced. Defaults from the `LIRA_REBALANCE` environment
+    /// variable (off when unset).
+    pub rebalance: bool,
 }
 
 impl ServeConfig {
@@ -82,6 +89,7 @@ impl ServeConfig {
             delta_min: 5.0,
             delta_max: 100.0,
             telemetry: true,
+            rebalance: rebalance_from_env(false),
         }
     }
 
@@ -224,6 +232,13 @@ pub struct SessionCore {
     updates_rx: u64,
     updates_admitted: u64,
     batches_rx: u64,
+    /// Updates admitted per routing slice in the current window (reset
+    /// at every `WindowClose`) — the load signal the slice rebalancer
+    /// acts on.
+    slice_admits: Vec<u64>,
+    /// Slice→shard reassignments applied over the session, external
+    /// (`SetSlice`) and automatic alike.
+    slice_rewrites: u64,
     plan_broadcasts: u64,
     plan_bytes: u64,
     protocol_errors: u64,
@@ -243,7 +258,8 @@ impl SessionCore {
             .expect("serve config produces a valid LiraConfig");
         let per_shard = (cfg.queue_capacity / cfg.shards).max(1);
         let server = CqServer::new(cfg.bounds, cfg.num_nodes, cfg.index_side)
-            .with_engine(EvalEngine::Unified { shards: cfg.shards });
+            .with_engine(EvalEngine::Unified { shards: cfg.shards })
+            .with_rebalance(cfg.rebalance);
         let mut grid = StatsGrid::new(lira.alpha, cfg.bounds).expect("alpha/bounds validated");
         grid.begin_snapshot();
         let policy =
@@ -267,6 +283,8 @@ impl SessionCore {
             updates_rx: 0,
             updates_admitted: 0,
             batches_rx: 0,
+            slice_admits: vec![0; cfg.slices],
+            slice_rewrites: 0,
             plan_broadcasts: 0,
             plan_bytes: 0,
             protocol_errors: 0,
@@ -374,9 +392,11 @@ impl SessionCore {
                 self.tel.batch_updates.record(updates.len() as u64);
                 let wall = self.wall();
                 for u in updates {
-                    let shard = self.table.shard_of(u.id);
+                    let slice = self.table.slice_of(u.id);
+                    let shard = self.table.assignments()[slice] as usize;
                     if self.queues[shard].offer_at(wall, Pending { u, t }) {
                         self.updates_admitted += 1;
+                        self.slice_admits[slice] += 1;
                         self.tel.queue_admitted.incr();
                     } else {
                         self.tel.queue_dropped.incr();
@@ -411,6 +431,15 @@ impl SessionCore {
                 }
                 let depth: u64 = self.queues.iter().map(|q| q.len() as u64).sum();
                 self.drain();
+                // The queues are empty here, so moving slices between
+                // shards cannot reorder a node's in-flight updates — the
+                // only safe point to actuate a rebalance.
+                if self.cfg.rebalance {
+                    self.auto_rebalance();
+                }
+                for a in &mut self.slice_admits {
+                    *a = 0;
+                }
                 let lambda: f64 = self
                     .queues
                     .iter_mut()
@@ -475,6 +504,7 @@ impl SessionCore {
             }
             Frame::SetSlice { slice, shard } => {
                 if self.table.set(slice as usize, shard as usize) {
+                    self.slice_rewrites += 1;
                     out.replies.push(Frame::Ack {
                         of: kind::SET_SLICE,
                     });
@@ -527,6 +557,54 @@ impl SessionCore {
     /// Total updates dropped at the bounded queues since session start.
     fn dropped(&self) -> u64 {
         self.queues.iter().map(|q| q.dropped()).sum()
+    }
+
+    /// Greedy slice rebalancer: using the window's per-slice admission
+    /// counts as the load signal, repeatedly moves the heaviest slice off
+    /// the most loaded shard onto the least loaded one while that
+    /// strictly lowers the peak. Runs only at window close, after
+    /// [`Self::drain`] — empty queues make the slice→shard rewrite
+    /// invisible to per-node FIFO order, so the report digest is
+    /// unchanged (asserted by `tests/loopback.rs`).
+    fn auto_rebalance(&mut self) {
+        let shards = self.cfg.shards;
+        if shards < 2 {
+            return;
+        }
+        let mut asg = self.table.assignments().to_vec();
+        let mut load = vec![0u64; shards];
+        for (&w, &owner) in self.slice_admits.iter().zip(asg.iter()) {
+            load[owner as usize] += w;
+        }
+        for _ in 0..self.cfg.slices {
+            let h = (0..shards).max_by_key(|&s| load[s]).unwrap();
+            let l = (0..shards).min_by_key(|&s| load[s]).unwrap();
+            if h == l || load[h] == load[l] {
+                break;
+            }
+            // Heaviest non-empty slice on the hot shard whose move
+            // strictly improves the peak (lowest index breaks ties, so
+            // the outcome is a pure function of the admission counts).
+            let mut pick: Option<(usize, u64)> = None;
+            for (slice, &owner) in asg.iter().enumerate() {
+                if owner as usize != h {
+                    continue;
+                }
+                let w = self.slice_admits[slice];
+                if w == 0 || load[l] + w >= load[h] {
+                    continue;
+                }
+                if pick.map(|(_, pw)| w > pw).unwrap_or(true) {
+                    pick = Some((slice, w));
+                }
+            }
+            let Some((slice, w)) = pick else { break };
+            asg[slice] = l as u32;
+            load[h] -= w;
+            load[l] += w;
+            self.table.set(slice, l);
+            self.slice_rewrites += 1;
+        }
     }
 
     /// Drains every shard queue into the engine, in shard order. Within a
@@ -602,6 +680,7 @@ impl SessionCore {
                 "registered_queries".into(),
                 Json::UInt(self.queries.len() as u64),
             ),
+            ("slice_rewrites".into(), Json::UInt(self.slice_rewrites)),
             ("protocol_errors".into(), Json::UInt(self.protocol_errors)),
             ("connections".into(), Json::Arr(conns)),
         ])

@@ -7,6 +7,7 @@
 
 use std::net::{TcpListener, TcpStream};
 
+use lira_core::telemetry::json::Json;
 use lira_serve::protocol::{digest_round, WireQuery};
 use lira_serve::server::{serve, ServeOptions};
 use lira_serve::session::{ServeConfig, SessionCore};
@@ -157,6 +158,166 @@ fn scenario_raw_replay_digest_ties_to_the_reference_timeline() {
     });
     assert_eq!(tcp.digest, digest);
     assert_eq!(tcp.deterministic_core(), report.deterministic_core());
+}
+
+/// Drives a fixed Batch/EvalReq/WindowClose script against a fresh
+/// session built from `cfg`, optionally calling `between_windows` after
+/// every `WindowClose`, and returns the parsed deterministic report.
+/// Update volume is skewed (a few hot ids carry most of the traffic) so
+/// the slice→shard table starts imbalanced, and stays far below queue
+/// capacity so routing changes cannot alter the drop pattern.
+fn run_skewed_script<F>(cfg: ServeConfig, mut between_windows: F) -> Json
+where
+    F: FnMut(&mut SessionCore, u32, u64),
+{
+    use lira_serve::protocol::{Frame, WireUpdate};
+    // Two hot ids that the FNV slice hash routes to the *same* shard
+    // under the initial round-robin table, so the skew piles onto one
+    // queue instead of cancelling out.
+    let table = lira_serve::slices::SliceTable::new(cfg.slices, cfg.shards);
+    let mut hot_ids = (1u32..1000).filter(|&id| table.shard_of(id) == 0);
+    let hot = [hot_ids.next().unwrap(), hot_ids.next().unwrap()];
+    let mut s = SessionCore::new(cfg);
+    let conn = s.open_conn();
+    s.handle(conn, Frame::Hello { flags: 0 });
+    s.handle(
+        conn,
+        Frame::Register {
+            queries: vec![WireQuery {
+                id: 0,
+                min_x: 0.0,
+                min_y: 0.0,
+                max_x: 600.0,
+                max_y: 600.0,
+            }],
+        },
+    );
+    for round in 0..6u64 {
+        let t = round as f64;
+        let mut updates = Vec::new();
+        // Two hot nodes send 40 updates each per round; forty cold nodes
+        // send one each — per-slice admission counts are heavily skewed.
+        for rep in 0..40u32 {
+            for hot in hot {
+                updates.push(WireUpdate {
+                    id: hot,
+                    x: 100.0 + (rep as f64),
+                    y: 100.0,
+                    vx: 1.0,
+                    vy: 0.0,
+                });
+            }
+        }
+        for cold in 10..50u32 {
+            updates.push(WireUpdate {
+                id: cold,
+                x: (cold as f64) * 18.0,
+                y: 700.0,
+                vx: 0.0,
+                vy: 1.0,
+            });
+        }
+        s.handle(conn, Frame::Batch { t, updates });
+        s.handle(conn, Frame::EvalReq { t });
+        s.handle(
+            conn,
+            Frame::WindowClose {
+                t: t + 1.0,
+                window_s: 1.0,
+            },
+        );
+        between_windows(&mut s, conn, round);
+    }
+    Json::parse(&s.deterministic_json()).expect("report parses")
+}
+
+#[test]
+fn digest_is_unchanged_across_live_setslice_rewrites() {
+    use lira_serve::protocol::Frame;
+    let mut cfg = ServeConfig::new(1_000.0, 100);
+    cfg.shards = 2;
+    cfg.slices = 8;
+    cfg.queue_capacity = 1 << 16; // no tail-drops: admits mirror the skew
+    cfg.rebalance = false; // isolate *external* rewrites from the auto path
+
+    let plain = run_skewed_script(cfg.clone(), |_, _, _| {});
+    // Same frame script, but the client live-rewrites the slice→shard
+    // table between windows — ping-ponging every slice across shards.
+    let rewritten = run_skewed_script(cfg, |s, conn, round| {
+        for slice in 0..8u32 {
+            let out = s.handle(
+                conn,
+                Frame::SetSlice {
+                    slice,
+                    shard: ((slice + round as u32) % 2),
+                },
+            );
+            assert!(
+                matches!(out.replies[0], Frame::Ack { .. }),
+                "rewrite must be accepted: {:?}",
+                out.replies[0]
+            );
+        }
+    });
+
+    // Routing moved, results did not: the evaluation digest and every
+    // load-bearing counter agree bit for bit.
+    for key in [
+        "digest",
+        "eval_rounds",
+        "last_results",
+        "updates_admitted",
+        "updates_dropped",
+        "windows",
+    ] {
+        assert_eq!(
+            plain.get(key),
+            rewritten.get(key),
+            "{key} must not change under live SetSlice rewrites"
+        );
+    }
+    assert_ne!(
+        plain.get("digest").unwrap().as_str(),
+        Some("0000000000000000"),
+        "the script must actually evaluate something"
+    );
+    assert_eq!(rewritten.get("slice_rewrites").unwrap().as_u64(), Some(48));
+    assert_eq!(plain.get("slice_rewrites").unwrap().as_u64(), Some(0));
+}
+
+#[test]
+fn auto_rebalance_rewrites_slices_and_keeps_the_digest() {
+    let mut cfg = ServeConfig::new(1_000.0, 100);
+    cfg.shards = 2;
+    cfg.slices = 8;
+    cfg.queue_capacity = 1 << 16; // no tail-drops: admits mirror the skew
+    cfg.rebalance = false;
+    let frozen = run_skewed_script(cfg.clone(), |_, _, _| {});
+    cfg.rebalance = true;
+    let rebalanced = run_skewed_script(cfg, |_, _, _| {});
+
+    // The session actuated at least one slice move on its own…
+    let moves = rebalanced
+        .get("slice_rewrites")
+        .unwrap()
+        .as_u64()
+        .unwrap_or(0);
+    assert!(moves > 0, "skewed admissions must trigger the rebalancer");
+    assert_eq!(frozen.get("slice_rewrites").unwrap().as_u64(), Some(0));
+    // …and none of it shows in the results: rebalancing is routing-only.
+    for key in [
+        "digest",
+        "eval_rounds",
+        "last_results",
+        "updates_admitted",
+        "updates_dropped",
+    ] {
+        assert_eq!(
+            frozen.get(key),
+            rebalanced.get(key),
+            "{key} must not change under auto-rebalance"
+        );
+    }
 }
 
 #[test]

@@ -8,7 +8,7 @@ use lira_core::geometry::{Point, Rect};
 use crate::index::{MovingIndex, PredictedGrid};
 use crate::node_store::NodeStore;
 use crate::query::{QueryResult, RangeQuery, UncertainResult};
-use crate::unified::{ShardStats, UnifiedEval};
+use crate::unified::{RestripeStats, ShardStats, UnifiedEval};
 
 /// Safety padding added to the *candidate-gathering* rectangle of the
 /// legacy uncertain path: when a query's expanded edge lands exactly on a
@@ -77,6 +77,18 @@ impl EvalEngine {
     }
 }
 
+/// Whether the unified engine's online re-striper should be enabled,
+/// taken from the `LIRA_REBALANCE` environment variable (the CI matrix
+/// hook, mirroring [`EvalEngine::unified_from_env`]): `1`/`true` ⇒ on,
+/// `0`/`false` ⇒ off, unset or unparsable ⇒ `default`.
+pub fn rebalance_from_env(default: bool) -> bool {
+    match std::env::var("LIRA_REBALANCE").ok().as_deref() {
+        Some("1") | Some("true") => true,
+        Some("0") | Some("false") => false,
+        _ => default,
+    }
+}
+
 /// A mobile CQ server instance, generic over the moving-object index (the
 /// SINA-style [`PredictedGrid`] by default; see
 /// [`TprTree`](crate::tpr_tree::TprTree) for the update-efficient
@@ -99,6 +111,9 @@ pub struct CqServer<I: MovingIndex = PredictedGrid> {
     /// Whether unified rounds at an unchanged evaluation time may skip
     /// clean nodes; see [`CqServer::with_dirty_tracking`].
     dirty_tracking: bool,
+    /// Whether the unified engine's online re-striper is enabled; see
+    /// [`CqServer::with_rebalance`].
+    rebalance: bool,
     /// Legacy-path candidate scratch, reused across queries and rounds.
     #[cfg(feature = "legacy-oracle")]
     scratch: Vec<u32>,
@@ -138,6 +153,7 @@ impl<I: MovingIndex> CqServer<I> {
             unified: Box::new(UnifiedEval::new(bounds, num_nodes, 1)),
             sequential_eval: false,
             dirty_tracking: true,
+            rebalance: false,
             #[cfg(feature = "legacy-oracle")]
             scratch: Vec::new(),
         }
@@ -152,7 +168,21 @@ impl<I: MovingIndex> CqServer<I> {
         if let EvalEngine::Unified { shards } = engine {
             self.unified = Box::new(UnifiedEval::new(self.bounds, self.store.len(), shards));
             self.unified.set_dirty_tracking(self.dirty_tracking);
+            self.unified.set_rebalance(self.rebalance);
         }
+        self
+    }
+
+    /// Enables the unified engine's load-aware striping and online
+    /// re-striper (builder-style; off by default, DESIGN.md §15). With it
+    /// on, stripe boundaries are solved from the per-column load model at
+    /// index-build time and a rebalance controller migrates whole cell
+    /// columns between shards when sustained imbalance is detected —
+    /// results stay bit-identical at every shard count either way. No
+    /// effect at one shard or on the legacy oracle.
+    pub fn with_rebalance(mut self, enabled: bool) -> Self {
+        self.rebalance = enabled;
+        self.unified.set_rebalance(enabled);
         self
     }
 
@@ -471,6 +501,32 @@ impl<I: MovingIndex> CqServer<I> {
             Some(self.unified.stats())
         } else {
             None
+        }
+    }
+
+    /// The unified engine's re-striper accounting — rebalances performed,
+    /// columns migrated, cumulative migration pause, and the live
+    /// per-shard load CoV. `None` while the legacy oracle is selected.
+    /// Counters stay zero unless [`with_rebalance`](Self::with_rebalance)
+    /// (or [`force_restripe`](Self::force_restripe)) is used.
+    pub fn restripe_stats(&self) -> Option<RestripeStats> {
+        if self.engine.is_unified() {
+            Some(self.unified.restripe_stats())
+        } else {
+            None
+        }
+    }
+
+    /// Forces one boundary re-solve + column migration from live
+    /// occupancy, bypassing the imbalance trigger (test/benchmark hook;
+    /// works even without [`with_rebalance`](Self::with_rebalance)).
+    /// Returns the number of columns that changed owner — 0 before the
+    /// first evaluation, at one shard, or on the legacy oracle.
+    pub fn force_restripe(&mut self) -> usize {
+        if self.engine.is_unified() {
+            self.unified.force_restripe(&self.queries)
+        } else {
+            0
         }
     }
 }

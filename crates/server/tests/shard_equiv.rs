@@ -191,12 +191,17 @@ struct Fleet {
 impl Fleet {
     fn new(queries: &[RangeQuery]) -> Self {
         let b = bounds();
+        // The CI matrix's LIRA_REBALANCE leg runs the whole battery with
+        // the online re-striper enabled on every unified server.
+        let rb = rebalance_from_env(false);
         let mut unified: Vec<(usize, CqServer)> = SHARD_COUNTS
             .iter()
             .map(|&s| {
                 (
                     s,
-                    CqServer::new(b, NUM_NODES, 8).with_engine(EvalEngine::Unified { shards: s }),
+                    CqServer::new(b, NUM_NODES, 8)
+                        .with_engine(EvalEngine::Unified { shards: s })
+                        .with_rebalance(rb),
                 )
             })
             .collect();
@@ -206,12 +211,22 @@ impl Fleet {
             4,
             CqServer::new(b, NUM_NODES, 8)
                 .with_engine(EvalEngine::Unified { shards: 4 })
+                .with_rebalance(rb)
                 .with_sequential_eval(true),
         ));
         // The CI matrix leg (LIRA_TEST_SHARDS ∈ {4, 8}) widens coverage.
         unified.push((
             0, // label: env-selected
             CqServer::new(b, NUM_NODES, 8).with_engine(EvalEngine::unified_from_env(4)),
+        ));
+        // Re-striper always on regardless of the environment (builder
+        // order deliberately reversed vs the servers above: the flag must
+        // survive `with_engine`'s state reset).
+        unified.push((
+            33, // label: shards = 3 with load-aware striping forced on
+            CqServer::new(b, NUM_NODES, 8)
+                .with_rebalance(true)
+                .with_engine(EvalEngine::Unified { shards: 3 }),
         ));
         let mut fleet = Fleet {
             baseline: CqServer::new(b, NUM_NODES, 8).with_dirty_tracking(false),

@@ -15,7 +15,7 @@ use lira_mobility::motion::{DeadReckoner, MotionReport};
 use lira_server::channel::FaultyChannel;
 use lira_server::queue::UpdateQueue;
 
-use lira_server::cq_engine::EvalEngine;
+use lira_server::cq_engine::{rebalance_from_env, EvalEngine};
 
 use crate::metrics::{FaultReport, MetricsAccumulator, MetricsReport};
 use crate::pipeline::SimSetup;
@@ -92,6 +92,19 @@ pub fn run_adaptive_with_engine(
     cfg: &AdaptiveConfig,
     engine: EvalEngine,
 ) -> AdaptiveReport {
+    run_adaptive_opts(sc, cfg, engine, rebalance_from_env(false))
+}
+
+/// [`run_adaptive_with_engine`] with the unified engine's load-aware
+/// striping and online re-striper switchable explicitly (`rebalance` —
+/// bit-identical either way, see `restripe_equiv.rs`). The plain
+/// variants default it from the `LIRA_REBALANCE` environment variable.
+pub fn run_adaptive_opts(
+    sc: &Scenario,
+    cfg: &AdaptiveConfig,
+    engine: EvalEngine,
+    rebalance: bool,
+) -> AdaptiveReport {
     // The closed loop always uses the analytic f(Δ): the controller is
     // being tested against the model the paper derives, not a calibrated
     // refinement of it.
@@ -99,8 +112,8 @@ pub fn run_adaptive_with_engine(
     let bounds = setup.bounds;
     let queries = setup.queries.clone();
 
-    let mut reference = setup.new_server_with(sc, engine);
-    let mut shed = setup.new_server_with(sc, engine);
+    let mut reference = setup.new_server_opts(sc, engine, false, rebalance);
+    let mut shed = setup.new_server_opts(sc, engine, false, rebalance);
     let mut ref_reckoners = vec![DeadReckoner::new(); sc.num_cars];
     let mut shed_reckoners = vec![DeadReckoner::new(); sc.num_cars];
 
@@ -231,6 +244,9 @@ pub fn run_adaptive_with_engine(
     // is infinitely provisioned, so only the shed side is interesting).
     if let Some(stats) = shed.shard_stats() {
         tel.on_shards(&stats);
+    }
+    if let Some(rs) = shed.restripe_stats() {
+        tel.on_restripe(&rs);
     }
     AdaptiveReport {
         windows,

@@ -39,7 +39,7 @@ use lira_mobility::generator::{generate_network, NetworkConfig};
 use lira_mobility::motion::DeadReckoner;
 use lira_mobility::simulator::{TrafficConfig, TrafficSimulator};
 use lira_server::channel::FaultyChannel;
-use lira_server::cq_engine::{CqServer, EvalEngine};
+use lira_server::cq_engine::{rebalance_from_env, CqServer, EvalEngine};
 use lira_server::query::{QueryResult, RangeQuery};
 use lira_workload::scenario::PhaseSchedule;
 use lira_workload::{generate_queries, WorkloadConfig};
@@ -182,23 +182,28 @@ impl SimSetup {
 
     /// A CQ server with the workload registered and an explicit engine.
     pub fn new_server_with(&self, sc: &Scenario, engine: EvalEngine) -> CqServer {
-        self.new_server_opts(sc, engine, false)
+        self.new_server_opts(sc, engine, false, false)
     }
 
     /// [`new_server_with`](Self::new_server_with), optionally forcing
-    /// every evaluation phase onto the calling thread.
-    /// [`Parallelism::Sequential`] passes `sequential_eval = true` so a
-    /// "sequential" pipeline run spawns no threads anywhere — not even
-    /// inside the unified engine (which is bit-identical either way).
+    /// every evaluation phase onto the calling thread and/or enabling
+    /// the online re-striper. [`Parallelism::Sequential`] passes
+    /// `sequential_eval = true` so a "sequential" pipeline run spawns no
+    /// threads anywhere — not even inside the unified engine (which is
+    /// bit-identical either way); `rebalance` switches the unified
+    /// engine to load-aware boundaries plus online re-striping (also
+    /// bit-identical — see `restripe_equiv.rs`).
     pub fn new_server_opts(
         &self,
         sc: &Scenario,
         engine: EvalEngine,
         sequential_eval: bool,
+        rebalance: bool,
     ) -> CqServer {
         let mut s = CqServer::new(self.bounds, sc.num_cars, 64)
             .with_engine(engine)
-            .with_sequential_eval(sequential_eval);
+            .with_sequential_eval(sequential_eval)
+            .with_rebalance(rebalance);
         s.register_queries(self.queries.iter().copied());
         s
     }
@@ -326,11 +331,12 @@ impl ReferenceTimeline {
         sc: &Scenario,
         engine: EvalEngine,
     ) -> Self {
-        Self::compute_opts(trace, setup, sc, engine, false)
+        Self::compute_opts(trace, setup, sc, engine, false, false)
     }
 
     /// [`compute_with`](Self::compute_with), optionally forcing the
-    /// reference server's evaluation onto the calling thread (see
+    /// reference server's evaluation onto the calling thread and/or
+    /// enabling the online re-striper (see
     /// [`SimSetup::new_server_opts`]).
     pub fn compute_opts(
         trace: &TrafficTrace,
@@ -338,8 +344,9 @@ impl ReferenceTimeline {
         sc: &Scenario,
         engine: EvalEngine,
         sequential_eval: bool,
+        rebalance: bool,
     ) -> Self {
-        let mut server = setup.new_server_opts(sc, engine, sequential_eval);
+        let mut server = setup.new_server_opts(sc, engine, sequential_eval, rebalance);
         let mut reckoners = vec![DeadReckoner::new(); trace.num_cars()];
         let eval_every = (sc.eval_period_s / sc.dt).round().max(1.0) as usize;
         let mut reference_updates = 0u64;
@@ -462,6 +469,7 @@ impl PolicyLane {
     /// channel RNG extends the same rule at offset 2000, keeping fault
     /// draws out of the admission stream (a faulty run perturbs traffic,
     /// never the drop decisions of an identically-seeded perfect run).
+    #[allow(clippy::too_many_arguments)]
     fn new(
         policy: Policy,
         index: usize,
@@ -470,11 +478,12 @@ impl PolicyLane {
         telemetry: bool,
         engine: EvalEngine,
         sequential_eval: bool,
+        rebalance: bool,
     ) -> Self {
         PolicyLane {
             policy,
             shedding: policy.build(sc, &setup.config, &setup.model),
-            server: setup.new_server_opts(sc, engine, sequential_eval),
+            server: setup.new_server_opts(sc, engine, sequential_eval, rebalance),
             reckoners: vec![DeadReckoner::new(); sc.num_cars],
             grid: StatsGrid::new(sc.alpha, setup.bounds).expect("valid grid"),
             plan: SheddingPlan::uniform(setup.bounds, sc.delta_min),
@@ -695,9 +704,13 @@ impl PolicyLane {
             self.tel.on_channel(&ch.stats());
         }
         // End-of-run per-shard accounting (unified engine): final
-        // node ownership, cumulative round wall time, total handoffs.
+        // node ownership, cumulative round wall time, total handoffs,
+        // and the online re-striper's migration counters.
         if let Some(stats) = self.server.shard_stats() {
             self.tel.on_shards(&stats);
+        }
+        if let Some(rs) = self.server.restripe_stats() {
+            self.tel.on_restripe(&rs);
         }
         let telemetry = self.tel.snapshot(&format!("lane:{}", self.policy.name()));
         PolicyOutcome {
@@ -734,6 +747,7 @@ pub struct SimPipeline {
     parallelism: Parallelism,
     telemetry: bool,
     engine: EvalEngine,
+    rebalance: bool,
 }
 
 impl Default for SimPipeline {
@@ -742,6 +756,7 @@ impl Default for SimPipeline {
             parallelism: Parallelism::default(),
             telemetry: true,
             engine: EvalEngine::default(),
+            rebalance: rebalance_from_env(false),
         }
     }
 }
@@ -778,6 +793,17 @@ impl SimPipeline {
         self
     }
 
+    /// Enables or disables the unified engine's load-aware striping and
+    /// online re-striper for the reference server and every policy lane
+    /// (bit-identical either way — `restripe_equiv.rs`). The default
+    /// follows the `LIRA_REBALANCE` environment variable (off when
+    /// unset).
+    #[must_use]
+    pub fn with_rebalance(mut self, rebalance: bool) -> Self {
+        self.rebalance = rebalance;
+        self
+    }
+
     /// Runs the scenario for the given policies and reports the comparison.
     pub fn run(&self, sc: &Scenario, policies: &[Policy]) -> RunReport {
         let ptel = PipelineTelemetry::new(self.telemetry);
@@ -791,8 +817,14 @@ impl SimPipeline {
         // calling thread, and unified evaluation phases inlined too.
         let sequential_eval = self.parallelism == Parallelism::Sequential;
         let stage = Instant::now();
-        let reference =
-            ReferenceTimeline::compute_opts(&trace, &setup, sc, self.engine, sequential_eval);
+        let reference = ReferenceTimeline::compute_opts(
+            &trace,
+            &setup,
+            sc,
+            self.engine,
+            sequential_eval,
+            self.rebalance,
+        );
         ptel.on_reference(stage.elapsed().as_micros() as u64);
 
         let lanes: Vec<PolicyLane> = policies
@@ -807,6 +839,7 @@ impl SimPipeline {
                     self.telemetry,
                     self.engine,
                     sequential_eval,
+                    self.rebalance,
                 )
             })
             .collect();

@@ -24,7 +24,7 @@ use lira_core::telemetry::{
 };
 use lira_core::throt_loop::ThrotLoop;
 use lira_server::channel::ChannelStats;
-use lira_server::unified::ShardStats;
+use lira_server::unified::{RestripeStats, ShardStats};
 
 // Lane metrics (component "sim.lane").
 const LANE_UPDATES_SENT: MetricSpec = MetricSpec::new("lane.updates_sent", "sim.lane", "updates");
@@ -63,6 +63,18 @@ const CHANNEL_DUPLICATES: MetricSpec =
 const SHARD_NODES: MetricSpec = MetricSpec::new("shard.nodes", "server.sharded", "nodes");
 const SHARD_ROUND_NS: MetricSpec = MetricSpec::new("shard.round_ns", "server.sharded", "ns");
 const SHARD_HANDOFFS: MetricSpec = MetricSpec::new("shard.handoffs", "server.sharded", "nodes");
+// Online re-striper accounting (DESIGN.md §15): end-of-run ownership
+// imbalance (CoV over per-shard node counts) plus cumulative migration
+// counters. `shard.restripe.pause_ns` is wall clock, hence excluded
+// from the determinism contract like `shard.round_ns`.
+const SHARD_IMBALANCE: MetricSpec =
+    MetricSpec::new("shard.imbalance", "server.sharded", "fraction");
+const SHARD_RESTRIPE_COUNT: MetricSpec =
+    MetricSpec::new("shard.restripe.count", "server.sharded", "migrations");
+const SHARD_RESTRIPE_MOVED: MetricSpec =
+    MetricSpec::new("shard.restripe.moved_cols", "server.sharded", "columns");
+const SHARD_RESTRIPE_PAUSE: MetricSpec =
+    MetricSpec::new("shard.restripe.pause_ns", "server.sharded", "ns");
 
 // Adaptive-runner metrics (component "sim.adaptive").
 const QUEUE_DEPTH: MetricSpec = MetricSpec::new("queue.depth", "server.queue", "updates");
@@ -100,6 +112,15 @@ fn record_shards(registry: &Telemetry, stats: &[ShardStats]) {
         round_ns.record(s.round_ns);
         handoffs.add(s.handoffs);
     }
+}
+
+/// Shared recorder for [`RestripeStats`] (lane and adaptive registries
+/// expose the same four keys).
+fn record_restripe(registry: &Telemetry, rs: &RestripeStats) {
+    registry.gauge(SHARD_IMBALANCE).set(rs.imbalance);
+    registry.counter(SHARD_RESTRIPE_COUNT).add(rs.restripes);
+    registry.counter(SHARD_RESTRIPE_MOVED).add(rs.moved_cols);
+    registry.counter(SHARD_RESTRIPE_PAUSE).add(rs.pause_ns);
 }
 
 /// Journal target for lane-level events.
@@ -226,6 +247,16 @@ impl LaneTelemetry {
             return;
         }
         record_shards(&self.registry, stats);
+    }
+
+    /// Copies the online re-striper's end-of-run accounting: final
+    /// ownership imbalance (`shard.imbalance`) and the cumulative
+    /// `shard.restripe.*` counters.
+    pub fn on_restripe(&self, rs: &RestripeStats) {
+        if !self.registry.is_enabled() {
+            return;
+        }
+        record_restripe(&self.registry, rs);
     }
 
     /// Records a journal event stamped with sim time.
@@ -431,6 +462,15 @@ impl AdaptiveTelemetry {
             return;
         }
         record_shards(&self.registry, stats);
+    }
+
+    /// Copies the shedding server's online re-striper accounting (see
+    /// [`LaneTelemetry::on_restripe`]).
+    pub fn on_restripe(&self, rs: &RestripeStats) {
+        if !self.registry.is_enabled() {
+            return;
+        }
+        record_restripe(&self.registry, rs);
     }
 
     /// Exports the runner's snapshot.
