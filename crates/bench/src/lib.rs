@@ -223,8 +223,8 @@ pub fn ratio(v: f64, base: f64) -> String {
 }
 
 /// Shared implementation of the throttle-fraction sweeps (Figures 4–7):
-/// all four policies across `z` values, reporting the chosen error metric
-/// absolutely and relative to LIRA.
+/// every policy in the roster across `z` values, reporting the chosen
+/// error metric absolutely and relative to LIRA.
 pub fn z_sweep_experiment(id: &str, title: &str, distribution: lira_workload::QueryDistribution) {
     let args = ExpArgs::parse();
     let base = args.base_scenario();
@@ -237,7 +237,7 @@ pub fn z_sweep_experiment(id: &str, title: &str, distribution: lira_workload::Qu
         print!(" {:>22} |", p.name());
     }
     println!();
-    println!("{}", "-".repeat(8 + 4 * 25));
+    println!("{}", "-".repeat(8 + Policy::ALL.len() * 25));
     let fmt = |v: f64, base: f64, position: bool| -> String {
         let abs = if position {
             format!("{v:.3} m")
@@ -264,14 +264,14 @@ pub fn z_sweep_experiment(id: &str, title: &str, distribution: lira_workload::Qu
             .iter()
             .map(|(_, o)| fmt(o.mean_containment, lira_con, false))
             .collect();
-        println!(
-            "{z:>6.2} | E^P: {:>17} | {:>22} | {:>22} | {:>22}",
-            pos_row[0], pos_row[1], pos_row[2], pos_row[3]
-        );
-        println!(
-            "       | E^C: {:>17} | {:>22} | {:>22} | {:>22}",
-            con_row[0], con_row[1], con_row[2], con_row[3]
-        );
+        let join = |row: &[String]| {
+            row[1..]
+                .iter()
+                .map(|c| format!(" | {c:>22}"))
+                .collect::<String>()
+        };
+        println!("{z:>6.2} | E^P: {:>17}{}", pos_row[0], join(&pos_row));
+        println!("       | E^C: {:>17}{}", con_row[0], join(&con_row));
     }
     println!();
     println!("paper shape to check: LIRA best everywhere; Random Drop worst by orders of");

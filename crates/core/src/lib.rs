@@ -28,6 +28,10 @@
 //! * [`policy`] — the [`policy::SheddingPolicy`] trait with LIRA and the
 //!   Section 4.2 comparators (Lira-Grid, Uniform Δ, Random Drop) behind
 //!   one adaptation lifecycle;
+//! * [`utility`] — the SPICE-line utility-aware policies
+//!   ([`utility::UtilityGreedy`], [`utility::UtilityModel`]) that spend
+//!   the budget where predicted accuracy-gain-per-admitted-update is
+//!   highest;
 //! * [`shedder::LiraShedder`] — the orchestrator running one full
 //!   adaptation step.
 //!
@@ -75,6 +79,7 @@ pub mod shedder;
 pub mod stats_grid;
 pub mod telemetry;
 pub mod throt_loop;
+pub mod utility;
 
 /// Convenient re-exports of the most used types.
 pub mod prelude {
@@ -92,7 +97,8 @@ pub mod prelude {
     };
     pub use crate::plan::{PlanRegion, SheddingPlan};
     pub use crate::policy::{
-        AdaptCost, LiraGridPolicy, LiraPolicy, RandomDropPolicy, SheddingPolicy, UniformDeltaPolicy,
+        AdaptCost, LiraGridPolicy, LiraPolicy, RandomDropPolicy, RoundFeedback, SheddingPolicy,
+        UniformDeltaPolicy,
     };
     pub use crate::quadtree::{NodeId, RegionTree};
     pub use crate::reduction::ReductionModel;
@@ -103,4 +109,7 @@ pub mod prelude {
         Telemetry, TelemetrySnapshot,
     };
     pub use crate::throt_loop::{QueueObservation, ThrotLoop};
+    pub use crate::utility::{
+        StalenessTracker, UtilityGreedy, UtilityModel, UtilityParams, UTILITY_GRID_SIDE,
+    };
 }

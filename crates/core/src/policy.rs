@@ -18,13 +18,21 @@
 //! | [`LiraGridPolicy`] | equal `⌊√l⌋²` grid | GREEDYINCREMENT | no |
 //! | [`UniformDeltaPolicy`] | none (one region) | `f⁻¹(z)` | no |
 //! | [`RandomDropPolicy`] | none (one region) | `Δ⊢` everywhere | yes, `1−z` |
+//! | [`crate::utility::UtilityGreedy`] | equal `⌊√l⌋²` grid | utility-ranked greedy | no |
+//! | [`crate::utility::UtilityModel`] | equal `⌊√l⌋²` grid | loss-model water-fill | no |
+//!
+//! Feedback-aware policies (the utility family) additionally consume
+//! [`RoundFeedback`] after each evaluation round via
+//! [`SheddingPolicy::observe_round`]; for the Section 4.2 policies the
+//! hook is a no-op, so their behaviour is bit-identical with or without
+//! feedback delivery.
 
 use crate::config::LiraConfig;
 use crate::error::Result;
 use crate::geometry::Rect;
 use crate::greedy_increment::{greedy_increment, GreedyParams, ThrottlerSolution};
 use crate::grid_reduce::{l_partitioning, GridReduceStats};
-use crate::plan::SheddingPlan;
+use crate::plan::{PlanRegion, SheddingPlan};
 use crate::reduction::ReductionModel;
 use crate::shedder::LiraShedder;
 use crate::stats_grid::StatsGrid;
@@ -40,6 +48,31 @@ pub struct AdaptCost {
     pub partitioner: GridReduceStats,
     /// GREEDYINCREMENT iterations (accepted segment advances).
     pub greedy_steps: u64,
+}
+
+/// One evaluation round's realized accuracy and shedding activity,
+/// handed to feedback-aware policies via
+/// [`SheddingPolicy::observe_round`].
+///
+/// The per-region counters are **cumulative within the current plan
+/// epoch** (they reset when a new plan is installed) and are indexed
+/// like `regions`, which is the plan the counters were accumulated
+/// under. Policies that need per-round deltas diff against their own
+/// snapshot from the previous call.
+#[derive(Debug, Clone, Copy)]
+pub struct RoundFeedback<'a> {
+    /// Mean position error of this round's shed evaluation vs the
+    /// reference (metres per query result).
+    pub position_error: f64,
+    /// Mean containment error (symmetric-difference fraction) of this
+    /// round vs the reference.
+    pub containment_error: f64,
+    /// Updates admitted per plan region, cumulative within the epoch.
+    pub region_admitted: &'a [u64],
+    /// Updates shed per plan region, cumulative within the epoch.
+    pub region_shed: &'a [u64],
+    /// The plan regions the counters are indexed by.
+    pub regions: &'a [PlanRegion],
 }
 
 /// A load-shedding policy: turns statistics snapshots into shedding plans.
@@ -64,6 +97,19 @@ pub trait SheddingPolicy: Send {
     /// policies that run a partitioner/optimizer; `None` before the first
     /// adaptation or for trivial policies (Uniform Δ, Random Drop).
     fn last_cost(&self) -> Option<AdaptCost> {
+        None
+    }
+
+    /// Folds one evaluation round's realized accuracy/shedding feedback
+    /// into the policy's internal state. Default: no-op (the Section 4.2
+    /// policies are feed-forward; only the utility family learns from
+    /// feedback).
+    fn observe_round(&mut self, _feedback: &RoundFeedback<'_>) {}
+
+    /// Per-region utility scores from the most recent [`Self::adapt`]
+    /// call, indexed like the emitted plan's regions; `None` for
+    /// policies without a utility model. Surfaced for telemetry.
+    fn utility_scores(&self) -> Option<&[f64]> {
         None
     }
 }
@@ -281,6 +327,7 @@ impl SheddingPolicy for RandomDropPolicy {
 mod tests {
     use super::*;
     use crate::geometry::Point;
+    use crate::utility::{UtilityGreedy, UtilityModel};
 
     fn grid() -> StatsGrid {
         let mut g = StatsGrid::new(16, Rect::from_coords(0.0, 0.0, 1600.0, 1600.0)).unwrap();
@@ -316,11 +363,45 @@ mod tests {
         let policies: Vec<Box<dyn SheddingPolicy>> = vec![
             Box::new(LiraPolicy::new(cfg.clone(), 100).unwrap()),
             Box::new(LiraGridPolicy::new(cfg.clone(), model.clone())),
-            Box::new(UniformDeltaPolicy::new(cfg.bounds, model)),
+            Box::new(UniformDeltaPolicy::new(cfg.bounds, model.clone())),
             Box::new(RandomDropPolicy::new(cfg.bounds, cfg.delta_min)),
+            Box::new(UtilityGreedy::new(cfg.clone(), model.clone())),
+            Box::new(UtilityModel::new(cfg.clone(), model)),
         ];
         let names: Vec<&str> = policies.iter().map(|p| p.name()).collect();
-        assert_eq!(names, ["LIRA", "Lira-Grid", "Uniform Delta", "Random Drop"]);
+        assert_eq!(
+            names,
+            [
+                "LIRA",
+                "Lira-Grid",
+                "Uniform Delta",
+                "Random Drop",
+                "Utility Greedy",
+                "Utility Model"
+            ]
+        );
+    }
+
+    #[test]
+    fn feedback_is_a_noop_for_feed_forward_policies() {
+        let g = grid();
+        let cfg = config_for(&g);
+        let model = ReductionModel::analytic(5.0, 100.0, 95);
+        let mut p = LiraGridPolicy::new(cfg, model);
+        let before = p.adapt(&g, 0.5).unwrap();
+        let regions = before.regions().to_vec();
+        let admitted = vec![7u64; regions.len()];
+        let shed = vec![3u64; regions.len()];
+        p.observe_round(&RoundFeedback {
+            position_error: 10.0,
+            containment_error: 0.5,
+            region_admitted: &admitted,
+            region_shed: &shed,
+            regions: &regions,
+        });
+        assert!(p.utility_scores().is_none());
+        let after = p.adapt(&g, 0.5).unwrap();
+        assert_eq!(before.regions(), after.regions());
     }
 
     #[test]
@@ -390,5 +471,7 @@ mod tests {
         assert_send::<LiraGridPolicy>();
         assert_send::<UniformDeltaPolicy>();
         assert_send::<RandomDropPolicy>();
+        assert_send::<UtilityGreedy>();
+        assert_send::<UtilityModel>();
     }
 }

@@ -9,11 +9,14 @@
 //! whole-segment greedy walk is optimal, and every optimum below can be
 //! verified by hand with secant arithmetic.
 
+use lira_core::config::LiraConfig;
 use lira_core::geometry::{Point, Rect};
 use lira_core::greedy_increment::{greedy_increment, GreedyParams, RegionInput};
 use lira_core::grid_reduce::{grid_reduce, GridReduceParams};
+use lira_core::policy::SheddingPolicy;
 use lira_core::reduction::ReductionModel;
 use lira_core::stats_grid::StatsGrid;
+use lira_core::utility::{UtilityGreedy, UtilityModel};
 
 fn model() -> ReductionModel {
     ReductionModel::from_knots(10.0, 40.0, vec![1.0, 0.6, 0.3, 0.1]).unwrap()
@@ -240,4 +243,141 @@ fn grid_reduce_plus_greedy_pins_the_full_plan() {
     }
     assert!(close(sol.inaccuracy, 10.0), "E = {}", sol.inaccuracy);
     assert_eq!(sol.steps, 3);
+}
+
+/// The configuration matching the golden grid and model: 400×400 m
+/// bounds, `l = 4`, `α = 4`, `Δ⊢ = 10`, `Δ⊣ = 40`, `c_Δ = 10`, speed
+/// factor on.
+fn golden_config() -> LiraConfig {
+    let mut cfg = LiraConfig::default();
+    cfg.bounds = Rect::from_coords(0.0, 0.0, 400.0, 400.0);
+    cfg.num_regions = 4;
+    cfg.alpha = 4;
+    cfg.delta_min = 10.0;
+    cfg.delta_max = 40.0;
+    cfg.increment = 10.0;
+    cfg.use_speed_factor = true;
+    cfg.validate().unwrap();
+    cfg
+}
+
+#[test]
+fn utility_greedy_pins_the_golden_plan() {
+    // Cold start on the golden grid at z = 0.5: the only query sits in
+    // the load-free NW quadrant, so every *loaded* region scores utility
+    // 0 (the NW query splits 0.25 per cell — zero CoV — and nothing is
+    // stale yet, so the boundary and staleness factors are both 1).
+    //
+    // The greedy promotion therefore runs on the w-only tie-break:
+    // loaded regions rank [SW, NE] by index, everything defaults to Δ⊣,
+    // and the residual 65 − 0.1·130 = 52 is offered to SW first. A full
+    // promotion would cost 80·0.9 = 72 > 52, so SW takes the partial:
+    // f = 0.1 + 52/80 = 0.75, in the first model segment at
+    // Δ = 10 + 0.25/0.04 = 16.25. NE stays at Δ⊣ = 40; the load-free
+    // SE and NW quadrants keep Δ⊢ = 10.
+    let mut policy = UtilityGreedy::new(golden_config(), model());
+    let plan = policy.adapt(&golden_grid(), 0.5).unwrap();
+    let expect = [16.25, 10.0, 10.0, 40.0]; // SW, SE, NW, NE
+    for (i, (region, want)) in plan.regions().iter().zip(expect).enumerate() {
+        assert!(
+            close(region.throttler, want),
+            "region {i}: Δ = {}, want {want}",
+            region.throttler
+        );
+    }
+    // Expenditure check: 80·0.75 + 50·0.1 = 65 = z·Σw exactly.
+    let scores = policy.utility_scores().unwrap();
+    let want_scores = [0.0, 0.0, 1.0, 0.0];
+    for (i, (got, want)) in scores.iter().zip(want_scores).enumerate() {
+        assert!(close(*got, want), "score {i}: {got}, want {want}");
+    }
+}
+
+#[test]
+fn utility_model_cold_start_pins_the_uniform_fallback() {
+    // Cold start on the golden grid at z = 0.5: the loss EWMA is all
+    // zero and no *loaded* region has positive utility (the query sits
+    // in the empty NW quadrant), so the model allocation degenerates to
+    // the Uniform Δ answer on loaded regions: f(Δ) = 0.5 lands in the
+    // second model segment at Δ = 20 + 0.1/0.03 = 70/3 ≈ 23.33 for SW
+    // and NE; the load-free SE and NW keep Δ⊢ = 10.
+    let mut policy = UtilityModel::new(golden_config(), model());
+    let plan = policy.adapt(&golden_grid(), 0.5).unwrap();
+    let uniform = 20.0 + 10.0 / 3.0;
+    let expect = [uniform, 10.0, 10.0, uniform]; // SW, SE, NW, NE
+    for (i, (region, want)) in plan.regions().iter().zip(expect).enumerate() {
+        assert!(
+            close(region.throttler, want),
+            "region {i}: Δ = {}, want {want}",
+            region.throttler
+        );
+    }
+    let scores = policy.utility_scores().unwrap();
+    let want_scores = [0.0, 0.0, 1.0, 0.0];
+    for (i, (got, want)) in scores.iter().zip(want_scores).enumerate() {
+        assert!(close(*got, want), "score {i}: {got}, want {want}");
+    }
+}
+
+/// The golden grid plus one query covering the NE quadrant exactly, so
+/// one *loaded* region carries utility.
+fn golden_grid_with_ne_query() -> StatsGrid {
+    let bounds = Rect::from_coords(0.0, 0.0, 400.0, 400.0);
+    let mut g = StatsGrid::new(4, bounds).unwrap();
+    g.begin_snapshot();
+    for i in 0..8 {
+        let p = Point::new(25.0 + (i % 4) as f64 * 50.0, 25.0 + (i / 4) as f64 * 50.0);
+        g.observe_node(&p, 10.0, 1.0);
+    }
+    g.observe_node(&Point::new(250.0, 250.0), 25.0, 1.0);
+    g.observe_node(&Point::new(350.0, 350.0), 25.0, 1.0);
+    g.observe_query(&Rect::from_coords(50.0, 250.0, 150.0, 350.0));
+    g.observe_query(&Rect::from_coords(200.0, 200.0, 400.0, 400.0));
+    g.commit_snapshot();
+    g
+}
+
+#[test]
+fn utility_policies_shield_the_queried_ne_quadrant() {
+    // With a query on NE (utility 1; 0.25 per cell, zero CoV), both
+    // utility allocations agree by hand:
+    //
+    // * Greedy: loaded regions rank [NE, SW] by utility/w (0.02 > 0).
+    //   Both default to Δ⊣; the residual 52 fully promotes NE
+    //   (50·0.9 = 45), leaving 7 for SW's partial:
+    //   f = 0.1 + 7/80 = 0.1875, third segment, Δ = 30 + 0.1125/0.02
+    //   = 35.625.
+    // * Model (cold start, scores = query masses on loaded regions):
+    //   GREEDYINCREMENT sheds the utility-free SW first — two whole
+    //   segments (−32, −24) then 9 of the third segment's 16 at rate
+    //   80·0.02: Δ_SW = 30 + 9/1.6 = 35.625 — and never touches NE.
+    //
+    // Both pin to [35.625, 10, 10, 10]: the queried, loaded NE quadrant
+    // keeps ideal resolution and the unqueried SW absorbs all shedding.
+    let grid = golden_grid_with_ne_query();
+    let expect = [35.625, 10.0, 10.0, 10.0]; // SW, SE, NW, NE
+    let policies: [Box<dyn SheddingPolicy>; 2] = [
+        Box::new(UtilityGreedy::new(golden_config(), model())),
+        Box::new(UtilityModel::new(golden_config(), model())),
+    ];
+    for mut policy in policies {
+        let plan = policy.adapt(&grid, 0.5).unwrap();
+        for (i, (region, want)) in plan.regions().iter().zip(expect).enumerate() {
+            assert!(
+                close(region.throttler, want),
+                "{} region {i}: Δ = {}, want {want}",
+                policy.name(),
+                region.throttler
+            );
+        }
+        let scores = policy.utility_scores().unwrap();
+        let want_scores = [0.0, 0.0, 1.0, 1.0];
+        for (i, (got, want)) in scores.iter().zip(want_scores).enumerate() {
+            assert!(
+                close(*got, want),
+                "{} score {i}: {got}, want {want}",
+                policy.name()
+            );
+        }
+    }
 }

@@ -20,10 +20,12 @@ use lira_core::config::LiraConfig;
 use lira_core::geometry::{Point, Rect};
 use lira_core::plan::SheddingPlan;
 use lira_core::policy::{LiraPolicy, SheddingPolicy};
+use lira_core::reduction::ReductionModel;
 use lira_core::stats_grid::StatsGrid;
 use lira_core::telemetry::json::Json;
 use lira_core::telemetry::{Counter, Gauge, Histogram, MetricSpec, Telemetry};
 use lira_core::throt_loop::{QueueObservation, ThrotLoop};
+use lira_core::utility::{UtilityGreedy, UtilityModel};
 use lira_server::cq_engine::{rebalance_from_env, CqServer, EvalEngine};
 use lira_server::query::{QueryResult, RangeQuery};
 use lira_server::queue::UpdateQueue;
@@ -31,6 +33,46 @@ use std::sync::Arc;
 
 use crate::protocol::{self, digest_round, kind, Frame, WireUpdate};
 use crate::slices::SliceTable;
+
+/// Which shedding policy drives the session's plan broadcasts (CLI
+/// `--policy`). Only source-actuated policies are offered: the serving
+/// path has no server-side random-drop stage, and every listed policy
+/// emits ordinary [`SheddingPlan`]s over the unchanged 16 B/region wire
+/// format.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ServePolicy {
+    /// Full LIRA: GRIDREDUCE + GREEDYINCREMENT (the default).
+    #[default]
+    Lira,
+    /// eSPICE-style utility-greedy shedding (`lira-core`'s
+    /// [`UtilityGreedy`]).
+    UtilityGreedy,
+    /// gSPICE-style model-based utility shedding (`lira-core`'s
+    /// [`UtilityModel`]).
+    UtilityModel,
+}
+
+impl ServePolicy {
+    /// Parses a CLI policy name (`lira`, `utility-greedy`,
+    /// `utility-model`).
+    pub fn from_flag(name: &str) -> Option<Self> {
+        match name {
+            "lira" => Some(ServePolicy::Lira),
+            "utility-greedy" => Some(ServePolicy::UtilityGreedy),
+            "utility-model" => Some(ServePolicy::UtilityModel),
+            _ => None,
+        }
+    }
+
+    /// The CLI flag spelling (inverse of [`Self::from_flag`]).
+    pub fn flag_name(self) -> &'static str {
+        match self {
+            ServePolicy::Lira => "lira",
+            ServePolicy::UtilityGreedy => "utility-greedy",
+            ServePolicy::UtilityModel => "utility-model",
+        }
+    }
+}
 
 /// Configuration of one serving session (CLI flags map onto this 1:1;
 /// see `docs/OPERATIONS.md`).
@@ -70,6 +112,9 @@ pub struct ServeConfig {
     /// imbalanced. Defaults from the `LIRA_REBALANCE` environment
     /// variable (off when unset).
     pub rebalance: bool,
+    /// The shedding policy behind the plan broadcasts (CLI `--policy`;
+    /// LIRA by default).
+    pub policy: ServePolicy,
 }
 
 impl ServeConfig {
@@ -90,6 +135,7 @@ impl ServeConfig {
             delta_max: 100.0,
             telemetry: true,
             rebalance: rebalance_from_env(false),
+            policy: ServePolicy::default(),
         }
     }
 
@@ -262,8 +308,14 @@ impl SessionCore {
             .with_rebalance(cfg.rebalance);
         let mut grid = StatsGrid::new(lira.alpha, cfg.bounds).expect("alpha/bounds validated");
         grid.begin_snapshot();
-        let policy =
-            Box::new(LiraPolicy::new(lira, cfg.queue_capacity.max(2)).expect("validated config"));
+        let model = ReductionModel::analytic(cfg.delta_min, cfg.delta_max, lira.kappa());
+        let policy: Box<dyn SheddingPolicy> = match cfg.policy {
+            ServePolicy::Lira => Box::new(
+                LiraPolicy::new(lira, cfg.queue_capacity.max(2)).expect("validated config"),
+            ),
+            ServePolicy::UtilityGreedy => Box::new(UtilityGreedy::new(lira, model)),
+            ServePolicy::UtilityModel => Box::new(UtilityModel::new(lira, model)),
+        };
         SessionCore {
             table: SliceTable::new(cfg.slices, cfg.shards),
             queues: (0..cfg.shards)
@@ -762,6 +814,55 @@ mod tests {
         }
         // Node 1 is inside the query, node 2 outside.
         assert_eq!(s.server.evaluate(0.0)[0].nodes, vec![1]);
+    }
+
+    #[test]
+    fn utility_policies_drive_the_plan_broadcast_path() {
+        assert_eq!(
+            ServePolicy::from_flag("utility-greedy"),
+            Some(ServePolicy::UtilityGreedy)
+        );
+        assert_eq!(ServePolicy::from_flag("nope"), None);
+        for policy in [ServePolicy::UtilityGreedy, ServePolicy::UtilityModel] {
+            assert_eq!(ServePolicy::from_flag(policy.flag_name()), Some(policy));
+            let mut cfg = ServeConfig::new(1000.0, 100);
+            cfg.shards = 2;
+            cfg.slices = 8;
+            cfg.queue_capacity = 64;
+            cfg.service_rate = 50.0;
+            cfg.policy = policy;
+            let mut s = SessionCore::new(cfg);
+            let conn = s.open_conn();
+            s.handle(conn, Frame::Hello { flags: 1 });
+            let updates: Vec<WireUpdate> = (0..100)
+                .map(|i| {
+                    upd(
+                        i,
+                        (i % 10) as f64 * 100.0 + 5.0,
+                        (i / 10) as f64 * 100.0 + 5.0,
+                    )
+                })
+                .collect();
+            s.handle(conn, Frame::Batch { t: 0.0, updates });
+            let out = s.handle(
+                conn,
+                Frame::WindowClose {
+                    t: 1.0,
+                    window_s: 1.0,
+                },
+            );
+            // The utility policy's plan rides the ordinary 16 B/region
+            // wire format, exactly like LIRA's.
+            assert_eq!(out.broadcast.len(), 1, "{policy:?}");
+            match &out.broadcast[0] {
+                Frame::Plan { epoch, regions, .. } => {
+                    assert_eq!(*epoch, 1, "{policy:?}");
+                    assert!(!regions.is_empty(), "{policy:?}");
+                    assert_eq!(regions.len() % crate::protocol::REGION_WIRE_LEN, 0);
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
     }
 
     #[test]

@@ -25,8 +25,8 @@ pub mod telemetry;
 /// Convenient re-exports of the most used types.
 pub mod prelude {
     pub use crate::adaptive::{
-        run_adaptive, run_adaptive_opts, run_adaptive_with_engine, AdaptiveConfig, AdaptiveReport,
-        WindowStats,
+        run_adaptive, run_adaptive_opts, run_adaptive_policy, run_adaptive_with_engine,
+        AdaptiveConfig, AdaptiveReport, WindowStats,
     };
     pub use crate::metrics::{
         evaluation_errors, FaultReport, MetricsAccumulator, MetricsReport, QueryErrors,

@@ -97,6 +97,18 @@ impl MetricsAccumulator {
         self.rounds
     }
 
+    /// Running totals `(Σ containment, Σ position)` over all queries and
+    /// rounds recorded so far. Diffing totals around a
+    /// [`record_round`](Self::record_round) call yields that round's
+    /// error mass — the realized-loss feedback signal for
+    /// feedback-aware shedding policies.
+    pub fn totals(&self) -> (f64, f64) {
+        (
+            self.containment_sums.iter().sum(),
+            self.position_sums.iter().sum(),
+        )
+    }
+
     /// Records one evaluation round straight from the two result sets,
     /// accumulating in place — no per-round `Vec<QueryErrors>` and no
     /// per-query allocations, with arithmetic identical (same operations,

@@ -32,7 +32,7 @@ use std::time::Instant;
 use lira_core::config::LiraConfig;
 use lira_core::geometry::{Point, Rect};
 use lira_core::plan::SheddingPlan;
-use lira_core::policy::SheddingPolicy;
+use lira_core::policy::{RoundFeedback, SheddingPolicy};
 use lira_core::reduction::ReductionModel;
 use lira_core::stats_grid::StatsGrid;
 use lira_mobility::generator::{generate_network, NetworkConfig};
@@ -420,6 +420,9 @@ struct PolicyLane {
     /// Updates shed (server-actuated admission drop) per plan region in
     /// the current plan epoch.
     region_shed: Vec<u64>,
+    /// Accumulator totals at the previous evaluation round, so each
+    /// round's error mass can be diffed out as policy feedback.
+    prev_totals: (f64, f64),
     /// Per-node `Δ` caps for heterogeneous fleets (`None` = uncapped,
     /// the historical fast path).
     delta_caps: Option<Vec<f64>>,
@@ -499,6 +502,7 @@ impl PolicyLane {
             tel: LaneTelemetry::new(telemetry),
             region_admitted: Vec::new(),
             region_shed: Vec::new(),
+            prev_totals: (0.0, 0.0),
             delta_caps: sc.fleet_delta_caps(),
             skew_cells: vec![0; SKEW_GRID * SKEW_GRID],
             bounds: setup.bounds,
@@ -563,6 +567,7 @@ impl PolicyLane {
         self.plan_epochs += 1;
         self.tel
             .on_adapt(micros, z, self.shedding.last_cost(), &self.plan);
+        self.tel.on_utility(self.shedding.utility_scores());
         self.region_admitted.clear();
         self.region_admitted.resize(self.plan.len(), 0);
         self.region_shed.clear();
@@ -689,6 +694,19 @@ impl PolicyLane {
                     |n| frame.predictions[n as usize],
                     |n| server.predict(n, t),
                 );
+                // Hand the round's realized error mass to feedback-aware
+                // policies (a no-op for the feed-forward Section 4.2
+                // policies, keeping their outcomes bit-identical).
+                let (c_tot, p_tot) = self.accumulator.totals();
+                let round_queries = frame.results.len().max(1) as f64;
+                self.shedding.observe_round(&RoundFeedback {
+                    position_error: (p_tot - self.prev_totals.1) / round_queries,
+                    containment_error: (c_tot - self.prev_totals.0) / round_queries,
+                    region_admitted: &self.region_admitted,
+                    region_shed: &self.region_shed,
+                    regions: self.plan.regions(),
+                });
+                self.prev_totals = (c_tot, p_tot);
                 next_frame += 1;
             }
         }

@@ -14,6 +14,7 @@ use lira_core::policy::{
 };
 use lira_core::reduction::ReductionModel;
 use lira_core::shedder::LiraShedder;
+use lira_core::utility::{UtilityGreedy, UtilityModel};
 
 use crate::metrics::{FaultReport, MetricsReport};
 use crate::pipeline::SimPipeline;
@@ -33,15 +34,24 @@ pub enum Policy {
     UniformDelta,
     /// No source-side shedding; the server randomly drops the excess.
     RandomDrop,
+    /// eSPICE-style utility shedding: greedy budget assignment in
+    /// utility-per-budget-unit order.
+    UtilityGreedy,
+    /// gSPICE-style utility shedding: realized-loss EWMA model steering a
+    /// proportional water-fill.
+    UtilityModel,
 }
 
 impl Policy {
-    /// All four policies, in the paper's comparison order.
-    pub const ALL: [Policy; 4] = [
+    /// All six policies: the paper's four (comparison order preserved)
+    /// followed by the SPICE-line utility family.
+    pub const ALL: [Policy; 6] = [
         Policy::Lira,
         Policy::LiraGrid,
         Policy::UniformDelta,
         Policy::RandomDrop,
+        Policy::UtilityGreedy,
+        Policy::UtilityModel,
     ];
 
     /// Display name used in experiment output, delegated to the policy
@@ -52,6 +62,8 @@ impl Policy {
             Policy::LiraGrid => LiraGridPolicy::NAME,
             Policy::UniformDelta => UniformDeltaPolicy::NAME,
             Policy::RandomDrop => RandomDropPolicy::NAME,
+            Policy::UtilityGreedy => UtilityGreedy::NAME,
+            Policy::UtilityModel => UtilityModel::NAME,
         }
     }
 
@@ -73,6 +85,8 @@ impl Policy {
             Policy::LiraGrid => Box::new(LiraGridPolicy::new(config.clone(), model.clone())),
             Policy::UniformDelta => Box::new(UniformDeltaPolicy::new(config.bounds, model.clone())),
             Policy::RandomDrop => Box::new(RandomDropPolicy::new(config.bounds, sc.delta_min)),
+            Policy::UtilityGreedy => Box::new(UtilityGreedy::new(config.clone(), model.clone())),
+            Policy::UtilityModel => Box::new(UtilityModel::new(config.clone(), model.clone())),
         }
     }
 }
@@ -159,7 +173,7 @@ mod tests {
     fn small_run_produces_sane_report() {
         let sc = Scenario::small(3);
         let report = run_scenario(&sc, &Policy::ALL);
-        assert_eq!(report.outcomes.len(), 4);
+        assert_eq!(report.outcomes.len(), 6);
         assert_eq!(report.num_cars, 250);
         assert_eq!(report.num_queries, 10);
         assert!(report.reference_updates > 0);
@@ -173,7 +187,16 @@ mod tests {
     #[test]
     fn source_actuated_policies_respect_budget() {
         let sc = Scenario::small(5);
-        let report = run_scenario(&sc, &[Policy::Lira, Policy::LiraGrid, Policy::UniformDelta]);
+        let report = run_scenario(
+            &sc,
+            &[
+                Policy::Lira,
+                Policy::LiraGrid,
+                Policy::UniformDelta,
+                Policy::UtilityGreedy,
+                Policy::UtilityModel,
+            ],
+        );
         for o in &report.outcomes {
             assert_eq!(o.updates_sent, o.updates_processed, "{:?}", o.policy);
             // Budget: processed fraction near or below z (dead-reckoning
@@ -238,6 +261,16 @@ mod tests {
     #[test]
     fn names_come_from_the_policy_impls() {
         let names: Vec<&str> = Policy::ALL.iter().map(|p| p.name()).collect();
-        assert_eq!(names, ["LIRA", "Lira-Grid", "Uniform Delta", "Random Drop"]);
+        assert_eq!(
+            names,
+            [
+                "LIRA",
+                "Lira-Grid",
+                "Uniform Delta",
+                "Random Drop",
+                "Utility Greedy",
+                "Utility Model"
+            ]
+        );
     }
 }

@@ -45,6 +45,12 @@ const GREEDY_STEPS: MetricSpec = MetricSpec::new("greedy.steps", "core.greedy_in
 const PLAN_DELTA_M: MetricSpec = MetricSpec::new("plan.delta_m", "core.plan", "m");
 const REGION_ADMITTED: MetricSpec = MetricSpec::new("lane.region_admitted", "sim.lane", "updates");
 const REGION_SHED: MetricSpec = MetricSpec::new("lane.region_shed", "sim.lane", "updates");
+// Utility-policy scores (component "core.utility"): one histogram sample
+// per region per adaptation in milli-units (scores are small reals), plus
+// the maximum score of the most recent adaptation. Only recorded for
+// policies whose `utility_scores()` returns `Some` (the SPICE family).
+const UTILITY_SCORE: MetricSpec = MetricSpec::new("utility.score", "core.utility", "milli");
+const UTILITY_SCORE_MAX: MetricSpec = MetricSpec::new("utility.score_max", "core.utility", "score");
 const CHANNEL_RNG_DRAWS: MetricSpec =
     MetricSpec::new("channel.rng_draws", "server.channel", "draws");
 const CHANNEL_TRANSMISSIONS: MetricSpec =
@@ -145,6 +151,8 @@ pub struct LaneTelemetry {
     delta_m: Arc<Histogram>,
     region_admitted: Arc<Histogram>,
     region_shed: Arc<Histogram>,
+    utility_score: Arc<Histogram>,
+    utility_score_max: Arc<Gauge>,
 }
 
 impl LaneTelemetry {
@@ -166,6 +174,8 @@ impl LaneTelemetry {
             delta_m: registry.histogram(PLAN_DELTA_M),
             region_admitted: registry.histogram(REGION_ADMITTED),
             region_shed: registry.histogram(REGION_SHED),
+            utility_score: registry.histogram(UTILITY_SCORE),
+            utility_score_max: registry.gauge(UTILITY_SCORE_MAX),
             registry,
         }
     }
@@ -207,6 +217,22 @@ impl LaneTelemetry {
         for r in plan.regions() {
             self.delta_m.record(r.throttler.round() as u64);
         }
+    }
+
+    /// Records one adaptation's per-region utility scores (histogram
+    /// sample per region, milli-units) and the maximum score. A no-op
+    /// for policies without a utility model (`scores = None`).
+    pub fn on_utility(&self, scores: Option<&[f64]>) {
+        if !self.registry.is_enabled() {
+            return;
+        }
+        let Some(scores) = scores else { return };
+        let mut max = 0.0f64;
+        for &s in scores {
+            self.utility_score.record((s * 1000.0).round() as u64);
+            max = max.max(s);
+        }
+        self.utility_score_max.set(max);
     }
 
     /// Flushes one plan epoch's per-region admitted/shed counts into the

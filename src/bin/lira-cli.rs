@@ -16,7 +16,7 @@
 //!   --dist proportional|inverse|random   query distribution
 //!   --duration S                  measured seconds
 //! run options:
-//!   --policies lira,lira-grid,uniform,random-drop   (default: all)
+//!   --policies lira,lira-grid,uniform,random-drop,utility-greedy,utility-model   (default: all)
 //! adaptive options:
 //!   --service-rate R              server capacity, updates/s (default 200)
 //!   --capacity B                  input queue size           (default 500)
@@ -124,6 +124,8 @@ impl Options {
                             "lira-grid" => Ok(Policy::LiraGrid),
                             "uniform" => Ok(Policy::UniformDelta),
                             "random-drop" => Ok(Policy::RandomDrop),
+                            "utility-greedy" => Ok(Policy::UtilityGreedy),
+                            "utility-model" => Ok(Policy::UtilityModel),
                             other => Err(format!("unknown policy {other:?}")),
                         })
                         .collect::<std::result::Result<_, String>>()?;

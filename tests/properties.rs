@@ -411,7 +411,7 @@ proptest! {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
-    /// The `SheddingPolicy` contract, checked uniformly for all four
+    /// The `SheddingPolicy` contract, checked uniformly for all six
     /// implementations: every plan stays inside the throttler domain
     /// `[Δ⊢, Δ⊣]`, and the *expected* post-shedding update rate — the
     /// speed-weighted `Σ_c s_c·f(Δ(center_c))` over the statistics-grid
@@ -450,6 +450,8 @@ proptest! {
             Box::new(LiraGridPolicy::new(config.clone(), model.clone())),
             Box::new(UniformDeltaPolicy::new(bounds, model.clone())),
             Box::new(RandomDropPolicy::new(bounds, config.delta_min)),
+            Box::new(UtilityGreedy::new(config.clone(), model.clone())),
+            Box::new(UtilityModel::new(config.clone(), model.clone())),
         ];
         for mut policy in policies {
             let plan = policy.adapt(&grid, z).unwrap();
